@@ -1,0 +1,254 @@
+//! Call-graph construction over an app's code.
+//!
+//! Class-hierarchy-based resolution: an `invoke-virtual` on class `C` may
+//! dispatch to `C`'s own definition or any overriding definition in a
+//! subclass of `C` defined in the program. Entry points are the lifecycle
+//! methods of manifest-declared components.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use separ_android::api::{component_super, entry_points};
+use separ_dex::instr::Instr;
+use separ_dex::program::{Apk, Dex};
+use separ_dex::refs::TypeId;
+
+/// A node: `(class index, method index)` into the program.
+pub type MethodNode = (usize, usize);
+
+/// A call graph with manifest-derived entry points.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// Adjacency: caller -> callees (program-defined only).
+    edges: HashMap<MethodNode, Vec<MethodNode>>,
+    entry: Vec<MethodNode>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of an app.
+    pub fn build(apk: &Apk) -> CallGraph {
+        let dex = &apk.dex;
+        // subclassing: super type -> direct subclasses
+        let mut subclasses: HashMap<TypeId, Vec<usize>> = HashMap::new();
+        for (ci, class) in dex.classes.iter().enumerate() {
+            if let Some(s) = class.super_ty {
+                subclasses.entry(s).or_default().push(ci);
+            }
+        }
+        let mut edges: HashMap<MethodNode, Vec<MethodNode>> = HashMap::new();
+        for (ci, class) in dex.classes.iter().enumerate() {
+            for (mi, method) in class.methods.iter().enumerate() {
+                let mut callees = Vec::new();
+                for instr in &method.code {
+                    if let Instr::Invoke { method: m, .. } = instr {
+                        let mref = dex.pools.method_at(*m);
+                        let name = dex.pools.str_at(mref.name);
+                        callees.extend(resolve_targets(dex, &subclasses, mref.class, name));
+                    }
+                }
+                callees.sort_unstable();
+                callees.dedup();
+                edges.insert((ci, mi), callees);
+            }
+        }
+        let entry = entry_nodes(apk);
+        CallGraph { edges, entry }
+    }
+
+    /// Entry-point nodes (component lifecycle methods).
+    pub fn entry_points(&self) -> &[MethodNode] {
+        &self.entry
+    }
+
+    /// Callees of a node.
+    pub fn callees(&self, node: MethodNode) -> &[MethodNode] {
+        self.edges.get(&node).map_or(&[], Vec::as_slice)
+    }
+
+    /// All nodes reachable from the entry points.
+    pub fn reachable(&self) -> HashSet<MethodNode> {
+        let mut seen: HashSet<MethodNode> = HashSet::new();
+        let mut queue: VecDeque<MethodNode> = self.entry.iter().copied().collect();
+        while let Some(n) = queue.pop_front() {
+            if !seen.insert(n) {
+                continue;
+            }
+            for &c in self.callees(n) {
+                if !seen.contains(&c) {
+                    queue.push_back(c);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Number of nodes with any code.
+    pub fn num_methods(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+/// Resolves an invocation of `name` declared against `declared` to all
+/// possible program definitions (declared class chain + overriding
+/// subclasses).
+fn resolve_targets(
+    dex: &Dex,
+    subclasses: &HashMap<TypeId, Vec<usize>>,
+    declared: TypeId,
+    name: &str,
+) -> Vec<MethodNode> {
+    let mut out = Vec::new();
+    // Walk up from the declared class to find an inherited definition.
+    if let Some((def_ty, _)) = dex.resolve_method(declared, name) {
+        if let Some(ci) = dex.classes.iter().position(|c| c.ty == def_ty) {
+            if let Some(mi) = method_index(dex, ci, name) {
+                out.push((ci, mi));
+            }
+        }
+    }
+    // Walk down: overriding definitions in subclasses.
+    let mut stack: Vec<usize> = subclasses
+        .get(&declared)
+        .map(|v| v.to_vec())
+        .unwrap_or_default();
+    while let Some(ci) = stack.pop() {
+        if let Some(mi) = method_index(dex, ci, name) {
+            out.push((ci, mi));
+        }
+        let ty = dex.classes[ci].ty;
+        if let Some(subs) = subclasses.get(&ty) {
+            stack.extend_from_slice(subs);
+        }
+    }
+    out
+}
+
+fn method_index(dex: &Dex, class_idx: usize, name: &str) -> Option<usize> {
+    dex.classes[class_idx]
+        .methods
+        .iter()
+        .position(|m| dex.pools.str_at(m.name) == name)
+}
+
+/// Computes the component lifecycle entry-point nodes of an app.
+pub fn entry_nodes(apk: &Apk) -> Vec<MethodNode> {
+    let dex = &apk.dex;
+    let mut out = Vec::new();
+    for decl in &apk.manifest.components {
+        let Some(ty) = dex.pools.find_type(&decl.class) else {
+            continue;
+        };
+        let Some(ci) = dex.classes.iter().position(|c| c.ty == ty) else {
+            continue;
+        };
+        let _ = component_super(decl.kind); // the canonical superclass
+        for &ep in entry_points(decl.kind) {
+            if let Some(mi) = method_index(dex, ci, ep) {
+                out.push((ci, mi));
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use separ_dex::build::ApkBuilder;
+    use separ_dex::manifest::{ComponentDecl, ComponentKind};
+
+    fn two_level_app() -> Apk {
+        let mut apk = ApkBuilder::new("t");
+        apk.add_component(ComponentDecl::new("LSvc;", ComponentKind::Service));
+        {
+            let mut class = apk.class_extends("LSvc;", "Landroid/app/Service;");
+            let mut m = class.method("onStartCommand", 2, false, false);
+            let v = m.reg();
+            m.const_int(v, 1);
+            m.invoke_static("LHelper;", "work", &[v], false);
+            m.ret_void();
+            m.finish();
+            // Not an entry point and never called:
+            let mut dead = class.method("orphan", 1, false, false);
+            dead.invoke_static("LHelper;", "secret", &[], false);
+            dead.ret_void();
+            dead.finish();
+            class.finish();
+        }
+        {
+            let mut class = apk.class("LHelper;");
+            let mut m = class.method("work", 1, true, false);
+            m.invoke_static("LHelper;", "inner", &[], false);
+            m.ret_void();
+            m.finish();
+            let mut m = class.method("inner", 0, true, false);
+            m.ret_void();
+            m.finish();
+            let mut m = class.method("secret", 0, true, false);
+            m.ret_void();
+            m.finish();
+            class.finish();
+        }
+        apk.finish()
+    }
+
+    #[test]
+    fn reachability_from_entry_points() {
+        let apk = two_level_app();
+        let cg = CallGraph::build(&apk);
+        assert_eq!(cg.entry_points().len(), 1);
+        let reach = cg.reachable();
+        // onStartCommand, work, inner reachable; orphan and secret not.
+        assert_eq!(reach.len(), 3);
+    }
+
+    #[test]
+    fn virtual_dispatch_includes_overrides() {
+        let mut apk = ApkBuilder::new("t");
+        apk.add_component(ComponentDecl::new("LMain;", ComponentKind::Activity));
+        {
+            let mut class = apk.class("LBase;");
+            let mut m = class.method("hook", 1, false, false);
+            m.ret_void();
+            m.finish();
+            class.finish();
+        }
+        {
+            let mut class = apk.class_extends("LSub;", "LBase;");
+            let mut m = class.method("hook", 1, false, false);
+            m.invoke_static("LSub;", "payload", &[], false);
+            m.ret_void();
+            m.finish();
+            let mut m = class.method("payload", 0, true, false);
+            m.ret_void();
+            m.finish();
+            class.finish();
+        }
+        {
+            let mut class = apk.class_extends("LMain;", "Landroid/app/Activity;");
+            let mut m = class.method("onCreate", 1, false, false);
+            let v = m.reg();
+            m.new_instance(v, "LSub;");
+            m.invoke_virtual("LBase;", "hook", &[v], false);
+            m.ret_void();
+            m.finish();
+            class.finish();
+        }
+        let apk = apk.finish();
+        let cg = CallGraph::build(&apk);
+        let reach = cg.reachable();
+        // onCreate, Base::hook, Sub::hook, payload all reachable via CHA.
+        assert_eq!(reach.len(), 4);
+    }
+
+    #[test]
+    fn missing_component_classes_are_skipped() {
+        let mut apk = ApkBuilder::new("t");
+        apk.add_component(ComponentDecl::new("LGhost;", ComponentKind::Activity));
+        let apk = apk.finish();
+        let cg = CallGraph::build(&apk);
+        assert!(cg.entry_points().is_empty());
+        assert!(cg.reachable().is_empty());
+    }
+}

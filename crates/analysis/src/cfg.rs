@@ -1,0 +1,228 @@
+//! Intra-procedural control-flow graphs.
+//!
+//! Basic blocks are built from branch leaders; the graph supports forward
+//! reachability (used to prune dead code, which is how the DroidBench
+//! unreachable-leak decoys are correctly ignored).
+
+use separ_dex::program::Method;
+
+/// A basic block: a half-open instruction range `[start, end)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Block {
+    /// First instruction index.
+    pub start: u32,
+    /// One past the last instruction index.
+    pub end: u32,
+}
+
+/// A control-flow graph over a method's instructions.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    blocks: Vec<Block>,
+    successors: Vec<Vec<u32>>,
+}
+
+impl Cfg {
+    /// Builds the CFG of a method.
+    pub fn build(method: &Method) -> Cfg {
+        let code = &method.code;
+        let n = code.len();
+        if n == 0 {
+            return Cfg {
+                blocks: vec![],
+                successors: vec![],
+            };
+        }
+        // Leaders: entry, branch targets, instructions after branches.
+        let mut is_leader = vec![false; n];
+        is_leader[0] = true;
+        for (i, instr) in code.iter().enumerate() {
+            if let Some(t) = instr.branch_target() {
+                if (t as usize) < n {
+                    is_leader[t as usize] = true;
+                }
+                if i + 1 < n {
+                    is_leader[i + 1] = true;
+                }
+            }
+            if instr.is_terminator() && i + 1 < n {
+                is_leader[i + 1] = true;
+            }
+        }
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0u32; n];
+        let mut start = 0usize;
+        for i in 1..=n {
+            if i == n || is_leader[i] {
+                let b = blocks.len() as u32;
+                for pc in start..i {
+                    block_of[pc] = b;
+                }
+                blocks.push(Block {
+                    start: start as u32,
+                    end: i as u32,
+                });
+                start = i;
+            }
+        }
+        let mut successors = vec![Vec::new(); blocks.len()];
+        for (bi, b) in blocks.iter().enumerate() {
+            let last = &code[(b.end - 1) as usize];
+            if let Some(t) = last.branch_target() {
+                successors[bi].push(block_of[t as usize]);
+            }
+            if !last.is_terminator() && (b.end as usize) < n {
+                successors[bi].push(block_of[b.end as usize]);
+            }
+            successors[bi].sort_unstable();
+            successors[bi].dedup();
+        }
+        Cfg { blocks, successors }
+    }
+
+    /// The basic blocks in order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Successor block indices of a block.
+    pub fn successors(&self, block: usize) -> &[u32] {
+        &self.successors[block]
+    }
+
+    /// Block indices reachable from the entry block.
+    pub fn reachable_blocks(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.blocks.len()];
+        if self.blocks.is_empty() {
+            return seen;
+        }
+        let mut stack = vec![0u32];
+        while let Some(b) = stack.pop() {
+            if std::mem::replace(&mut seen[b as usize], true) {
+                continue;
+            }
+            for &s in &self.successors[b as usize] {
+                if !seen[s as usize] {
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Instruction indices reachable from the entry.
+    pub fn reachable_instructions(&self) -> Vec<bool> {
+        let blocks_reach = self.reachable_blocks();
+        let n = self
+            .blocks
+            .last()
+            .map(|b| b.end as usize)
+            .unwrap_or_default();
+        let mut out = vec![false; n];
+        for (bi, b) in self.blocks.iter().enumerate() {
+            if blocks_reach[bi] {
+                for pc in b.start..b.end {
+                    out[pc as usize] = true;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use separ_dex::instr::{Instr, Reg};
+    use separ_dex::program::Method;
+    use separ_dex::refs::StrId;
+
+    fn method(code: Vec<Instr>) -> Method {
+        Method {
+            name: StrId::from_index(0),
+            num_registers: 4,
+            num_params: 0,
+            is_static: true,
+            returns_value: false,
+            code,
+        }
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let m = method(vec![Instr::Nop, Instr::Nop, Instr::ReturnVoid]);
+        let cfg = Cfg::build(&m);
+        assert_eq!(cfg.blocks().len(), 1);
+        assert!(cfg.successors(0).is_empty());
+    }
+
+    #[test]
+    fn diamond_shape() {
+        // 0: if-eqz v0 -> 3
+        // 1: nop
+        // 2: goto 4
+        // 3: nop
+        // 4: return-void
+        let m = method(vec![
+            Instr::IfEqz {
+                reg: Reg(0),
+                target: 3,
+            },
+            Instr::Nop,
+            Instr::Goto { target: 4 },
+            Instr::Nop,
+            Instr::ReturnVoid,
+        ]);
+        let cfg = Cfg::build(&m);
+        assert_eq!(cfg.blocks().len(), 4);
+        assert_eq!(cfg.successors(0), &[1, 2]);
+        assert_eq!(cfg.successors(1), &[3]);
+        assert_eq!(cfg.successors(2), &[3]);
+        assert!(cfg.successors(3).is_empty());
+        assert!(cfg.reachable_blocks().iter().all(|&b| b));
+    }
+
+    #[test]
+    fn code_after_goto_is_unreachable() {
+        // 0: goto 2
+        // 1: nop        <- dead
+        // 2: return-void
+        let m = method(vec![
+            Instr::Goto { target: 2 },
+            Instr::Nop,
+            Instr::ReturnVoid,
+        ]);
+        let cfg = Cfg::build(&m);
+        let reach = cfg.reachable_instructions();
+        assert_eq!(reach, vec![true, false, true]);
+    }
+
+    #[test]
+    fn empty_method() {
+        let m = method(vec![]);
+        let cfg = Cfg::build(&m);
+        assert!(cfg.blocks().is_empty());
+        assert!(cfg.reachable_instructions().is_empty());
+    }
+
+    #[test]
+    fn loop_back_edge() {
+        // 0: nop
+        // 1: if-nez v0 -> 0
+        // 2: return-void
+        let m = method(vec![
+            Instr::Nop,
+            Instr::IfNez {
+                reg: Reg(0),
+                target: 0,
+            },
+            Instr::ReturnVoid,
+        ]);
+        let cfg = Cfg::build(&m);
+        // nop + if-nez form one block (the nop is the branch target, so the
+        // block is [0,2)); return-void is its own block.
+        assert_eq!(cfg.blocks().len(), 2);
+        assert_eq!(cfg.successors(0), &[0, 1]);
+        assert!(cfg.successors(1).is_empty());
+    }
+}

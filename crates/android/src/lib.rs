@@ -1,0 +1,34 @@
+//! **separ-android** — the modelled Android framework.
+//!
+//! The SEPAR paper formalizes the parts of Android relevant to
+//! inter-component communication: applications, components, Intents,
+//! IntentFilters, permissions, and the resolution rules that decide where
+//! an implicit Intent is delivered. This crate is that formal foundation:
+//!
+//! * [`types`] — permissions, the Holavanalli-style permission-required
+//!   resources (thirteen sources, five destinations, plus `ICC`), and
+//!   sensitive [`types::FlowPath`]s;
+//! * [`api`] — the modelled API surface: a PScout-style permission map and
+//!   SuSi-style source/sink tables consulted by both the static analyzer
+//!   and the enforcement runtime;
+//! * [`resolution`] — Android's action/category/data tests, shared by the
+//!   meta-model, the analyzer and the runtime ICC router.
+//!
+//! # Examples
+//!
+//! ```
+//! use separ_android::resolution::{filter_matches, IntentData};
+//! use separ_dex::manifest::IntentFilterDecl;
+//!
+//! let filter = IntentFilterDecl::for_actions(["showLoc"]);
+//! let intent = IntentData::for_action("showLoc");
+//! assert!(filter_matches(&intent, &filter));
+//! ```
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod resolution;
+pub mod types;
+
+pub use resolution::IntentData;
+pub use types::{FlowPath, Resource};

@@ -1,0 +1,193 @@
+//! Intent resolution: the action, category and data tests.
+//!
+//! A faithful (slightly simplified, see below) transcription of Android's
+//! implicit-intent resolution, shared between the formal meta-model, the
+//! static analyzer, and the runtime router, so all three agree on who
+//! receives an intent.
+//!
+//! Simplification: Android's data test distinguishes scheme/authority/path
+//! hierarchies; sdex intents carry at most one data type and one scheme,
+//! so the test reduces to symmetric membership (an intent with data only
+//! matches filters declaring that data, and a filter declaring data only
+//! matches intents carrying it).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use separ_dex::manifest::IntentFilterDecl;
+
+/// A concrete intent, as carried across the ICC bus or abstracted by AME.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct IntentData {
+    /// The action, if any.
+    pub action: Option<String>,
+    /// Categories.
+    pub categories: BTreeSet<String>,
+    /// MIME data type.
+    pub data_type: Option<String>,
+    /// Data scheme.
+    pub data_scheme: Option<String>,
+    /// Explicit target component (class descriptor), if any.
+    pub explicit_target: Option<String>,
+    /// Extras: key to a string payload (the runtime marshals all extra
+    /// values to strings when crossing the bus).
+    pub extras: BTreeMap<String, String>,
+}
+
+impl IntentData {
+    /// Creates an empty (implicit, untargeted) intent.
+    pub fn new() -> IntentData {
+        IntentData::default()
+    }
+
+    /// Creates an implicit intent for an action.
+    pub fn for_action(action: impl Into<String>) -> IntentData {
+        IntentData {
+            action: Some(action.into()),
+            ..IntentData::default()
+        }
+    }
+
+    /// Creates an explicit intent for a component class.
+    pub fn explicit(target: impl Into<String>) -> IntentData {
+        IntentData {
+            explicit_target: Some(target.into()),
+            ..IntentData::default()
+        }
+    }
+
+    /// Returns `true` if this intent names its receiver explicitly.
+    pub fn is_explicit(&self) -> bool {
+        self.explicit_target.is_some()
+    }
+
+    /// Adds an extra, builder style.
+    pub fn with_extra(mut self, key: impl Into<String>, value: impl Into<String>) -> IntentData {
+        self.extras.insert(key.into(), value.into());
+        self
+    }
+
+    /// Adds a category, builder style.
+    pub fn with_category(mut self, category: impl Into<String>) -> IntentData {
+        self.categories.insert(category.into());
+        self
+    }
+}
+
+/// The action test: the filter must declare at least one action, and the
+/// intent's action (if present) must be among them.
+pub fn action_test(intent: &IntentData, filter: &IntentFilterDecl) -> bool {
+    if filter.actions.is_empty() {
+        return false;
+    }
+    match &intent.action {
+        None => true,
+        Some(a) => filter.actions.iter().any(|fa| fa == a),
+    }
+}
+
+/// The category test: every category in the intent must appear in the
+/// filter.
+pub fn category_test(intent: &IntentData, filter: &IntentFilterDecl) -> bool {
+    intent
+        .categories
+        .iter()
+        .all(|c| filter.categories.iter().any(|fc| fc == c))
+}
+
+/// The data test (see module docs for the simplification).
+pub fn data_test(intent: &IntentData, filter: &IntentFilterDecl) -> bool {
+    let type_ok = match &intent.data_type {
+        None => filter.data_types.is_empty(),
+        Some(t) => filter.data_types.iter().any(|ft| ft == t),
+    };
+    let scheme_ok = match &intent.data_scheme {
+        None => filter.data_schemes.is_empty(),
+        Some(s) => filter.data_schemes.iter().any(|fs| fs == s),
+    };
+    type_ok && scheme_ok
+}
+
+/// Full filter match: all three tests pass.
+pub fn filter_matches(intent: &IntentData, filter: &IntentFilterDecl) -> bool {
+    action_test(intent, filter) && category_test(intent, filter) && data_test(intent, filter)
+}
+
+/// Returns `true` if any of the filters matches.
+pub fn any_filter_matches(intent: &IntentData, filters: &[IntentFilterDecl]) -> bool {
+    filters.iter().any(|f| filter_matches(intent, f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filter(actions: &[&str]) -> IntentFilterDecl {
+        IntentFilterDecl::for_actions(actions.iter().copied())
+    }
+
+    #[test]
+    fn action_test_requires_declared_actions() {
+        let empty = IntentFilterDecl::default();
+        let i = IntentData::for_action("showLoc");
+        assert!(!action_test(&i, &empty), "empty filter matches nothing");
+        assert!(action_test(&i, &filter(&["showLoc"])));
+        assert!(!action_test(&i, &filter(&["other"])));
+        // Actionless intent passes any filter with actions.
+        let actionless = IntentData::new();
+        assert!(action_test(&actionless, &filter(&["x"])));
+    }
+
+    #[test]
+    fn category_test_is_subset() {
+        let mut f = filter(&["a"]);
+        f.categories = vec!["android.intent.category.DEFAULT".into()];
+        let plain = IntentData::for_action("a");
+        assert!(category_test(&plain, &f), "no categories always passes");
+        let with_cat =
+            IntentData::for_action("a").with_category("android.intent.category.DEFAULT");
+        assert!(category_test(&with_cat, &f));
+        let extra_cat = IntentData::for_action("a").with_category("other");
+        assert!(!category_test(&extra_cat, &f));
+    }
+
+    #[test]
+    fn data_test_is_symmetric_membership() {
+        let mut f = filter(&["a"]);
+        let plain = IntentData::for_action("a");
+        assert!(data_test(&plain, &f));
+        f.data_types = vec!["text/plain".into()];
+        assert!(!data_test(&plain, &f), "filter demands data, intent has none");
+        let mut typed = IntentData::for_action("a");
+        typed.data_type = Some("text/plain".into());
+        assert!(data_test(&typed, &f));
+        typed.data_type = Some("image/png".into());
+        assert!(!data_test(&typed, &f));
+        // Scheme dimension.
+        let mut schemed = IntentData::for_action("a");
+        schemed.data_scheme = Some("https".into());
+        let mut f2 = filter(&["a"]);
+        assert!(!data_test(&schemed, &f2), "intent has scheme, filter doesn't");
+        f2.data_schemes = vec!["https".into()];
+        assert!(data_test(&schemed, &f2));
+    }
+
+    #[test]
+    fn full_match_composes_all_tests() {
+        let mut f = filter(&["com.app.GO"]);
+        f.categories = vec!["android.intent.category.DEFAULT".into()];
+        let good =
+            IntentData::for_action("com.app.GO").with_category("android.intent.category.DEFAULT");
+        assert!(filter_matches(&good, &f));
+        let bad_action = IntentData::for_action("com.app.STOP");
+        assert!(!filter_matches(&bad_action, &f));
+        assert!(any_filter_matches(&good, &[filter(&["x"]), f.clone()]));
+        assert!(!any_filter_matches(&bad_action, &[f]));
+    }
+
+    #[test]
+    fn builders_compose() {
+        let i = IntentData::explicit("Lcom/x/Svc;").with_extra("k", "v");
+        assert!(i.is_explicit());
+        assert_eq!(i.extras.get("k").map(String::as_str), Some("v"));
+    }
+}

@@ -1,0 +1,342 @@
+//! Core Android domain types: permissions, resources, actions, categories.
+
+use std::fmt;
+
+/// Well-known Android permission strings used throughout the reproduction.
+pub mod perm {
+    /// Fine-grained location access.
+    pub const ACCESS_FINE_LOCATION: &str = "android.permission.ACCESS_FINE_LOCATION";
+    /// Send SMS messages.
+    pub const SEND_SMS: &str = "android.permission.SEND_SMS";
+    /// Write SMS (the paper's Ermete SMS example).
+    pub const WRITE_SMS: &str = "android.permission.WRITE_SMS";
+    /// Read SMS inbox.
+    pub const READ_SMS: &str = "android.permission.READ_SMS";
+    /// Internet access.
+    pub const INTERNET: &str = "android.permission.INTERNET";
+    /// Read contacts.
+    pub const READ_CONTACTS: &str = "android.permission.READ_CONTACTS";
+    /// Read phone state (IMEI, numbers).
+    pub const READ_PHONE_STATE: &str = "android.permission.READ_PHONE_STATE";
+    /// Camera access.
+    pub const CAMERA: &str = "android.permission.CAMERA";
+    /// Record audio.
+    pub const RECORD_AUDIO: &str = "android.permission.RECORD_AUDIO";
+    /// External storage write.
+    pub const WRITE_EXTERNAL_STORAGE: &str = "android.permission.WRITE_EXTERNAL_STORAGE";
+    /// External storage read.
+    pub const READ_EXTERNAL_STORAGE: &str = "android.permission.READ_EXTERNAL_STORAGE";
+    /// Read calendar.
+    pub const READ_CALENDAR: &str = "android.permission.READ_CALENDAR";
+    /// Read call log.
+    pub const READ_CALL_LOG: &str = "android.permission.READ_CALL_LOG";
+    /// Read browser history/bookmarks.
+    pub const READ_HISTORY_BOOKMARKS: &str = "com.android.browser.permission.READ_HISTORY_BOOKMARKS";
+    /// Access accounts.
+    pub const GET_ACCOUNTS: &str = "android.permission.GET_ACCOUNTS";
+    /// Place phone calls.
+    pub const CALL_PHONE: &str = "android.permission.CALL_PHONE";
+
+    /// Returns `true` for *dangerous*-protection-level permissions — the
+    /// ones whose re-delegation constitutes privilege escalation.
+    /// `INTERNET` is a normal-level permission in Android and is excluded,
+    /// as are unknown custom permissions.
+    pub fn is_dangerous(permission: &str) -> bool {
+        matches!(
+            permission,
+            ACCESS_FINE_LOCATION
+                | SEND_SMS
+                | WRITE_SMS
+                | READ_SMS
+                | READ_CONTACTS
+                | READ_PHONE_STATE
+                | CAMERA
+                | RECORD_AUDIO
+                | WRITE_EXTERNAL_STORAGE
+                | READ_EXTERNAL_STORAGE
+                | READ_CALENDAR
+                | READ_CALL_LOG
+                | READ_HISTORY_BOOKMARKS
+                | GET_ACCOUNTS
+                | CALL_PHONE
+        )
+    }
+}
+
+/// Well-known intent actions.
+pub mod action {
+    /// Main entry action.
+    pub const MAIN: &str = "android.intent.action.MAIN";
+    /// View data.
+    pub const VIEW: &str = "android.intent.action.VIEW";
+    /// Send data.
+    pub const SEND: &str = "android.intent.action.SEND";
+    /// Boot completed broadcast.
+    pub const BOOT_COMPLETED: &str = "android.intent.action.BOOT_COMPLETED";
+    /// SMS received broadcast.
+    pub const SMS_RECEIVED: &str = "android.provider.Telephony.SMS_RECEIVED";
+}
+
+/// Returns `true` for broadcast actions only the system may legitimately
+/// send; an app-sourced intent carrying one of these is a spoof.
+pub fn is_protected_broadcast(action_name: &str) -> bool {
+    matches!(
+        action_name,
+        action::BOOT_COMPLETED
+            | action::SMS_RECEIVED
+            | "android.intent.action.BATTERY_LOW"
+            | "android.intent.action.PACKAGE_ADDED"
+            | "android.net.conn.CONNECTIVITY_CHANGE"
+    )
+}
+
+/// Well-known intent categories.
+pub mod category {
+    /// Default category, implicitly required for activity resolution.
+    pub const DEFAULT: &str = "android.intent.category.DEFAULT";
+    /// Launcher entry.
+    pub const LAUNCHER: &str = "android.intent.category.LAUNCHER";
+    /// Browsable link.
+    pub const BROWSABLE: &str = "android.intent.category.BROWSABLE";
+}
+
+/// Permission-required resources, after Holavanalli et al.'s flow
+/// permissions (the paper's source/destination domains), augmented with
+/// `Icc` for inter-component flows.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Resource {
+    // --- the thirteen source resources ---
+    /// GPS / network location.
+    Location,
+    /// Device identifiers (IMEI).
+    DeviceId,
+    /// Contact list.
+    Contacts,
+    /// Calendar entries.
+    Calendar,
+    /// SMS inbox contents.
+    SmsInbox,
+    /// External storage reads.
+    SdcardRead,
+    /// Network reads.
+    NetworkRead,
+    /// Camera frames.
+    Camera,
+    /// Microphone audio.
+    Microphone,
+    /// Account registry.
+    Accounts,
+    /// Call log.
+    CallLog,
+    /// Browser history.
+    BrowserHistory,
+    /// Telephony state (numbers, cell info).
+    PhoneState,
+    // --- the five destination resources ---
+    /// Network writes.
+    NetworkWrite,
+    /// Outbound SMS.
+    Sms,
+    /// External storage writes.
+    SdcardWrite,
+    /// The shared system log.
+    Log,
+    /// Outbound phone calls.
+    PhoneCall,
+    // --- the augmentation ---
+    /// An inter-component communication endpoint: both a source (data
+    /// arriving in an Intent) and a destination (data leaving in one).
+    Icc,
+}
+
+impl Resource {
+    /// All resources, in a stable order.
+    pub const ALL: [Resource; 19] = [
+        Resource::Location,
+        Resource::DeviceId,
+        Resource::Contacts,
+        Resource::Calendar,
+        Resource::SmsInbox,
+        Resource::SdcardRead,
+        Resource::NetworkRead,
+        Resource::Camera,
+        Resource::Microphone,
+        Resource::Accounts,
+        Resource::CallLog,
+        Resource::BrowserHistory,
+        Resource::PhoneState,
+        Resource::NetworkWrite,
+        Resource::Sms,
+        Resource::SdcardWrite,
+        Resource::Log,
+        Resource::PhoneCall,
+        Resource::Icc,
+    ];
+
+    /// Returns `true` if the resource can originate sensitive data.
+    pub fn is_source(self) -> bool {
+        !matches!(
+            self,
+            Resource::NetworkWrite
+                | Resource::Sms
+                | Resource::SdcardWrite
+                | Resource::Log
+                | Resource::PhoneCall
+        )
+    }
+
+    /// Returns `true` if the resource can exfiltrate data.
+    pub fn is_sink(self) -> bool {
+        matches!(
+            self,
+            Resource::NetworkWrite
+                | Resource::Sms
+                | Resource::SdcardWrite
+                | Resource::Log
+                | Resource::PhoneCall
+                | Resource::Icc
+        )
+    }
+
+    /// The install-time permission guarding the resource, if any.
+    ///
+    /// `Icc` and `Log` are unguarded, which is exactly what makes
+    /// ICC-mediated flows attractive to attackers.
+    pub fn permission(self) -> Option<&'static str> {
+        match self {
+            Resource::Location => Some(perm::ACCESS_FINE_LOCATION),
+            Resource::DeviceId | Resource::PhoneState => Some(perm::READ_PHONE_STATE),
+            Resource::Contacts => Some(perm::READ_CONTACTS),
+            Resource::Calendar => Some(perm::READ_CALENDAR),
+            Resource::SmsInbox => Some(perm::READ_SMS),
+            Resource::SdcardRead => Some(perm::READ_EXTERNAL_STORAGE),
+            Resource::NetworkRead | Resource::NetworkWrite => Some(perm::INTERNET),
+            Resource::Camera => Some(perm::CAMERA),
+            Resource::Microphone => Some(perm::RECORD_AUDIO),
+            Resource::Accounts => Some(perm::GET_ACCOUNTS),
+            Resource::CallLog => Some(perm::READ_CALL_LOG),
+            Resource::BrowserHistory => Some(perm::READ_HISTORY_BOOKMARKS),
+            Resource::Sms => Some(perm::SEND_SMS),
+            Resource::SdcardWrite => Some(perm::WRITE_EXTERNAL_STORAGE),
+            Resource::PhoneCall => Some(perm::CALL_PHONE),
+            Resource::Log | Resource::Icc => None,
+        }
+    }
+
+    /// Stable name used in atoms, policies and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Resource::Location => "LOCATION",
+            Resource::DeviceId => "IMEI",
+            Resource::Contacts => "CONTACTS",
+            Resource::Calendar => "CALENDAR",
+            Resource::SmsInbox => "SMS_INBOX",
+            Resource::SdcardRead => "SDCARD_READ",
+            Resource::NetworkRead => "NETWORK_READ",
+            Resource::Camera => "CAMERA",
+            Resource::Microphone => "MICROPHONE",
+            Resource::Accounts => "ACCOUNTS",
+            Resource::CallLog => "CALL_LOG",
+            Resource::BrowserHistory => "BROWSER_HISTORY",
+            Resource::PhoneState => "PHONE_STATE",
+            Resource::NetworkWrite => "NETWORK",
+            Resource::Sms => "SMS",
+            Resource::SdcardWrite => "SDCARD",
+            Resource::Log => "LOG",
+            Resource::PhoneCall => "PHONE_CALL",
+            Resource::Icc => "ICC",
+        }
+    }
+
+    /// Inverse of [`Resource::name`].
+    pub fn from_name(name: &str) -> Option<Resource> {
+        Resource::ALL.into_iter().find(|r| r.name() == name)
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A sensitive data-flow path within a component, from a source resource to
+/// a sink resource (the paper's `Path` signature).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowPath {
+    /// Where the data originates.
+    pub source: Resource,
+    /// Where the data ends up.
+    pub sink: Resource,
+}
+
+impl FlowPath {
+    /// Creates a path.
+    pub fn new(source: Resource, sink: Resource) -> FlowPath {
+        FlowPath { source, sink }
+    }
+}
+
+impl fmt::Display for FlowPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.source, self.sink)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn source_sink_partition() {
+        let sources = Resource::ALL.iter().filter(|r| r.is_source()).count();
+        let sinks = Resource::ALL.iter().filter(|r| r.is_sink()).count();
+        // Thirteen sources + ICC.
+        assert_eq!(sources, 14);
+        // Five destinations + ICC.
+        assert_eq!(sinks, 6);
+        assert!(Resource::Icc.is_source() && Resource::Icc.is_sink());
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for r in Resource::ALL {
+            assert_eq!(Resource::from_name(r.name()), Some(r));
+        }
+        assert_eq!(Resource::from_name("NOPE"), None);
+    }
+
+    #[test]
+    fn icc_and_log_are_unguarded() {
+        assert_eq!(Resource::Icc.permission(), None);
+        assert_eq!(Resource::Log.permission(), None);
+        assert_eq!(
+            Resource::Location.permission(),
+            Some(perm::ACCESS_FINE_LOCATION)
+        );
+    }
+
+    #[test]
+    fn dangerous_permission_classification() {
+        assert!(perm::is_dangerous(perm::SEND_SMS));
+        assert!(perm::is_dangerous(perm::ACCESS_FINE_LOCATION));
+        assert!(perm::is_dangerous(perm::CALL_PHONE));
+        // INTERNET is a normal-level permission: not escalatable.
+        assert!(!perm::is_dangerous(perm::INTERNET));
+        assert!(!perm::is_dangerous("com.custom.PERMISSION"));
+    }
+
+    #[test]
+    fn protected_broadcast_classification() {
+        assert!(is_protected_broadcast(action::BOOT_COMPLETED));
+        assert!(is_protected_broadcast(action::SMS_RECEIVED));
+        assert!(!is_protected_broadcast(action::VIEW));
+        assert!(!is_protected_broadcast("com.app.CUSTOM_EVENT"));
+    }
+
+    #[test]
+    fn flow_path_display() {
+        let p = FlowPath::new(Resource::Location, Resource::Icc);
+        assert_eq!(p.to_string(), "LOCATION -> ICC");
+    }
+}

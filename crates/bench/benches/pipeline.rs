@@ -1,0 +1,86 @@
+//! End-to-end pipeline benchmarks: extraction, synthesis, enforcement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use separ_analysis::extractor::extract_apk;
+use separ_core::Separ;
+use separ_corpus::market::{generate, MarketSpec};
+use separ_corpus::motivating;
+use separ_enforce::{Device, PromptHandler};
+
+fn bench_extraction(c: &mut Criterion) {
+    let market = generate(&MarketSpec::scaled(30, 17));
+    let navigator = motivating::navigator_app();
+    let mut group = c.benchmark_group("ame");
+    group.bench_function("extract_navigator", |b| {
+        b.iter(|| extract_apk(&navigator));
+    });
+    group.bench_function("extract_market_app", |b| {
+        let apk = &market[0].apk;
+        b.iter(|| extract_apk(apk));
+    });
+    group.bench_function("decode_and_extract", |b| {
+        let bytes = separ_dex::codec::encode(&navigator);
+        b.iter(|| separ_analysis::extractor::extract(&bytes).expect("decodes"));
+    });
+    group.finish();
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let motivating_bundle = vec![
+        motivating::navigator_app(),
+        motivating::messenger_app(false),
+    ];
+    let market: Vec<_> = generate(&MarketSpec::scaled(10, 23))
+        .into_iter()
+        .map(|m| m.apk)
+        .collect();
+    let mut group = c.benchmark_group("ase");
+    group.sample_size(20);
+    group.bench_function("motivating_bundle", |b| {
+        let separ = Separ::new();
+        b.iter(|| separ.analyze_apks(&motivating_bundle).expect("succeeds"));
+    });
+    group.bench_with_input(
+        BenchmarkId::new("market_bundle", market.len()),
+        &market,
+        |b, apks| {
+            let separ = Separ::new();
+            b.iter(|| separ.analyze_apks(apks).expect("succeeds"));
+        },
+    );
+    group.finish();
+}
+
+fn bench_enforcement(c: &mut Criterion) {
+    let apps = vec![
+        motivating::navigator_app(),
+        motivating::messenger_app(false),
+        motivating::malicious_app("+15550000"),
+    ];
+    let report = Separ::new().analyze_apks(&apps[..2]).expect("succeeds");
+    let mut group = c.benchmark_group("ape");
+    group.bench_function("attack_no_enforcement", |b| {
+        b.iter(|| {
+            let mut device = Device::new(apps.clone());
+            device.launch("com.navigator", motivating::LOCATION_FINDER);
+            device.run_until_idle()
+        });
+    });
+    group.bench_function("attack_with_policies", |b| {
+        b.iter(|| {
+            let mut device = Device::new(apps.clone());
+            device.install_policies(
+                report.policies.clone(),
+                vec!["com.navigator".into(), "com.messenger".into()],
+                PromptHandler::AlwaysDeny,
+            );
+            device.launch("com.navigator", motivating::LOCATION_FINDER);
+            device.run_until_idle()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction, bench_synthesis, bench_enforcement);
+criterion_main!(benches);

@@ -1,0 +1,129 @@
+//! Microbenchmarks of the SAT core and the relational translator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use separ_logic::ast::Expr;
+use separ_logic::relation::{RelationDecl, TupleSet};
+use separ_logic::sat::{SolveResult, Solver};
+use separ_logic::universe::Universe;
+use separ_logic::Problem;
+
+/// Satisfiable pigeonhole (n pigeons, n holes).
+fn pigeonhole_sat(n: usize) -> SolveResult {
+    let mut s = Solver::new();
+    let p: Vec<Vec<_>> = (0..n)
+        .map(|_| (0..n).map(|_| s.new_var().positive()).collect())
+        .collect();
+    for row in &p {
+        s.add_clause(row);
+    }
+    for j in 0..n {
+        for i in 0..n {
+            for k in (i + 1)..n {
+                s.add_clause(&[!p[i][j], !p[k][j]]);
+            }
+        }
+    }
+    s.solve(&[])
+}
+
+/// Unsatisfiable pigeonhole (n+1 pigeons, n holes) — the classic hard
+/// family for resolution-based solvers.
+fn pigeonhole_unsat(n: usize) -> SolveResult {
+    let mut s = Solver::new();
+    let p: Vec<Vec<_>> = (0..=n)
+        .map(|_| (0..n).map(|_| s.new_var().positive()).collect())
+        .collect();
+    for row in &p {
+        s.add_clause(row);
+    }
+    for j in 0..n {
+        for i in 0..=n {
+            for k in (i + 1)..=n {
+                s.add_clause(&[!p[i][j], !p[k][j]]);
+            }
+        }
+    }
+    s.solve(&[])
+}
+
+fn bench_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat");
+    for n in [6, 10, 14] {
+        group.bench_with_input(BenchmarkId::new("pigeonhole_sat", n), &n, |b, &n| {
+            b.iter(|| assert_eq!(pigeonhole_sat(n), SolveResult::Sat));
+        });
+    }
+    for n in [5, 7] {
+        group.bench_with_input(BenchmarkId::new("pigeonhole_unsat", n), &n, |b, &n| {
+            b.iter(|| assert_eq!(pigeonhole_unsat(n), SolveResult::Unsat));
+        });
+    }
+    group.finish();
+}
+
+/// Translation + solving of a typical witness-style relational problem.
+fn relational_problem(n_atoms: usize) -> bool {
+    let mut u = Universe::new();
+    let atoms: Vec<_> = (0..n_atoms).map(|i| u.add(format!("c{i}"))).collect();
+    let mut p = Problem::new(u);
+    let comp = p.relation(RelationDecl::exact(
+        "Component",
+        TupleSet::unary_from(atoms.iter().copied()),
+    ));
+    let exported = p.relation(RelationDecl::exact(
+        "exported",
+        TupleSet::unary_from(atoms.iter().step_by(3).copied()),
+    ));
+    let w = p.relation(RelationDecl::free(
+        "W",
+        TupleSet::unary_from(atoms.iter().copied()),
+    ));
+    p.fact(Expr::relation(w).one());
+    p.fact(Expr::relation(w).in_(&Expr::relation(exported)));
+    p.fact(Expr::relation(w).in_(&Expr::relation(comp)));
+    p.solve().expect("well-typed").is_some()
+}
+
+fn bench_translate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relational");
+    for n in [50, 150, 300] {
+        group.bench_with_input(BenchmarkId::new("witness_problem", n), &n, |b, &n| {
+            b.iter(|| assert!(relational_problem(n)));
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: minimal-model vs plain enumeration of exploit-style spaces.
+fn bench_minimality_ablation(c: &mut Criterion) {
+    let build = || {
+        let mut u = Universe::new();
+        let atoms: Vec<_> = (0..40).map(|i| u.add(format!("x{i}"))).collect();
+        let mut p = Problem::new(u);
+        let r = p.relation(RelationDecl::free("r", TupleSet::unary_from(atoms)));
+        p.fact(Expr::relation(r).some());
+        p
+    };
+    let mut group = c.benchmark_group("ablation_minimality");
+    group.bench_function("first_model_plain", |b| {
+        b.iter(|| {
+            let p = build();
+            let mut f = p.model_finder().expect("ok");
+            f.next_model().expect("sat")
+        });
+    });
+    group.bench_function("first_model_minimal", |b| {
+        b.iter(|| {
+            let p = build();
+            let mut f = p.model_finder().expect("ok");
+            let inst = f.next_minimal_model().expect("sat");
+            assert_eq!(inst.total_tuples(), 1);
+            inst
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sat, bench_translate, bench_minimality_ablation);
+criterion_main!(benches);

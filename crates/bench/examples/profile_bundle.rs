@@ -1,0 +1,21 @@
+//! Phase-level profiling of one bundle analysis (extract / encode /
+//! full ASE). Used to locate pipeline hotspots.
+
+fn main() {
+    use std::time::Instant;
+    let spec = separ_corpus::market::MarketSpec::scaled(50, 7);
+    let market = separ_corpus::market::generate(&spec);
+    let apks: Vec<_> = market.into_iter().map(|m| m.apk).collect();
+    let t0 = Instant::now();
+    let mut apps: Vec<_> = apks.iter().map(separ_analysis::extractor::extract_apk).collect();
+    println!("extract: {:?}", t0.elapsed());
+    separ_analysis::model::update_passive_intent_targets(&mut apps);
+    let t1 = Instant::now();
+    let enc = separ_core::encode::encode_bundle(&apps);
+    println!("encode: {:?} (universe {})", t1.elapsed(), enc.problem.universe().len());
+    let t2 = Instant::now();
+    let report = separ_core::Separ::new().analyze_models(apps).unwrap();
+    println!("full ASE: {:?} construction={:?} solving={:?} vars={}",
+        t2.elapsed(), report.stats.construction, report.stats.solving, report.stats.primary_vars);
+    println!("exploits: {}", report.exploits.len());
+}

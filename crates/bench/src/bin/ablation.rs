@@ -1,0 +1,12 @@
+//! Runs the design-choice ablations. Usage: `ablation [apps] [seed]`.
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let apps = args.first().copied().unwrap_or(50);
+    let seed = args.get(1).copied().unwrap_or(7) as u64;
+    let e = separ_bench::ablation::private_component_elimination(apps, seed);
+    let m = separ_bench::ablation::minimality(40);
+    print!("{}", separ_bench::ablation::render(&e, &m));
+}

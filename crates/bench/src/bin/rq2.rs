@@ -1,0 +1,12 @@
+//! Regenerates the RQ2 census. Usage: `rq2 [bundles] [bundle_size] [seed]`.
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let bundles = args.first().copied().unwrap_or(80);
+    let size = args.get(1).copied().unwrap_or(50);
+    let seed = args.get(2).copied().unwrap_or(0x5E9A12) as u64;
+    let c = separ_bench::rq2::run(bundles, size, seed);
+    print!("{}", separ_bench::rq2::render(&c));
+}

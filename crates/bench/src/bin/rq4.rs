@@ -1,0 +1,13 @@
+//! Regenerates the RQ4 overhead numbers.
+//! Usage: `rq4 [repetitions] [icc_calls] [policies]`.
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let reps = args.first().copied().unwrap_or(33);
+    let calls = args.get(1).copied().unwrap_or(200);
+    let policies = args.get(2).copied().unwrap_or(20);
+    let o = separ_bench::rq4::run(reps, calls, policies);
+    print!("{}", separ_bench::rq4::render(&o));
+}

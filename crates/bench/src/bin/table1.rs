@@ -1,0 +1,6 @@
+//! Regenerates Table I.
+fn main() {
+    let cases = separ_corpus::table1_cases();
+    let t = separ_bench::table1::run(&cases);
+    print!("{}", separ_bench::table1::render(&t));
+}

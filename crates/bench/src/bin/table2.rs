@@ -1,0 +1,12 @@
+//! Regenerates Table II. Usage: `table2 [bundles] [bundle_size] [seed]`.
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let bundles = args.first().copied().unwrap_or(80);
+    let size = args.get(1).copied().unwrap_or(50);
+    let seed = args.get(2).copied().unwrap_or(0x5E9A12) as u64;
+    let t = separ_bench::table2::run(bundles, size, seed);
+    print!("{}", separ_bench::table2::render(&t));
+}

@@ -1,0 +1,20 @@
+//! **separ-bench** — harnesses regenerating the paper's tables & figures.
+//!
+//! Each experiment of Section VII has a module and a matching binary:
+//!
+//! | Experiment | Module | Binary |
+//! |---|---|---|
+//! | Table I (RQ1 accuracy) | [`table1`] | `cargo run -p separ-bench --bin table1` |
+//! | Table II (RQ3 solver stats) | [`table2`] | `... --bin table2` |
+//! | Figure 5 (RQ3 extraction time) | [`fig5`] | `... --bin fig5` |
+//! | RQ2 vulnerability census | [`rq2`] | `... --bin rq2` |
+//! | RQ4 enforcement overhead | [`rq4`] | `... --bin rq4` |
+//! | Design ablations | [`ablation`] | `... --bin ablation` |
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod fig5;
+pub mod rq2;
+pub mod rq4;
+pub mod table1;
+pub mod table2;

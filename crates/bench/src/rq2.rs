@@ -1,0 +1,121 @@
+//! RQ2: the market vulnerability census.
+//!
+//! Partitions the market into bundles simulating end-user devices (the
+//! paper: 80 non-overlapping bundles of 50 apps), runs SEPAR on each, and
+//! counts the distinct apps found vulnerable per category — the paper's
+//! "97 Intent hijack / 124 Activity-Service launch / 128 information
+//! leakage / 36 privilege escalation out of 4,000".
+
+use std::collections::BTreeSet;
+
+use separ_analysis::extractor::extract_apk;
+use separ_core::{Separ, VulnKind};
+use separ_corpus::market::{generate, MarketSpec};
+
+/// The census result.
+#[derive(Debug, Default)]
+pub struct Census {
+    /// Distinct vulnerable app packages per category.
+    pub hijack: BTreeSet<String>,
+    /// Launchable components' apps.
+    pub launch: BTreeSet<String>,
+    /// Leaking app pairs' sink-side apps.
+    pub leakage: BTreeSet<String>,
+    /// Permission re-delegating apps.
+    pub escalation: BTreeSet<String>,
+    /// Total apps analyzed.
+    pub total_apps: usize,
+    /// Total synthesized policies across bundles.
+    pub total_policies: usize,
+}
+
+/// Runs the census over `bundle_count` bundles of `bundle_size` apps.
+pub fn run(bundle_count: usize, bundle_size: usize, seed: u64) -> Census {
+    let spec = MarketSpec::scaled(bundle_count * bundle_size, seed);
+    let market = generate(&spec);
+    let apks: Vec<_> = market.into_iter().map(|m| m.apk).collect();
+    let total_apps = apks.len();
+    let chunks: Vec<Vec<_>> = apks
+        .chunks(bundle_size)
+        .take(bundle_count)
+        .map(<[separ_dex::Apk]>::to_vec)
+        .collect();
+    let per_bundle: Vec<(Vec<(VulnKind, String)>, usize)> =
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .map(|bundle| {
+                    scope.spawn(move |_| {
+                        let apps: Vec<_> = bundle.iter().map(extract_apk).collect();
+                        let report = Separ::new()
+                            .analyze_models(apps)
+                            .expect("signatures well-typed");
+                        let mut found = Vec::new();
+                        for kind in VulnKind::ALL {
+                            for app in report.vulnerable_apps(kind) {
+                                found.push((kind, app.to_string()));
+                            }
+                        }
+                        (found, report.policies.len())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("bundle analysis does not panic"))
+                .collect()
+        })
+        .expect("scope");
+    let mut census = Census {
+        total_apps,
+        ..Census::default()
+    };
+    for (found, policies) in per_bundle {
+        census.total_policies += policies;
+        for (kind, app) in found {
+            match kind {
+                VulnKind::IntentHijack => census.hijack.insert(app),
+                VulnKind::ComponentLaunch => census.launch.insert(app),
+                VulnKind::InformationLeakage => census.leakage.insert(app),
+                VulnKind::PrivilegeEscalation => census.escalation.insert(app),
+                // Extension / custom plugins are not in the standard registry.
+                VulnKind::BroadcastInjection | VulnKind::Custom => false,
+            };
+        }
+    }
+    census
+}
+
+/// Renders the census in the paper's prose shape.
+pub fn render(c: &Census) -> String {
+    format!(
+        "apps analyzed: {}\n\
+         vulnerable to intent hijack:        {}\n\
+         vulnerable to activity/svc launch:  {}\n\
+         vulnerable to information leakage:  {}\n\
+         vulnerable to privilege escalation: {}\n\
+         policies synthesized:               {}\n",
+        c.total_apps,
+        c.hijack.len(),
+        c.launch.len(),
+        c.leakage.len(),
+        c.escalation.len(),
+        c.total_policies,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_finds_injected_vulnerabilities() {
+        // 4 bundles x 25 apps = 100 apps: expect a handful of findings.
+        let c = run(4, 25, 0x5E9A12);
+        assert_eq!(c.total_apps, 100);
+        let total_found =
+            c.hijack.len() + c.launch.len() + c.leakage.len() + c.escalation.len();
+        assert!(total_found > 0, "injected weaknesses must surface");
+        assert!(c.total_policies > 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! RQ1: the Table I accuracy comparison.
+
+use std::collections::BTreeSet;
+
+use separ_baselines::{AmandroidAnalyzer, DidFailAnalyzer, IccAnalyzer, SeparAnalyzer};
+use separ_corpus::suite::{Case, Score};
+
+/// Per-case outcome for one tool.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Case name.
+    pub case: &'static str,
+    /// Suite name.
+    pub suite: String,
+    /// Ground-truth leak count.
+    pub truth: usize,
+    /// Per-tool `(tp, fp, fn)` in table order (DidFail, AmanDroid, SEPAR).
+    pub tools: Vec<(String, Score)>,
+}
+
+/// The full Table I result.
+#[derive(Debug)]
+pub struct Table1 {
+    /// One row per case.
+    pub rows: Vec<CaseResult>,
+    /// Aggregate per tool, in table order.
+    pub totals: Vec<(String, Score)>,
+}
+
+/// Runs every tool over every Table I case.
+pub fn run(cases: &[Case]) -> Table1 {
+    let tools: Vec<Box<dyn IccAnalyzer>> = vec![
+        Box::new(DidFailAnalyzer),
+        Box::new(AmandroidAnalyzer),
+        Box::new(SeparAnalyzer),
+    ];
+    let mut totals: Vec<(String, Score)> = tools
+        .iter()
+        .map(|t| (t.name().to_string(), Score::default()))
+        .collect();
+    let mut rows = Vec::with_capacity(cases.len());
+    for case in cases {
+        let mut row = CaseResult {
+            case: case.name,
+            suite: case.suite.to_string(),
+            truth: case.truth.len(),
+            tools: Vec::new(),
+        };
+        for (i, tool) in tools.iter().enumerate() {
+            let found: BTreeSet<(String, String)> = tool.find_leaks(&case.apks);
+            let score = Score::of(&case.truth, &found);
+            totals[i].1.add(score);
+            row.tools.push((tool.name().to_string(), score));
+        }
+        rows.push(row);
+    }
+    Table1 { rows, totals }
+}
+
+/// Renders the table in the paper's style.
+pub fn render(t: &Table1) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<32} {:>5} | {:>12} | {:>12} | {:>12}",
+        "Test Case", "truth", "DidFail", "AmanDroid", "SEPAR"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(84));
+    let mut last_suite = String::new();
+    for row in &t.rows {
+        if row.suite != last_suite {
+            let _ = writeln!(out, "[{}]", row.suite);
+            last_suite = row.suite.clone();
+        }
+        let cells: Vec<String> = row
+            .tools
+            .iter()
+            .map(|(_, s)| format!("{}TP {}FP {}FN", s.tp, s.fp, s.fn_))
+            .collect();
+        let _ = writeln!(
+            out,
+            "{:<32} {:>5} | {:>12} | {:>12} | {:>12}",
+            row.case, row.truth, cells[0], cells[1], cells[2]
+        );
+    }
+    let _ = writeln!(out, "{}", "-".repeat(84));
+    for metric in ["Precision", "Recall", "F-measure"] {
+        let cells: Vec<String> = t
+            .totals
+            .iter()
+            .map(|(_, s)| {
+                let v = match metric {
+                    "Precision" => s.precision(),
+                    "Recall" => s.recall(),
+                    _ => s.f_measure(),
+                };
+                format!("{:.0}%", v * 100.0)
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "{:<32} {:>5} | {:>12} | {:>12} | {:>12}",
+            metric, "", cells[0], cells[1], cells[2]
+        );
+    }
+    out
+}

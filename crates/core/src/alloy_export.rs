@@ -1,0 +1,259 @@
+//! Rendering extracted app models as Alloy modules.
+//!
+//! The paper's AME emits one Alloy module per app (Listing 4) against the
+//! `androidDeclaration` meta-model (Listing 3). This module reproduces
+//! that surface: given extracted [`AppModel`]s it prints the equivalent
+//! Alloy text, which is useful for eyeballing what the analyzer believes
+//! about an app and for diffing models across tool versions.
+
+use std::fmt::Write;
+
+use separ_analysis::model::{AppModel, ComponentModel, SentIntentModel};
+use separ_android::types::Resource;
+
+/// Renders the fixed framework meta-model (the paper's Listing 3 core).
+pub fn framework_module() -> String {
+    let mut out = String::new();
+    out.push_str("module androidDeclaration\n\n");
+    out.push_str("abstract sig Application {\n\tcmps: set Component\n}\n");
+    out.push_str("abstract sig Component {\n");
+    out.push_str("\tapp: one Application,\n");
+    out.push_str("\tintentFilters: set IntentFilter,\n");
+    out.push_str("\tpermissions: set Permission,\n");
+    out.push_str("\tpaths: set DetailedPath\n}\n");
+    out.push_str("abstract sig Activity, Service, Receiver, Provider extends Component {}\n");
+    out.push_str("abstract sig IntentFilter {\n");
+    out.push_str("\tactions: some Action,\n");
+    out.push_str("\tdataType: set DataType,\n");
+    out.push_str("\tdataScheme: set DataScheme,\n");
+    out.push_str("\tcategories: set Category\n}\n");
+    out.push_str("fact IFandComponent {\n\tall i: IntentFilter | one i.~intentFilters\n}\n");
+    out.push_str("fact NoIFforProviders {\n\tno i: IntentFilter | i.~intentFilters in Provider\n}\n");
+    out.push_str("abstract sig Intent {\n");
+    out.push_str("\tsender: one Component,\n");
+    out.push_str("\treceiver: lone Component,\n");
+    out.push_str("\taction: lone Action,\n");
+    out.push_str("\tcategories: set Category,\n");
+    out.push_str("\tdataType: lone DataType,\n");
+    out.push_str("\tdataScheme: lone DataScheme,\n");
+    out.push_str("\textra: set Resource\n}\n");
+    out.push_str("abstract sig DetailedPath {\n\tsource: one Resource,\n\tsink: one Resource\n}\n");
+    let _ = writeln!(
+        out,
+        "enum Resource {{ {} }}",
+        Resource::ALL
+            .iter()
+            .map(|r| r.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    out
+}
+
+/// Sanitizes an identifier for Alloy (`Lcom/app/Main;` → `com_app_Main`).
+fn ident(descriptor: &str) -> String {
+    descriptor
+        .trim_start_matches('L')
+        .trim_end_matches(';')
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+fn action_ident(action: &str) -> String {
+    ident(action)
+}
+
+/// Renders one extracted app as an Alloy module (the Listing 4 analog).
+pub fn app_module(app: &AppModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module app_{}", ident(&app.package));
+    out.push_str("open androidDeclaration\n\n");
+    let app_sig = format!("App_{}", ident(&app.package));
+    let _ = writeln!(out, "one sig {app_sig} extends Application {{}}");
+    if !app.uses_permissions.is_empty() {
+        let perms: Vec<String> = app.uses_permissions.iter().map(|p| ident(p)).collect();
+        let _ = writeln!(out, "// uses-permissions: {}", perms.join(", "));
+    }
+    out.push('\n');
+    for c in &app.components {
+        render_component(&mut out, &app_sig, c);
+    }
+    out
+}
+
+fn kind_sig(kind: separ_dex::ComponentKind) -> &'static str {
+    match kind {
+        separ_dex::ComponentKind::Activity => "Activity",
+        separ_dex::ComponentKind::Service => "Service",
+        separ_dex::ComponentKind::Receiver => "Receiver",
+        separ_dex::ComponentKind::Provider => "Provider",
+    }
+}
+
+fn render_component(out: &mut String, app_sig: &str, c: &ComponentModel) {
+    let cname = ident(&c.class);
+    let _ = writeln!(out, "one sig {cname} extends {} {{}} {{", kind_sig(c.kind));
+    let _ = writeln!(out, "\tapp in {app_sig}");
+    if c.filters.is_empty() {
+        out.push_str("\tno intentFilters\n");
+    } else {
+        let names: Vec<String> = (0..c.filters.len())
+            .map(|i| format!("{cname}_filter{i}"))
+            .collect();
+        let _ = writeln!(out, "\tintentFilters = {}", names.join(" + "));
+    }
+    match (&c.enforced_permission, c.dynamic_checks.is_empty()) {
+        (None, true) => out.push_str("\tno permissions\n"),
+        (enforced, _) => {
+            let mut perms: Vec<String> = Vec::new();
+            if let Some(p) = enforced {
+                perms.push(ident(p));
+            }
+            perms.extend(c.dynamic_checks.iter().map(|p| ident(p)));
+            let _ = writeln!(out, "\tpermissions = {}", perms.join(" + "));
+        }
+    }
+    if c.paths.is_empty() {
+        out.push_str("\tno paths\n");
+    } else {
+        let names: Vec<String> = (0..c.paths.len())
+            .map(|i| format!("path{cname}{i}"))
+            .collect();
+        let _ = writeln!(out, "\tpaths = {}", names.join(" + "));
+    }
+    out.push_str("}\n");
+    for (i, p) in c.paths.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "one sig path{cname}{i} extends DetailedPath {{}} {{\n\tsource = {}\n\tsink = {}\n}}",
+            p.source.name(),
+            p.sink.name()
+        );
+    }
+    for (i, f) in c.filters.iter().enumerate() {
+        let _ = writeln!(out, "one sig {cname}_filter{i} extends IntentFilter {{}} {{");
+        let actions: Vec<String> = f.actions.iter().map(|a| action_ident(a)).collect();
+        let _ = writeln!(out, "\tactions = {}", actions.join(" + "));
+        if f.categories.is_empty() {
+            out.push_str("\tno categories\n");
+        } else {
+            let cats: Vec<String> = f.categories.iter().map(|x| action_ident(x)).collect();
+            let _ = writeln!(out, "\tcategories = {}", cats.join(" + "));
+        }
+        if f.data_types.is_empty() && f.data_schemes.is_empty() {
+            out.push_str("\tno dataType\n\tno dataScheme\n");
+        }
+        out.push_str("}\n");
+    }
+    for (i, intent) in c.sent_intents.iter().enumerate() {
+        render_intent(out, &cname, i, intent);
+    }
+    out.push('\n');
+}
+
+fn render_intent(out: &mut String, sender: &str, index: usize, intent: &SentIntentModel) {
+    let _ = writeln!(out, "one sig Intent_{sender}_{index} extends Intent {{}} {{");
+    let _ = writeln!(out, "\tsender = {sender}");
+    match &intent.explicit_target {
+        Some(t) => {
+            let _ = writeln!(out, "\treceiver = {}", ident(t));
+        }
+        None => out.push_str("\tno receiver\n"),
+    }
+    match &intent.action {
+        Some(a) => {
+            let _ = writeln!(out, "\taction = {}", action_ident(a));
+        }
+        None => out.push_str("\tno action\n"),
+    }
+    if intent.categories.is_empty() {
+        out.push_str("\tno categories\n");
+    } else {
+        let cats: Vec<String> = intent.categories.iter().map(|x| action_ident(x)).collect();
+        let _ = writeln!(out, "\tcategories = {}", cats.join(" + "));
+    }
+    if intent.extra_taints.is_empty() {
+        out.push_str("\tno extra\n");
+    } else {
+        let extras: Vec<&str> = intent.extra_taints.iter().map(|r| r.name()).collect();
+        let _ = writeln!(out, "\textra = {}", extras.join(" + "));
+    }
+    out.push_str("}\n");
+}
+
+/// Renders a whole bundle: framework module + one module per app.
+pub fn bundle_modules(apps: &[AppModel]) -> String {
+    let mut out = framework_module();
+    for app in apps {
+        out.push('\n');
+        out.push_str(&app_module(app));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::tests_support::{app, comp, sent};
+    use separ_android::api::IccMethod;
+    use separ_android::types::FlowPath;
+    use separ_dex::manifest::{ComponentKind, IntentFilterDecl};
+
+    fn listing_4a_model() -> AppModel {
+        let mut lf = comp("Lcom/example/LocationFinder;", ComponentKind::Service);
+        lf.paths
+            .insert(FlowPath::new(Resource::Location, Resource::Icc));
+        lf.sent_intents.push(sent(
+            Some("showLoc"),
+            IccMethod::StartService,
+            &[Resource::Location],
+        ));
+        let mut a = app("com.example.app1", vec![lf]);
+        a.uses_permissions
+            .insert(separ_android::types::perm::ACCESS_FINE_LOCATION.into());
+        a
+    }
+
+    #[test]
+    fn framework_module_contains_the_listing_3_facts() {
+        let m = framework_module();
+        assert!(m.contains("fact IFandComponent"));
+        assert!(m.contains("fact NoIFforProviders"));
+        assert!(m.contains("sender: one Component"));
+        assert!(m.contains("receiver: lone Component"));
+        assert!(m.contains("actions: some Action"));
+    }
+
+    #[test]
+    fn app_module_mirrors_listing_4a() {
+        let m = app_module(&listing_4a_model());
+        assert!(m.contains("open androidDeclaration"));
+        assert!(m.contains("one sig com_example_LocationFinder extends Service"));
+        assert!(m.contains("no intentFilters"));
+        assert!(m.contains("source = LOCATION"));
+        assert!(m.contains("sink = ICC"));
+        assert!(m.contains("action = showLoc"));
+        assert!(m.contains("extra = LOCATION"));
+        assert!(m.contains("no receiver"), "implicit intent");
+    }
+
+    #[test]
+    fn filters_and_permissions_render() {
+        let mut c = comp("Lx/Recv;", ComponentKind::Service);
+        c.filters.push(IntentFilterDecl::for_actions(["go.NOW"]));
+        c.enforced_permission = Some("android.permission.SEND_SMS".into());
+        let m = app_module(&app("x", vec![c]));
+        assert!(m.contains("intentFilters = x_Recv_filter0"));
+        assert!(m.contains("actions = go_NOW"));
+        assert!(m.contains("permissions = android_permission_SEND_SMS"));
+    }
+
+    #[test]
+    fn bundle_rendering_concatenates_modules() {
+        let apps = vec![listing_4a_model()];
+        let m = bundle_modules(&apps);
+        assert!(m.starts_with("module androidDeclaration"));
+        assert!(m.contains("module app_com_example_app1"));
+    }
+}

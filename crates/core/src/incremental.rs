@@ -1,0 +1,384 @@
+//! Incremental policy synthesis for evolving systems.
+//!
+//! The paper's concluding remarks motivate exactly this: under
+//! Marshmallow's Permission Manager the user can revoke permissions after
+//! install, so "SEPAR's incremental analysis for policy synthesis can
+//! then be performed on permission-modified apps at runtime". An
+//! [`IncrementalSession`] keeps the bundle models and per-signature
+//! results alive; a permission toggle re-runs only the signatures whose
+//! declared [`Sensitivity`] covers permissions, while app installs and
+//! removals re-run everything (the bundle topology changed). Every change
+//! yields a [`PolicyDelta`] the enforcer can apply without re-deploying
+//! the whole policy set.
+
+use separ_analysis::model::{update_passive_intent_targets, AppModel};
+use separ_logic::LogicError;
+
+use crate::exploit::Exploit;
+use crate::pipeline::intended_recipients;
+use crate::policy::{finalize_policies, policies_for_exploit, Policy};
+use crate::signature::{SignatureRegistry, Sensitivity};
+use crate::SeparConfig;
+
+/// What changed in the policy set after a system change.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct PolicyDelta {
+    /// Newly required policies.
+    pub added: Vec<Policy>,
+    /// Policies that are no longer needed.
+    pub removed: Vec<Policy>,
+    /// How many signatures were re-run to compute this delta.
+    pub signatures_rerun: usize,
+}
+
+impl PolicyDelta {
+    /// Returns `true` if nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+}
+
+/// A long-lived analysis session over an evolving device.
+pub struct IncrementalSession {
+    registry: SignatureRegistry,
+    config: SeparConfig,
+    apps: Vec<AppModel>,
+    /// Cached exploits per registered signature (same order as registry).
+    cache: Vec<Vec<Exploit>>,
+    policies: Vec<Policy>,
+    total_syntheses: usize,
+}
+
+impl std::fmt::Debug for IncrementalSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncrementalSession")
+            .field("apps", &self.apps.len())
+            .field("policies", &self.policies.len())
+            .field("total_syntheses", &self.total_syntheses)
+            .finish()
+    }
+}
+
+impl IncrementalSession {
+    /// Starts a session with a full analysis of the bundle.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LogicError`] if a signature is ill-typed.
+    pub fn new(
+        registry: SignatureRegistry,
+        config: SeparConfig,
+        mut apps: Vec<AppModel>,
+    ) -> Result<IncrementalSession, LogicError> {
+        update_passive_intent_targets(&mut apps);
+        let mut session = IncrementalSession {
+            cache: vec![Vec::new(); registry.len()],
+            registry,
+            config,
+            apps,
+            policies: Vec::new(),
+            total_syntheses: 0,
+        };
+        session.rerun(|_| true)?;
+        Ok(session)
+    }
+
+    /// The current bundle models.
+    pub fn apps(&self) -> &[AppModel] {
+        &self.apps
+    }
+
+    /// The current policy set.
+    pub fn policies(&self) -> &[Policy] {
+        &self.policies
+    }
+
+    /// All currently known exploits.
+    pub fn exploits(&self) -> impl Iterator<Item = &Exploit> + '_ {
+        self.cache.iter().flatten()
+    }
+
+    /// Total signature syntheses performed over the session's lifetime
+    /// (the incrementality measure: full re-analysis would be
+    /// `registry.len()` per change).
+    pub fn total_syntheses(&self) -> usize {
+        self.total_syntheses
+    }
+
+    fn rerun(&mut self, select: impl Fn(Sensitivity) -> bool) -> Result<usize, LogicError> {
+        let mut reran = 0;
+        let sigs: Vec<(usize, Sensitivity)> = self
+            .registry
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.sensitivity()))
+            .collect();
+        for (i, sens) in sigs {
+            if !select(sens) {
+                continue;
+            }
+            let sig = self
+                .registry
+                .iter()
+                .nth(i)
+                .expect("index within registry");
+            let syn = sig.synthesize(&self.apps, self.config.scenario_limit)?;
+            self.cache[i] = syn.exploits;
+            reran += 1;
+            self.total_syntheses += 1;
+        }
+        // Re-derive the policy set from the merged caches.
+        let mut policies = Vec::new();
+        for e in self.cache.iter().flatten() {
+            let intended = intended_recipients(&self.apps, e);
+            policies.extend(policies_for_exploit(e, &intended));
+        }
+        self.policies = finalize_policies(policies);
+        Ok(reran)
+    }
+
+    fn delta_from(&mut self, before: Vec<Policy>, reran: usize) -> PolicyDelta {
+        let added = self
+            .policies
+            .iter()
+            .filter(|p| !before.iter().any(|q| same_policy(p, q)))
+            .cloned()
+            .collect();
+        let removed = before
+            .into_iter()
+            .filter(|q| !self.policies.iter().any(|p| same_policy(p, q)))
+            .collect();
+        PolicyDelta {
+            added,
+            removed,
+            signatures_rerun: reran,
+        }
+    }
+
+    /// Applies a Permission Manager change: grant or revoke `permission`
+    /// for `package`, re-running only permission-sensitive signatures.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LogicError`] if a signature is ill-typed.
+    pub fn set_permission(
+        &mut self,
+        package: &str,
+        permission: &str,
+        granted: bool,
+    ) -> Result<PolicyDelta, LogicError> {
+        let mut changed = false;
+        for app in &mut self.apps {
+            if app.package == package {
+                changed = if granted {
+                    app.uses_permissions.insert(permission.to_string())
+                } else {
+                    app.uses_permissions.remove(permission)
+                };
+            }
+        }
+        if !changed {
+            return Ok(PolicyDelta::default());
+        }
+        let before = self.policies.clone();
+        let reran = self.rerun(|s| s.permissions)?;
+        Ok(self.delta_from(before, reran))
+    }
+
+    /// Installs an app into the bundle (full re-analysis: the topology
+    /// changed).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LogicError`] if a signature is ill-typed.
+    pub fn install(&mut self, app: AppModel) -> Result<PolicyDelta, LogicError> {
+        self.apps.push(app);
+        update_passive_intent_targets(&mut self.apps);
+        let before = self.policies.clone();
+        let reran = self.rerun(|_| true)?;
+        Ok(self.delta_from(before, reran))
+    }
+
+    /// Uninstalls an app from the bundle (full re-analysis).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LogicError`] if a signature is ill-typed.
+    pub fn uninstall(&mut self, package: &str) -> Result<PolicyDelta, LogicError> {
+        let before_len = self.apps.len();
+        self.apps.retain(|a| a.package != package);
+        if self.apps.len() == before_len {
+            return Ok(PolicyDelta::default());
+        }
+        let before = self.policies.clone();
+        let reran = if self.apps.is_empty() {
+            for c in &mut self.cache {
+                c.clear();
+            }
+            self.policies.clear();
+            0
+        } else {
+            self.rerun(|_| true)?
+        };
+        Ok(self.delta_from(before, reran))
+    }
+}
+
+/// Policy identity modulo the (renumbered) id.
+fn same_policy(a: &Policy, b: &Policy) -> bool {
+    a.vulnerability == b.vulnerability
+        && a.event == b.event
+        && a.conditions == b.conditions
+        && a.action == b.action
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::tests_support::{app, comp, sent};
+    use crate::VulnKind;
+    use separ_android::api::IccMethod;
+    use separ_android::types::{perm, FlowPath, Resource};
+    use separ_dex::manifest::{ComponentKind, IntentFilterDecl};
+
+    fn messenger_model() -> AppModel {
+        let mut ms = comp("LMessageSender;", ComponentKind::Service);
+        ms.exported = true;
+        ms.paths.insert(FlowPath::new(Resource::Icc, Resource::Sms));
+        ms.used_permissions.insert(perm::SEND_SMS.into());
+        let mut a = app("com.messenger", vec![ms]);
+        a.uses_permissions.insert(perm::SEND_SMS.into());
+        a
+    }
+
+    fn navigator_model() -> AppModel {
+        let mut lf = comp("LLocationFinder;", ComponentKind::Service);
+        lf.paths
+            .insert(FlowPath::new(Resource::Location, Resource::Icc));
+        lf.sent_intents.push(sent(
+            Some("showLoc"),
+            IccMethod::StartService,
+            &[Resource::Location],
+        ));
+        let mut rf = comp("LRouteFinder;", ComponentKind::Service);
+        rf.filters.push(IntentFilterDecl::for_actions(["showLoc"]));
+        rf.exported = true;
+        app("com.nav", vec![lf, rf])
+    }
+
+    fn session() -> IncrementalSession {
+        IncrementalSession::new(
+            SignatureRegistry::standard(),
+            SeparConfig::default(),
+            vec![navigator_model(), messenger_model()],
+        )
+        .expect("analysis succeeds")
+    }
+
+    #[test]
+    fn revoking_send_sms_retires_the_escalation_policy() {
+        let mut s = session();
+        assert!(s
+            .exploits()
+            .any(|e| e.kind() == VulnKind::PrivilegeEscalation));
+        let delta = s
+            .set_permission("com.messenger", perm::SEND_SMS, false)
+            .expect("re-analysis succeeds");
+        assert!(
+            delta
+                .removed
+                .iter()
+                .any(|p| p.vulnerability == VulnKind::PrivilegeEscalation.name()),
+            "revocation must retire the escalation policy: {delta:?}"
+        );
+        assert!(!s
+            .exploits()
+            .any(|e| e.kind() == VulnKind::PrivilegeEscalation));
+        // Only the permission-sensitive signature re-ran.
+        assert_eq!(delta.signatures_rerun, 1);
+    }
+
+    #[test]
+    fn regranting_restores_the_policy() {
+        let mut s = session();
+        s.set_permission("com.messenger", perm::SEND_SMS, false)
+            .expect("revoke");
+        let delta = s
+            .set_permission("com.messenger", perm::SEND_SMS, true)
+            .expect("grant");
+        assert!(delta
+            .added
+            .iter()
+            .any(|p| p.vulnerability == VulnKind::PrivilegeEscalation.name()));
+    }
+
+    #[test]
+    fn noop_changes_produce_empty_deltas() {
+        let mut s = session();
+        let d = s
+            .set_permission("com.messenger", perm::CAMERA, false)
+            .expect("noop revoke of a permission the app never had");
+        assert!(d.is_empty());
+        assert_eq!(d.signatures_rerun, 0);
+        let d = s.uninstall("com.not.installed").expect("noop uninstall");
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn permission_toggles_leave_topology_policies_untouched() {
+        let mut s = session();
+        let hijack_policies: Vec<Policy> = s
+            .policies()
+            .iter()
+            .filter(|p| p.vulnerability == VulnKind::IntentHijack.name())
+            .cloned()
+            .collect();
+        assert!(!hijack_policies.is_empty());
+        let delta = s
+            .set_permission("com.messenger", perm::SEND_SMS, false)
+            .expect("revoke");
+        for p in &hijack_policies {
+            assert!(
+                !delta.removed.iter().any(|q| same_policy(p, q)),
+                "hijack policy must survive a permission toggle"
+            );
+        }
+    }
+
+    #[test]
+    fn install_and_uninstall_track_the_bundle() {
+        let mut s = IncrementalSession::new(
+            SignatureRegistry::standard(),
+            SeparConfig::default(),
+            vec![navigator_model()],
+        )
+        .expect("analysis succeeds");
+        let before = s.policies().len();
+        let delta = s.install(messenger_model()).expect("install");
+        assert!(delta.added.len() + before >= s.policies().len());
+        assert!(s
+            .exploits()
+            .any(|e| e.kind() == VulnKind::PrivilegeEscalation));
+        let delta = s.uninstall("com.messenger").expect("uninstall");
+        assert!(delta
+            .removed
+            .iter()
+            .any(|p| p.vulnerability == VulnKind::PrivilegeEscalation.name()));
+        assert!(!s
+            .exploits()
+            .any(|e| e.kind() == VulnKind::PrivilegeEscalation));
+    }
+
+    #[test]
+    fn incremental_is_cheaper_than_full_reanalysis() {
+        let mut s = session();
+        let after_init = s.total_syntheses();
+        assert_eq!(after_init, 4, "initial full run");
+        s.set_permission("com.messenger", perm::SEND_SMS, false)
+            .expect("revoke");
+        s.set_permission("com.messenger", perm::SEND_SMS, true)
+            .expect("grant");
+        // Two toggles cost two syntheses, not eight.
+        assert_eq!(s.total_syntheses(), after_init + 2);
+    }
+}

@@ -1,0 +1,295 @@
+//! The SEPAR façade: bundle in, report out.
+//!
+//! Orchestrates the full ASE pipeline: passive-intent resolution across
+//! the bundle (Algorithm 1), per-signature exploit synthesis, and ECA
+//! policy derivation.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use separ_analysis::extractor::extract_apk;
+use separ_analysis::model::{update_passive_intent_targets, AppModel};
+use separ_android::resolution;
+use separ_dex::program::Apk;
+use separ_logic::LogicError;
+
+use crate::exploit::{Exploit, VulnKind};
+use crate::policy::{finalize_policies, policies_for_exploit, Policy};
+use crate::signature::SignatureRegistry;
+use crate::vulns::DEFAULT_SCENARIO_LIMIT;
+
+/// Tunables for an analysis run.
+#[derive(Debug, Clone, Copy)]
+pub struct SeparConfig {
+    /// Maximum minimal scenarios enumerated per signature.
+    pub scenario_limit: usize,
+}
+
+impl Default for SeparConfig {
+    fn default() -> SeparConfig {
+        SeparConfig {
+            scenario_limit: DEFAULT_SCENARIO_LIMIT,
+        }
+    }
+}
+
+/// Aggregate statistics for one bundle analysis (Table II's columns).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BundleStats {
+    /// Components across the bundle.
+    pub components: usize,
+    /// Intent entities across the bundle.
+    pub intents: usize,
+    /// Intent filters across the bundle.
+    pub filters: usize,
+    /// Total CNF-construction time across signatures.
+    pub construction: Duration,
+    /// Total SAT time across signatures.
+    pub solving: Duration,
+    /// Total primary variables across signatures.
+    pub primary_vars: usize,
+}
+
+/// The result of analyzing one bundle.
+#[derive(Debug)]
+pub struct Report {
+    /// The (passive-intent-resolved) app models analyzed.
+    pub apps: Vec<AppModel>,
+    /// Synthesized exploit scenarios, all signatures.
+    pub exploits: Vec<Exploit>,
+    /// Derived, deduplicated ECA policies.
+    pub policies: Vec<Policy>,
+    /// Statistics.
+    pub stats: BundleStats,
+}
+
+impl Report {
+    /// Packages of apps vulnerable to the given category.
+    pub fn vulnerable_apps(&self, kind: VulnKind) -> BTreeSet<&str> {
+        self.exploits
+            .iter()
+            .filter(|e| e.kind() == kind)
+            .map(|e| e.guarded_app())
+            .collect()
+    }
+
+    /// Exploits of one category.
+    pub fn exploits_of(&self, kind: VulnKind) -> impl Iterator<Item = &Exploit> + '_ {
+        self.exploits.iter().filter(move |e| e.kind() == kind)
+    }
+}
+
+/// The SEPAR analysis-and-synthesis engine.
+///
+/// # Examples
+///
+/// ```no_run
+/// use separ_core::Separ;
+///
+/// let separ = Separ::new();
+/// let apks: Vec<separ_dex::Apk> = vec![/* a bundle */];
+/// let report = separ.analyze_apks(&apks)?;
+/// for policy in &report.policies {
+///     println!("{policy:?}");
+/// }
+/// # Ok::<(), separ_logic::LogicError>(())
+/// ```
+#[derive(Debug)]
+pub struct Separ {
+    registry: SignatureRegistry,
+    config: SeparConfig,
+}
+
+impl Default for Separ {
+    fn default() -> Separ {
+        Separ::new()
+    }
+}
+
+impl Separ {
+    /// SEPAR with the four standard signature plugins.
+    pub fn new() -> Separ {
+        Separ {
+            registry: SignatureRegistry::standard(),
+            config: SeparConfig::default(),
+        }
+    }
+
+    /// SEPAR with a custom plugin registry.
+    pub fn with_registry(registry: SignatureRegistry) -> Separ {
+        Separ {
+            registry,
+            config: SeparConfig::default(),
+        }
+    }
+
+    /// Overrides the configuration.
+    pub fn with_config(mut self, config: SeparConfig) -> Separ {
+        self.config = config;
+        self
+    }
+
+    /// Analyzes a bundle of packages end to end (AME + ASE).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LogicError`] if a signature produced an ill-typed
+    /// specification.
+    pub fn analyze_apks(&self, apks: &[Apk]) -> Result<Report, LogicError> {
+        let apps: Vec<AppModel> = apks.iter().map(extract_apk).collect();
+        self.analyze_models(apps)
+    }
+
+    /// Analyzes pre-extracted app models (ASE only).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LogicError`] if a signature produced an ill-typed
+    /// specification.
+    pub fn analyze_models(&self, mut apps: Vec<AppModel>) -> Result<Report, LogicError> {
+        // Bundle-level Algorithm 1: passive intents may cross apps.
+        update_passive_intent_targets(&mut apps);
+        let mut stats = BundleStats {
+            components: apps.iter().map(|a| a.components.len()).sum(),
+            intents: apps.iter().map(AppModel::num_intents).sum(),
+            filters: apps.iter().map(AppModel::num_filters).sum(),
+            ..BundleStats::default()
+        };
+        let mut exploits = Vec::new();
+        for sig in self.registry.iter() {
+            let syn = sig.synthesize(&apps, self.config.scenario_limit)?;
+            stats.construction += syn.construction;
+            stats.solving += syn.solving;
+            stats.primary_vars += syn.primary_vars;
+            exploits.extend(syn.exploits);
+        }
+        let mut policies = Vec::new();
+        for e in &exploits {
+            let intended = intended_recipients(&apps, e);
+            policies.extend(policies_for_exploit(e, &intended));
+        }
+        let policies = finalize_policies(policies);
+        Ok(Report {
+            apps,
+            exploits,
+            policies,
+            stats,
+        })
+    }
+}
+
+/// For a hijack exploit, the components legitimately able to receive the
+/// victim intent (used to scope `ReceiverNotIn` policy conditions).
+pub(crate) fn intended_recipients(apps: &[AppModel], exploit: &Exploit) -> Vec<String> {
+    let Exploit::IntentHijack {
+        victim_component,
+        hijacked_action,
+        ..
+    } = exploit
+    else {
+        return Vec::new();
+    };
+    let mut intent = resolution::IntentData::new();
+    intent.action = hijacked_action.clone();
+    let mut out = BTreeSet::new();
+    for app in apps {
+        for c in &app.components {
+            if c.class == *victim_component {
+                continue;
+            }
+            if resolution::any_filter_matches(&intent, &c.filters) {
+                out.insert(c.class.clone());
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::tests_support::{app, comp, sent};
+    use crate::policy::{Condition, PolicyEvent};
+    use separ_android::api::IccMethod;
+    use separ_android::types::{perm, FlowPath, Resource};
+    use separ_dex::manifest::{ComponentKind, IntentFilterDecl};
+
+    fn motivating_bundle() -> Vec<AppModel> {
+        let mut lf = comp("LLocationFinder;", ComponentKind::Service);
+        lf.paths
+            .insert(FlowPath::new(Resource::Location, Resource::Icc));
+        lf.sent_intents.push(sent(
+            Some("showLoc"),
+            IccMethod::StartService,
+            &[Resource::Location],
+        ));
+        let mut rf = comp("LRouteFinder;", ComponentKind::Service);
+        rf.filters.push(IntentFilterDecl::for_actions(["showLoc"]));
+        rf.exported = true;
+        let mut ms = comp("LMessageSender;", ComponentKind::Service);
+        ms.exported = true;
+        ms.paths.insert(FlowPath::new(Resource::Icc, Resource::Sms));
+        ms.used_permissions.insert(perm::SEND_SMS.into());
+        let mut app2 = app("com.messenger", vec![ms]);
+        app2.uses_permissions.insert(perm::SEND_SMS.into());
+        vec![app("com.nav", vec![lf, rf]), app2]
+    }
+
+    #[test]
+    fn end_to_end_motivating_example() {
+        let report = Separ::new()
+            .analyze_models(motivating_bundle())
+            .expect("analysis succeeds");
+        // The paper's Figure 1 attack surface: hijack + launch +
+        // escalation are all synthesized against this bundle.
+        assert!(!report.vulnerable_apps(VulnKind::IntentHijack).is_empty());
+        assert!(report
+            .vulnerable_apps(VulnKind::ComponentLaunch)
+            .contains("com.messenger"));
+        assert!(report
+            .vulnerable_apps(VulnKind::PrivilegeEscalation)
+            .contains("com.messenger"));
+        // Policies: at least one per synthesized category.
+        assert!(!report.policies.is_empty());
+        let hijack_policy = report
+            .policies
+            .iter()
+            .find(|p| p.vulnerability == VulnKind::IntentHijack.name())
+            .expect("hijack policy");
+        assert_eq!(hijack_policy.event, PolicyEvent::IccSend);
+        assert!(hijack_policy
+            .conditions
+            .contains(&Condition::ActionIs("showLoc".into())));
+        // RouteFinder is the intended recipient and is carved out.
+        assert!(hijack_policy
+            .conditions
+            .contains(&Condition::ReceiverNotIn(vec!["LRouteFinder;".into()])));
+        // Stats are populated.
+        assert_eq!(report.stats.components, 3);
+        assert_eq!(report.stats.intents, 1);
+        assert_eq!(report.stats.filters, 1);
+        assert!(report.stats.primary_vars > 0);
+    }
+
+    #[test]
+    fn clean_bundle_produces_no_policies() {
+        let apps = vec![app(
+            "com.clean",
+            vec![comp("LMain;", ComponentKind::Activity)],
+        )];
+        let report = Separ::new().analyze_models(apps).expect("succeeds");
+        assert!(report.exploits.is_empty());
+        assert!(report.policies.is_empty());
+    }
+
+    #[test]
+    fn scenario_limit_caps_enumeration() {
+        let report = Separ::new()
+            .with_config(SeparConfig { scenario_limit: 1 })
+            .analyze_models(motivating_bundle())
+            .expect("succeeds");
+        for kind in VulnKind::ALL {
+            assert!(report.exploits_of(kind).count() <= 1);
+        }
+    }
+}

@@ -1,0 +1,552 @@
+//! Serialization of policy sets to and from JSON text.
+//!
+//! The paper's PDP is an on-device app that stores the synthesized
+//! policies; shipping them means serializing. The workspace dependency
+//! policy allows no JSON crates, so this module carries a small,
+//! well-tested JSON writer and recursive-descent parser specialized for
+//! the policy schema (objects, arrays, strings with escapes, integers).
+
+use std::fmt::Write as _;
+
+use crate::exploit::VulnKind;
+use crate::policy::{Condition, Policy, PolicyAction, PolicyEvent};
+
+/// Errors raised while parsing a policy document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "policy parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+// ---------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn condition_to_json(out: &mut String, c: &Condition) {
+    let (kind, value): (&str, String) = match c {
+        Condition::ReceiverIs(v) => ("receiver_is", v.clone()),
+        Condition::SenderIs(v) => ("sender_is", v.clone()),
+        Condition::ActionIs(v) => ("action_is", v.clone()),
+        Condition::ExtraTagged(v) => ("extra_tagged", v.clone()),
+        Condition::SenderNotIn(list) => {
+            out.push_str("{\"kind\":\"sender_not_in\",\"values\":");
+            string_list(out, list);
+            out.push('}');
+            return;
+        }
+        Condition::ReceiverNotIn(list) => {
+            out.push_str("{\"kind\":\"receiver_not_in\",\"values\":");
+            string_list(out, list);
+            out.push('}');
+            return;
+        }
+        Condition::SenderAppNotIn(list) => {
+            out.push_str("{\"kind\":\"sender_app_not_in\",\"values\":");
+            string_list(out, list);
+            out.push('}');
+            return;
+        }
+    };
+    out.push_str("{\"kind\":");
+    escape_into(out, kind);
+    out.push_str(",\"value\":");
+    escape_into(out, &value);
+    out.push('}');
+}
+
+fn string_list(out: &mut String, list: &[String]) {
+    out.push('[');
+    for (i, s) in list.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_into(out, s);
+    }
+    out.push(']');
+}
+
+/// Serializes a policy set to JSON text.
+pub fn to_json(policies: &[Policy]) -> String {
+    let mut out = String::from("[");
+    for (i, p) in policies.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"id\":{},\"vulnerability\":", p.id);
+        escape_into(&mut out, &p.vulnerability);
+        out.push_str(",\"event\":");
+        escape_into(
+            &mut out,
+            match p.event {
+                PolicyEvent::IccSend => "icc_send",
+                PolicyEvent::IccReceive => "icc_receive",
+            },
+        );
+        out.push_str(",\"conditions\":[");
+        for (j, c) in p.conditions.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            condition_to_json(&mut out, c);
+        }
+        out.push_str("],\"action\":");
+        escape_into(
+            &mut out,
+            match p.action {
+                PolicyAction::Prompt => "prompt",
+                PolicyAction::Deny => "deny",
+                PolicyAction::Allow => "allow",
+            },
+        );
+        out.push_str(",\"rationale\":");
+        escape_into(&mut out, &p.rationale);
+        out.push('}');
+    }
+    out.push(']');
+    out
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            offset: self.pos,
+            message: message.into(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected '{}'", byte as char))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return self.err("unterminated string");
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return self.err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            if self.pos + 4 > self.bytes.len() {
+                                return self.err("truncated \\u escape");
+                            }
+                            let hex =
+                                std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                    .map_err(|_| ParseError {
+                                        offset: self.pos,
+                                        message: "non-utf8 escape".into(),
+                                    })?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|_| ParseError {
+                                offset: self.pos,
+                                message: "bad \\u escape".into(),
+                            })?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        _ => return self.err("unknown escape"),
+                    }
+                }
+                b if b < 0x20 => return self.err("control character in string"),
+                b => {
+                    // Re-assemble multi-byte UTF-8 sequences.
+                    let len = match b {
+                        0x00..=0x7f => 0,
+                        0xc0..=0xdf => 1,
+                        0xe0..=0xef => 2,
+                        _ => 3,
+                    };
+                    let start = self.pos - 1;
+                    self.pos += len;
+                    if self.pos > self.bytes.len() {
+                        return self.err("truncated utf-8");
+                    }
+                    match std::str::from_utf8(&self.bytes[start..self.pos]) {
+                        Ok(s) => out.push_str(s),
+                        Err(_) => return self.err("invalid utf-8"),
+                    }
+                }
+            }
+        }
+    }
+
+    fn integer(&mut self) -> Result<u32, ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit())
+        {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return self.err("expected integer");
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ascii")
+            .parse()
+            .map_err(|_| ParseError {
+                offset: start,
+                message: "integer out of range".into(),
+            })
+    }
+
+    fn string_array(&mut self) -> Result<Vec<String>, ParseError> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            out.push(self.string()?);
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn condition(&mut self) -> Result<Condition, ParseError> {
+        self.expect(b'{')?;
+        let mut kind: Option<String> = None;
+        let mut value: Option<String> = None;
+        let mut values: Option<Vec<String>> = None;
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "kind" => kind = Some(self.string()?),
+                "value" => value = Some(self.string()?),
+                "values" => values = Some(self.string_array()?),
+                other => return self.err(format!("unknown condition key '{other}'")),
+            }
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+        let kind = kind.ok_or(ParseError {
+            offset: self.pos,
+            message: "condition missing 'kind'".into(),
+        })?;
+        let need_value = |v: Option<String>| {
+            v.ok_or(ParseError {
+                offset: self.pos,
+                message: format!("condition '{kind}' missing 'value'"),
+            })
+        };
+        let need_values = |v: Option<Vec<String>>| {
+            v.ok_or(ParseError {
+                offset: self.pos,
+                message: format!("condition '{kind}' missing 'values'"),
+            })
+        };
+        Ok(match kind.as_str() {
+            "receiver_is" => Condition::ReceiverIs(need_value(value)?),
+            "sender_is" => Condition::SenderIs(need_value(value)?),
+            "action_is" => Condition::ActionIs(need_value(value)?),
+            "extra_tagged" => Condition::ExtraTagged(need_value(value)?),
+            "sender_not_in" => Condition::SenderNotIn(need_values(values)?),
+            "receiver_not_in" => Condition::ReceiverNotIn(need_values(values)?),
+            "sender_app_not_in" => Condition::SenderAppNotIn(need_values(values)?),
+            other => {
+                return Err(ParseError {
+                    offset: self.pos,
+                    message: format!("unknown condition kind '{other}'"),
+                })
+            }
+        })
+    }
+
+    fn policy(&mut self) -> Result<Policy, ParseError> {
+        self.expect(b'{')?;
+        let mut policy = Policy {
+            id: 0,
+            vulnerability: String::new(),
+            event: PolicyEvent::IccReceive,
+            conditions: Vec::new(),
+            action: crate::policy::PolicyAction::Prompt,
+            rationale: String::new(),
+        };
+        let mut saw_event = false;
+        let mut saw_action = false;
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "id" => policy.id = self.integer()?,
+                "vulnerability" => policy.vulnerability = self.string()?,
+                "rationale" => policy.rationale = self.string()?,
+                "event" => {
+                    saw_event = true;
+                    policy.event = match self.string()?.as_str() {
+                        "icc_send" => PolicyEvent::IccSend,
+                        "icc_receive" => PolicyEvent::IccReceive,
+                        other => return self.err(format!("unknown event '{other}'")),
+                    };
+                }
+                "action" => {
+                    saw_action = true;
+                    policy.action = match self.string()?.as_str() {
+                        "prompt" => PolicyAction::Prompt,
+                        "deny" => PolicyAction::Deny,
+                        "allow" => PolicyAction::Allow,
+                        other => return self.err(format!("unknown action '{other}'")),
+                    };
+                }
+                "conditions" => {
+                    self.expect(b'[')?;
+                    if self.peek() == Some(b']') {
+                        self.pos += 1;
+                    } else {
+                        loop {
+                            policy.conditions.push(self.condition()?);
+                            match self.peek() {
+                                Some(b',') => {
+                                    self.pos += 1;
+                                }
+                                Some(b']') => {
+                                    self.pos += 1;
+                                    break;
+                                }
+                                _ => return self.err("expected ',' or ']'"),
+                            }
+                        }
+                    }
+                }
+                other => return self.err(format!("unknown policy key '{other}'")),
+            }
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+        if !saw_event || !saw_action {
+            return self.err("policy missing 'event' or 'action'");
+        }
+        Ok(policy)
+    }
+}
+
+/// Parses a policy set from JSON text produced by [`to_json`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first offending byte.
+pub fn from_json(text: &str) -> Result<Vec<Policy>, ParseError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.expect(b'[')?;
+    let mut out = Vec::new();
+    if p.peek() == Some(b']') {
+        p.pos += 1;
+    } else {
+        loop {
+            out.push(p.policy()?);
+            match p.peek() {
+                Some(b',') => {
+                    p.pos += 1;
+                }
+                Some(b']') => {
+                    p.pos += 1;
+                    break;
+                }
+                _ => return p.err("expected ',' or ']'"),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing data after policy array");
+    }
+    Ok(out)
+}
+
+/// Convenience: serialize with the vulnerability names validated.
+pub fn validated_to_json(policies: &[Policy]) -> String {
+    debug_assert!(policies.iter().all(|p| VulnKind::ALL
+        .iter()
+        .any(|k| k.name() == p.vulnerability)
+        || !p.vulnerability.is_empty()));
+    to_json(policies)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{policies_for_exploit, PolicyAction};
+    use crate::Exploit;
+    use separ_android::types::Resource;
+    use std::collections::BTreeSet;
+
+    fn sample_policies() -> Vec<Policy> {
+        let hijack = Exploit::IntentHijack {
+            victim_app: "com.nav".into(),
+            victim_component: "LLoc;".into(),
+            hijacked_action: Some("show\"Loc\nx".into()), // exercises escaping
+            leaked: [Resource::Location].into_iter().collect(),
+        };
+        let leak = Exploit::InformationLeakage {
+            source_app: "a".into(),
+            source_component: "LS;".into(),
+            sink_app: "b".into(),
+            sink_component: "LR;".into(),
+            resources: [Resource::DeviceId].into_iter().collect(),
+            sinks: [Resource::Sms].into_iter().collect(),
+            via_action: None,
+        };
+        let mut out = policies_for_exploit(&hijack, &["LRoute;".to_string()]);
+        out.extend(policies_for_exploit(&leak, &[]));
+        out
+    }
+
+    #[test]
+    fn round_trip_preserves_policies() {
+        let policies = sample_policies();
+        let json = to_json(&policies);
+        let back = from_json(&json).expect("parses");
+        assert_eq!(back, policies);
+    }
+
+    #[test]
+    fn escapes_survive() {
+        let mut p = sample_policies();
+        p[0].rationale = "tab\there \"quoted\" back\\slash \u{1}ctl".into();
+        let back = from_json(&to_json(&p)).expect("parses");
+        assert_eq!(back[0].rationale, p[0].rationale);
+    }
+
+    #[test]
+    fn empty_set_round_trips() {
+        assert_eq!(from_json(&to_json(&[])).expect("parses"), vec![]);
+        assert_eq!(from_json("  [ ]  ").expect("parses"), vec![]);
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_offsets() {
+        for bad in [
+            "",
+            "[",
+            "[{}]",
+            "[{\"id\":1}]",
+            "[{\"event\":\"icc_send\",\"action\":\"prompt\"}] trailing",
+            "[{\"event\":\"warp\",\"action\":\"prompt\"}]",
+            "[{\"event\":\"icc_send\",\"action\":\"prompt\",\"conditions\":[{\"kind\":\"nope\",\"value\":\"x\"}]}]",
+        ] {
+            let err = from_json(bad).expect_err(bad);
+            assert!(!err.message.is_empty());
+        }
+    }
+
+    #[test]
+    fn parser_handles_unicode_payloads() {
+        let mut p = sample_policies();
+        p[0].rationale = "emoji \u{1F512} and ünïcode".into();
+        let back = from_json(&to_json(&p)).expect("parses");
+        assert_eq!(back[0].rationale, p[0].rationale);
+    }
+
+    #[test]
+    fn action_variants_round_trip() {
+        for action in [PolicyAction::Prompt, PolicyAction::Deny, PolicyAction::Allow] {
+            let mut p = sample_policies();
+            p[0].action = action;
+            let back = from_json(&to_json(&p)).expect("parses");
+            assert_eq!(back[0].action, action);
+        }
+        let _ = BTreeSet::<u8>::new();
+    }
+}

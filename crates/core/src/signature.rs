@@ -1,0 +1,180 @@
+//! The vulnerability-signature plugin interface.
+//!
+//! SEPAR is plugin-based: each known inter-app vulnerability is distilled
+//! into a formally-specified signature. A signature contributes constraints
+//! over the encoded bundle (including the postulated malicious app's free
+//! relations) and decodes the solver's minimal satisfying instances back
+//! into concrete [`Exploit`]s. Users can register additional signatures at
+//! any time to enrich the environment, as the paper describes.
+
+use std::time::Duration;
+
+use separ_analysis::model::AppModel;
+use separ_logic::LogicError;
+
+use crate::exploit::{Exploit, VulnKind};
+
+/// The result of one signature's synthesis run.
+#[derive(Debug, Default)]
+pub struct Synthesis {
+    /// Decoded exploit scenarios (one per minimal model, deduplicated).
+    pub exploits: Vec<Exploit>,
+    /// Time spent translating relational logic to CNF.
+    pub construction: Duration,
+    /// Time spent in the SAT solver.
+    pub solving: Duration,
+    /// Number of primary (free) boolean variables.
+    pub primary_vars: usize,
+}
+
+/// What parts of the bundle model a signature's verdict depends on, used
+/// by the incremental engine to decide which signatures a change can
+/// affect.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Sensitivity {
+    /// Depends on granted/enforced/used permissions.
+    pub permissions: bool,
+    /// Depends on components, filters, intents or paths.
+    pub topology: bool,
+}
+
+impl Default for Sensitivity {
+    /// Conservatively sensitive to everything.
+    fn default() -> Sensitivity {
+        Sensitivity {
+            permissions: true,
+            topology: true,
+        }
+    }
+}
+
+/// A pluggable vulnerability signature.
+pub trait VulnerabilitySignature: Send + Sync {
+    /// The category this signature detects.
+    fn kind(&self) -> VulnKind;
+
+    /// Human-readable plugin name.
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// What model facets this signature reads (conservative default).
+    fn sensitivity(&self) -> Sensitivity {
+        Sensitivity::default()
+    }
+
+    /// Synthesizes up to `limit` exploit scenarios against the bundle.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LogicError`] if the generated specification is
+    /// ill-typed (a signature implementation bug).
+    fn synthesize(&self, apps: &[AppModel], limit: usize) -> Result<Synthesis, LogicError>;
+}
+
+/// An ordered collection of signatures (the plugin registry).
+pub struct SignatureRegistry {
+    signatures: Vec<Box<dyn VulnerabilitySignature>>,
+}
+
+impl SignatureRegistry {
+    /// An empty registry.
+    pub fn empty() -> SignatureRegistry {
+        SignatureRegistry {
+            signatures: Vec::new(),
+        }
+    }
+
+    /// The registry with the four shipped plugins.
+    pub fn standard() -> SignatureRegistry {
+        use crate::vulns::{
+            ComponentLaunchSignature, InformationLeakageSignature, IntentHijackSignature,
+            PrivilegeEscalationSignature,
+        };
+        let mut r = SignatureRegistry::empty();
+        r.register(Box::new(IntentHijackSignature));
+        r.register(Box::new(ComponentLaunchSignature));
+        r.register(Box::new(PrivilegeEscalationSignature));
+        r.register(Box::new(InformationLeakageSignature));
+        r
+    }
+
+    /// The standard registry plus the shipped extension plugins
+    /// (currently broadcast injection).
+    pub fn extended() -> SignatureRegistry {
+        let mut r = SignatureRegistry::standard();
+        r.register(Box::new(crate::vulns::BroadcastInjectionSignature));
+        r
+    }
+
+    /// Adds a signature plugin.
+    pub fn register(&mut self, signature: Box<dyn VulnerabilitySignature>) {
+        self.signatures.push(signature);
+    }
+
+    /// Iterates over registered signatures.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn VulnerabilitySignature> + '_ {
+        self.signatures.iter().map(Box::as_ref)
+    }
+
+    /// Number of registered signatures.
+    pub fn len(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// Returns `true` if no signatures are registered.
+    pub fn is_empty(&self) -> bool {
+        self.signatures.is_empty()
+    }
+}
+
+impl std::fmt::Debug for SignatureRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list()
+            .entries(self.signatures.iter().map(|s| s.name()))
+            .finish()
+    }
+}
+
+impl Default for SignatureRegistry {
+    fn default() -> SignatureRegistry {
+        SignatureRegistry::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_ships_four_plugins() {
+        let r = SignatureRegistry::standard();
+        assert_eq!(r.len(), 4);
+        let kinds: Vec<VulnKind> = r.iter().map(|s| s.kind()).collect();
+        assert_eq!(kinds, VulnKind::ALL[..4].to_vec());
+    }
+
+    #[test]
+    fn registry_is_extensible() {
+        struct Custom;
+        impl VulnerabilitySignature for Custom {
+            fn kind(&self) -> VulnKind {
+                VulnKind::IntentHijack
+            }
+            fn name(&self) -> &'static str {
+                "custom-hijack-variant"
+            }
+            fn synthesize(
+                &self,
+                _apps: &[AppModel],
+                _limit: usize,
+            ) -> Result<Synthesis, LogicError> {
+                Ok(Synthesis::default())
+            }
+        }
+        let mut r = SignatureRegistry::standard();
+        r.register(Box::new(Custom));
+        assert_eq!(r.len(), 5);
+        assert!(r.iter().any(|s| s.name() == "custom-hijack-variant"));
+    }
+}

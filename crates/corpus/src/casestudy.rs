@@ -1,0 +1,211 @@
+//! The four RQ2 case-study apps (Section VII-B), modelled after the
+//! paper's descriptions of real market apps.
+
+use separ_android::api::class;
+use separ_android::types::perm;
+use separ_dex::build::ApkBuilder;
+use separ_dex::manifest::{ComponentDecl, ComponentKind, IntentFilterDecl};
+use separ_dex::program::Apk;
+
+/// **Barcoder** (Activity/Service launch): `InquiryActivity` pays bills
+/// over SMS and exposes an unprotected intent filter, so a forged intent
+/// triggers an unauthorized payment.
+pub fn barcoder() -> Apk {
+    let mut apk = ApkBuilder::new("ir.barcoder");
+    apk.uses_permission(perm::SEND_SMS);
+    apk.uses_permission(perm::CAMERA);
+    let mut decl = ComponentDecl::new("Lir/barcoder/InquiryActivity;", ComponentKind::Activity);
+    decl.intent_filters
+        .push(IntentFilterDecl::for_actions(["ir.barcoder.PAY_BILL"]));
+    apk.add_component(decl);
+    let mut cb = apk.class_extends("Lir/barcoder/InquiryActivity;", class::ACTIVITY);
+    let mut m = cb.method("onCreate", 1, false, false);
+    let i = m.reg();
+    let bill = m.reg();
+    let k = m.reg();
+    let mgr = m.reg();
+    let bank = m.reg();
+    m.invoke_virtual(class::ACTIVITY, "getIntent", &[m.this()], true);
+    m.move_result(i);
+    m.const_string(k, "BILL_ID");
+    m.invoke_virtual(class::INTENT, "getStringExtra", &[i, k], true);
+    m.move_result(bill);
+    // Pays through the banking short-code, no caller check at all.
+    m.invoke_static(class::SMS_MANAGER, "getDefault", &[], true);
+    m.move_result(mgr);
+    m.const_string(bank, "+9850001");
+    m.invoke_virtual(class::SMS_MANAGER, "sendTextMessage", &[mgr, bank, bill], false);
+    m.ret_void();
+    m.finish();
+    cb.finish();
+    apk.finish()
+}
+
+/// **Hesabdar** (Intent hijack): an accounting app that ships account
+/// records between its components via an implicit intent.
+pub fn hesabdar() -> Apk {
+    let mut apk = ApkBuilder::new("ir.hesabdar");
+    apk.uses_permission(perm::GET_ACCOUNTS);
+    apk.add_component(ComponentDecl::new(
+        "Lir/hesabdar/TransactionManager;",
+        ComponentKind::Service,
+    ));
+    let mut report = ComponentDecl::new("Lir/hesabdar/ReportViewer;", ComponentKind::Activity);
+    report
+        .intent_filters
+        .push(IntentFilterDecl::for_actions(["ir.hesabdar.SHOW_REPORT"]));
+    apk.add_component(report);
+    {
+        let mut cb = apk.class_extends("Lir/hesabdar/TransactionManager;", class::SERVICE);
+        let mut m = cb.method("onStartCommand", 3, false, false);
+        let acct = m.reg();
+        let i = m.reg();
+        let s = m.reg();
+        m.invoke_virtual(class::ACCOUNTS, "getAccounts", &[acct], true);
+        m.move_result(acct);
+        m.new_instance(i, class::INTENT);
+        m.const_string(s, "ir.hesabdar.SHOW_REPORT");
+        m.invoke_virtual(class::INTENT, "setAction", &[i, s], false);
+        m.const_string(s, "accountInfo");
+        m.invoke_virtual(class::INTENT, "putExtra", &[i, s, acct], false);
+        m.invoke_virtual(class::CONTEXT, "startActivity", &[m.this(), i], false);
+        m.ret_void();
+        m.finish();
+        cb.finish();
+    }
+    {
+        let mut cb = apk.class_extends("Lir/hesabdar/ReportViewer;", class::ACTIVITY);
+        let mut m = cb.method("onCreate", 1, false, false);
+        m.ret_void();
+        m.finish();
+        cb.finish();
+    }
+    apk.finish()
+}
+
+/// **OwnCloud** (information leakage): account credentials travel through
+/// a chain of intents and end up logged to unprotected external storage.
+pub fn owncloud() -> Apk {
+    let mut apk = ApkBuilder::new("com.owncloud.android");
+    apk.uses_permission(perm::GET_ACCOUNTS);
+    apk.uses_permission(perm::WRITE_EXTERNAL_STORAGE);
+    apk.add_component(ComponentDecl::new(
+        "Lcom/owncloud/AuthenticatorActivity;",
+        ComponentKind::Activity,
+    ));
+    let mut sync = ComponentDecl::new("Lcom/owncloud/FileSyncService;", ComponentKind::Service);
+    sync.intent_filters
+        .push(IntentFilterDecl::for_actions(["com.owncloud.SYNC"]));
+    apk.add_component(sync);
+    {
+        let mut cb = apk.class_extends("Lcom/owncloud/AuthenticatorActivity;", class::ACTIVITY);
+        let mut m = cb.method("onCreate", 1, false, false);
+        let acct = m.reg();
+        let i = m.reg();
+        let s = m.reg();
+        m.invoke_virtual(class::ACCOUNTS, "getAccounts", &[acct], true);
+        m.move_result(acct);
+        m.new_instance(i, class::INTENT);
+        m.const_string(s, "com.owncloud.SYNC");
+        m.invoke_virtual(class::INTENT, "setAction", &[i, s], false);
+        m.const_string(s, "credentials");
+        m.invoke_virtual(class::INTENT, "putExtra", &[i, s, acct], false);
+        m.invoke_virtual(class::CONTEXT, "startService", &[m.this(), i], false);
+        m.ret_void();
+        m.finish();
+        cb.finish();
+    }
+    {
+        let mut cb = apk.class_extends("Lcom/owncloud/FileSyncService;", class::SERVICE);
+        let mut m = cb.method("onStartCommand", 3, false, false);
+        let v = m.reg();
+        let k = m.reg();
+        m.const_string(k, "credentials");
+        m.invoke_virtual(class::INTENT, "getStringExtra", &[m.param(1), k], true);
+        m.move_result(v);
+        // Logs the credentials to the unprotected memory card.
+        m.invoke_virtual(class::FILE_OUT, "write", &[v], false);
+        m.ret_void();
+        m.finish();
+        cb.finish();
+    }
+    apk.finish()
+}
+
+/// **Ermete SMS** (privilege escalation): `ComposeActivity` texts the
+/// payload of any incoming intent without checking the sender's
+/// permission, re-delegating `SEND_SMS` to every app on the device.
+pub fn ermete_sms() -> Apk {
+    let mut apk = ApkBuilder::new("org.ermete.sms");
+    apk.uses_permission(perm::SEND_SMS);
+    apk.uses_permission(perm::WRITE_SMS);
+    let mut decl = ComponentDecl::new("Lorg/ermete/ComposeActivity;", ComponentKind::Activity);
+    decl.exported = Some(true);
+    apk.add_component(decl);
+    let mut cb = apk.class_extends("Lorg/ermete/ComposeActivity;", class::ACTIVITY);
+    let mut m = cb.method("onCreate", 1, false, false);
+    let i = m.reg();
+    let num = m.reg();
+    let body = m.reg();
+    let k = m.reg();
+    let mgr = m.reg();
+    m.invoke_virtual(class::ACTIVITY, "getIntent", &[m.this()], true);
+    m.move_result(i);
+    m.const_string(k, "address");
+    m.invoke_virtual(class::INTENT, "getStringExtra", &[i, k], true);
+    m.move_result(num);
+    m.const_string(k, "sms_body");
+    m.invoke_virtual(class::INTENT, "getStringExtra", &[i, k], true);
+    m.move_result(body);
+    m.invoke_static(class::SMS_MANAGER, "getDefault", &[], true);
+    m.move_result(mgr);
+    m.invoke_virtual(class::SMS_MANAGER, "sendTextMessage", &[mgr, num, body], false);
+    m.ret_void();
+    m.finish();
+    cb.finish();
+    apk.finish()
+}
+
+/// All four case-study apps.
+pub fn all() -> Vec<Apk> {
+    vec![barcoder(), hesabdar(), owncloud(), ermete_sms()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use separ_core::{Separ, VulnKind};
+
+    #[test]
+    fn separ_reproduces_all_four_findings() {
+        let report = Separ::new()
+            .analyze_apks(&all())
+            .expect("analysis succeeds");
+        // Barcoder: Activity launch with an unprotected filter.
+        assert!(
+            report
+                .vulnerable_apps(VulnKind::ComponentLaunch)
+                .contains("ir.barcoder"),
+            "launch: {:?}",
+            report.vulnerable_apps(VulnKind::ComponentLaunch)
+        );
+        // Hesabdar: implicit intent carrying account data can be hijacked.
+        assert!(report
+            .vulnerable_apps(VulnKind::IntentHijack)
+            .contains("ir.hesabdar"));
+        // OwnCloud: credentials leak to the memory card.
+        assert!(report
+            .vulnerable_apps(VulnKind::InformationLeakage)
+            .contains("com.owncloud.android"));
+        // Ermete SMS: SEND_SMS re-delegation.
+        assert!(report
+            .exploits_of(VulnKind::PrivilegeEscalation)
+            .any(|e| matches!(
+                e,
+                separ_core::Exploit::PrivilegeEscalation { target_app, permission, .. }
+                    if target_app == "org.ermete.sms" && permission == perm::SEND_SMS
+            )));
+        // And policies were generated for each of them.
+        assert!(report.policies.len() >= 4);
+    }
+}

@@ -1,0 +1,244 @@
+//! The ICC-Bench cases of Table I, rebuilt as sdex apps.
+//!
+//! Seven statically visible leaks exercising each matching dimension of
+//! intent resolution, plus the two dynamically-registered-receiver cases
+//! that SEPAR's static extractor misses (its two false negatives in the
+//! paper).
+
+use separ_android::api::{class, IccMethod};
+use separ_android::types::Resource;
+use separ_dex::build::ApkBuilder;
+use separ_dex::manifest::{ComponentDecl, ComponentKind, IntentFilterDecl};
+
+use crate::builder::{add_receiver, add_sender, Addressing, ReceiverSpec, SenderSpec};
+use crate::suite::{Case, SuiteKind};
+
+fn ib(
+    name: &'static str,
+    apks: Vec<separ_dex::program::Apk>,
+    truth: impl IntoIterator<Item = (&'static str, &'static str)>,
+) -> Case {
+    Case::new(SuiteKind::IccBench, name, apks, truth)
+}
+
+/// `Explicit_Src_Sink`: explicit service launch.
+fn explicit_src_sink() -> Case {
+    let sender = SenderSpec {
+        kind: ComponentKind::Activity,
+        source: Resource::DeviceId,
+        ..SenderSpec::new("LExpSender;", IccMethod::StartService, Addressing::Explicit)
+    };
+    let receiver = ReceiverSpec {
+        sink: Resource::Log,
+        ..ReceiverSpec::new("LExpRecv;", ComponentKind::Service)
+    };
+    ib(
+        "Explicit_Src_Sink",
+        vec![crate::builder::single_app_case("org.icc.explicit", &sender, &receiver)],
+        [("LExpSender;", "LExpRecv;")],
+    )
+}
+
+/// Implicit cases with one matching dimension each.
+fn implicit(
+    name: &'static str,
+    pkg: &'static str,
+    categories: Vec<String>,
+    data_type: Option<String>,
+    data_scheme: Option<String>,
+    with_scheme_decoy: bool,
+) -> Case {
+    let action = format!("org.icc.{name}");
+    let sender = SenderSpec {
+        source: Resource::Location,
+        ..SenderSpec::new(
+            "LImpSender;",
+            IccMethod::StartService,
+            Addressing::Implicit {
+                action: action.clone(),
+                categories: categories.clone(),
+                data_type: data_type.clone(),
+                data_scheme: data_scheme.clone(),
+            },
+        )
+    };
+    let mut filter = IntentFilterDecl::for_actions([action.clone()]);
+    filter.categories = categories;
+    filter.data_types = data_type.into_iter().collect();
+    filter.data_schemes = data_scheme.clone().into_iter().collect();
+    let mut apk = ApkBuilder::new(pkg);
+    add_sender(&mut apk, &sender);
+    add_receiver(
+        &mut apk,
+        &ReceiverSpec {
+            filter: Some(filter.clone()),
+            ..ReceiverSpec::new("LImpRecv;", ComponentKind::Service)
+        },
+        sender.via,
+    );
+    if with_scheme_decoy {
+        // Same filter except the scheme: scheme-blind matchers report it.
+        let mut decoy = filter;
+        decoy.data_schemes = vec!["decoy".into()];
+        add_receiver(
+            &mut apk,
+            &ReceiverSpec {
+                filter: Some(decoy),
+                sink: Resource::NetworkWrite,
+                ..ReceiverSpec::new("LImpDecoy;", ComponentKind::Service)
+            },
+            sender.via,
+        );
+    }
+    ib(name, vec![apk.finish()], [("LImpSender;", "LImpRecv;")])
+}
+
+/// Dynamically registered receiver cases. The receiver has *no* static
+/// filter; `onCreate` registers it at runtime and then broadcasts the
+/// tainted payload. In `DynRegisteredReceiver2` the action string is not
+/// a static constant (it is derived from an API value), so even tools
+/// that model dynamic registration miss it.
+fn dyn_registered(n: usize) -> Case {
+    let pkg: &'static str = if n == 1 {
+        "org.icc.dynreg1"
+    } else {
+        "org.icc.dynreg2"
+    };
+    let name: &'static str = if n == 1 {
+        "DynRegisteredReceiver1"
+    } else {
+        "DynRegisteredReceiver2"
+    };
+    let mut apk = ApkBuilder::new(pkg);
+    apk.uses_permission(separ_android::types::perm::ACCESS_FINE_LOCATION);
+    apk.add_component(ComponentDecl::new("LDynMain;", ComponentKind::Activity));
+    apk.add_component(ComponentDecl::new("LDynRecv;", ComponentKind::Receiver));
+    {
+        let mut cb = apk.class_extends("LDynMain;", class::ACTIVITY);
+        let mut m = cb.method("onCreate", 1, false, false);
+        let recv = m.reg();
+        let action = m.reg();
+        let data = m.reg();
+        let i = m.reg();
+        let k = m.reg();
+        m.const_string(recv, "LDynRecv;");
+        if n == 1 {
+            m.const_string(action, "org.icc.DYN_EVENT");
+        } else {
+            // Action derived from a runtime value: statically opaque, but
+            // deterministic at runtime so the broadcast still matches.
+            m.invoke_virtual(class::TELEPHONY_MANAGER, "getDeviceId", &[action], true);
+            m.move_result(action);
+        }
+        m.invoke_virtual(class::CONTEXT, "registerReceiver", &[m.this(), recv, action], true);
+        m.invoke_virtual(class::LOCATION_MANAGER, "getLastKnownLocation", &[data], true);
+        m.move_result(data);
+        m.new_instance(i, class::INTENT);
+        m.invoke_virtual(class::INTENT, "setAction", &[i, action], false);
+        m.const_string(k, "payload");
+        m.invoke_virtual(class::INTENT, "putExtra", &[i, k, data], false);
+        m.invoke_virtual(class::CONTEXT, "sendBroadcast", &[m.this(), i], false);
+        m.ret_void();
+        m.finish();
+        cb.finish();
+    }
+    {
+        let mut cb = apk.class_extends("LDynRecv;", class::RECEIVER);
+        let mut m = cb.method("onReceive", 2, false, false);
+        let v = m.reg();
+        let k = m.reg();
+        m.const_string(k, "payload");
+        m.invoke_virtual(class::INTENT, "getStringExtra", &[m.param(1), k], true);
+        m.move_result(v);
+        m.invoke_virtual(class::LOG, "d", &[v], false);
+        m.ret_void();
+        m.finish();
+        cb.finish();
+    }
+    ib(name, vec![apk.finish()], [("LDynMain;", "LDynRecv;")])
+}
+
+/// All 9 ICC-Bench cases.
+pub fn cases() -> Vec<Case> {
+    vec![
+        explicit_src_sink(),
+        implicit("Implicit_Action", "org.icc.action", vec![], None, None, false),
+        implicit(
+            "Implicit_Category",
+            "org.icc.category",
+            vec!["android.intent.category.DEFAULT".into()],
+            None,
+            None,
+            false,
+        ),
+        implicit(
+            "Implicit_Data1",
+            "org.icc.data1",
+            vec![],
+            Some("text/plain".into()),
+            None,
+            false,
+        ),
+        implicit(
+            "Implicit_Data2",
+            "org.icc.data2",
+            vec![],
+            None,
+            Some("content".into()),
+            true,
+        ),
+        implicit(
+            "Implicit_Mix1",
+            "org.icc.mix1",
+            vec!["android.intent.category.DEFAULT".into()],
+            Some("text/plain".into()),
+            None,
+            false,
+        ),
+        implicit(
+            "Implicit_Mix2",
+            "org.icc.mix2",
+            vec!["android.intent.category.DEFAULT".into()],
+            None,
+            Some("https".into()),
+            true,
+        ),
+        dyn_registered(1),
+        dyn_registered(2),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_9_cases_and_9_truths() {
+        let cases = cases();
+        assert_eq!(cases.len(), 9);
+        let truths: usize = cases.iter().map(|c| c.truth.len()).sum();
+        assert_eq!(truths, 9);
+    }
+
+    #[test]
+    fn dynreg_receivers_have_no_static_filters() {
+        for case in cases() {
+            if case.name.starts_with("DynRegisteredReceiver") {
+                let apk = &case.apks[0];
+                let recv = apk.manifest.component("LDynRecv;").expect("receiver");
+                assert!(recv.intent_filters.is_empty());
+                assert!(!recv.is_effectively_exported());
+            }
+        }
+    }
+
+    #[test]
+    fn all_apps_encode_and_decode() {
+        for case in cases() {
+            for apk in &case.apks {
+                let bytes = separ_dex::codec::encode(apk);
+                assert!(separ_dex::codec::decode(&bytes).is_ok(), "case {}", case.name);
+            }
+        }
+    }
+}

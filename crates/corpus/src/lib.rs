@@ -1,0 +1,36 @@
+//! **separ-corpus** — workloads for the SEPAR reproduction.
+//!
+//! The paper evaluates on DroidBench 2.0, ICC-Bench and 4,000 market apps;
+//! none are usable here (they are real APKs), so this crate rebuilds them
+//! as sdex programs with known ground truth:
+//!
+//! * [`droidbench`] — the 23-leak DroidBench ICC/IAC subset of Table I,
+//!   including the two unreachable-code decoys;
+//! * [`iccbench`] — the 9 ICC-Bench cases, including the two
+//!   dynamically-registered-receiver cases SEPAR's static extractor misses;
+//! * [`suite`] — case plumbing and precision/recall/F-measure scoring;
+//! * [`market`] — seeded, profile-driven generation of whole app markets
+//!   (Google Play / F-Droid / Malgenome / Bazaar);
+//! * [`motivating`] — the paper's Section II example (Listings 1–2 and the
+//!   Figure 1 malicious app), runnable end to end;
+//! * [`casestudy`] — the four RQ2 market findings (Barcoder, Hesabdar,
+//!   OwnCloud, Ermete SMS analogs);
+//! * [`builder`] — the reusable case-construction toolkit.
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod casestudy;
+pub mod droidbench;
+pub mod iccbench;
+pub mod market;
+pub mod motivating;
+pub mod suite;
+
+pub use suite::{Case, LeakPair, Score, SuiteKind};
+
+/// All Table I cases (DroidBench followed by ICC-Bench).
+pub fn table1_cases() -> Vec<Case> {
+    let mut v = droidbench::cases();
+    v.extend(iccbench::cases());
+    v
+}

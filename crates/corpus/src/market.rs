@@ -1,0 +1,536 @@
+//! Seeded generation of synthetic app markets (the RQ2/RQ3 corpus).
+//!
+//! The paper evaluates 4,000 real apps drawn from four repositories; the
+//! substitute is a deterministic generator with per-repository profiles:
+//! app-size distributions (log-normal, like real markets), component-count
+//! distributions, and vulnerability-injection rates tuned so the RQ2
+//! census lands in the paper's band. Malgenome-profile apps additionally
+//! carry malware-style *capabilities* (greedy filters on common actions
+//! feeding exfiltration paths), which makes cross-app leaks emerge at the
+//! bundle level rather than being scripted.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use separ_android::api::class;
+use separ_android::types::perm;
+use separ_dex::build::{ApkBuilder, MethodBuilder};
+use separ_dex::manifest::{ComponentDecl, ComponentKind, IntentFilterDecl};
+use separ_dex::program::Apk;
+
+/// The four app repositories of Section VII-B.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Repository {
+    /// Google Play: 600 random + 1,000 popular apps in the paper.
+    GooglePlay,
+    /// F-Droid: 1,100 open-source apps.
+    FDroid,
+    /// Malgenome: ~1,200 malware samples.
+    Malgenome,
+    /// Bazaar: 100 third-party-market apps.
+    Bazaar,
+}
+
+impl Repository {
+    /// All repositories.
+    pub const ALL: [Repository; 4] = [
+        Repository::GooglePlay,
+        Repository::FDroid,
+        Repository::Malgenome,
+        Repository::Bazaar,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Repository::GooglePlay => "GooglePlay",
+            Repository::FDroid => "F-Droid",
+            Repository::Malgenome => "Malgenome",
+            Repository::Bazaar => "Bazaar",
+        }
+    }
+
+    /// Log-normal size parameters `(mu, sigma)` for the filler-code size.
+    fn size_params(self) -> (f64, f64) {
+        match self {
+            Repository::GooglePlay => (6.0, 0.8),
+            Repository::FDroid => (5.4, 0.7),
+            Repository::Malgenome => (4.6, 0.6),
+            Repository::Bazaar => (5.7, 0.9),
+        }
+    }
+
+    /// Per-app probability of each injected weakness:
+    /// `(hijack, launch, leak, escalation)`.
+    fn vuln_rates(self) -> (f64, f64, f64, f64) {
+        match self {
+            Repository::GooglePlay => (0.020, 0.022, 0.024, 0.008),
+            Repository::FDroid => (0.018, 0.018, 0.022, 0.008),
+            Repository::Malgenome => (0.028, 0.028, 0.030, 0.012),
+            Repository::Bazaar => (0.028, 0.030, 0.030, 0.010),
+        }
+    }
+
+    /// Probability that a Malgenome-profile app carries a greedy
+    /// hijacker capability.
+    fn capability_rate(self) -> f64 {
+        match self {
+            Repository::Malgenome => 0.15,
+            _ => 0.01,
+        }
+    }
+}
+
+/// How many apps to generate per repository.
+#[derive(Copy, Clone, Debug)]
+pub struct MarketSpec {
+    /// Google Play count (paper: 1,600).
+    pub google_play: usize,
+    /// F-Droid count (paper: 1,100).
+    pub fdroid: usize,
+    /// Malgenome count (paper: ~1,200).
+    pub malgenome: usize,
+    /// Bazaar count (paper: 100).
+    pub bazaar: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MarketSpec {
+    fn default() -> MarketSpec {
+        MarketSpec {
+            google_play: 1600,
+            fdroid: 1100,
+            malgenome: 1200,
+            bazaar: 100,
+            seed: 0x5E9A12,
+        }
+    }
+}
+
+impl MarketSpec {
+    /// A proportionally scaled-down market of exactly `total` apps (for
+    /// quick runs and tests).
+    pub fn scaled(total: usize, seed: u64) -> MarketSpec {
+        let f = total as f64 / 4000.0;
+        let fdroid = (1100.0 * f).round() as usize;
+        let malgenome = (1200.0 * f).round() as usize;
+        let bazaar = ((100.0 * f).round() as usize).max(1);
+        let google_play = total.saturating_sub(fdroid + malgenome + bazaar);
+        MarketSpec {
+            google_play,
+            fdroid,
+            malgenome,
+            bazaar,
+            seed,
+        }
+    }
+
+    /// Total apps the spec generates.
+    pub fn total(&self) -> usize {
+        self.google_play + self.fdroid + self.malgenome + self.bazaar
+    }
+}
+
+/// One generated market app.
+#[derive(Debug)]
+pub struct MarketApp {
+    /// Which repository profile produced it.
+    pub repository: Repository,
+    /// The package.
+    pub apk: Apk,
+}
+
+/// The shared pool of implicit actions market apps communicate over.
+fn action_pool(i: usize) -> String {
+    format!("market.action.EVENT_{}", i % 24)
+}
+
+/// Standard normal via Box–Muller (no external stats crates).
+fn standard_normal(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Generates the full market.
+pub fn generate(spec: &MarketSpec) -> Vec<MarketApp> {
+    let mut out = Vec::with_capacity(spec.total());
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    for (repo, count) in [
+        (Repository::GooglePlay, spec.google_play),
+        (Repository::FDroid, spec.fdroid),
+        (Repository::Malgenome, spec.malgenome),
+        (Repository::Bazaar, spec.bazaar),
+    ] {
+        for i in 0..count {
+            let app_seed = rng.gen::<u64>();
+            out.push(MarketApp {
+                repository: repo,
+                apk: generate_app(repo, i, app_seed),
+            });
+        }
+    }
+    out
+}
+
+/// Generates one app under a repository profile.
+pub fn generate_app(repo: Repository, index: usize, seed: u64) -> Apk {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let package = format!(
+        "{}.app{index:04}.v{}",
+        repo.name().to_lowercase().replace('-', ""),
+        rng.gen_range(1..9)
+    );
+    let mut apk = ApkBuilder::new(&package);
+    let (mu, sigma) = repo.size_params();
+    let target_size = (mu + sigma * standard_normal(&mut rng)).exp().max(30.0) as usize;
+    let n_components = rng.gen_range(3..=9);
+    let tag = format!("L{}/C{index:04}", repo.name().to_lowercase().replace('-', ""));
+
+    // Helper utility class exercised by filler code (real call depth).
+    let util_class = format!("{tag}Util;");
+    {
+        let mut cb = apk.class(&util_class);
+        let mut m = cb.method("mix", 2, true, true);
+        let r = m.reg();
+        m.binop(separ_dex::instr::BinOp::Add, r, m.param(0), m.param(1));
+        m.ret(r);
+        m.finish();
+        let mut m = cb.method("fold", 1, true, true);
+        let r = m.reg();
+        let two = m.reg();
+        m.const_int(two, 2);
+        m.binop(separ_dex::instr::BinOp::Mul, r, m.param(0), two);
+        m.ret(r);
+        m.finish();
+        cb.finish();
+    }
+
+    // Benign components with filler code sized to the target.
+    let per_component = (target_size / n_components).max(10);
+    for c in 0..n_components {
+        let kind = match rng.gen_range(0..10) {
+            0..=4 => ComponentKind::Activity,
+            5..=7 => ComponentKind::Service,
+            8 => ComponentKind::Receiver,
+            _ => ComponentKind::Provider,
+        };
+        let class_name = format!("{tag}Comp{c};");
+        let mut decl = ComponentDecl::new(&class_name, kind);
+        if kind != ComponentKind::Provider && rng.gen_bool(0.4) {
+            decl.intent_filters.push(IntentFilterDecl::for_actions([
+                action_pool(rng.gen_range(0..1000)),
+            ]));
+        }
+        apk.add_component(decl);
+        let superclass = separ_android::api::component_super(kind);
+        let mut cb = apk.class_extends(&class_name, superclass);
+        let entry = separ_android::api::entry_points(kind)[0];
+        let params = if kind == ComponentKind::Activity { 1 } else { 2 };
+        let mut m = cb.method(entry, params, false, false);
+        emit_filler(&mut m, &util_class, per_component, &mut rng);
+        // Benign ICC chatter: most real components talk to other
+        // components; payloads are non-sensitive constants.
+        if kind != ComponentKind::Provider && rng.gen_bool(0.6) {
+            emit_benign_send(&mut m, &mut rng);
+        }
+        m.ret_void();
+        m.finish();
+        cb.finish();
+    }
+
+    // Weakness injection: at most one per app.
+    let (h, l, k, e) = repo.vuln_rates();
+    let roll: f64 = rng.gen();
+    if roll < h {
+        inject_hijack_victim(&mut apk, &tag, &mut rng);
+    } else if roll < h + l {
+        inject_launch_victim(&mut apk, &tag);
+    } else if roll < h + l + k {
+        inject_leak_pair(&mut apk, &tag, index);
+    } else if roll < h + l + k + e {
+        inject_escalation_victim(&mut apk, &tag);
+    }
+    if rng.gen_bool(repo.capability_rate()) {
+        inject_greedy_capability(&mut apk, &tag, &mut rng);
+    }
+    apk.finish()
+}
+
+fn emit_filler(
+    m: &mut MethodBuilder<'_, '_>,
+    util_class: &str,
+    budget: usize,
+    rng: &mut SmallRng,
+) {
+    let a = m.reg();
+    let b = m.reg();
+    let s = m.reg();
+    m.const_int(a, rng.gen_range(0..100));
+    m.const_int(b, rng.gen_range(0..100));
+    let mut emitted = 3;
+    while emitted < budget {
+        match rng.gen_range(0..5) {
+            0 => {
+                m.binop(separ_dex::instr::BinOp::Add, a, a, b);
+            }
+            1 => {
+                m.const_string(s, "cfg");
+            }
+            2 => {
+                m.invoke_static(util_class, "mix", &[a, b], true);
+                m.move_result(a);
+            }
+            3 => {
+                m.invoke_static(util_class, "fold", &[b], true);
+                m.move_result(b);
+            }
+            _ => {
+                m.mov(s, a);
+            }
+        }
+        emitted += 1;
+    }
+}
+
+/// Emits a benign implicit send (constant payload, pool action).
+fn emit_benign_send(m: &mut MethodBuilder<'_, '_>, rng: &mut SmallRng) {
+    let i = m.reg();
+    let s = m.reg();
+    let v = m.reg();
+    m.new_instance(i, class::INTENT);
+    m.const_string(s, &action_pool(rng.gen_range(0..1000)));
+    m.invoke_virtual(class::INTENT, "setAction", &[i, s], false);
+    m.const_string(s, "note");
+    m.const_string(v, "status-update");
+    m.invoke_virtual(class::INTENT, "putExtra", &[i, s, v], false);
+    let api = match rng.gen_range(0..3) {
+        0 => "startService",
+        1 => "sendBroadcast",
+        _ => "startActivity",
+    };
+    m.invoke_virtual(class::CONTEXT, api, &[m.this(), i], false);
+}
+
+/// A component broadcasting sensitive data over a pool action (hijackable).
+fn inject_hijack_victim(apk: &mut ApkBuilder, tag: &str, rng: &mut SmallRng) {
+    let class_name = format!("{tag}Beacon;");
+    apk.add_component(ComponentDecl::new(&class_name, ComponentKind::Service));
+    apk.uses_permission(perm::ACCESS_FINE_LOCATION);
+    let mut cb = apk.class_extends(&class_name, class::SERVICE);
+    let mut m = cb.method("onStartCommand", 2, false, false);
+    let loc = m.reg();
+    let i = m.reg();
+    let s = m.reg();
+    m.invoke_virtual(class::LOCATION_MANAGER, "getLastKnownLocation", &[loc], true);
+    m.move_result(loc);
+    m.new_instance(i, class::INTENT);
+    m.const_string(s, &action_pool(rng.gen_range(0..1000)));
+    m.invoke_virtual(class::INTENT, "setAction", &[i, s], false);
+    m.const_string(s, "position");
+    m.invoke_virtual(class::INTENT, "putExtra", &[i, s, loc], false);
+    m.invoke_virtual(class::CONTEXT, "sendBroadcast", &[m.this(), i], false);
+    m.ret_void();
+    m.finish();
+    cb.finish();
+}
+
+/// An exported service whose exported surface flows into a capability.
+fn inject_launch_victim(apk: &mut ApkBuilder, tag: &str) {
+    let class_name = format!("{tag}Door;");
+    let mut decl = ComponentDecl::new(&class_name, ComponentKind::Service);
+    decl.exported = Some(true);
+    apk.add_component(decl);
+    let mut cb = apk.class_extends(&class_name, class::SERVICE);
+    let mut m = cb.method("onStartCommand", 2, false, false);
+    let v = m.reg();
+    let k = m.reg();
+    m.const_string(k, "command");
+    m.invoke_virtual(class::INTENT, "getStringExtra", &[m.param(1), k], true);
+    m.move_result(v);
+    m.invoke_virtual(class::LOG, "d", &[v], false);
+    m.ret_void();
+    m.finish();
+    cb.finish();
+}
+
+/// An intra-app explicit leak pair (source -> intent -> sink).
+fn inject_leak_pair(apk: &mut ApkBuilder, tag: &str, index: usize) {
+    let sender = format!("{tag}Collector;");
+    let receiver = format!("{tag}Uploader;");
+    let _ = index;
+    apk.uses_permission(perm::READ_PHONE_STATE);
+    apk.uses_permission(perm::INTERNET);
+    apk.add_component(ComponentDecl::new(&sender, ComponentKind::Activity));
+    apk.add_component(ComponentDecl::new(&receiver, ComponentKind::Service));
+    {
+        let mut cb = apk.class_extends(&sender, class::ACTIVITY);
+        let mut m = cb.method("onCreate", 1, false, false);
+        let v = m.reg();
+        let i = m.reg();
+        let s = m.reg();
+        m.invoke_virtual(class::TELEPHONY_MANAGER, "getDeviceId", &[v], true);
+        m.move_result(v);
+        m.new_instance(i, class::INTENT);
+        m.const_string(s, &receiver);
+        m.invoke_virtual(class::INTENT, "setClassName", &[i, s], false);
+        m.const_string(s, "device");
+        m.invoke_virtual(class::INTENT, "putExtra", &[i, s, v], false);
+        m.invoke_virtual(class::CONTEXT, "startService", &[m.this(), i], false);
+        m.ret_void();
+        m.finish();
+        cb.finish();
+    }
+    {
+        let mut cb = apk.class_extends(&receiver, class::SERVICE);
+        let mut m = cb.method("onStartCommand", 2, false, false);
+        let v = m.reg();
+        let k = m.reg();
+        m.const_string(k, "device");
+        m.invoke_virtual(class::INTENT, "getStringExtra", &[m.param(1), k], true);
+        m.move_result(v);
+        m.invoke_virtual(class::HTTP, "getOutputStream", &[v], true);
+        let r = m.reg();
+        m.move_result(r);
+        m.ret_void();
+        m.finish();
+        cb.finish();
+    }
+}
+
+/// An exported SMS proxy that never checks its caller.
+fn inject_escalation_victim(apk: &mut ApkBuilder, tag: &str) {
+    let class_name = format!("{tag}SmsProxy;");
+    let mut decl = ComponentDecl::new(&class_name, ComponentKind::Service);
+    decl.exported = Some(true);
+    apk.add_component(decl);
+    apk.uses_permission(perm::SEND_SMS);
+    let mut cb = apk.class_extends(&class_name, class::SERVICE);
+    let mut m = cb.method("onStartCommand", 2, false, false);
+    let num = m.reg();
+    let body = m.reg();
+    let k = m.reg();
+    let mgr = m.reg();
+    m.const_string(k, "to");
+    m.invoke_virtual(class::INTENT, "getStringExtra", &[m.param(1), k], true);
+    m.move_result(num);
+    m.const_string(k, "body");
+    m.invoke_virtual(class::INTENT, "getStringExtra", &[m.param(1), k], true);
+    m.move_result(body);
+    m.invoke_static(class::SMS_MANAGER, "getDefault", &[], true);
+    m.move_result(mgr);
+    m.invoke_virtual(class::SMS_MANAGER, "sendTextMessage", &[mgr, num, body], false);
+    m.ret_void();
+    m.finish();
+    cb.finish();
+}
+
+/// A malware-style greedy receiver: listens on pool actions and
+/// exfiltrates whatever payload arrives.
+fn inject_greedy_capability(apk: &mut ApkBuilder, tag: &str, rng: &mut SmallRng) {
+    let class_name = format!("{tag}Listener;");
+    let mut decl = ComponentDecl::new(&class_name, ComponentKind::Receiver);
+    let mut filter = IntentFilterDecl::default();
+    for _ in 0..rng.gen_range(2..6) {
+        filter.actions.push(action_pool(rng.gen_range(0..1000)));
+    }
+    decl.intent_filters.push(filter);
+    apk.add_component(decl);
+    apk.uses_permission(perm::INTERNET);
+    let mut cb = apk.class_extends(&class_name, class::RECEIVER);
+    let mut m = cb.method("onReceive", 2, false, false);
+    let v = m.reg();
+    let k = m.reg();
+    m.const_string(k, "position");
+    m.invoke_virtual(class::INTENT, "getStringExtra", &[m.param(1), k], true);
+    m.move_result(v);
+    m.invoke_virtual(class::HTTP, "getOutputStream", &[v], true);
+    let r = m.reg();
+    m.move_result(r);
+    m.ret_void();
+    m.finish();
+    cb.finish();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = MarketSpec::scaled(40, 7);
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.apk, y.apk);
+        }
+    }
+
+    #[test]
+    fn scaled_spec_partitions_proportionally() {
+        let spec = MarketSpec::scaled(400, 1);
+        assert_eq!(spec.total(), 400);
+        assert_eq!(spec.google_play, 160);
+        assert_eq!(spec.fdroid, 110);
+        assert_eq!(spec.malgenome, 120);
+        assert_eq!(spec.bazaar, 10);
+    }
+
+    #[test]
+    fn profiles_shape_app_sizes() {
+        let spec = MarketSpec::scaled(200, 3);
+        let market = generate(&spec);
+        let avg = |repo: Repository| {
+            let sizes: Vec<usize> = market
+                .iter()
+                .filter(|a| a.repository == repo)
+                .map(|a| a.apk.size_metric())
+                .collect();
+            sizes.iter().sum::<usize>() as f64 / sizes.len().max(1) as f64
+        };
+        assert!(
+            avg(Repository::GooglePlay) > avg(Repository::Malgenome),
+            "Play apps are larger than malware samples on average"
+        );
+    }
+
+    #[test]
+    fn generated_apps_survive_codec_and_extraction() {
+        let spec = MarketSpec::scaled(20, 11);
+        for app in generate(&spec) {
+            let bytes = separ_dex::codec::encode(&app.apk);
+            let decoded = separ_dex::codec::decode(&bytes).expect("decodes");
+            let model = separ_analysis::extractor::extract_apk(&decoded);
+            assert!(!model.components.is_empty());
+        }
+    }
+
+    #[test]
+    fn injection_rates_produce_vulnerable_apps_at_scale() {
+        // At a few hundred apps the expected counts are comfortably > 0.
+        let spec = MarketSpec::scaled(400, 5);
+        let market = generate(&spec);
+        let mut any_vulnerable = 0;
+        for app in &market {
+            let names: Vec<&str> = app
+                .apk
+                .manifest
+                .components
+                .iter()
+                .map(|c| c.class.as_str())
+                .collect();
+            if names.iter().any(|n| {
+                n.contains("Beacon") || n.contains("Door") || n.contains("Collector")
+                    || n.contains("SmsProxy")
+            }) {
+                any_vulnerable += 1;
+            }
+        }
+        assert!(
+            any_vulnerable >= 10,
+            "expected ~8-12% of 400 apps, got {any_vulnerable}"
+        );
+    }
+}

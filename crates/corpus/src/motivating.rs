@@ -1,0 +1,224 @@
+//! The paper's motivating example (Section II) as runnable apps.
+//!
+//! `navigator_app` is Listing 1 (LocationFinder sends GPS data to
+//! RouteFinder via an implicit intent), `messenger_app` is Listing 2
+//! (MessageSender texts whatever an intent tells it to, with the
+//! permission check present but never called), and `malicious_app` is the
+//! Figure 1 adversary whose signature SEPAR synthesizes: it hijacks the
+//! location intent and forges a payment-style intent to the messenger.
+
+use separ_android::api::class;
+use separ_android::types::perm;
+use separ_dex::build::ApkBuilder;
+use separ_dex::manifest::{ComponentDecl, ComponentKind, IntentFilterDecl};
+use separ_dex::program::Apk;
+
+/// The action LocationFinder uses (Listing 1, line 7).
+pub const SHOW_LOC: &str = "showLoc";
+/// The extra key carrying the location (Listing 1, line 8).
+pub const LOCATION_EXTRA: &str = "locationInfo";
+/// The messenger's phone-number extra (Listing 2, line 3).
+pub const PHONE_EXTRA: &str = "PHONE_NUM";
+/// The messenger's message extra (Listing 2, line 4).
+pub const TEXT_EXTRA: &str = "TEXT_MSG";
+/// The messenger component class.
+pub const MESSAGE_SENDER: &str = "Lcom/messenger/MessageSender;";
+/// The location-reading component class.
+pub const LOCATION_FINDER: &str = "Lcom/navigator/LocationFinder;";
+/// The intended in-app receiver of the location intent.
+pub const ROUTE_FINDER: &str = "Lcom/navigator/RouteFinder;";
+
+/// Listing 1: the navigation app.
+pub fn navigator_app() -> Apk {
+    let mut apk = ApkBuilder::new("com.navigator");
+    apk.uses_permission(perm::ACCESS_FINE_LOCATION);
+    apk.add_component(ComponentDecl::new(LOCATION_FINDER, ComponentKind::Service));
+    let mut route = ComponentDecl::new(ROUTE_FINDER, ComponentKind::Service);
+    route
+        .intent_filters
+        .push(IntentFilterDecl::for_actions([SHOW_LOC]));
+    // The filter makes RouteFinder implicitly exported: the anti-pattern.
+    apk.add_component(route);
+    {
+        let mut cb = apk.class_extends(LOCATION_FINDER, class::SERVICE);
+        let mut m = cb.method("onStartCommand", 3, false, false);
+        let loc = m.reg();
+        let intent = m.reg();
+        let s = m.reg();
+        m.invoke_virtual(class::LOCATION_MANAGER, "getLastKnownLocation", &[loc], true);
+        m.move_result(loc);
+        m.new_instance(intent, class::INTENT);
+        m.const_string(s, SHOW_LOC);
+        m.invoke_virtual(class::INTENT, "setAction", &[intent, s], false);
+        m.const_string(s, LOCATION_EXTRA);
+        m.invoke_virtual(class::INTENT, "putExtra", &[intent, s, loc], false);
+        m.invoke_virtual(class::CONTEXT, "startService", &[m.this(), intent], false);
+        m.ret_void();
+        m.finish();
+        cb.finish();
+    }
+    {
+        let mut cb = apk.class_extends(ROUTE_FINDER, class::SERVICE);
+        let mut m = cb.method("onStartCommand", 3, false, false);
+        // Displays the route; reads the extra benignly.
+        let v = m.reg();
+        let k = m.reg();
+        m.const_string(k, LOCATION_EXTRA);
+        m.invoke_virtual(class::INTENT, "getStringExtra", &[m.param(1), k], true);
+        m.move_result(v);
+        m.ret_void();
+        m.finish();
+        cb.finish();
+    }
+    apk.finish()
+}
+
+/// Listing 2: the messenger app. `with_check` controls whether line 6's
+/// `hasPermission()` guard is actually called (the paper comments it out).
+pub fn messenger_app(with_check: bool) -> Apk {
+    let mut apk = ApkBuilder::new("com.messenger");
+    apk.uses_permission(perm::SEND_SMS);
+    let mut decl = ComponentDecl::new(MESSAGE_SENDER, ComponentKind::Service);
+    decl.exported = Some(true);
+    apk.add_component(decl);
+    let mut cb = apk.class_extends(MESSAGE_SENDER, class::SERVICE);
+    {
+        let mut m = cb.method("onStartCommand", 3, false, false);
+        let num = m.reg();
+        let msg = m.reg();
+        let k = m.reg();
+        let intent = m.param(1);
+        m.const_string(k, PHONE_EXTRA);
+        m.invoke_virtual(class::INTENT, "getStringExtra", &[intent, k], true);
+        m.move_result(num);
+        m.const_string(k, TEXT_EXTRA);
+        m.invoke_virtual(class::INTENT, "getStringExtra", &[intent, k], true);
+        m.move_result(msg);
+        if with_check {
+            let ok = m.reg();
+            let skip = m.new_label();
+            m.invoke_virtual(MESSAGE_SENDER, "hasPermission", &[m.this()], true);
+            m.move_result(ok);
+            m.if_eqz(ok, skip);
+            m.invoke_virtual(MESSAGE_SENDER, "sendText", &[m.this(), num, msg], false);
+            m.bind(skip);
+        } else {
+            // if (hasPermission())  <- commented out, as in the paper
+            m.invoke_virtual(MESSAGE_SENDER, "sendText", &[m.this(), num, msg], false);
+        }
+        m.ret_void();
+        m.finish();
+    }
+    {
+        let mut m = cb.method("sendText", 3, false, false);
+        let mgr = m.reg();
+        m.invoke_static(class::SMS_MANAGER, "getDefault", &[], true);
+        m.move_result(mgr);
+        m.invoke_virtual(
+            class::SMS_MANAGER,
+            "sendTextMessage",
+            &[mgr, m.param(1), m.param(2)],
+            false,
+        );
+        m.ret_void();
+        m.finish();
+    }
+    {
+        let mut m = cb.method("hasPermission", 1, false, true);
+        let p = m.reg();
+        let r = m.reg();
+        m.const_string(p, perm::SEND_SMS);
+        m.invoke_virtual(class::CONTEXT, "checkCallingPermission", &[m.this(), p], true);
+        m.move_result(r);
+        m.ret(r);
+        m.finish();
+    }
+    cb.finish();
+    apk.finish()
+}
+
+/// Figure 1's malicious app: hijacks the implicit location intent and
+/// relays the payload to the messenger with the adversary's phone number.
+/// It requests **no permissions** — exactly why it is hard to spot.
+pub fn malicious_app(adversary_number: &str) -> Apk {
+    let mut apk = ApkBuilder::new("com.innocent.wallpaper");
+    let mut decl = ComponentDecl::new("Lcom/innocent/Thief;", ComponentKind::Service);
+    decl.intent_filters
+        .push(IntentFilterDecl::for_actions([SHOW_LOC]));
+    apk.add_component(decl);
+    let mut cb = apk.class_extends("Lcom/innocent/Thief;", class::SERVICE);
+    let mut m = cb.method("onStartCommand", 3, false, false);
+    let stolen = m.reg();
+    let i = m.reg();
+    let k = m.reg();
+    let v = m.reg();
+    // Hijack: read the location payload from the stolen intent.
+    m.const_string(k, LOCATION_EXTRA);
+    m.invoke_virtual(class::INTENT, "getStringExtra", &[m.param(1), k], true);
+    m.move_result(stolen);
+    // Forge: explicit intent to the vulnerable messenger.
+    m.new_instance(i, class::INTENT);
+    m.const_string(v, MESSAGE_SENDER);
+    m.invoke_virtual(class::INTENT, "setClassName", &[i, v], false);
+    m.const_string(k, PHONE_EXTRA);
+    m.const_string(v, adversary_number);
+    m.invoke_virtual(class::INTENT, "putExtra", &[i, k, v], false);
+    m.const_string(k, TEXT_EXTRA);
+    m.invoke_virtual(class::INTENT, "putExtra", &[i, k, stolen], false);
+    m.invoke_virtual(class::CONTEXT, "startService", &[m.this(), i], false);
+    m.ret_void();
+    m.finish();
+    cb.finish();
+    apk.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use separ_analysis::extractor::extract_apk;
+    use separ_android::types::{FlowPath, Resource};
+
+    #[test]
+    fn navigator_model_matches_listing_4a() {
+        let model = extract_apk(&navigator_app());
+        let lf = model.component(LOCATION_FINDER).expect("LocationFinder");
+        assert!(lf
+            .paths
+            .contains(&FlowPath::new(Resource::Location, Resource::Icc)));
+        let intent = &lf.sent_intents[0];
+        assert_eq!(intent.action.as_deref(), Some(SHOW_LOC));
+        assert!(intent.extra_taints.contains(&Resource::Location));
+        assert!(intent.is_implicit());
+    }
+
+    #[test]
+    fn messenger_model_matches_listing_4b() {
+        let model = extract_apk(&messenger_app(false));
+        let ms = model.component(MESSAGE_SENDER).expect("MessageSender");
+        assert!(ms.exported);
+        assert!(ms.paths.contains(&FlowPath::new(Resource::Icc, Resource::Sms)));
+        // The check exists in code but is unreachable: not recorded.
+        assert!(ms.dynamic_checks.is_empty());
+        assert!(ms.used_permissions.contains(perm::SEND_SMS));
+    }
+
+    #[test]
+    fn patched_messenger_records_the_check() {
+        let model = extract_apk(&messenger_app(true));
+        let ms = model.component(MESSAGE_SENDER).expect("MessageSender");
+        assert!(ms.dynamic_checks.contains(perm::SEND_SMS));
+    }
+
+    #[test]
+    fn malicious_app_requests_no_permissions() {
+        let apk = malicious_app("+15550999");
+        assert!(apk.manifest.uses_permissions.is_empty());
+        let model = extract_apk(&apk);
+        let thief = model.component("Lcom/innocent/Thief;").expect("thief");
+        // From the outside it only moves ICC data around.
+        assert!(thief
+            .paths
+            .iter()
+            .all(|p| p.source == Resource::Icc && p.sink == Resource::Icc));
+    }
+}

@@ -1,0 +1,154 @@
+//! Benchmark cases and accuracy scoring (the Table I apparatus).
+
+use std::collections::BTreeSet;
+
+use separ_dex::program::Apk;
+
+/// Which benchmark suite a case belongs to.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum SuiteKind {
+    /// DroidBench 2.0 (ICC + IAC subsets).
+    DroidBench,
+    /// ICC-Bench.
+    IccBench,
+}
+
+impl std::fmt::Display for SuiteKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SuiteKind::DroidBench => f.write_str("DroidBench2"),
+            SuiteKind::IccBench => f.write_str("ICC-Bench"),
+        }
+    }
+}
+
+/// A leak finding: `(source component class, sink component class)`.
+pub type LeakPair = (String, String);
+
+/// One benchmark case with its ground truth.
+#[derive(Debug)]
+pub struct Case {
+    /// The suite it belongs to.
+    pub suite: SuiteKind,
+    /// Case name as it appears in Table I.
+    pub name: &'static str,
+    /// The apps making up the case (one for ICC, two for IAC).
+    pub apks: Vec<Apk>,
+    /// The true leaks.
+    pub truth: BTreeSet<LeakPair>,
+}
+
+impl Case {
+    /// Builds a case.
+    pub fn new(
+        suite: SuiteKind,
+        name: &'static str,
+        apks: Vec<Apk>,
+        truth: impl IntoIterator<Item = (&'static str, &'static str)>,
+    ) -> Case {
+        Case {
+            suite,
+            name,
+            apks,
+            truth: truth
+                .into_iter()
+                .map(|(a, b)| (a.to_string(), b.to_string()))
+                .collect(),
+        }
+    }
+}
+
+/// Confusion counts for one tool over one or more cases.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct Score {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Score {
+    /// Scores one case: findings vs ground truth.
+    pub fn of(truth: &BTreeSet<LeakPair>, found: &BTreeSet<LeakPair>) -> Score {
+        let tp = found.intersection(truth).count();
+        Score {
+            tp,
+            fp: found.len() - tp,
+            fn_: truth.len() - tp,
+        }
+    }
+
+    /// Accumulates another score.
+    pub fn add(&mut self, other: Score) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+
+    /// Precision (1 when nothing was reported).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall (1 when there was nothing to find).
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            1.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f_measure(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(v: &[(&str, &str)]) -> BTreeSet<LeakPair> {
+        v.iter().map(|&(a, b)| (a.into(), b.into())).collect()
+    }
+
+    #[test]
+    fn scoring_confusion_counts() {
+        let truth = pairs(&[("a", "b"), ("c", "d")]);
+        let found = pairs(&[("a", "b"), ("x", "y")]);
+        let s = Score::of(&truth, &found);
+        assert_eq!(s, Score { tp: 1, fp: 1, fn_: 1 });
+        assert!((s.precision() - 0.5).abs() < 1e-9);
+        assert!((s.recall() - 0.5).abs() < 1e-9);
+        assert!((s.f_measure() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_on_empty_truth_is_perfect() {
+        let s = Score::of(&BTreeSet::new(), &BTreeSet::new());
+        assert_eq!(s.precision(), 1.0);
+        assert_eq!(s.recall(), 1.0);
+        assert_eq!(s.f_measure(), 1.0);
+    }
+
+    #[test]
+    fn accumulation_sums() {
+        let mut total = Score::default();
+        total.add(Score { tp: 2, fp: 1, fn_: 0 });
+        total.add(Score { tp: 1, fp: 0, fn_: 2 });
+        assert_eq!(total, Score { tp: 3, fp: 1, fn_: 2 });
+    }
+}

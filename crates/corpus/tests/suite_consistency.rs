@@ -1,0 +1,94 @@
+//! Consistency of the rebuilt benchmark suites: ground truth must refer
+//! to components that exist, packages must be unique, and the headline
+//! counts must match the paper's (23 DroidBench + 9 ICC-Bench truths,
+//! 2 decoys, 2 dynamic-receiver cases).
+
+use std::collections::BTreeSet;
+
+use separ_corpus::suite::SuiteKind;
+use separ_corpus::{droidbench, iccbench, table1_cases};
+
+#[test]
+fn headline_counts_match_the_paper() {
+    let db: usize = droidbench::cases().iter().map(|c| c.truth.len()).sum();
+    let ib: usize = iccbench::cases().iter().map(|c| c.truth.len()).sum();
+    assert_eq!(db, 23, "DroidBench ground-truth leaks");
+    assert_eq!(ib, 9, "ICC-Bench ground-truth leaks");
+    let decoys = droidbench::cases()
+        .iter()
+        .filter(|c| c.truth.is_empty())
+        .count();
+    assert_eq!(decoys, 2, "unreachable-code decoys");
+    let dynreg = iccbench::cases()
+        .iter()
+        .filter(|c| c.name.starts_with("DynRegisteredReceiver"))
+        .count();
+    assert_eq!(dynreg, 2, "dynamic-receiver cases");
+}
+
+#[test]
+fn every_truth_component_exists_in_the_case_apps() {
+    for case in table1_cases() {
+        let declared: BTreeSet<&str> = case
+            .apks
+            .iter()
+            .flat_map(|a| a.manifest.components.iter())
+            .map(|c| c.class.as_str())
+            .collect();
+        for (src, sink) in &case.truth {
+            assert!(
+                declared.contains(src.as_str()),
+                "{}: source component {src} not declared",
+                case.name
+            );
+            assert!(
+                declared.contains(sink.as_str()),
+                "{}: sink component {sink} not declared",
+                case.name
+            );
+        }
+    }
+}
+
+#[test]
+fn packages_are_unique_within_and_across_cases() {
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for case in table1_cases() {
+        for apk in &case.apks {
+            assert!(
+                seen.insert(apk.package().to_string()),
+                "duplicate package {} (case {})",
+                apk.package(),
+                case.name
+            );
+        }
+    }
+}
+
+#[test]
+fn suites_are_labelled_correctly() {
+    for c in droidbench::cases() {
+        assert_eq!(c.suite, SuiteKind::DroidBench);
+    }
+    for c in iccbench::cases() {
+        assert_eq!(c.suite, SuiteKind::IccBench);
+    }
+}
+
+#[test]
+fn every_case_component_has_code_or_is_intentionally_declarative() {
+    // Each declared component must have an implementing class: the suites
+    // contain no manifest-only ghosts.
+    for case in table1_cases() {
+        for apk in &case.apks {
+            for decl in &apk.manifest.components {
+                assert!(
+                    apk.dex.class_by_name(&decl.class).is_some(),
+                    "{}: component {} has no class",
+                    case.name,
+                    decl.class
+                );
+            }
+        }
+    }
+}

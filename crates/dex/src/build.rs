@@ -1,0 +1,548 @@
+//! Fluent builders for assembling APKs programmatically.
+//!
+//! The corpus generators use these to produce whole markets of synthetic
+//! apps as real sdex binaries. Method bodies are written with labelled
+//! branches and symbolic parameter registers; the builder resolves both
+//! when the method is finished.
+
+use crate::instr::{BinOp, Instr, InvokeKind, Reg};
+use crate::manifest::{ComponentDecl, Manifest};
+use crate::program::{Apk, Class, Dex, FieldDef, Method};
+use crate::refs::TypeId;
+
+/// Placeholder base for parameter registers, rewritten at finish time.
+const PARAM_BASE: u16 = 0x8000;
+
+/// A forward-referenceable code label.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Label(u32);
+
+/// Builds an [`Apk`].
+///
+/// # Examples
+///
+/// ```
+/// use separ_dex::build::ApkBuilder;
+/// use separ_dex::manifest::{ComponentDecl, ComponentKind};
+///
+/// let mut apk = ApkBuilder::new("com.example.hello");
+/// apk.add_component(ComponentDecl::new("Lcom/example/Main;", ComponentKind::Activity));
+/// {
+///     let mut class = apk.class("Lcom/example/Main;");
+///     let mut m = class.method("onCreate", 1, false, false);
+///     m.ret_void();
+///     m.finish();
+///     class.finish();
+/// }
+/// let apk = apk.finish();
+/// assert_eq!(apk.package(), "com.example.hello");
+/// ```
+#[derive(Debug)]
+pub struct ApkBuilder {
+    manifest: Manifest,
+    dex: Dex,
+}
+
+impl ApkBuilder {
+    /// Starts building a package.
+    pub fn new(package: impl Into<String>) -> ApkBuilder {
+        ApkBuilder {
+            manifest: Manifest::new(package),
+            dex: Dex::new(),
+        }
+    }
+
+    /// Adds a `uses-permission` entry.
+    pub fn uses_permission(&mut self, permission: impl Into<String>) -> &mut ApkBuilder {
+        self.manifest.uses_permissions.push(permission.into());
+        self
+    }
+
+    /// Adds a custom permission definition.
+    pub fn defines_permission(&mut self, permission: impl Into<String>) -> &mut ApkBuilder {
+        self.manifest.defines_permissions.push(permission.into());
+        self
+    }
+
+    /// Declares a manifest component.
+    pub fn add_component(&mut self, decl: ComponentDecl) -> &mut ApkBuilder {
+        self.manifest.components.push(decl);
+        self
+    }
+
+    /// Starts a class (no superclass).
+    pub fn class(&mut self, descriptor: &str) -> ClassBuilder<'_> {
+        self.class_extending(descriptor, None)
+    }
+
+    /// Starts a class with a superclass.
+    pub fn class_extends(&mut self, descriptor: &str, super_descriptor: &str) -> ClassBuilder<'_> {
+        self.class_extending(descriptor, Some(super_descriptor))
+    }
+
+    fn class_extending(
+        &mut self,
+        descriptor: &str,
+        super_descriptor: Option<&str>,
+    ) -> ClassBuilder<'_> {
+        let ty = self.dex.pools.ty(descriptor);
+        let super_ty = super_descriptor.map(|s| self.dex.pools.ty(s));
+        ClassBuilder {
+            apk: self,
+            ty,
+            super_ty,
+            fields: Vec::new(),
+            methods: Vec::new(),
+        }
+    }
+
+    /// Finalizes the package.
+    pub fn finish(self) -> Apk {
+        Apk::new(self.manifest, self.dex)
+    }
+}
+
+/// Builds one class of an [`ApkBuilder`].
+#[derive(Debug)]
+pub struct ClassBuilder<'a> {
+    apk: &'a mut ApkBuilder,
+    ty: TypeId,
+    super_ty: Option<TypeId>,
+    fields: Vec<FieldDef>,
+    methods: Vec<Method>,
+}
+
+impl<'a> ClassBuilder<'a> {
+    /// The class's type id.
+    pub fn ty(&self) -> TypeId {
+        self.ty
+    }
+
+    /// Declares a field.
+    pub fn field(&mut self, name: &str, is_static: bool) -> &mut ClassBuilder<'a> {
+        let name = self.apk.dex.pools.str(name);
+        self.fields.push(FieldDef { name, is_static });
+        self
+    }
+
+    /// Starts a method. `num_params` counts the receiver for instance
+    /// methods (pass at least 1 when `is_static` is false, as dex does).
+    pub fn method(
+        &mut self,
+        name: &str,
+        num_params: u8,
+        is_static: bool,
+        returns_value: bool,
+    ) -> MethodBuilder<'a, '_> {
+        assert!(
+            is_static || num_params >= 1,
+            "instance methods receive `this` as parameter 0"
+        );
+        let name = self.apk.dex.pools.str(name);
+        MethodBuilder {
+            class: self,
+            name,
+            num_params,
+            is_static,
+            returns_value,
+            code: Vec::new(),
+            next_local: 0,
+            labels: Vec::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    /// Finishes the class, adding it to the package.
+    pub fn finish(self) {
+        self.apk.dex.classes.push(Class {
+            ty: self.ty,
+            super_ty: self.super_ty,
+            fields: self.fields,
+            methods: self.methods,
+        });
+    }
+}
+
+/// Builds one method body.
+#[derive(Debug)]
+pub struct MethodBuilder<'a, 'c> {
+    class: &'c mut ClassBuilder<'a>,
+    name: crate::refs::StrId,
+    num_params: u8,
+    is_static: bool,
+    returns_value: bool,
+    code: Vec<Instr>,
+    next_local: u16,
+    labels: Vec<Option<u32>>,
+    fixups: Vec<(usize, Label)>,
+}
+
+impl<'a, 'c> MethodBuilder<'a, 'c> {
+    /// Allocates a fresh local register.
+    pub fn reg(&mut self) -> Reg {
+        let r = Reg(self.next_local);
+        self.next_local += 1;
+        assert!(self.next_local < PARAM_BASE, "too many locals");
+        r
+    }
+
+    /// The register of parameter `i` (receiver is parameter 0 for
+    /// instance methods).
+    pub fn param(&self, i: u8) -> Reg {
+        assert!(i < self.num_params, "parameter index out of range");
+        Reg(PARAM_BASE + u16::from(i))
+    }
+
+    /// The receiver register (`this`).
+    ///
+    /// # Panics
+    ///
+    /// Panics for static methods.
+    pub fn this(&self) -> Reg {
+        assert!(!self.is_static, "static methods have no receiver");
+        self.param(0)
+    }
+
+    /// Creates an unbound label.
+    pub fn new_label(&mut self) -> Label {
+        let l = Label(self.labels.len() as u32);
+        self.labels.push(None);
+        l
+    }
+
+    /// Binds a label to the next emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.labels[label.0 as usize];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.code.len() as u32);
+    }
+
+    fn push(&mut self, i: Instr) -> &mut Self {
+        self.code.push(i);
+        self
+    }
+
+    /// Emits `nop`.
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Instr::Nop)
+    }
+
+    /// Emits `const-string`.
+    pub fn const_string(&mut self, dst: Reg, value: &str) -> &mut Self {
+        let value = self.class.apk.dex.pools.str(value);
+        self.push(Instr::ConstString { dst, value })
+    }
+
+    /// Emits `const-int`.
+    pub fn const_int(&mut self, dst: Reg, value: i64) -> &mut Self {
+        self.push(Instr::ConstInt { dst, value })
+    }
+
+    /// Emits `const-null`.
+    pub fn const_null(&mut self, dst: Reg) -> &mut Self {
+        self.push(Instr::ConstNull { dst })
+    }
+
+    /// Emits a register move.
+    pub fn mov(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.push(Instr::Move { dst, src })
+    }
+
+    /// Emits `new-instance`.
+    pub fn new_instance(&mut self, dst: Reg, class_descriptor: &str) -> &mut Self {
+        let class = self.class.apk.dex.pools.ty(class_descriptor);
+        self.push(Instr::NewInstance { dst, class })
+    }
+
+    fn invoke(
+        &mut self,
+        kind: InvokeKind,
+        class_descriptor: &str,
+        name: &str,
+        args: &[Reg],
+        returns_value: bool,
+    ) -> &mut Self {
+        let class = self.class.apk.dex.pools.ty(class_descriptor);
+        let arity = args.len() as u8;
+        let method = self
+            .class
+            .apk
+            .dex
+            .pools
+            .method(class, name, arity, returns_value);
+        self.push(Instr::Invoke {
+            kind,
+            method,
+            args: args.to_vec(),
+        })
+    }
+
+    /// Emits `invoke-virtual` (receiver is `args[0]`).
+    pub fn invoke_virtual(
+        &mut self,
+        class_descriptor: &str,
+        name: &str,
+        args: &[Reg],
+        returns_value: bool,
+    ) -> &mut Self {
+        self.invoke(InvokeKind::Virtual, class_descriptor, name, args, returns_value)
+    }
+
+    /// Emits `invoke-static`.
+    pub fn invoke_static(
+        &mut self,
+        class_descriptor: &str,
+        name: &str,
+        args: &[Reg],
+        returns_value: bool,
+    ) -> &mut Self {
+        self.invoke(InvokeKind::Static, class_descriptor, name, args, returns_value)
+    }
+
+    /// Emits `invoke-direct` (constructors).
+    pub fn invoke_direct(
+        &mut self,
+        class_descriptor: &str,
+        name: &str,
+        args: &[Reg],
+        returns_value: bool,
+    ) -> &mut Self {
+        self.invoke(InvokeKind::Direct, class_descriptor, name, args, returns_value)
+    }
+
+    /// Emits `move-result`.
+    pub fn move_result(&mut self, dst: Reg) -> &mut Self {
+        self.push(Instr::MoveResult { dst })
+    }
+
+    /// Emits `iget`.
+    pub fn iget(&mut self, dst: Reg, object: Reg, class_descriptor: &str, field: &str) -> &mut Self {
+        let class = self.class.apk.dex.pools.ty(class_descriptor);
+        let field = self.class.apk.dex.pools.field(class, field);
+        self.push(Instr::IGet { dst, object, field })
+    }
+
+    /// Emits `iput`.
+    pub fn iput(&mut self, src: Reg, object: Reg, class_descriptor: &str, field: &str) -> &mut Self {
+        let class = self.class.apk.dex.pools.ty(class_descriptor);
+        let field = self.class.apk.dex.pools.field(class, field);
+        self.push(Instr::IPut { src, object, field })
+    }
+
+    /// Emits `sget`.
+    pub fn sget(&mut self, dst: Reg, class_descriptor: &str, field: &str) -> &mut Self {
+        let class = self.class.apk.dex.pools.ty(class_descriptor);
+        let field = self.class.apk.dex.pools.field(class, field);
+        self.push(Instr::SGet { dst, field })
+    }
+
+    /// Emits `sput`.
+    pub fn sput(&mut self, src: Reg, class_descriptor: &str, field: &str) -> &mut Self {
+        let class = self.class.apk.dex.pools.ty(class_descriptor);
+        let field = self.class.apk.dex.pools.field(class, field);
+        self.push(Instr::SPut { src, field })
+    }
+
+    /// Emits `if-eqz` targeting a label.
+    pub fn if_eqz(&mut self, reg: Reg, target: Label) -> &mut Self {
+        self.fixups.push((self.code.len(), target));
+        self.push(Instr::IfEqz { reg, target: u32::MAX })
+    }
+
+    /// Emits `if-nez` targeting a label.
+    pub fn if_nez(&mut self, reg: Reg, target: Label) -> &mut Self {
+        self.fixups.push((self.code.len(), target));
+        self.push(Instr::IfNez { reg, target: u32::MAX })
+    }
+
+    /// Emits `goto` targeting a label.
+    pub fn goto(&mut self, target: Label) -> &mut Self {
+        self.fixups.push((self.code.len(), target));
+        self.push(Instr::Goto { target: u32::MAX })
+    }
+
+    /// Emits an integer binary operation.
+    pub fn binop(&mut self, op: BinOp, dst: Reg, lhs: Reg, rhs: Reg) -> &mut Self {
+        self.push(Instr::BinOp { op, dst, lhs, rhs })
+    }
+
+    /// Emits `return-void`.
+    pub fn ret_void(&mut self) -> &mut Self {
+        self.push(Instr::ReturnVoid)
+    }
+
+    /// Emits `return`.
+    pub fn ret(&mut self, reg: Reg) -> &mut Self {
+        self.push(Instr::Return { reg })
+    }
+
+    /// Emits `throw`.
+    pub fn throw(&mut self, reg: Reg) -> &mut Self {
+        self.push(Instr::Throw { reg })
+    }
+
+    /// Finishes the method: resolves labels, maps parameter placeholders to
+    /// trailing registers, and adds the method to the class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a used label was never bound, or the body does not end in
+    /// a terminator.
+    pub fn finish(mut self) {
+        // Resolve labels.
+        for (pos, label) in std::mem::take(&mut self.fixups) {
+            let target = self.labels[label.0 as usize].expect("label used but never bound");
+            match &mut self.code[pos] {
+                Instr::IfEqz { target: t, .. }
+                | Instr::IfNez { target: t, .. }
+                | Instr::Goto { target: t } => *t = target,
+                other => unreachable!("fixup on non-branch {other:?}"),
+            }
+        }
+        if self.code.last().is_none_or(|i| !i.is_terminator()) {
+            self.code.push(Instr::ReturnVoid);
+        }
+        // Map parameter placeholders.
+        let locals = self.next_local;
+        let remap = |r: &mut Reg| {
+            if r.0 >= PARAM_BASE {
+                *r = Reg(locals + (r.0 - PARAM_BASE));
+            }
+        };
+        for instr in &mut self.code {
+            match instr {
+                Instr::ConstString { dst, .. }
+                | Instr::ConstInt { dst, .. }
+                | Instr::ConstNull { dst }
+                | Instr::MoveResult { dst }
+                | Instr::SGet { dst, .. }
+                | Instr::NewInstance { dst, .. } => remap(dst),
+                Instr::Move { dst, src } => {
+                    remap(dst);
+                    remap(src);
+                }
+                Instr::Invoke { args, .. } => args.iter_mut().for_each(remap),
+                Instr::IGet { dst, object, .. } => {
+                    remap(dst);
+                    remap(object);
+                }
+                Instr::IPut { src, object, .. } => {
+                    remap(src);
+                    remap(object);
+                }
+                Instr::SPut { src, .. } => remap(src),
+                Instr::IfEqz { reg, .. }
+                | Instr::IfNez { reg, .. }
+                | Instr::Return { reg }
+                | Instr::Throw { reg } => remap(reg),
+                Instr::BinOp { dst, lhs, rhs, .. } => {
+                    remap(dst);
+                    remap(lhs);
+                    remap(rhs);
+                }
+                Instr::Goto { .. } | Instr::ReturnVoid | Instr::Nop => {}
+            }
+        }
+        let method = Method {
+            name: self.name,
+            num_registers: locals + u16::from(self.num_params),
+            num_params: self.num_params,
+            is_static: self.is_static,
+            returns_value: self.returns_value,
+            code: std::mem::take(&mut self.code),
+        };
+        self.class.methods.push(method);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_method_with_params_and_labels() {
+        let mut apk = ApkBuilder::new("com.test");
+        {
+            let mut class = apk.class_extends("Lcom/test/Svc;", "Landroid/app/Service;");
+            let mut m = class.method("onStartCommand", 2, false, false);
+            let v0 = m.reg();
+            let skip = m.new_label();
+            let intent = m.param(1);
+            m.const_string(v0, "PHONE_NUM");
+            m.invoke_virtual(
+                "Landroid/content/Intent;",
+                "getStringExtra",
+                &[intent, v0],
+                true,
+            );
+            m.move_result(v0);
+            m.if_eqz(v0, skip);
+            m.nop();
+            m.bind(skip);
+            m.ret_void();
+            m.finish();
+            class.finish();
+        }
+        let apk = apk.finish();
+        let class = apk.dex.class_by_name("Lcom/test/Svc;").expect("class");
+        assert_eq!(
+            apk.dex.pools.type_at(class.super_ty.expect("super")),
+            "Landroid/app/Service;"
+        );
+        let m = &class.methods[0];
+        // 1 local + 2 params.
+        assert_eq!(m.num_registers, 3);
+        assert_eq!(m.param_reg(1), Reg(2));
+        // The intent arg of the invoke was remapped to the param register.
+        match &m.code[1] {
+            Instr::Invoke { args, .. } => assert_eq!(args[0], Reg(2)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Branch resolved past the nop.
+        match &m.code[3] {
+            Instr::IfEqz { target, .. } => assert_eq!(*target, 5),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_terminator_is_added() {
+        let mut apk = ApkBuilder::new("t");
+        let mut class = apk.class("LA;");
+        let m = class.method("f", 0, true, false);
+        m.finish();
+        class.finish();
+        let apk = apk.finish();
+        let m = &apk.dex.class_by_name("LA;").expect("class").methods[0];
+        assert_eq!(m.code, vec![Instr::ReturnVoid]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label used but never bound")]
+    fn unbound_label_panics() {
+        let mut apk = ApkBuilder::new("t");
+        let mut class = apk.class("LA;");
+        let mut m = class.method("f", 0, true, false);
+        let l = m.new_label();
+        m.goto(l);
+        m.finish();
+    }
+
+    #[test]
+    fn manifest_building() {
+        use crate::manifest::{ComponentKind, IntentFilterDecl};
+        let mut apk = ApkBuilder::new("com.x");
+        apk.uses_permission("android.permission.SEND_SMS");
+        let mut decl = ComponentDecl::new("Lcom/x/S;", ComponentKind::Service);
+        decl.intent_filters
+            .push(IntentFilterDecl::for_actions(["com.x.GO"]));
+        apk.add_component(decl);
+        let apk = apk.finish();
+        assert!(apk.manifest.has_permission("android.permission.SEND_SMS"));
+        assert!(apk.manifest.component("Lcom/x/S;").expect("decl").is_effectively_exported());
+    }
+}

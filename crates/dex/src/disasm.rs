@@ -1,0 +1,256 @@
+//! A textual disassembler for sdex programs.
+//!
+//! Renders packages in a smali-like listing: manifest summary, classes,
+//! methods and one instruction per line with pool references resolved to
+//! names. Primarily a debugging and corpus-inspection tool; the output is
+//! deterministic, so tests can assert on it.
+
+use std::fmt::Write;
+
+use crate::instr::{BinOp, Instr, InvokeKind};
+use crate::program::{Apk, Dex, Method};
+
+/// Renders one instruction.
+pub fn instruction(dex: &Dex, instr: &Instr) -> String {
+    let pools = &dex.pools;
+    match instr {
+        Instr::Nop => "nop".into(),
+        Instr::ConstString { dst, value } => {
+            format!("const-string {dst:?}, {:?}", pools.str_at(*value))
+        }
+        Instr::ConstInt { dst, value } => format!("const-int {dst:?}, {value}"),
+        Instr::ConstNull { dst } => format!("const-null {dst:?}"),
+        Instr::Move { dst, src } => format!("move {dst:?}, {src:?}"),
+        Instr::NewInstance { dst, class } => {
+            format!("new-instance {dst:?}, {}", pools.type_at(*class))
+        }
+        Instr::Invoke { kind, method, args } => {
+            let kind = match kind {
+                InvokeKind::Virtual => "invoke-virtual",
+                InvokeKind::Static => "invoke-static",
+                InvokeKind::Direct => "invoke-direct",
+            };
+            let args: Vec<String> = args.iter().map(|r| format!("{r:?}")).collect();
+            format!(
+                "{kind} {{{}}}, {}",
+                args.join(", "),
+                pools.method_display(*method)
+            )
+        }
+        Instr::MoveResult { dst } => format!("move-result {dst:?}"),
+        Instr::IGet { dst, object, field } => {
+            let f = pools.field_at(*field);
+            format!(
+                "iget {dst:?}, {object:?}, {}->{}",
+                pools.type_at(f.class),
+                pools.str_at(f.name)
+            )
+        }
+        Instr::IPut { src, object, field } => {
+            let f = pools.field_at(*field);
+            format!(
+                "iput {src:?}, {object:?}, {}->{}",
+                pools.type_at(f.class),
+                pools.str_at(f.name)
+            )
+        }
+        Instr::SGet { dst, field } => {
+            let f = pools.field_at(*field);
+            format!(
+                "sget {dst:?}, {}->{}",
+                pools.type_at(f.class),
+                pools.str_at(f.name)
+            )
+        }
+        Instr::SPut { src, field } => {
+            let f = pools.field_at(*field);
+            format!(
+                "sput {src:?}, {}->{}",
+                pools.type_at(f.class),
+                pools.str_at(f.name)
+            )
+        }
+        Instr::IfEqz { reg, target } => format!("if-eqz {reg:?}, :{target}"),
+        Instr::IfNez { reg, target } => format!("if-nez {reg:?}, :{target}"),
+        Instr::Goto { target } => format!("goto :{target}"),
+        Instr::BinOp { op, dst, lhs, rhs } => {
+            let op = match op {
+                BinOp::Add => "add-int",
+                BinOp::Sub => "sub-int",
+                BinOp::Mul => "mul-int",
+                BinOp::CmpEq => "cmp-eq",
+            };
+            format!("{op} {dst:?}, {lhs:?}, {rhs:?}")
+        }
+        Instr::ReturnVoid => "return-void".into(),
+        Instr::Return { reg } => format!("return {reg:?}"),
+        Instr::Throw { reg } => format!("throw {reg:?}"),
+    }
+}
+
+/// Renders one method body with addresses and branch-target labels.
+pub fn method(dex: &Dex, m: &Method) -> String {
+    let mut out = String::new();
+    let name = dex.pools.str_at(m.name);
+    let _ = writeln!(
+        out,
+        ".method {}{name} (params={}, registers={}){}",
+        if m.is_static { "static " } else { "" },
+        m.num_params,
+        m.num_registers,
+        if m.returns_value { " -> value" } else { "" },
+    );
+    // Collect branch targets so labels are printed inline.
+    let targets: std::collections::BTreeSet<u32> = m
+        .code
+        .iter()
+        .filter_map(Instr::branch_target)
+        .collect();
+    for (pc, instr) in m.code.iter().enumerate() {
+        if targets.contains(&(pc as u32)) {
+            let _ = writeln!(out, "  :{pc}");
+        }
+        let _ = writeln!(out, "  {pc:4}: {}", instruction(dex, instr));
+    }
+    out.push_str(".end method\n");
+    out
+}
+
+/// Renders a whole package: manifest summary plus all classes.
+pub fn package(apk: &Apk) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# package {}", apk.manifest.package);
+    for p in &apk.manifest.uses_permissions {
+        let _ = writeln!(out, "# uses-permission {p}");
+    }
+    for c in &apk.manifest.components {
+        let _ = writeln!(
+            out,
+            "# {} {} exported={}",
+            c.kind,
+            c.class,
+            c.is_effectively_exported()
+        );
+        for f in &c.intent_filters {
+            let _ = writeln!(out, "#   filter actions={:?}", f.actions);
+        }
+    }
+    for class in &apk.dex.classes {
+        let _ = writeln!(
+            out,
+            "\n.class {}{}",
+            apk.dex.pools.type_at(class.ty),
+            class
+                .super_ty
+                .map(|s| format!(" extends {}", apk.dex.pools.type_at(s)))
+                .unwrap_or_default()
+        );
+        for f in &class.fields {
+            let _ = writeln!(
+                out,
+                ".field {}{}",
+                if f.is_static { "static " } else { "" },
+                apk.dex.pools.str_at(f.name)
+            );
+        }
+        for m in &class.methods {
+            out.push_str(&method(&apk.dex, m));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ApkBuilder;
+    use crate::manifest::{ComponentDecl, ComponentKind};
+
+    fn sample() -> Apk {
+        let mut apk = ApkBuilder::new("com.disasm");
+        apk.uses_permission("android.permission.SEND_SMS");
+        apk.add_component(ComponentDecl::new("LMain;", ComponentKind::Activity));
+        let mut cb = apk.class_extends("LMain;", "Landroid/app/Activity;");
+        cb.field("count", false);
+        let mut m = cb.method("onCreate", 1, false, false);
+        let v = m.reg();
+        let w = m.reg();
+        let skip = m.new_label();
+        m.const_string(v, "hello");
+        m.const_int(w, 7);
+        m.if_eqz(w, skip);
+        m.invoke_virtual("Landroid/util/Log;", "d", &[v], false);
+        m.bind(skip);
+        m.iput(w, m.this(), "LMain;", "count");
+        m.ret_void();
+        m.finish();
+        cb.finish();
+        apk.finish()
+    }
+
+    #[test]
+    fn listing_contains_every_section() {
+        let text = package(&sample());
+        assert!(text.contains("# package com.disasm"));
+        assert!(text.contains("# uses-permission android.permission.SEND_SMS"));
+        assert!(text.contains("# activity LMain; exported=false"));
+        assert!(text.contains(".class LMain; extends Landroid/app/Activity;"));
+        assert!(text.contains(".field count"));
+        assert!(text.contains(".method onCreate"));
+        assert!(text.contains("const-string v0, \"hello\""));
+        assert!(text.contains("invoke-virtual {v0}, Landroid/util/Log;->d(1)"));
+        assert!(text.contains("iput v1, v2, LMain;->count"));
+        assert!(text.contains("return-void"));
+    }
+
+    #[test]
+    fn branch_targets_get_labels() {
+        let text = package(&sample());
+        assert!(text.contains("if-eqz v1, :4"));
+        assert!(text.contains("  :4\n"), "label line before the target: {text}");
+    }
+
+    #[test]
+    fn disassembly_is_deterministic() {
+        assert_eq!(package(&sample()), package(&sample()));
+    }
+
+    #[test]
+    fn every_opcode_renders() {
+        use crate::instr::Reg;
+        let mut dex = Dex::new();
+        let t = dex.pools.ty("LX;");
+        let s = dex.pools.str("s");
+        let f = dex.pools.field(t, "fld");
+        let m = dex.pools.method(t, "m", 1, true);
+        let all = vec![
+            Instr::Nop,
+            Instr::ConstString { dst: Reg(0), value: s },
+            Instr::ConstInt { dst: Reg(0), value: -3 },
+            Instr::ConstNull { dst: Reg(0) },
+            Instr::Move { dst: Reg(0), src: Reg(1) },
+            Instr::NewInstance { dst: Reg(0), class: t },
+            Instr::Invoke {
+                kind: InvokeKind::Direct,
+                method: m,
+                args: vec![Reg(0)],
+            },
+            Instr::MoveResult { dst: Reg(0) },
+            Instr::IGet { dst: Reg(0), object: Reg(1), field: f },
+            Instr::IPut { src: Reg(0), object: Reg(1), field: f },
+            Instr::SGet { dst: Reg(0), field: f },
+            Instr::SPut { src: Reg(0), field: f },
+            Instr::IfEqz { reg: Reg(0), target: 0 },
+            Instr::IfNez { reg: Reg(0), target: 0 },
+            Instr::Goto { target: 0 },
+            Instr::BinOp { op: BinOp::Sub, dst: Reg(0), lhs: Reg(1), rhs: Reg(2) },
+            Instr::ReturnVoid,
+            Instr::Return { reg: Reg(0) },
+            Instr::Throw { reg: Reg(0) },
+        ];
+        for i in &all {
+            let text = instruction(&dex, i);
+            assert!(!text.is_empty());
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Error types for decoding and executing sdex binaries.
+
+use std::fmt;
+
+/// Errors raised while decoding an sdex binary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DexError {
+    /// The input ended before the expected structure was complete.
+    Truncated,
+    /// The magic bytes did not match `SDEX`.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// The payload checksum did not match.
+    ChecksumMismatch,
+    /// An unknown instruction opcode was encountered.
+    BadOpcode(u8),
+    /// An index referenced a pool entry that does not exist.
+    BadIndex {
+        /// Which pool was indexed (e.g. `"string"`).
+        pool: &'static str,
+        /// The offending index.
+        index: u32,
+    },
+    /// A string was not valid UTF-8.
+    BadUtf8,
+    /// Structural invariants were violated (duplicate pool entries,
+    /// branch target out of range, etc.).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for DexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DexError::Truncated => write!(f, "input truncated"),
+            DexError::BadMagic => write!(f, "bad magic bytes"),
+            DexError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            DexError::ChecksumMismatch => write!(f, "payload checksum mismatch"),
+            DexError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DexError::BadIndex { pool, index } => {
+                write!(f, "index {index} out of range for {pool} pool")
+            }
+            DexError::BadUtf8 => write!(f, "invalid utf-8 in string entry"),
+            DexError::Malformed(what) => write!(f, "malformed binary: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DexError {}
+
+/// Errors raised by the sdex interpreter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// A method was invoked that neither the program nor the syscall layer
+    /// could resolve.
+    UnresolvedMethod(String),
+    /// `move-result` with no preceding value-producing invoke.
+    NoPendingResult,
+    /// A field access on a non-object value.
+    NotAnObject(&'static str),
+    /// The step budget was exhausted (runaway loop guard).
+    BudgetExhausted,
+    /// An explicit `throw` was not caught (sdex has no catch blocks).
+    UncaughtThrow,
+    /// Register index out of frame bounds.
+    BadRegister(u16),
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::UnresolvedMethod(m) => write!(f, "unresolved method {m}"),
+            VmError::NoPendingResult => write!(f, "move-result without pending result"),
+            VmError::NotAnObject(ctx) => write!(f, "non-object value in {ctx}"),
+            VmError::BudgetExhausted => write!(f, "execution budget exhausted"),
+            VmError::UncaughtThrow => write!(f, "uncaught throw"),
+            VmError::BadRegister(r) => write!(f, "register v{r} out of bounds"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}

@@ -1,0 +1,55 @@
+//! **separ-dex** — the bytecode substrate of the SEPAR reproduction.
+//!
+//! The SEPAR paper analyzes Android APKs: Dalvik bytecode plus a manifest.
+//! Neither real APKs nor a Dalvik toolchain are available here, so this
+//! crate rebuilds the closest synthetic equivalent from scratch:
+//!
+//! * a register-based instruction set modelled on Dalvik ([`instr`]),
+//!   with constant pools ([`refs`]) and class/method structure
+//!   ([`program`]);
+//! * manifests with components, intent filters and permissions
+//!   ([`manifest`]);
+//! * a binary container format with checksums, encoded and decoded byte
+//!   for byte ([`codec`]) — the model extractor consumes these bytes, so
+//!   static analysis runs on real binaries, not in-memory ASTs;
+//! * a builder DSL for assembling apps programmatically ([`build`]);
+//! * an interpreter used by the policy-enforcement runtime ([`vm`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use separ_dex::build::ApkBuilder;
+//! use separ_dex::codec::{decode, encode};
+//!
+//! let mut builder = ApkBuilder::new("com.example.app");
+//! let mut class = builder.class("Lcom/example/Main;");
+//! let mut method = class.method("onCreate", 1, false, false);
+//! method.ret_void();
+//! method.finish();
+//! class.finish();
+//! let apk = builder.finish();
+//!
+//! let bytes = encode(&apk);
+//! let decoded = decode(&bytes)?;
+//! assert_eq!(decoded.package(), "com.example.app");
+//! # Ok::<(), separ_dex::error::DexError>(())
+//! ```
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod codec;
+pub mod disasm;
+pub mod error;
+pub mod instr;
+pub mod manifest;
+pub mod program;
+pub mod refs;
+pub mod vm;
+
+pub use build::ApkBuilder;
+pub use error::{DexError, VmError};
+pub use instr::{BinOp, Instr, InvokeKind, Reg};
+pub use manifest::{ComponentDecl, ComponentKind, IntentFilterDecl, Manifest};
+pub use program::{Apk, Class, Dex, FieldDef, Method};
+pub use refs::{FieldId, FieldRef, MethodId, MethodRef, Pools, StrId, TypeId};
+pub use vm::{Heap, NopSyscalls, ObjRef, Syscalls, Value, Vm};

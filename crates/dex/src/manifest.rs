@@ -1,0 +1,193 @@
+//! Application manifests: components, intent filters and permissions.
+//!
+//! The analog of `AndroidManifest.xml` — the architectural information the
+//! paper's AME reads first: declared components, their kinds, exported
+//! flags, enforced permissions and statically declared intent filters.
+
+/// The four Android component kinds.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ComponentKind {
+    /// A UI screen.
+    Activity,
+    /// A background service.
+    Service,
+    /// A broadcast receiver.
+    Receiver,
+    /// A content provider (may not declare intent filters).
+    Provider,
+}
+
+impl ComponentKind {
+    /// All kinds, in declaration order.
+    pub const ALL: [ComponentKind; 4] = [
+        ComponentKind::Activity,
+        ComponentKind::Service,
+        ComponentKind::Receiver,
+        ComponentKind::Provider,
+    ];
+
+    /// Stable tag for codecs and display.
+    pub fn tag(self) -> u8 {
+        match self {
+            ComponentKind::Activity => 0,
+            ComponentKind::Service => 1,
+            ComponentKind::Receiver => 2,
+            ComponentKind::Provider => 3,
+        }
+    }
+
+    /// Inverse of [`ComponentKind::tag`].
+    pub fn from_tag(tag: u8) -> Option<ComponentKind> {
+        ComponentKind::ALL.into_iter().find(|k| k.tag() == tag)
+    }
+}
+
+impl std::fmt::Display for ComponentKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ComponentKind::Activity => "activity",
+            ComponentKind::Service => "service",
+            ComponentKind::Receiver => "receiver",
+            ComponentKind::Provider => "provider",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A statically declared intent filter.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct IntentFilterDecl {
+    /// Accepted actions (must be non-empty to match any implicit intent).
+    pub actions: Vec<String>,
+    /// Accepted categories.
+    pub categories: Vec<String>,
+    /// Accepted MIME data types.
+    pub data_types: Vec<String>,
+    /// Accepted data schemes.
+    pub data_schemes: Vec<String>,
+}
+
+impl IntentFilterDecl {
+    /// Creates a filter accepting the given actions.
+    pub fn for_actions<I, S>(actions: I) -> IntentFilterDecl
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        IntentFilterDecl {
+            actions: actions.into_iter().map(Into::into).collect(),
+            ..IntentFilterDecl::default()
+        }
+    }
+}
+
+/// A component entry in the manifest.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ComponentDecl {
+    /// Class descriptor implementing the component
+    /// (e.g. `"Lcom/app/MainActivity;"`).
+    pub class: String,
+    /// Component kind.
+    pub kind: ComponentKind,
+    /// The `android:exported` attribute, if present.
+    pub exported: Option<bool>,
+    /// Permission callers must hold to access this component, if any.
+    pub permission: Option<String>,
+    /// Statically declared intent filters.
+    pub intent_filters: Vec<IntentFilterDecl>,
+}
+
+impl ComponentDecl {
+    /// Creates a component with no filters and default export rules.
+    pub fn new(class: impl Into<String>, kind: ComponentKind) -> ComponentDecl {
+        ComponentDecl {
+            class: class.into(),
+            kind,
+            exported: None,
+            permission: None,
+            intent_filters: Vec::new(),
+        }
+    }
+
+    /// Android's effective-export rule: a component is reachable from other
+    /// apps if `exported` is explicitly true, or it declares at least one
+    /// intent filter and `exported` is not explicitly false.
+    pub fn is_effectively_exported(&self) -> bool {
+        match self.exported {
+            Some(explicit) => explicit,
+            None => !self.intent_filters.is_empty(),
+        }
+    }
+}
+
+/// An application manifest.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Manifest {
+    /// The application package (e.g. `"com.example.navigator"`).
+    pub package: String,
+    /// Permissions the app requests (granted at install time).
+    pub uses_permissions: Vec<String>,
+    /// Custom permissions the app defines.
+    pub defines_permissions: Vec<String>,
+    /// Declared components.
+    pub components: Vec<ComponentDecl>,
+}
+
+impl Manifest {
+    /// Creates an empty manifest for a package.
+    pub fn new(package: impl Into<String>) -> Manifest {
+        Manifest {
+            package: package.into(),
+            ..Manifest::default()
+        }
+    }
+
+    /// Finds a component by its class descriptor.
+    pub fn component(&self, class: &str) -> Option<&ComponentDecl> {
+        self.components.iter().find(|c| c.class == class)
+    }
+
+    /// Returns `true` if the app holds the given permission.
+    pub fn has_permission(&self, permission: &str) -> bool {
+        self.uses_permissions.iter().any(|p| p == permission)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn export_rules_follow_android_semantics() {
+        let mut c = ComponentDecl::new("LFoo;", ComponentKind::Service);
+        assert!(!c.is_effectively_exported(), "no filters, no flag");
+        c.intent_filters
+            .push(IntentFilterDecl::for_actions(["a.b.SHOW"]));
+        assert!(c.is_effectively_exported(), "filters imply exported");
+        c.exported = Some(false);
+        assert!(!c.is_effectively_exported(), "explicit flag wins");
+        c.exported = Some(true);
+        c.intent_filters.clear();
+        assert!(c.is_effectively_exported());
+    }
+
+    #[test]
+    fn kind_tags_round_trip() {
+        for k in ComponentKind::ALL {
+            assert_eq!(ComponentKind::from_tag(k.tag()), Some(k));
+        }
+        assert_eq!(ComponentKind::from_tag(9), None);
+    }
+
+    #[test]
+    fn manifest_lookup() {
+        let mut m = Manifest::new("com.example");
+        m.components
+            .push(ComponentDecl::new("LMain;", ComponentKind::Activity));
+        m.uses_permissions.push("android.permission.SEND_SMS".into());
+        assert!(m.component("LMain;").is_some());
+        assert!(m.component("LOther;").is_none());
+        assert!(m.has_permission("android.permission.SEND_SMS"));
+        assert!(!m.has_permission("android.permission.CAMERA"));
+    }
+}

@@ -1,0 +1,587 @@
+//! A small interpreter for sdex programs.
+//!
+//! The enforcement runtime (the paper's APE) executes components' bytecode
+//! on this VM: framework calls (`Landroid/...` APIs) are routed to a
+//! pluggable [`Syscalls`] implementation, which is exactly where the hook
+//! manager intercepts ICC operations, while program-defined methods run
+//! natively with virtual dispatch over the class hierarchy.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::VmError;
+use crate::instr::{BinOp, Instr, InvokeKind};
+use crate::program::{Dex, Method};
+use crate::refs::TypeId;
+
+/// A runtime value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// Null / absent.
+    Null,
+    /// A 64-bit integer.
+    Int(i64),
+    /// An immutable string.
+    Str(Arc<str>),
+    /// A heap object reference.
+    Object(ObjRef),
+}
+
+impl Value {
+    /// Creates a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Truthiness used by `if-eqz` / `if-nez`.
+    pub fn is_zero(&self) -> bool {
+        match self {
+            Value::Null => true,
+            Value::Int(i) => *i == 0,
+            Value::Str(_) | Value::Object(_) => false,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The object reference, if this is an object.
+    pub fn as_object(&self) -> Option<ObjRef> {
+        match self {
+            Value::Object(r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+/// A reference into a [`Heap`].
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ObjRef(u32);
+
+/// A heap object: a class name and named fields.
+#[derive(Clone, Debug, Default)]
+pub struct Object {
+    /// Runtime class descriptor.
+    pub class: String,
+    /// Field values by name.
+    pub fields: HashMap<String, Value>,
+}
+
+/// The VM heap: objects plus static fields.
+#[derive(Clone, Debug, Default)]
+pub struct Heap {
+    objects: Vec<Object>,
+    statics: HashMap<(String, String), Value>,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Heap {
+        Heap::default()
+    }
+
+    /// Allocates an object of the given class.
+    pub fn alloc(&mut self, class: impl Into<String>) -> ObjRef {
+        let r = ObjRef(self.objects.len() as u32);
+        self.objects.push(Object {
+            class: class.into(),
+            fields: HashMap::new(),
+        });
+        r
+    }
+
+    /// Reads an object.
+    pub fn get(&self, r: ObjRef) -> &Object {
+        &self.objects[r.0 as usize]
+    }
+
+    /// Mutably accesses an object.
+    pub fn get_mut(&mut self, r: ObjRef) -> &mut Object {
+        &mut self.objects[r.0 as usize]
+    }
+
+    /// Reads a static field (Null if unset).
+    pub fn static_get(&self, class: &str, field: &str) -> Value {
+        self.statics
+            .get(&(class.to_string(), field.to_string()))
+            .cloned()
+            .unwrap_or(Value::Null)
+    }
+
+    /// Writes a static field.
+    pub fn static_put(&mut self, class: &str, field: &str, value: Value) {
+        self.statics
+            .insert((class.to_string(), field.to_string()), value);
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Returns `true` if no objects were allocated.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+/// Host interface for methods the program does not define (framework APIs).
+pub trait Syscalls {
+    /// Handles an external invocation.
+    ///
+    /// `class` and `name` are descriptor strings (e.g.
+    /// `"Landroid/content/Intent;"`, `"setAction"`); `args` include the
+    /// receiver for instance calls. Return `Ok(Some(v))` to provide a
+    /// result for `move-result`, `Ok(None)` for void.
+    ///
+    /// # Errors
+    ///
+    /// Implementations may return [`VmError::UnresolvedMethod`] for APIs
+    /// they do not model.
+    fn call(
+        &mut self,
+        heap: &mut Heap,
+        class: &str,
+        name: &str,
+        args: &[Value],
+    ) -> Result<Option<Value>, VmError>;
+}
+
+/// A [`Syscalls`] that models every unknown API as a no-op returning null.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NopSyscalls;
+
+impl Syscalls for NopSyscalls {
+    fn call(
+        &mut self,
+        _heap: &mut Heap,
+        _class: &str,
+        _name: &str,
+        _args: &[Value],
+    ) -> Result<Option<Value>, VmError> {
+        Ok(Some(Value::Null))
+    }
+}
+
+/// The interpreter for one loaded program.
+#[derive(Debug)]
+pub struct Vm<'p> {
+    dex: &'p Dex,
+    /// Remaining instruction budget (runaway-loop guard).
+    budget: u64,
+    /// Instructions executed so far.
+    executed: u64,
+}
+
+/// Default per-[`Vm`] instruction budget.
+pub const DEFAULT_BUDGET: u64 = 1_000_000;
+
+impl<'p> Vm<'p> {
+    /// Creates a VM over a program with the default budget.
+    pub fn new(dex: &'p Dex) -> Vm<'p> {
+        Vm::with_budget(dex, DEFAULT_BUDGET)
+    }
+
+    /// Creates a VM with an explicit instruction budget.
+    pub fn with_budget(dex: &'p Dex, budget: u64) -> Vm<'p> {
+        Vm {
+            dex,
+            budget,
+            executed: 0,
+        }
+    }
+
+    /// Instructions executed so far (across all calls on this VM).
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Invokes a program method by class descriptor and name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::UnresolvedMethod`] if the class or method is not
+    /// defined, or any error raised during execution.
+    pub fn invoke(
+        &mut self,
+        heap: &mut Heap,
+        sys: &mut dyn Syscalls,
+        class_descriptor: &str,
+        method_name: &str,
+        args: Vec<Value>,
+    ) -> Result<Option<Value>, VmError> {
+        let ty = self
+            .dex
+            .pools
+            .find_type(class_descriptor)
+            .ok_or_else(|| VmError::UnresolvedMethod(class_descriptor.to_string()))?;
+        let (def_ty, method) = self
+            .dex
+            .resolve_method(ty, method_name)
+            .ok_or_else(|| {
+                VmError::UnresolvedMethod(format!("{class_descriptor}->{method_name}"))
+            })?;
+        let method = method.clone();
+        self.run(heap, sys, def_ty, &method, args)
+    }
+
+    fn run(
+        &mut self,
+        heap: &mut Heap,
+        sys: &mut dyn Syscalls,
+        _def_ty: TypeId,
+        method: &Method,
+        args: Vec<Value>,
+    ) -> Result<Option<Value>, VmError> {
+        let mut regs = vec![Value::Null; method.num_registers as usize];
+        let first_param = method.num_registers as usize - method.num_params as usize;
+        for (i, v) in args.into_iter().enumerate().take(method.num_params as usize) {
+            regs[first_param + i] = v;
+        }
+        let mut pc = 0usize;
+        let mut pending: Option<Value> = None;
+        while pc < method.code.len() {
+            if self.budget == 0 {
+                return Err(VmError::BudgetExhausted);
+            }
+            self.budget -= 1;
+            self.executed += 1;
+            let instr = &method.code[pc];
+            pc += 1;
+            match instr {
+                Instr::Nop => {}
+                Instr::ConstString { dst, value } => {
+                    regs[dst.index()] = Value::str(self.dex.pools.str_at(*value));
+                }
+                Instr::ConstInt { dst, value } => {
+                    regs[dst.index()] = Value::Int(*value);
+                }
+                Instr::ConstNull { dst } => {
+                    regs[dst.index()] = Value::Null;
+                }
+                Instr::Move { dst, src } => {
+                    regs[dst.index()] = regs[src.index()].clone();
+                }
+                Instr::NewInstance { dst, class } => {
+                    let descriptor = self.dex.pools.type_at(*class).to_string();
+                    regs[dst.index()] = Value::Object(heap.alloc(descriptor));
+                }
+                Instr::Invoke { kind, method: m, args } => {
+                    let mref = self.dex.pools.method_at(*m).clone();
+                    let arg_values: Vec<Value> =
+                        args.iter().map(|r| regs[r.index()].clone()).collect();
+                    let declared_class = self.dex.pools.type_at(mref.class).to_string();
+                    let name = self.dex.pools.str_at(mref.name).to_string();
+                    // Virtual dispatch: prefer the runtime class of the
+                    // receiver when it names a program class.
+                    let dispatch_ty = match kind {
+                        InvokeKind::Virtual | InvokeKind::Direct => arg_values
+                            .first()
+                            .and_then(Value::as_object)
+                            .map(|o| heap.get(o).class.clone())
+                            .and_then(|c| self.dex.pools.find_type(&c))
+                            .or_else(|| self.dex.pools.find_type(&declared_class)),
+                        InvokeKind::Static => self.dex.pools.find_type(&declared_class),
+                    };
+                    let resolved = dispatch_ty.and_then(|t| {
+                        self.dex
+                            .resolve_method(t, &name)
+                            .map(|(dt, m)| (dt, m.clone()))
+                    });
+                    let result = match resolved {
+                        Some((dt, target)) => self.run(heap, sys, dt, &target, arg_values)?,
+                        None => sys.call(heap, &declared_class, &name, &arg_values)?,
+                    };
+                    pending = result;
+                }
+                Instr::MoveResult { dst } => {
+                    regs[dst.index()] = pending.take().ok_or(VmError::NoPendingResult)?;
+                }
+                Instr::IGet { dst, object, field } => {
+                    let obj = regs[object.index()]
+                        .as_object()
+                        .ok_or(VmError::NotAnObject("iget"))?;
+                    let fref = self.dex.pools.field_at(*field);
+                    let fname = self.dex.pools.str_at(fref.name);
+                    regs[dst.index()] = heap
+                        .get(obj)
+                        .fields
+                        .get(fname)
+                        .cloned()
+                        .unwrap_or(Value::Null);
+                }
+                Instr::IPut { src, object, field } => {
+                    let obj = regs[object.index()]
+                        .as_object()
+                        .ok_or(VmError::NotAnObject("iput"))?;
+                    let fref = self.dex.pools.field_at(*field);
+                    let fname = self.dex.pools.str_at(fref.name).to_string();
+                    let v = regs[src.index()].clone();
+                    heap.get_mut(obj).fields.insert(fname, v);
+                }
+                Instr::SGet { dst, field } => {
+                    let fref = self.dex.pools.field_at(*field);
+                    let class = self.dex.pools.type_at(fref.class);
+                    let fname = self.dex.pools.str_at(fref.name);
+                    regs[dst.index()] = heap.static_get(class, fname);
+                }
+                Instr::SPut { src, field } => {
+                    let fref = self.dex.pools.field_at(*field);
+                    let class = self.dex.pools.type_at(fref.class).to_string();
+                    let fname = self.dex.pools.str_at(fref.name).to_string();
+                    heap.static_put(&class, &fname, regs[src.index()].clone());
+                }
+                Instr::IfEqz { reg, target } => {
+                    if regs[reg.index()].is_zero() {
+                        pc = *target as usize;
+                    }
+                }
+                Instr::IfNez { reg, target } => {
+                    if !regs[reg.index()].is_zero() {
+                        pc = *target as usize;
+                    }
+                }
+                Instr::Goto { target } => {
+                    pc = *target as usize;
+                }
+                Instr::BinOp { op, dst, lhs, rhs } => {
+                    let l = match &regs[lhs.index()] {
+                        Value::Int(i) => *i,
+                        _ => 0,
+                    };
+                    let r = match &regs[rhs.index()] {
+                        Value::Int(i) => *i,
+                        _ => 0,
+                    };
+                    regs[dst.index()] = Value::Int(match op {
+                        BinOp::Add => l.wrapping_add(r),
+                        BinOp::Sub => l.wrapping_sub(r),
+                        BinOp::Mul => l.wrapping_mul(r),
+                        BinOp::CmpEq => i64::from(l == r),
+                    });
+                }
+                Instr::ReturnVoid => return Ok(None),
+                Instr::Return { reg } => return Ok(Some(regs[reg.index()].clone())),
+                Instr::Throw { .. } => return Err(VmError::UncaughtThrow),
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ApkBuilder;
+    use crate::instr::BinOp;
+
+    /// Syscalls that record every external call.
+    #[derive(Default)]
+    struct Recorder {
+        calls: Vec<(String, String, usize)>,
+    }
+
+    impl Syscalls for Recorder {
+        fn call(
+            &mut self,
+            _heap: &mut Heap,
+            class: &str,
+            name: &str,
+            args: &[Value],
+        ) -> Result<Option<Value>, VmError> {
+            self.calls.push((class.to_string(), name.to_string(), args.len()));
+            Ok(Some(Value::str("syscall-result")))
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_branches() {
+        let mut apk = ApkBuilder::new("t");
+        {
+            let mut class = apk.class("LMath;");
+            // fn triple(x) { r = x + x; r = r + x; return r }
+            let mut m = class.method("triple", 1, true, true);
+            let r = m.reg();
+            let x = m.param(0);
+            m.binop(BinOp::Add, r, x, x);
+            m.binop(BinOp::Add, r, r, x);
+            m.ret(r);
+            m.finish();
+            class.finish();
+        }
+        let apk = apk.finish();
+        let mut vm = Vm::new(&apk.dex);
+        let mut heap = Heap::new();
+        let result = vm
+            .invoke(&mut heap, &mut NopSyscalls, "LMath;", "triple", vec![Value::Int(7)])
+            .expect("runs");
+        assert_eq!(result, Some(Value::Int(21)));
+    }
+
+    #[test]
+    fn loop_with_budget_guard() {
+        let mut apk = ApkBuilder::new("t");
+        {
+            let mut class = apk.class("LLoop;");
+            let mut m = class.method("spin", 0, true, false);
+            let top = m.new_label();
+            m.bind(top);
+            m.goto(top);
+            m.finish();
+            class.finish();
+        }
+        let apk = apk.finish();
+        let mut vm = Vm::with_budget(&apk.dex, 1000);
+        let mut heap = Heap::new();
+        let err = vm
+            .invoke(&mut heap, &mut NopSyscalls, "LLoop;", "spin", vec![])
+            .expect_err("must exhaust");
+        assert_eq!(err, VmError::BudgetExhausted);
+    }
+
+    #[test]
+    fn syscalls_receive_framework_calls() {
+        let mut apk = ApkBuilder::new("t");
+        {
+            let mut class = apk.class("LApp;");
+            let mut m = class.method("go", 0, true, false);
+            let v0 = m.reg();
+            let v1 = m.reg();
+            m.new_instance(v0, "Landroid/content/Intent;");
+            m.const_string(v1, "showLoc");
+            m.invoke_virtual("Landroid/content/Intent;", "setAction", &[v0, v1], false);
+            m.invoke_virtual("Landroid/content/Intent;", "getAction", &[v0], true);
+            m.move_result(v1);
+            m.ret_void();
+            m.finish();
+            class.finish();
+        }
+        let apk = apk.finish();
+        let mut vm = Vm::new(&apk.dex);
+        let mut heap = Heap::new();
+        let mut sys = Recorder::default();
+        vm.invoke(&mut heap, &mut sys, "LApp;", "go", vec![])
+            .expect("runs");
+        assert_eq!(sys.calls.len(), 2);
+        assert_eq!(sys.calls[0].1, "setAction");
+        assert_eq!(sys.calls[0].2, 2);
+        assert_eq!(sys.calls[1].1, "getAction");
+    }
+
+    #[test]
+    fn fields_and_statics() {
+        let mut apk = ApkBuilder::new("t");
+        {
+            let mut class = apk.class("LBox;");
+            class.field("content", false);
+            // store(box, v) { box.content = v }
+            let mut m = class.method("store", 2, true, false);
+            m.iput(m.param(1), m.param(0), "LBox;", "content");
+            m.ret_void();
+            m.finish();
+            // load(box) -> box.content
+            let mut m = class.method("load", 1, true, true);
+            let r = m.reg();
+            m.iget(r, m.param(0), "LBox;", "content");
+            m.ret(r);
+            m.finish();
+            // stash(v) { LBox;.global = v } ; unstash() -> global
+            let mut m = class.method("stash", 1, true, false);
+            m.sput(m.param(0), "LBox;", "global");
+            m.ret_void();
+            m.finish();
+            let mut m = class.method("unstash", 0, true, true);
+            let r = m.reg();
+            m.sget(r, "LBox;", "global");
+            m.ret(r);
+            m.finish();
+            class.finish();
+        }
+        let apk = apk.finish();
+        let mut vm = Vm::new(&apk.dex);
+        let mut heap = Heap::new();
+        let obj = Value::Object(heap.alloc("LBox;"));
+        vm.invoke(
+            &mut heap,
+            &mut NopSyscalls,
+            "LBox;",
+            "store",
+            vec![obj.clone(), Value::Int(5)],
+        )
+        .expect("store");
+        let loaded = vm
+            .invoke(&mut heap, &mut NopSyscalls, "LBox;", "load", vec![obj])
+            .expect("load");
+        assert_eq!(loaded, Some(Value::Int(5)));
+        vm.invoke(
+            &mut heap,
+            &mut NopSyscalls,
+            "LBox;",
+            "stash",
+            vec![Value::str("x")],
+        )
+        .expect("stash");
+        let un = vm
+            .invoke(&mut heap, &mut NopSyscalls, "LBox;", "unstash", vec![])
+            .expect("unstash");
+        assert_eq!(un, Some(Value::str("x")));
+    }
+
+    #[test]
+    fn virtual_dispatch_uses_runtime_class() {
+        let mut apk = ApkBuilder::new("t");
+        {
+            let mut class = apk.class("LBase;");
+            let mut m = class.method("tag", 1, false, true);
+            let r = m.reg();
+            m.const_int(r, 1);
+            m.ret(r);
+            m.finish();
+            class.finish();
+        }
+        {
+            let mut class = apk.class_extends("LDerived;", "LBase;");
+            let mut m = class.method("tag", 1, false, true);
+            let r = m.reg();
+            m.const_int(r, 2);
+            m.ret(r);
+            m.finish();
+            class.finish();
+        }
+        {
+            // calls tag() through the Base-typed method ref on a Derived obj
+            let mut class = apk.class("LMain;");
+            let mut m = class.method("go", 0, true, true);
+            let v = m.reg();
+            m.new_instance(v, "LDerived;");
+            m.invoke_virtual("LBase;", "tag", &[v], true);
+            m.move_result(v);
+            m.ret(v);
+            m.finish();
+            class.finish();
+        }
+        let apk = apk.finish();
+        let mut vm = Vm::new(&apk.dex);
+        let mut heap = Heap::new();
+        let r = vm
+            .invoke(&mut heap, &mut NopSyscalls, "LMain;", "go", vec![])
+            .expect("runs");
+        assert_eq!(r, Some(Value::Int(2)), "override must win");
+    }
+
+    #[test]
+    fn unresolved_program_method_errors() {
+        let apk = ApkBuilder::new("t").finish();
+        let mut vm = Vm::new(&apk.dex);
+        let mut heap = Heap::new();
+        let err = vm
+            .invoke(&mut heap, &mut NopSyscalls, "LNope;", "x", vec![])
+            .expect_err("missing");
+        assert!(matches!(err, VmError::UnresolvedMethod(_)));
+    }
+}

@@ -1,0 +1,365 @@
+//! The policy decision point (PDP).
+//!
+//! In the paper the PDP is an independent app storing the synthesized
+//! policies; the PEP (an Xposed hook module) calls it on every intercepted
+//! ICC method. Here the PDP evaluates ECA rules against an
+//! [`IccContext`] and consults a pluggable prompt handler when a rule's
+//! action is [`PolicyAction::Prompt`].
+
+use std::collections::BTreeSet;
+
+use separ_android::types::Resource;
+use separ_core::policy::{Condition, Policy, PolicyAction, PolicyEvent};
+
+/// Everything a condition can inspect about an intercepted ICC event.
+#[derive(Clone, Debug, Default)]
+pub struct IccContext {
+    /// Sending app package.
+    pub sender_app: String,
+    /// Sending component class.
+    pub sender_component: String,
+    /// Receiving app package (known for receive events).
+    pub receiver_app: Option<String>,
+    /// Receiving component class (known for receive events).
+    pub receiver_component: Option<String>,
+    /// The intent's action.
+    pub action: Option<String>,
+    /// Resource tags carried by the intent's extras.
+    pub tags: BTreeSet<Resource>,
+}
+
+/// The decision for one event.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Decision {
+    /// No policy matched, or a matching policy allowed it.
+    Allow,
+    /// A policy blocked the event outright.
+    Deny {
+        /// The deciding policy.
+        policy_id: u32,
+        /// Its vulnerability category.
+        vulnerability: String,
+    },
+    /// A policy prompted and the user refused.
+    PromptDenied {
+        /// The deciding policy.
+        policy_id: u32,
+        /// Its vulnerability category.
+        vulnerability: String,
+    },
+    /// A policy prompted and the user consented.
+    PromptAllowed {
+        /// The deciding policy.
+        policy_id: u32,
+    },
+}
+
+impl Decision {
+    /// Returns `true` if the event may proceed.
+    pub fn allows(&self) -> bool {
+        matches!(self, Decision::Allow | Decision::PromptAllowed { .. })
+    }
+}
+
+/// How prompts are answered (the "user" in tests and benchmarks).
+///
+/// The paper's PDP "prompts the user for consent along with the
+/// information that would help the user in making a decision, including
+/// the description of the security threat as well as the name and
+/// parameters of the intercepted event" — the [`PromptHandler::Callback`]
+/// variant receives exactly that: the deciding policy (threat description
+/// in its `rationale`) and the intercepted event's [`IccContext`].
+pub enum PromptHandler {
+    /// Always consent.
+    AlwaysAllow,
+    /// Always refuse.
+    AlwaysDeny,
+    /// Scripted decisions, consumed in order; refuses once exhausted.
+    Scripted(Vec<bool>),
+    /// Ask the embedder, passing the policy and the intercepted event.
+    Callback(Box<dyn FnMut(&Policy, &IccContext) -> bool + Send>),
+}
+
+impl std::fmt::Debug for PromptHandler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PromptHandler::AlwaysAllow => f.write_str("AlwaysAllow"),
+            PromptHandler::AlwaysDeny => f.write_str("AlwaysDeny"),
+            PromptHandler::Scripted(v) => write!(f, "Scripted({v:?})"),
+            PromptHandler::Callback(_) => f.write_str("Callback(..)"),
+        }
+    }
+}
+
+impl PromptHandler {
+    fn answer(&mut self, policy: &Policy, ctx: &IccContext) -> bool {
+        match self {
+            PromptHandler::AlwaysAllow => true,
+            PromptHandler::AlwaysDeny => false,
+            PromptHandler::Scripted(answers) => {
+                if answers.is_empty() {
+                    false
+                } else {
+                    answers.remove(0)
+                }
+            }
+            PromptHandler::Callback(f) => f(policy, ctx),
+        }
+    }
+}
+
+/// The policy decision point.
+#[derive(Debug)]
+pub struct Pdp {
+    policies: Vec<Policy>,
+    /// Packages of the analyzed bundle (for `SenderAppNotIn` defaults).
+    bundle_packages: Vec<String>,
+    prompt: PromptHandler,
+    /// Number of evaluations performed.
+    evaluations: u64,
+    /// Number of prompts shown.
+    prompts: u64,
+}
+
+impl Pdp {
+    /// Creates a PDP over a policy set.
+    pub fn new(policies: Vec<Policy>, bundle_packages: Vec<String>) -> Pdp {
+        Pdp {
+            policies,
+            bundle_packages,
+            prompt: PromptHandler::AlwaysDeny,
+            evaluations: 0,
+            prompts: 0,
+        }
+    }
+
+    /// An empty PDP (no policies: everything allowed).
+    pub fn permissive() -> Pdp {
+        Pdp::new(Vec::new(), Vec::new())
+    }
+
+    /// Sets the prompt handler.
+    pub fn with_prompt(mut self, prompt: PromptHandler) -> Pdp {
+        self.prompt = prompt;
+        self
+    }
+
+    /// The installed policies.
+    pub fn policies(&self) -> &[Policy] {
+        &self.policies
+    }
+
+    /// Number of evaluations performed so far.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Number of prompts shown so far.
+    pub fn prompts(&self) -> u64 {
+        self.prompts
+    }
+
+    /// Applies a policy-set change: removes retired policies (matched by
+    /// content, ignoring ids) and installs new ones, renumbering densely.
+    /// This is how Marshmallow-style incremental re-synthesis reaches a
+    /// running device without redeploying the whole set.
+    pub fn apply_delta(&mut self, added: Vec<Policy>, removed: &[Policy]) {
+        self.policies.retain(|p| {
+            !removed.iter().any(|q| {
+                p.vulnerability == q.vulnerability
+                    && p.event == q.event
+                    && p.conditions == q.conditions
+                    && p.action == q.action
+            })
+        });
+        self.policies.extend(added);
+        for (i, p) in self.policies.iter_mut().enumerate() {
+            p.id = i as u32;
+        }
+    }
+
+    /// Evaluates an event against the policy set: the first matching
+    /// policy decides.
+    pub fn evaluate(&mut self, event: PolicyEvent, ctx: &IccContext) -> Decision {
+        self.evaluations += 1;
+        // Two-phase to appease the borrow checker: find the deciding
+        // policy, then act on it.
+        let hit = self
+            .policies
+            .iter()
+            .position(|p| p.event == event && conditions_hold(p, ctx, &self.bundle_packages));
+        let Some(i) = hit else {
+            return Decision::Allow;
+        };
+        let (id, vulnerability, action) = {
+            let p = &self.policies[i];
+            (p.id, p.vulnerability.clone(), p.action)
+        };
+        match action {
+            PolicyAction::Allow => Decision::Allow,
+            PolicyAction::Deny => Decision::Deny {
+                policy_id: id,
+                vulnerability,
+            },
+            PolicyAction::Prompt => {
+                self.prompts += 1;
+                let policy = self.policies[i].clone();
+                if self.prompt.answer(&policy, ctx) {
+                    Decision::PromptAllowed { policy_id: id }
+                } else {
+                    Decision::PromptDenied {
+                        policy_id: id,
+                        vulnerability,
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn conditions_hold(policy: &Policy, ctx: &IccContext, bundle: &[String]) -> bool {
+    policy.conditions.iter().all(|c| match c {
+        Condition::ReceiverIs(class) => ctx.receiver_component.as_deref() == Some(class),
+        Condition::SenderIs(class) => ctx.sender_component == *class,
+        Condition::SenderNotIn(classes) => !classes.contains(&ctx.sender_component),
+        Condition::ReceiverNotIn(classes) => match &ctx.receiver_component {
+            // On send events the receiver is not yet resolved; the
+            // condition is conservatively considered met (the delivery
+            // could reach a non-intended receiver).
+            None => true,
+            Some(r) => !classes.contains(r),
+        },
+        Condition::ActionIs(a) => ctx.action.as_deref() == Some(a),
+        Condition::ExtraTagged(name) => Resource::from_name(name)
+            .map(|r| ctx.tags.contains(&r))
+            .unwrap_or(false),
+        Condition::SenderAppNotIn(packages) => {
+            let reference: &[String] = if packages.is_empty() { bundle } else { packages };
+            !reference.contains(&ctx.sender_app)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leak_policy() -> Policy {
+        Policy {
+            id: 7,
+            vulnerability: "information-leakage".into(),
+            event: PolicyEvent::IccReceive,
+            conditions: vec![
+                Condition::ReceiverIs("LMessageSender;".into()),
+                Condition::ExtraTagged("LOCATION".into()),
+            ],
+            action: PolicyAction::Prompt,
+            rationale: "paper running example".into(),
+        }
+    }
+
+    fn attack_ctx() -> IccContext {
+        IccContext {
+            sender_app: "com.mal".into(),
+            sender_component: "LMal;".into(),
+            receiver_app: Some("com.messenger".into()),
+            receiver_component: Some("LMessageSender;".into()),
+            action: None,
+            tags: [Resource::Location].into_iter().collect(),
+        }
+    }
+
+    #[test]
+    fn matching_prompt_policy_denies_by_default() {
+        let mut pdp = Pdp::new(vec![leak_policy()], vec![]);
+        let d = pdp.evaluate(PolicyEvent::IccReceive, &attack_ctx());
+        assert_eq!(
+            d,
+            Decision::PromptDenied {
+                policy_id: 7,
+                vulnerability: "information-leakage".into()
+            }
+        );
+        assert!(!d.allows());
+        assert_eq!(pdp.prompts(), 1);
+    }
+
+    #[test]
+    fn user_consent_allows() {
+        let mut pdp =
+            Pdp::new(vec![leak_policy()], vec![]).with_prompt(PromptHandler::AlwaysAllow);
+        let d = pdp.evaluate(PolicyEvent::IccReceive, &attack_ctx());
+        assert_eq!(d, Decision::PromptAllowed { policy_id: 7 });
+        assert!(d.allows());
+    }
+
+    #[test]
+    fn non_matching_traffic_is_allowed() {
+        let mut pdp = Pdp::new(vec![leak_policy()], vec![]);
+        let mut ctx = attack_ctx();
+        ctx.tags.clear(); // benign payload
+        assert_eq!(pdp.evaluate(PolicyEvent::IccReceive, &ctx), Decision::Allow);
+        // Wrong event kind:
+        assert_eq!(
+            pdp.evaluate(PolicyEvent::IccSend, &attack_ctx()),
+            Decision::Allow
+        );
+    }
+
+    #[test]
+    fn sender_app_not_in_defaults_to_bundle() {
+        let policy = Policy {
+            id: 1,
+            vulnerability: "component-launch".into(),
+            event: PolicyEvent::IccReceive,
+            conditions: vec![
+                Condition::ReceiverIs("LSvc;".into()),
+                Condition::SenderAppNotIn(vec![]),
+            ],
+            action: PolicyAction::Deny,
+            rationale: String::new(),
+        };
+        let mut pdp = Pdp::new(vec![policy], vec!["com.trusted".into()]);
+        let mut ctx = IccContext {
+            sender_app: "com.mal".into(),
+            receiver_component: Some("LSvc;".into()),
+            ..IccContext::default()
+        };
+        assert!(!pdp.evaluate(PolicyEvent::IccReceive, &ctx).allows());
+        ctx.sender_app = "com.trusted".into();
+        assert!(pdp.evaluate(PolicyEvent::IccReceive, &ctx).allows());
+    }
+
+    #[test]
+    fn callback_prompts_see_the_policy_and_the_event() {
+        use std::sync::{Arc, Mutex};
+        let seen: Arc<Mutex<Vec<(String, Option<String>)>>> = Arc::default();
+        let seen2 = Arc::clone(&seen);
+        let mut pdp = Pdp::new(vec![leak_policy()], vec![]).with_prompt(
+            PromptHandler::Callback(Box::new(move |policy, ctx| {
+                seen2.lock().expect("lock").push((
+                    policy.rationale.clone(),
+                    ctx.receiver_component.clone(),
+                ));
+                // Allow exactly when the receiver is the known component.
+                ctx.receiver_component.as_deref() == Some("LMessageSender;")
+            })),
+        );
+        let d = pdp.evaluate(PolicyEvent::IccReceive, &attack_ctx());
+        assert!(d.allows());
+        let log = seen.lock().expect("lock");
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].0, "paper running example");
+        assert_eq!(log[0].1.as_deref(), Some("LMessageSender;"));
+    }
+
+    #[test]
+    fn scripted_prompts_consume_in_order() {
+        let mut pdp = Pdp::new(vec![leak_policy()], vec![])
+            .with_prompt(PromptHandler::Scripted(vec![true, false]));
+        assert!(pdp.evaluate(PolicyEvent::IccReceive, &attack_ctx()).allows());
+        assert!(!pdp.evaluate(PolicyEvent::IccReceive, &attack_ctx()).allows());
+        // Exhausted: refuse.
+        assert!(!pdp.evaluate(PolicyEvent::IccReceive, &attack_ctx()).allows());
+    }
+}

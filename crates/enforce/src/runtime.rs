@@ -1,0 +1,1122 @@
+//! The simulated Android device runtime.
+//!
+//! Installed apps' components execute real sdex bytecode on the
+//! interpreter; framework calls are served by a syscall layer that models
+//! the ICC bus (asynchronous envelopes, Android resolution rules) and the
+//! source/sink APIs (with tagged payloads). The policy enforcement points
+//! sit exactly where the paper's Xposed hooks sit: on every ICC API call
+//! (send side) and on every delivery (receive side). Blocked calls are
+//! silently skipped — the app continues in degraded mode, as the paper
+//! describes for asynchronous ICC.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::Arc;
+
+use separ_android::api::{self, ApiKind, IccMethod, IntentConfigKind};
+use separ_android::resolution::{self, IntentData};
+use separ_android::types::Resource;
+use separ_core::policy::{Policy, PolicyEvent};
+use separ_dex::manifest::ComponentKind;
+use separ_dex::program::Apk;
+use separ_dex::vm::{Heap, ObjRef, Syscalls, Value, Vm};
+use separ_dex::VmError;
+
+use crate::audit::{AuditEvent, AuditLog};
+use crate::pdp::{Decision, IccContext, Pdp, PromptHandler};
+use crate::tag;
+
+/// An ICC message in flight.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// Index of the sending app (`None` for device-external injections).
+    pub from_app: Option<usize>,
+    /// Sending component class.
+    pub from_component: String,
+    /// The ICC method used.
+    pub via: IccMethod,
+    /// The marshalled intent (extras keep their payload tags).
+    pub intent: IntentData,
+    /// For result-requesting sends: where the reply goes.
+    pub reply_to: Option<(usize, String)>,
+}
+
+impl Envelope {
+    /// Resource tags carried by the envelope's extras.
+    pub fn tags(&self) -> BTreeSet<Resource> {
+        self.intent
+            .extras
+            .values()
+            .filter_map(|v| tag::extract(v))
+            .collect()
+    }
+}
+
+/// Pre-resolved per-app metadata (cheap to consult during execution).
+#[derive(Clone, Debug)]
+struct AppMeta {
+    package: String,
+    permissions: Vec<String>,
+}
+
+/// One installed app.
+#[derive(Debug)]
+struct InstalledApp {
+    apk: Arc<Apk>,
+    heap: Heap,
+}
+
+/// A dynamically registered broadcast receiver (runtime-visible; invisible
+/// to static extraction — the paper's documented blind spot).
+#[derive(Clone, Debug)]
+struct DynamicReceiver {
+    app: usize,
+    class: String,
+    action: String,
+}
+
+/// Counters for the enforcement-overhead benchmark (RQ4).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HookStats {
+    /// ICC calls intercepted.
+    pub icc_hooks: u64,
+    /// Deliveries intercepted.
+    pub delivery_hooks: u64,
+}
+
+/// The simulated device.
+#[derive(Debug)]
+pub struct Device {
+    apps: Vec<InstalledApp>,
+    meta: Vec<AppMeta>,
+    pdp: Pdp,
+    queue: VecDeque<Envelope>,
+    dynamic_receivers: Vec<DynamicReceiver>,
+    /// The audit log (public for assertions).
+    pub audit: AuditLog,
+    enforcement: bool,
+    hook_stats: HookStats,
+    vm_budget: u64,
+    delivery_limit: usize,
+}
+
+impl Device {
+    /// Boots a device with the given apps installed and no policies.
+    pub fn new(apks: Vec<Apk>) -> Device {
+        let meta = apks
+            .iter()
+            .map(|a| AppMeta {
+                package: a.manifest.package.clone(),
+                permissions: a.manifest.uses_permissions.clone(),
+            })
+            .collect();
+        Device {
+            apps: apks
+                .into_iter()
+                .map(|apk| InstalledApp {
+                    apk: Arc::new(apk),
+                    heap: Heap::new(),
+                })
+                .collect(),
+            meta,
+            pdp: Pdp::permissive(),
+            queue: VecDeque::new(),
+            dynamic_receivers: Vec::new(),
+            audit: AuditLog::new(),
+            enforcement: false,
+            hook_stats: HookStats::default(),
+            vm_budget: 1_000_000,
+            delivery_limit: 10_000,
+        }
+    }
+
+    /// Installs synthesized policies and enables enforcement.
+    pub fn install_policies(
+        &mut self,
+        policies: Vec<Policy>,
+        bundle_packages: Vec<String>,
+        prompt: PromptHandler,
+    ) {
+        self.pdp = Pdp::new(policies, bundle_packages).with_prompt(prompt);
+        self.enforcement = true;
+    }
+
+    /// Disables enforcement (hooks still counted if `count_hooks`).
+    pub fn set_enforcement(&mut self, enabled: bool) {
+        self.enforcement = enabled;
+    }
+
+    /// Applies an incremental policy change to the running PDP (see
+    /// `Pdp::apply_delta`). Enforcement stays in whatever state it is.
+    pub fn apply_policy_delta(
+        &mut self,
+        added: Vec<separ_core::policy::Policy>,
+        removed: &[separ_core::policy::Policy],
+    ) {
+        self.pdp.apply_delta(added, removed);
+    }
+
+    /// Hook interception counters.
+    pub fn hook_stats(&self) -> HookStats {
+        self.hook_stats
+    }
+
+    /// The policy decision point (for prompt/evaluation statistics).
+    pub fn pdp(&self) -> &Pdp {
+        &self.pdp
+    }
+
+    /// Index of an installed app by package.
+    pub fn app_index(&self, package: &str) -> Option<usize> {
+        self.meta.iter().position(|m| m.package == package)
+    }
+
+    /// Installs an app onto the running device. Returns `false` (and does
+    /// nothing) if the package name is already taken.
+    pub fn install_apk(&mut self, apk: Apk) -> bool {
+        if self.app_index(&apk.manifest.package).is_some() {
+            return false;
+        }
+        self.meta.push(AppMeta {
+            package: apk.manifest.package.clone(),
+            permissions: apk.manifest.uses_permissions.clone(),
+        });
+        self.apps.push(InstalledApp {
+            apk: Arc::new(apk),
+            heap: Heap::new(),
+        });
+        true
+    }
+
+    /// Uninstalls an app. In-flight envelopes from or to it are dropped
+    /// and its dynamic receivers unregistered. Returns `false` if the
+    /// package was not installed.
+    pub fn uninstall_package(&mut self, package: &str) -> bool {
+        let Some(idx) = self.app_index(package) else {
+            return false;
+        };
+        self.apps.remove(idx);
+        self.meta.remove(idx);
+        self.dynamic_receivers.retain(|d| d.app != idx);
+        // Remaining references index into the shrunk vectors: remap.
+        for d in &mut self.dynamic_receivers {
+            if d.app > idx {
+                d.app -= 1;
+            }
+        }
+        self.queue.retain(|e| e.from_app != Some(idx));
+        for e in &mut self.queue {
+            if let Some(fa) = e.from_app {
+                if fa > idx {
+                    e.from_app = Some(fa - 1);
+                }
+            }
+            e.reply_to = match e.reply_to.take() {
+                Some((ra, c)) if ra > idx => Some((ra - 1, c)),
+                Some((ra, _)) if ra == idx => None,
+                other => other,
+            };
+        }
+        true
+    }
+
+    /// Launches a component's lifecycle entry directly (like the launcher
+    /// or the system would), with no incoming intent.
+    pub fn launch(&mut self, package: &str, component_class: &str) -> bool {
+        let Some(idx) = self.app_index(package) else {
+            return false;
+        };
+        self.execute_component(idx, component_class, None, None)
+    }
+
+    /// Runs queued deliveries until the bus is idle. Returns the number of
+    /// envelopes processed.
+    pub fn run_until_idle(&mut self) -> usize {
+        let mut processed = 0;
+        while let Some(env) = self.queue.pop_front() {
+            processed += 1;
+            if processed > self.delivery_limit {
+                break;
+            }
+            self.deliver(env);
+        }
+        processed
+    }
+
+    /// Resolves an envelope to receiving `(app, component)` pairs.
+    fn resolve(&self, env: &Envelope) -> Vec<(usize, String)> {
+        if env.via == IccMethod::SetResult {
+            return env.reply_to.iter().cloned().collect();
+        }
+        let kind = match env.via {
+            IccMethod::StartActivity | IccMethod::StartActivityForResult => {
+                ComponentKind::Activity
+            }
+            IccMethod::StartService | IccMethod::BindService => ComponentKind::Service,
+            IccMethod::SendBroadcast => ComponentKind::Receiver,
+            _ => ComponentKind::Provider,
+        };
+        let mut out = Vec::new();
+        if let Some(target) = &env.intent.explicit_target {
+            for (ai, app) in self.apps.iter().enumerate() {
+                if let Some(decl) = app.apk.manifest.component(target) {
+                    let same_app = env.from_app == Some(ai);
+                    if decl.kind == kind && (same_app || decl.is_effectively_exported()) {
+                        out.push((ai, target.clone()));
+                    }
+                }
+            }
+            return out;
+        }
+        for (ai, app) in self.apps.iter().enumerate() {
+            for decl in &app.apk.manifest.components {
+                if decl.kind != kind {
+                    continue;
+                }
+                let same_app = env.from_app == Some(ai);
+                if !same_app && !decl.is_effectively_exported() {
+                    continue;
+                }
+                if resolution::any_filter_matches(&env.intent, &decl.intent_filters) {
+                    out.push((ai, decl.class.clone()));
+                }
+            }
+        }
+        // Dynamically registered receivers participate in broadcast
+        // delivery (they exist at runtime even though static analysis
+        // does not model them).
+        if kind == ComponentKind::Receiver {
+            for dr in &self.dynamic_receivers {
+                if Some(&dr.action) == env.intent.action.as_ref() {
+                    out.push((dr.app, dr.class.clone()));
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn deliver(&mut self, env: Envelope) {
+        let receivers = self.resolve(&env);
+        if receivers.is_empty() {
+            self.audit.record(AuditEvent::IccUndeliverable {
+                action: env.intent.action.clone(),
+            });
+            return;
+        }
+        for (ai, class) in receivers {
+            self.hook_stats.delivery_hooks += 1;
+            if self.enforcement {
+                let ctx = IccContext {
+                    sender_app: env
+                        .from_app
+                        .map(|i| self.meta[i].package.clone())
+                        .unwrap_or_else(|| "<external>".to_string()),
+                    sender_component: env.from_component.clone(),
+                    receiver_app: Some(self.meta[ai].package.clone()),
+                    receiver_component: Some(class.clone()),
+                    action: env.intent.action.clone(),
+                    tags: env.tags(),
+                };
+                let decision = self.pdp.evaluate(PolicyEvent::IccReceive, &ctx);
+                match &decision {
+                    Decision::PromptAllowed { policy_id } => {
+                        self.audit.record(AuditEvent::PromptShown {
+                            policy_id: *policy_id,
+                            allowed: true,
+                        });
+                    }
+                    Decision::PromptDenied { policy_id, .. } => {
+                        self.audit.record(AuditEvent::PromptShown {
+                            policy_id: *policy_id,
+                            allowed: false,
+                        });
+                    }
+                    _ => {}
+                }
+                if !decision.allows() {
+                    let (policy_id, vulnerability) = match decision {
+                        Decision::Deny {
+                            policy_id,
+                            vulnerability,
+                        }
+                        | Decision::PromptDenied {
+                            policy_id,
+                            vulnerability,
+                        } => (policy_id, vulnerability),
+                        _ => unreachable!("non-allowing decision"),
+                    };
+                    self.audit.record(AuditEvent::IccBlocked {
+                        policy_id,
+                        vulnerability,
+                        to_component: Some(class.clone()),
+                    });
+                    continue;
+                }
+            }
+            self.audit.record(AuditEvent::IccDelivered {
+                to_app: self.meta[ai].package.clone(),
+                to_component: class.clone(),
+                intent: env.intent.clone(),
+            });
+            self.execute_component(ai, &class, Some(&env), env.reply_to.clone());
+        }
+    }
+
+    /// Executes the lifecycle entry point of a component, optionally with
+    /// a received envelope.
+    fn execute_component(
+        &mut self,
+        app_idx: usize,
+        class: &str,
+        env: Option<&Envelope>,
+        _reply: Option<(usize, String)>,
+    ) -> bool {
+        let apk = self.apps[app_idx].apk.clone();
+        let Some(decl) = apk.manifest.component(class) else {
+            return false;
+        };
+        let entry = match decl.kind {
+            ComponentKind::Activity => {
+                if env.map(|e| e.via) == Some(IccMethod::SetResult) {
+                    "onActivityResult"
+                } else {
+                    "onCreate"
+                }
+            }
+            ComponentKind::Service => {
+                if env.map(|e| e.via) == Some(IccMethod::BindService) {
+                    "onBind"
+                } else {
+                    "onStartCommand"
+                }
+            }
+            ComponentKind::Receiver => "onReceive",
+            ComponentKind::Provider => match env.map(|e| e.via) {
+                Some(IccMethod::ProviderInsert) => "insert",
+                Some(IccMethod::ProviderUpdate) => "update",
+                Some(IccMethod::ProviderDelete) => "delete",
+                _ => "query",
+            },
+        };
+        let Some(c) = apk.dex.class_by_name(class) else {
+            return false;
+        };
+        let Some((_, method)) = apk.dex.resolve_method(c.ty, entry) else {
+            return false;
+        };
+        let num_params = method.num_params;
+        let mut heap = std::mem::take(&mut self.apps[app_idx].heap);
+        let this = Value::Object(heap.alloc(class.to_string()));
+        let received = env.map(|e| unmarshal_intent(&mut heap, &e.intent));
+        let mut args = vec![this];
+        if num_params >= 2 {
+            args.push(
+                received
+                    .map(Value::Object)
+                    .unwrap_or(Value::Null),
+            );
+        }
+        while args.len() < num_params as usize {
+            args.push(Value::Null);
+        }
+        let mut sys = DeviceSyscalls {
+            app_idx,
+            component: class.to_string(),
+            package: self.meta[app_idx].package.clone(),
+            meta: &self.meta,
+            pdp: &mut self.pdp,
+            audit: &mut self.audit,
+            queue: &mut self.queue,
+            dynamic_receivers: &mut self.dynamic_receivers,
+            enforcement: self.enforcement,
+            hook_stats: &mut self.hook_stats,
+            received,
+            caller_app: env.and_then(|e| e.from_app),
+            reply_to: env.and_then(|e| {
+                if e.via.requests_result() {
+                    e.from_app.map(|fa| (fa, e.from_component.clone()))
+                } else {
+                    None
+                }
+            }),
+        };
+        let mut vm = Vm::with_budget(&apk.dex, self.vm_budget);
+        let result = vm.invoke(&mut heap, &mut sys, class, entry, args);
+        self.apps[app_idx].heap = heap;
+        match result {
+            Ok(_) => true,
+            Err(VmError::BudgetExhausted) => false,
+            Err(_) => false,
+        }
+    }
+}
+
+/// Marshals an intent heap object into wire form.
+fn marshal_intent(heap: &Heap, obj: ObjRef) -> IntentData {
+    let o = heap.get(obj);
+    let mut intent = IntentData::new();
+    for (k, v) in &o.fields {
+        let as_string = |v: &Value| match v {
+            Value::Str(s) => s.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Null => String::new(),
+            Value::Object(_) => "<object>".to_string(),
+        };
+        if k == "action" {
+            let s = as_string(v);
+            if !s.is_empty() {
+                intent.action = Some(s);
+            }
+        } else if k == "dataType" {
+            intent.data_type = Some(as_string(v));
+        } else if k == "dataScheme" {
+            intent.data_scheme = Some(as_string(v));
+        } else if k == "target" {
+            let s = as_string(v);
+            if !s.is_empty() {
+                intent.explicit_target = Some(s);
+            }
+        } else if k == "categories" {
+            for c in as_string(v).split(';').filter(|c| !c.is_empty()) {
+                intent.categories.insert(c.to_string());
+            }
+        } else if let Some(key) = k.strip_prefix("extra:") {
+            intent.extras.insert(key.to_string(), as_string(v));
+        }
+    }
+    intent
+}
+
+/// Builds an intent heap object from wire form.
+fn unmarshal_intent(heap: &mut Heap, intent: &IntentData) -> ObjRef {
+    let obj = heap.alloc(api::class::INTENT.to_string());
+    let o = heap.get_mut(obj);
+    if let Some(a) = &intent.action {
+        o.fields.insert("action".into(), Value::str(a));
+    }
+    if let Some(t) = &intent.data_type {
+        o.fields.insert("dataType".into(), Value::str(t));
+    }
+    if let Some(s) = &intent.data_scheme {
+        o.fields.insert("dataScheme".into(), Value::str(s));
+    }
+    if let Some(t) = &intent.explicit_target {
+        o.fields.insert("target".into(), Value::str(t));
+    }
+    if !intent.categories.is_empty() {
+        let joined: Vec<&str> = intent.categories.iter().map(String::as_str).collect();
+        o.fields
+            .insert("categories".into(), Value::str(joined.join(";")));
+    }
+    for (k, v) in &intent.extras {
+        o.fields.insert(format!("extra:{k}"), Value::str(v));
+    }
+    obj
+}
+
+/// The syscall layer: Android APIs as seen by running bytecode.
+struct DeviceSyscalls<'a> {
+    app_idx: usize,
+    component: String,
+    package: String,
+    meta: &'a [AppMeta],
+    pdp: &'a mut Pdp,
+    audit: &'a mut AuditLog,
+    queue: &'a mut VecDeque<Envelope>,
+    dynamic_receivers: &'a mut Vec<DynamicReceiver>,
+    enforcement: bool,
+    hook_stats: &'a mut HookStats,
+    received: Option<ObjRef>,
+    caller_app: Option<usize>,
+    reply_to: Option<(usize, String)>,
+}
+
+impl DeviceSyscalls<'_> {
+    fn icc_send(&mut self, heap: &Heap, via: IccMethod, args: &[Value]) {
+        // Find the intent argument.
+        let Some(obj) = args.iter().filter_map(Value::as_object).find(|&o| {
+            heap.get(o).class == api::class::INTENT
+        }) else {
+            return;
+        };
+        let intent = marshal_intent(heap, obj);
+        self.hook_stats.icc_hooks += 1;
+        if self.enforcement {
+            let tags: BTreeSet<Resource> = intent
+                .extras
+                .values()
+                .filter_map(|v| tag::extract(v))
+                .collect();
+            let ctx = IccContext {
+                sender_app: self.package.clone(),
+                sender_component: self.component.clone(),
+                receiver_app: None,
+                receiver_component: intent.explicit_target.clone(),
+                action: intent.action.clone(),
+                tags,
+            };
+            let decision = self.pdp.evaluate(PolicyEvent::IccSend, &ctx);
+            match &decision {
+                Decision::PromptAllowed { policy_id } => {
+                    self.audit.record(AuditEvent::PromptShown {
+                        policy_id: *policy_id,
+                        allowed: true,
+                    });
+                }
+                Decision::PromptDenied { policy_id, .. } => {
+                    self.audit.record(AuditEvent::PromptShown {
+                        policy_id: *policy_id,
+                        allowed: false,
+                    });
+                }
+                _ => {}
+            }
+            if !decision.allows() {
+                let (policy_id, vulnerability) = match decision {
+                    Decision::Deny {
+                        policy_id,
+                        vulnerability,
+                    }
+                    | Decision::PromptDenied {
+                        policy_id,
+                        vulnerability,
+                    } => (policy_id, vulnerability),
+                    _ => unreachable!("non-allowing decision"),
+                };
+                self.audit.record(AuditEvent::IccBlocked {
+                    policy_id,
+                    vulnerability,
+                    to_component: intent.explicit_target.clone(),
+                });
+                return; // skipped call: degraded mode, no crash
+            }
+        }
+        self.audit.record(AuditEvent::IccSent {
+            from_app: self.package.clone(),
+            from_component: self.component.clone(),
+            intent: intent.clone(),
+        });
+        let reply_to = if via == IccMethod::SetResult {
+            self.reply_to.clone()
+        } else if via.requests_result() {
+            Some((self.app_idx, self.component.clone()))
+        } else {
+            None
+        };
+        self.queue.push_back(Envelope {
+            from_app: Some(self.app_idx),
+            from_component: self.component.clone(),
+            via,
+            intent,
+            reply_to,
+        });
+    }
+
+    fn sink_fired(&mut self, sink: Resource, args: &[Value]) {
+        let mut tags = BTreeSet::new();
+        let mut detail = String::new();
+        for a in args {
+            if let Some(s) = a.as_str() {
+                if let Some(t) = tag::extract(s) {
+                    tags.insert(t);
+                }
+                if !detail.is_empty() {
+                    detail.push(' ');
+                }
+                detail.push_str(tag::payload(s));
+            }
+        }
+        self.audit.record(AuditEvent::SinkFired {
+            sink,
+            app: self.package.clone(),
+            tags,
+            detail,
+        });
+    }
+}
+
+impl Syscalls for DeviceSyscalls<'_> {
+    fn call(
+        &mut self,
+        heap: &mut Heap,
+        class: &str,
+        name: &str,
+        args: &[Value],
+    ) -> Result<Option<Value>, VmError> {
+        match api::classify(class, name) {
+            ApiKind::IntentConfig(kind) => {
+                let Some(obj) = args.first().and_then(Value::as_object) else {
+                    return Ok(Some(Value::Null));
+                };
+                let as_string = |v: &Value| -> String {
+                    match v {
+                        Value::Str(s) => s.to_string(),
+                        Value::Int(i) => i.to_string(),
+                        _ => String::new(),
+                    }
+                };
+                match kind {
+                    IntentConfigKind::Init => {}
+                    IntentConfigKind::SetAction => {
+                        if let Some(v) = args.get(1) {
+                            heap.get_mut(obj)
+                                .fields
+                                .insert("action".into(), Value::str(as_string(v)));
+                        }
+                    }
+                    IntentConfigKind::AddCategory => {
+                        if let Some(v) = args.get(1) {
+                            let mut cur = heap
+                                .get(obj)
+                                .fields
+                                .get("categories")
+                                .and_then(|c| c.as_str().map(String::from))
+                                .unwrap_or_default();
+                            if !cur.is_empty() {
+                                cur.push(';');
+                            }
+                            cur.push_str(&as_string(v));
+                            heap.get_mut(obj)
+                                .fields
+                                .insert("categories".into(), Value::str(cur));
+                        }
+                    }
+                    IntentConfigKind::SetType => {
+                        if let Some(v) = args.get(1) {
+                            heap.get_mut(obj)
+                                .fields
+                                .insert("dataType".into(), Value::str(as_string(v)));
+                        }
+                    }
+                    IntentConfigKind::SetData => {
+                        if let Some(v) = args.get(1) {
+                            let s = as_string(v);
+                            let scheme = s.split(':').next().unwrap_or(&s).to_string();
+                            heap.get_mut(obj)
+                                .fields
+                                .insert("dataScheme".into(), Value::str(scheme));
+                        }
+                    }
+                    IntentConfigKind::PutExtra => {
+                        if let (Some(k), Some(v)) = (args.get(1), args.get(2)) {
+                            let key = as_string(k);
+                            heap.get_mut(obj)
+                                .fields
+                                .insert(format!("extra:{key}"), v.clone());
+                        }
+                    }
+                    IntentConfigKind::SetTarget => {
+                        // setClassName(intent, class) or (intent, pkg, class):
+                        // the last string argument is the class.
+                        if let Some(v) = args.iter().skip(1).rev().find_map(Value::as_str) {
+                            heap.get_mut(obj)
+                                .fields
+                                .insert("target".into(), Value::str(v));
+                        }
+                    }
+                }
+                Ok(Some(Value::Null))
+            }
+            ApiKind::IntentRead => match name {
+                "getStringExtra" | "getIntExtra" => {
+                    let obj = args.first().and_then(Value::as_object);
+                    let key = args.get(1).and_then(Value::as_str).unwrap_or("");
+                    Ok(Some(
+                        obj.and_then(|o| heap.get(o).fields.get(&format!("extra:{key}")).cloned())
+                            .unwrap_or(Value::Null),
+                    ))
+                }
+                "getAction" => {
+                    let obj = args.first().and_then(Value::as_object);
+                    Ok(Some(
+                        obj.and_then(|o| heap.get(o).fields.get("action").cloned())
+                            .unwrap_or(Value::Null),
+                    ))
+                }
+                "getIntent" => Ok(Some(
+                    self.received.map(Value::Object).unwrap_or(Value::Null),
+                )),
+                _ => Ok(Some(Value::Null)),
+            },
+            ApiKind::Icc(via) => {
+                self.icc_send(heap, via, args);
+                Ok(Some(Value::Null))
+            }
+            ApiKind::PermissionCheck => {
+                let perm = args.iter().skip(1).find_map(Value::as_str).unwrap_or("");
+                let granted = self
+                    .caller_app
+                    .map(|c| self.meta[c].permissions.iter().any(|p| p == perm))
+                    .unwrap_or(false);
+                Ok(Some(Value::Int(i64::from(granted))))
+            }
+            ApiKind::DynamicRegister => {
+                // registerReceiver(this, receiverClass, action)
+                let mut strings = args.iter().skip(1).filter_map(Value::as_str);
+                let class = strings.next().unwrap_or("").to_string();
+                let action = strings.next().unwrap_or("").to_string();
+                if !class.is_empty() && !action.is_empty() {
+                    self.dynamic_receivers.push(DynamicReceiver {
+                        app: self.app_idx,
+                        class,
+                        action,
+                    });
+                }
+                Ok(Some(Value::Null))
+            }
+            ApiKind::Source(resource) => {
+                let payload = match resource {
+                    Resource::Location => "geo:37.4219,-122.0840".to_string(),
+                    Resource::DeviceId => "356938035643809".to_string(),
+                    _ => format!("{}-data", resource.name().to_lowercase()),
+                };
+                Ok(Some(Value::str(tag::wrap(resource, &payload))))
+            }
+            ApiKind::Sink(resource) => {
+                self.sink_fired(resource, args);
+                Ok(Some(Value::Null))
+            }
+            ApiKind::Neutral => {
+                // Unknown framework API (e.g. SmsManager.getDefault):
+                // return an opaque object of the declared class so virtual
+                // dispatch on it lands back in the syscall layer.
+                if name == "getDefault" || name == "getSystemService" {
+                    return Ok(Some(Value::Object(heap.alloc(class.to_string()))));
+                }
+                Ok(Some(Value::Null))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use separ_android::api::class;
+    use separ_android::types::perm;
+    use separ_core::policy::{Condition, PolicyAction};
+    use separ_dex::build::ApkBuilder;
+    use separ_dex::manifest::{ComponentDecl, IntentFilterDecl};
+
+    /// The messenger app: exported service that texts whatever it is told.
+    fn messenger() -> Apk {
+        let mut apk = ApkBuilder::new("com.messenger");
+        apk.uses_permission(perm::SEND_SMS);
+        let mut decl = ComponentDecl::new("LMessageSender;", ComponentKind::Service);
+        decl.exported = Some(true);
+        apk.add_component(decl);
+        let mut cb = apk.class_extends("LMessageSender;", class::SERVICE);
+        let mut m = cb.method("onStartCommand", 2, false, false);
+        let num = m.reg();
+        let msg = m.reg();
+        let k = m.reg();
+        let mgr = m.reg();
+        let intent = m.param(1);
+        m.const_string(k, "PHONE_NUM");
+        m.invoke_virtual(class::INTENT, "getStringExtra", &[intent, k], true);
+        m.move_result(num);
+        m.const_string(k, "TEXT_MSG");
+        m.invoke_virtual(class::INTENT, "getStringExtra", &[intent, k], true);
+        m.move_result(msg);
+        m.invoke_static(class::SMS_MANAGER, "getDefault", &[], true);
+        m.move_result(mgr);
+        m.invoke_virtual(class::SMS_MANAGER, "sendTextMessage", &[mgr, num, msg], false);
+        m.ret_void();
+        m.finish();
+        cb.finish();
+        apk.finish()
+    }
+
+    /// A malicious app that reads GPS and texts it via the messenger.
+    fn malware() -> Apk {
+        let mut apk = ApkBuilder::new("com.mal");
+        let mut decl = ComponentDecl::new("LMal;", ComponentKind::Activity);
+        decl.exported = Some(true);
+        apk.add_component(decl);
+        let mut cb = apk.class_extends("LMal;", class::ACTIVITY);
+        let mut m = cb.method("onCreate", 1, false, false);
+        let loc = m.reg();
+        let i = m.reg();
+        let s = m.reg();
+        m.invoke_virtual(class::LOCATION_MANAGER, "getLastKnownLocation", &[loc], true);
+        m.move_result(loc);
+        m.new_instance(i, class::INTENT);
+        m.const_string(s, "LMessageSender;");
+        m.invoke_virtual(class::INTENT, "setClassName", &[i, s], false);
+        m.const_string(s, "PHONE_NUM");
+        let n = m.reg();
+        m.const_string(n, "+15551234");
+        m.invoke_virtual(class::INTENT, "putExtra", &[i, s, n], false);
+        m.const_string(s, "TEXT_MSG");
+        m.invoke_virtual(class::INTENT, "putExtra", &[i, s, loc], false);
+        m.invoke_virtual(class::CONTEXT, "startService", &[m.this(), i], false);
+        m.ret_void();
+        m.finish();
+        cb.finish();
+        apk.finish()
+    }
+
+    #[test]
+    fn attack_succeeds_without_enforcement() {
+        let mut device = Device::new(vec![messenger(), malware()]);
+        assert!(device.launch("com.mal", "LMal;"));
+        device.run_until_idle();
+        // The SMS containing tagged location data left the device.
+        assert!(device.audit.leaked(Resource::Location, Resource::Sms));
+        let sms: Vec<_> = device.audit.sinks_fired(Resource::Sms).collect();
+        assert_eq!(sms.len(), 1);
+        match sms[0] {
+            AuditEvent::SinkFired { detail, .. } => {
+                assert!(detail.contains("+15551234"), "{detail}");
+                assert!(detail.contains("geo:"), "{detail}");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn policy_blocks_the_attack() {
+        let mut device = Device::new(vec![messenger(), malware()]);
+        let policy = Policy {
+            id: 0,
+            vulnerability: "information-leakage".into(),
+            event: PolicyEvent::IccReceive,
+            conditions: vec![
+                Condition::ReceiverIs("LMessageSender;".into()),
+                Condition::ExtraTagged("LOCATION".into()),
+            ],
+            action: PolicyAction::Prompt,
+            rationale: "test".into(),
+        };
+        device.install_policies(
+            vec![policy],
+            vec!["com.messenger".into()],
+            PromptHandler::AlwaysDeny,
+        );
+        device.launch("com.mal", "LMal;");
+        device.run_until_idle();
+        assert!(
+            !device.audit.leaked(Resource::Location, Resource::Sms),
+            "the leak must be blocked"
+        );
+        assert_eq!(device.audit.blocked_count(), 1);
+        assert_eq!(device.pdp().prompts(), 1);
+        // Degraded mode: nothing crashed, the malicious app simply got no
+        // result.
+    }
+
+    #[test]
+    fn user_consent_lets_the_icc_through() {
+        let mut device = Device::new(vec![messenger(), malware()]);
+        let policy = Policy {
+            id: 0,
+            vulnerability: "information-leakage".into(),
+            event: PolicyEvent::IccReceive,
+            conditions: vec![Condition::ReceiverIs("LMessageSender;".into())],
+            action: PolicyAction::Prompt,
+            rationale: "test".into(),
+        };
+        device.install_policies(vec![policy], vec![], PromptHandler::AlwaysAllow);
+        device.launch("com.mal", "LMal;");
+        device.run_until_idle();
+        assert!(device.audit.leaked(Resource::Location, Resource::Sms));
+        assert_eq!(device.audit.blocked_count(), 0);
+    }
+
+    #[test]
+    fn implicit_intents_resolve_via_filters() {
+        // A broadcaster and a receiver connected by action string.
+        let mut sender = ApkBuilder::new("com.sender");
+        sender.add_component(ComponentDecl::new("LSend;", ComponentKind::Activity));
+        let mut cb = sender.class_extends("LSend;", class::ACTIVITY);
+        let mut m = cb.method("onCreate", 1, false, false);
+        let i = m.reg();
+        let s = m.reg();
+        m.new_instance(i, class::INTENT);
+        m.const_string(s, "com.example.PING");
+        m.invoke_virtual(class::INTENT, "setAction", &[i, s], false);
+        m.invoke_virtual(class::CONTEXT, "sendBroadcast", &[m.this(), i], false);
+        m.ret_void();
+        m.finish();
+        cb.finish();
+        let sender = sender.finish();
+
+        let mut rec = ApkBuilder::new("com.rec");
+        let mut decl = ComponentDecl::new("LRec;", ComponentKind::Receiver);
+        decl.intent_filters
+            .push(IntentFilterDecl::for_actions(["com.example.PING"]));
+        rec.add_component(decl);
+        let mut cb = rec.class_extends("LRec;", class::RECEIVER);
+        let mut m = cb.method("onReceive", 2, false, false);
+        let v = m.reg();
+        m.invoke_virtual(class::INTENT, "getAction", &[m.param(1)], true);
+        m.move_result(v);
+        m.invoke_virtual(class::LOG, "d", &[v], false);
+        m.ret_void();
+        m.finish();
+        cb.finish();
+        let rec = rec.finish();
+
+        let mut device = Device::new(vec![sender, rec]);
+        device.launch("com.sender", "LSend;");
+        device.run_until_idle();
+        let logs: Vec<_> = device.audit.sinks_fired(Resource::Log).collect();
+        assert_eq!(logs.len(), 1);
+        match logs[0] {
+            AuditEvent::SinkFired { detail, .. } => assert_eq!(detail, "com.example.PING"),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn start_activity_for_result_round_trip() {
+        // A asks B for a token; B replies via setResult; A logs it.
+        let mut a = ApkBuilder::new("com.a");
+        a.add_component(ComponentDecl::new("LA;", ComponentKind::Activity));
+        let mut cb = a.class_extends("LA;", class::ACTIVITY);
+        {
+            let mut m = cb.method("onCreate", 1, false, false);
+            let i = m.reg();
+            let s = m.reg();
+            m.new_instance(i, class::INTENT);
+            m.const_string(s, "LB;");
+            m.invoke_virtual(class::INTENT, "setClassName", &[i, s], false);
+            m.invoke_virtual(class::ACTIVITY, "startActivityForResult", &[m.this(), i], false);
+            m.ret_void();
+            m.finish();
+        }
+        {
+            let mut m = cb.method("onActivityResult", 2, false, false);
+            let v = m.reg();
+            let k = m.reg();
+            m.const_string(k, "token");
+            m.invoke_virtual(class::INTENT, "getStringExtra", &[m.param(1), k], true);
+            m.move_result(v);
+            m.invoke_virtual(class::LOG, "d", &[v], false);
+            m.ret_void();
+            m.finish();
+        }
+        cb.finish();
+        let a = a.finish();
+
+        let mut b = ApkBuilder::new("com.b");
+        let mut decl = ComponentDecl::new("LB;", ComponentKind::Activity);
+        decl.exported = Some(true);
+        b.add_component(decl);
+        let mut cb = b.class_extends("LB;", class::ACTIVITY);
+        let mut m = cb.method("onCreate", 1, false, false);
+        let i = m.reg();
+        let k = m.reg();
+        let v = m.reg();
+        m.new_instance(i, class::INTENT);
+        m.const_string(k, "token");
+        m.const_string(v, "secret-42");
+        m.invoke_virtual(class::INTENT, "putExtra", &[i, k, v], false);
+        m.invoke_virtual(class::ACTIVITY, "setResult", &[m.this(), i], false);
+        m.ret_void();
+        m.finish();
+        cb.finish();
+        let b = b.finish();
+
+        let mut device = Device::new(vec![a, b]);
+        device.launch("com.a", "LA;");
+        device.run_until_idle();
+        let logs: Vec<_> = device.audit.sinks_fired(Resource::Log).collect();
+        assert_eq!(logs.len(), 1, "events: {:?}", device.audit.events());
+        match logs[0] {
+            AuditEvent::SinkFired { detail, .. } => assert_eq!(detail, "secret-42"),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn dynamic_receivers_get_broadcasts_at_runtime() {
+        // An app registers a receiver at runtime; a broadcast reaches it
+        // even though no static filter exists.
+        let mut apk = ApkBuilder::new("com.dyn");
+        apk.add_component(ComponentDecl::new("LMain;", ComponentKind::Activity));
+        apk.add_component(ComponentDecl::new("LDynRec;", ComponentKind::Receiver));
+        {
+            let mut cb = apk.class_extends("LMain;", class::ACTIVITY);
+            let mut m = cb.method("onCreate", 1, false, false);
+            let c = m.reg();
+            let a = m.reg();
+            let i = m.reg();
+            m.const_string(c, "LDynRec;");
+            m.const_string(a, "com.dyn.EVENT");
+            m.invoke_virtual(class::CONTEXT, "registerReceiver", &[m.this(), c, a], true);
+            // Now broadcast to ourselves.
+            m.new_instance(i, class::INTENT);
+            m.invoke_virtual(class::INTENT, "setAction", &[i, a], false);
+            m.invoke_virtual(class::CONTEXT, "sendBroadcast", &[m.this(), i], false);
+            m.ret_void();
+            m.finish();
+            cb.finish();
+        }
+        {
+            let mut cb = apk.class_extends("LDynRec;", class::RECEIVER);
+            let mut m = cb.method("onReceive", 2, false, false);
+            let v = m.reg();
+            m.const_string(v, "dynamic-hit");
+            m.invoke_virtual(class::LOG, "d", &[v], false);
+            m.ret_void();
+            m.finish();
+            cb.finish();
+        }
+        let mut device = Device::new(vec![apk.finish()]);
+        device.launch("com.dyn", "LMain;");
+        device.run_until_idle();
+        assert_eq!(device.audit.sinks_fired(Resource::Log).count(), 1);
+    }
+
+    #[test]
+    fn install_and_uninstall_at_runtime() {
+        let mut device = Device::new(vec![messenger()]);
+        assert!(device.install_apk(malware()));
+        assert!(!device.install_apk(malware()), "duplicate package refused");
+        assert!(device.launch("com.mal", "LMal;"));
+        device.run_until_idle();
+        assert!(device.audit.leaked(Resource::Location, Resource::Sms));
+        assert!(device.uninstall_package("com.mal"));
+        assert!(!device.uninstall_package("com.mal"));
+        assert!(!device.launch("com.mal", "LMal;"), "gone after uninstall");
+        // The messenger still works for legitimate traffic.
+        assert!(device.app_index("com.messenger").is_some());
+    }
+
+    #[test]
+    fn uninstall_drops_in_flight_envelopes() {
+        let mut device = Device::new(vec![messenger(), malware()]);
+        device.launch("com.mal", "LMal;"); // enqueues the forged intent
+        assert!(device.uninstall_package("com.mal"));
+        let processed = device.run_until_idle();
+        assert_eq!(processed, 0, "the dead app's envelope was dropped");
+        assert!(!device.audit.leaked(Resource::Location, Resource::Sms));
+    }
+
+    #[test]
+    fn undeliverable_intents_are_audited() {
+        let mut apk = ApkBuilder::new("com.lost");
+        apk.add_component(ComponentDecl::new("LMain;", ComponentKind::Activity));
+        let mut cb = apk.class_extends("LMain;", class::ACTIVITY);
+        let mut m = cb.method("onCreate", 1, false, false);
+        let i = m.reg();
+        let s = m.reg();
+        m.new_instance(i, class::INTENT);
+        m.const_string(s, "no.such.ACTION");
+        m.invoke_virtual(class::INTENT, "setAction", &[i, s], false);
+        m.invoke_virtual(class::CONTEXT, "startService", &[m.this(), i], false);
+        m.ret_void();
+        m.finish();
+        cb.finish();
+        let mut device = Device::new(vec![apk.finish()]);
+        device.launch("com.lost", "LMain;");
+        device.run_until_idle();
+        assert!(device
+            .audit
+            .events()
+            .iter()
+            .any(|e| matches!(e, AuditEvent::IccUndeliverable { action: Some(a) } if a == "no.such.ACTION")));
+    }
+}

@@ -1,0 +1,56 @@
+//! Tagged payload values: lightweight dynamic classification.
+//!
+//! The runtime needs to know, at an interception point, what kind of
+//! sensitive data an intent carries (the paper's `Intent.extra: LOCATION`
+//! condition). Values produced by source APIs are wrapped with an in-band
+//! tag that survives being copied through registers, fields and extras,
+//! and is parsed back out when an envelope is assembled.
+
+use separ_android::types::Resource;
+
+const TAG_START: char = '\u{1}';
+const TAG_END: char = '\u{2}';
+
+/// Wraps a payload with a resource tag.
+pub fn wrap(resource: Resource, payload: &str) -> String {
+    format!("{TAG_START}{}{TAG_END}{payload}", resource.name())
+}
+
+/// Extracts the resource tag of a wrapped payload, if any.
+pub fn extract(value: &str) -> Option<Resource> {
+    let rest = value.strip_prefix(TAG_START)?;
+    let (name, _) = rest.split_once(TAG_END)?;
+    Resource::from_name(name)
+}
+
+/// The payload without its tag (the value itself if untagged).
+pub fn payload(value: &str) -> &str {
+    match value.strip_prefix(TAG_START).and_then(|r| r.split_once(TAG_END)) {
+        Some((_, p)) => p,
+        None => value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_extract_round_trip() {
+        let w = wrap(Resource::Location, "37.42,-122.08");
+        assert_eq!(extract(&w), Some(Resource::Location));
+        assert_eq!(payload(&w), "37.42,-122.08");
+    }
+
+    #[test]
+    fn untagged_values_pass_through() {
+        assert_eq!(extract("hello"), None);
+        assert_eq!(payload("hello"), "hello");
+    }
+
+    #[test]
+    fn unknown_tag_names_are_ignored() {
+        let fake = format!("\u{1}NOT_A_RESOURCE\u{2}data");
+        assert_eq!(extract(&fake), None);
+    }
+}

@@ -1,0 +1,281 @@
+//! The relational-logic AST: expressions, formulas and quantified variables.
+//!
+//! This mirrors the fragment of Alloy the SEPAR paper uses: first-order
+//! relational logic with transitive closure, relational join/transpose,
+//! and the `some`/`no`/`one`/`lone` multiplicities.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::relation::RelationId;
+use crate::universe::Atom;
+
+/// A quantified variable (always ranges over single atoms, as in Alloy's
+/// `all x: S | ...`).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QuantVar(pub(crate) u32);
+
+impl QuantVar {
+    /// Creates a variable with an explicit id. Ids must be unique within a
+    /// formula; [`Problem::fresh_var`] hands out unique ones.
+    ///
+    /// [`Problem::fresh_var`]: crate::finder::Problem::fresh_var
+    pub fn new(id: u32) -> QuantVar {
+        QuantVar(id)
+    }
+}
+
+impl fmt::Debug for QuantVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// A relational expression. Cheap to clone (shared subtrees).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Expr {
+    /// A declared relation.
+    Relation(RelationId),
+    /// A bound quantified variable (unary singleton).
+    Var(QuantVar),
+    /// A constant atom (unary singleton).
+    Atom(Atom),
+    /// Set union `a + b`.
+    Union(Arc<Expr>, Arc<Expr>),
+    /// Set intersection `a & b`.
+    Intersect(Arc<Expr>, Arc<Expr>),
+    /// Set difference `a - b`.
+    Difference(Arc<Expr>, Arc<Expr>),
+    /// Relational join `a . b`.
+    Join(Arc<Expr>, Arc<Expr>),
+    /// Cartesian product `a -> b`.
+    Product(Arc<Expr>, Arc<Expr>),
+    /// Transpose `~a` (binary only).
+    Transpose(Arc<Expr>),
+    /// Transitive closure `^a` (binary only).
+    Closure(Arc<Expr>),
+    /// The binary identity relation over the universe.
+    Iden,
+    /// All atoms (unary).
+    Univ,
+    /// The empty unary relation.
+    None,
+}
+
+impl Expr {
+    /// A declared relation as an expression.
+    pub fn relation(r: RelationId) -> Expr {
+        Expr::Relation(r)
+    }
+
+    /// A quantified variable as an expression.
+    pub fn var(v: QuantVar) -> Expr {
+        Expr::Var(v)
+    }
+
+    /// A constant atom as an expression.
+    pub fn atom(a: Atom) -> Expr {
+        Expr::Atom(a)
+    }
+
+    /// `self + other`.
+    pub fn union(&self, other: &Expr) -> Expr {
+        Expr::Union(Arc::new(self.clone()), Arc::new(other.clone()))
+    }
+
+    /// `self & other`.
+    pub fn intersect(&self, other: &Expr) -> Expr {
+        Expr::Intersect(Arc::new(self.clone()), Arc::new(other.clone()))
+    }
+
+    /// `self - other`.
+    pub fn difference(&self, other: &Expr) -> Expr {
+        Expr::Difference(Arc::new(self.clone()), Arc::new(other.clone()))
+    }
+
+    /// Relational join `self . other`.
+    pub fn join(&self, other: &Expr) -> Expr {
+        Expr::Join(Arc::new(self.clone()), Arc::new(other.clone()))
+    }
+
+    /// Cartesian product `self -> other`.
+    pub fn product(&self, other: &Expr) -> Expr {
+        Expr::Product(Arc::new(self.clone()), Arc::new(other.clone()))
+    }
+
+    /// Transpose `~self`.
+    pub fn transpose(&self) -> Expr {
+        Expr::Transpose(Arc::new(self.clone()))
+    }
+
+    /// Transitive closure `^self`.
+    pub fn closure(&self) -> Expr {
+        Expr::Closure(Arc::new(self.clone()))
+    }
+
+    /// Reflexive transitive closure `*self`, i.e. `^self + iden`.
+    pub fn reflexive_closure(&self) -> Expr {
+        self.closure().union(&Expr::Iden)
+    }
+
+    /// The formula `self in other`.
+    pub fn in_(&self, other: &Expr) -> Formula {
+        Formula::Subset(self.clone(), other.clone())
+    }
+
+    /// The formula `self = other`.
+    pub fn equal(&self, other: &Expr) -> Formula {
+        Formula::Equal(self.clone(), other.clone())
+    }
+
+    /// The formula `some self` (non-empty).
+    pub fn some(&self) -> Formula {
+        Formula::Some(self.clone())
+    }
+
+    /// The formula `no self` (empty).
+    pub fn no(&self) -> Formula {
+        Formula::No(self.clone())
+    }
+
+    /// The formula `one self` (exactly one tuple).
+    pub fn one(&self) -> Formula {
+        Formula::One(self.clone())
+    }
+
+    /// The formula `lone self` (at most one tuple).
+    pub fn lone(&self) -> Formula {
+        Formula::Lone(self.clone())
+    }
+}
+
+/// A relational-logic formula.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Formula {
+    /// Constant truth.
+    True,
+    /// Constant falsehood.
+    False,
+    /// `a in b`.
+    Subset(Expr, Expr),
+    /// `a = b`.
+    Equal(Expr, Expr),
+    /// `some e`.
+    Some(Expr),
+    /// `no e`.
+    No(Expr),
+    /// `one e`.
+    One(Expr),
+    /// `lone e`.
+    Lone(Expr),
+    /// Conjunction.
+    And(Vec<Formula>),
+    /// Disjunction.
+    Or(Vec<Formula>),
+    /// Negation.
+    Not(Arc<Formula>),
+    /// Universal quantification `all v: bound | body`.
+    ForAll(QuantVar, Expr, Arc<Formula>),
+    /// Existential quantification `some v: bound | body`.
+    Exists(QuantVar, Expr, Arc<Formula>),
+}
+
+impl Formula {
+    /// Conjunction of formulas (empty = true).
+    pub fn and<I: IntoIterator<Item = Formula>>(items: I) -> Formula {
+        let v: Vec<Formula> = items.into_iter().collect();
+        match v.len() {
+            0 => Formula::True,
+            1 => v.into_iter().next().expect("len checked"),
+            _ => Formula::And(v),
+        }
+    }
+
+    /// Disjunction of formulas (empty = false).
+    pub fn or<I: IntoIterator<Item = Formula>>(items: I) -> Formula {
+        let v: Vec<Formula> = items.into_iter().collect();
+        match v.len() {
+            0 => Formula::False,
+            1 => v.into_iter().next().expect("len checked"),
+            _ => Formula::Or(v),
+        }
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Formula {
+        Formula::Not(Arc::new(self))
+    }
+
+    /// `self => other`.
+    pub fn implies(self, other: Formula) -> Formula {
+        Formula::or([self.not(), other])
+    }
+
+    /// `self <=> other`.
+    pub fn iff(self, other: Formula) -> Formula {
+        Formula::and([
+            self.clone().implies(other.clone()),
+            other.implies(self),
+        ])
+    }
+
+    /// `all v: bound | body`.
+    pub fn for_all(v: QuantVar, bound: Expr, body: Formula) -> Formula {
+        Formula::ForAll(v, bound, Arc::new(body))
+    }
+
+    /// `some v: bound | body`.
+    pub fn exists(v: QuantVar, bound: Expr, body: Formula) -> Formula {
+        Formula::Exists(v, bound, Arc::new(body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let r = Expr::relation(RelationId(0));
+        let s = Expr::relation(RelationId(1));
+        let e = r.join(&s).union(&s.transpose());
+        match e {
+            Expr::Union(a, b) => {
+                assert!(matches!(*a, Expr::Join(_, _)));
+                assert!(matches!(*b, Expr::Transpose(_)));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_or_flatten_degenerate_cases() {
+        assert_eq!(Formula::and([]), Formula::True);
+        assert_eq!(Formula::or([]), Formula::False);
+        let f = Expr::relation(RelationId(0)).some();
+        assert_eq!(Formula::and([f.clone()]), f);
+    }
+
+    #[test]
+    fn implication_shape() {
+        let a = Expr::relation(RelationId(0)).some();
+        let b = Expr::relation(RelationId(1)).some();
+        let imp = a.clone().implies(b.clone());
+        match imp {
+            Formula::Or(items) => {
+                assert_eq!(items.len(), 2);
+                assert!(matches!(items[0], Formula::Not(_)));
+                assert_eq!(items[1], b);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reflexive_closure_expands() {
+        let r = Expr::relation(RelationId(0));
+        let rc = r.reflexive_closure();
+        assert!(matches!(rc, Expr::Union(_, _)));
+    }
+}

@@ -1,0 +1,498 @@
+//! Hash-consed boolean circuits and Tseitin transformation to CNF.
+//!
+//! The relational-logic translator (the Kodkod analog) produces circuits
+//! rather than CNF directly: intermediate gates are shared aggressively via
+//! hash-consing, and only the gates reachable from the root formula get
+//! Tseitin variables.
+
+use std::collections::HashMap;
+
+use crate::sat::{Lit, Solver, Var};
+
+/// A reference to a circuit node, with a sign bit for negation.
+///
+/// Negation is free: `!b` flips the sign bit rather than allocating a gate.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BoolRef(u32);
+
+const TRUE_IDX: u32 = 0;
+
+impl BoolRef {
+    fn new(index: u32, negated: bool) -> BoolRef {
+        BoolRef((index << 1) | u32::from(negated))
+    }
+
+    fn index(self) -> u32 {
+        self.0 >> 1
+    }
+
+    fn negated(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns `true` if this reference is the constant true.
+    pub fn is_const_true(self) -> bool {
+        self.index() == TRUE_IDX && !self.negated()
+    }
+
+    /// Returns `true` if this reference is the constant false.
+    pub fn is_const_false(self) -> bool {
+        self.index() == TRUE_IDX && self.negated()
+    }
+}
+
+impl std::ops::Not for BoolRef {
+    type Output = BoolRef;
+
+    fn not(self) -> BoolRef {
+        BoolRef(self.0 ^ 1)
+    }
+}
+
+impl std::fmt::Debug for BoolRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.negated() {
+            write!(f, "!n{}", self.index())
+        } else {
+            write!(f, "n{}", self.index())
+        }
+    }
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum Gate {
+    /// The constant true (index 0 only).
+    True,
+    /// A free input, identified by an opaque label assigned by the caller.
+    Input(u32),
+    /// Conjunction of two or more references (sorted, deduplicated).
+    And(Vec<BoolRef>),
+    /// Disjunction of two or more references (sorted, deduplicated).
+    Or(Vec<BoolRef>),
+}
+
+/// A builder for hash-consed boolean circuits.
+///
+/// # Examples
+///
+/// ```
+/// use separ_logic::circuit::Circuit;
+///
+/// let mut c = Circuit::new();
+/// let a = c.input();
+/// let b = c.input();
+/// let both = c.and(a, b);
+/// assert_eq!(c.and(a, b), both); // hash-consed
+/// assert!(c.or(a, !a).is_const_true());
+/// ```
+#[derive(Debug, Default)]
+pub struct Circuit {
+    gates: Vec<Gate>,
+    dedup: HashMap<Gate, u32>,
+    next_input: u32,
+}
+
+impl Circuit {
+    /// Creates a circuit containing only the constants.
+    pub fn new() -> Circuit {
+        let mut c = Circuit::default();
+        c.gates.push(Gate::True);
+        c
+    }
+
+    /// The constant true.
+    pub fn mk_true(&self) -> BoolRef {
+        BoolRef::new(TRUE_IDX, false)
+    }
+
+    /// The constant false.
+    pub fn mk_false(&self) -> BoolRef {
+        BoolRef::new(TRUE_IDX, true)
+    }
+
+    /// Allocates a fresh free input.
+    pub fn input(&mut self) -> BoolRef {
+        let gate = Gate::Input(self.next_input);
+        self.next_input += 1;
+        BoolRef::new(self.intern(gate), false)
+    }
+
+    /// Number of inputs allocated so far. The most recent input created by
+    /// [`Circuit::input`] carries the label `num_inputs() - 1`.
+    pub fn num_inputs(&self) -> u32 {
+        self.next_input
+    }
+
+    /// Number of gates allocated (including the constant).
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Returns `true` if the circuit has no gates beyond the constant.
+    pub fn is_empty(&self) -> bool {
+        self.gates.len() <= 1
+    }
+
+    fn intern(&mut self, gate: Gate) -> u32 {
+        if let Some(&i) = self.dedup.get(&gate) {
+            return i;
+        }
+        let i = self.gates.len() as u32;
+        self.gates.push(gate.clone());
+        self.dedup.insert(gate, i);
+        i
+    }
+
+    /// Conjunction of two references, with constant folding and sharing.
+    pub fn and(&mut self, a: BoolRef, b: BoolRef) -> BoolRef {
+        self.and_all([a, b])
+    }
+
+    /// Disjunction of two references, with constant folding and sharing.
+    pub fn or(&mut self, a: BoolRef, b: BoolRef) -> BoolRef {
+        self.or_all([a, b])
+    }
+
+    /// `a => b`.
+    pub fn implies(&mut self, a: BoolRef, b: BoolRef) -> BoolRef {
+        self.or(!a, b)
+    }
+
+    /// `a <=> b`.
+    pub fn iff(&mut self, a: BoolRef, b: BoolRef) -> BoolRef {
+        let fwd = self.implies(a, b);
+        let back = self.implies(b, a);
+        self.and(fwd, back)
+    }
+
+    /// Conjunction over an iterator of references.
+    pub fn and_all<I: IntoIterator<Item = BoolRef>>(&mut self, items: I) -> BoolRef {
+        let mut flat: Vec<BoolRef> = Vec::new();
+        for r in items {
+            if r.is_const_false() {
+                return self.mk_false();
+            }
+            if r.is_const_true() {
+                continue;
+            }
+            flat.push(r);
+        }
+        flat.sort();
+        flat.dedup();
+        // x & !x == false
+        for w in flat.windows(2) {
+            if w[0].index() == w[1].index() {
+                return self.mk_false();
+            }
+        }
+        match flat.len() {
+            0 => self.mk_true(),
+            1 => flat[0],
+            _ => BoolRef::new(self.intern(Gate::And(flat)), false),
+        }
+    }
+
+    /// Disjunction over an iterator of references.
+    pub fn or_all<I: IntoIterator<Item = BoolRef>>(&mut self, items: I) -> BoolRef {
+        let mut flat: Vec<BoolRef> = Vec::new();
+        for r in items {
+            if r.is_const_true() {
+                return self.mk_true();
+            }
+            if r.is_const_false() {
+                continue;
+            }
+            flat.push(r);
+        }
+        flat.sort();
+        flat.dedup();
+        for w in flat.windows(2) {
+            if w[0].index() == w[1].index() {
+                return self.mk_true();
+            }
+        }
+        match flat.len() {
+            0 => self.mk_false(),
+            1 => flat[0],
+            _ => BoolRef::new(self.intern(Gate::Or(flat)), false),
+        }
+    }
+
+    /// At most one of `items` is true.
+    ///
+    /// Small sets use the pairwise encoding (best propagation); larger
+    /// ones a linear "ladder": walking the items with a running
+    /// any-so-far disjunction and forbidding `item ∧ any-before`, which
+    /// keeps the circuit linear in `items.len()`.
+    pub fn at_most_one(&mut self, items: &[BoolRef]) -> BoolRef {
+        if items.len() <= 8 {
+            let mut constraints = Vec::new();
+            for i in 0..items.len() {
+                for j in (i + 1)..items.len() {
+                    let not_both = self.or(!items[i], !items[j]);
+                    constraints.push(not_both);
+                }
+            }
+            return self.and_all(constraints);
+        }
+        let mut any_before = items[0];
+        let mut parts = Vec::with_capacity(items.len());
+        for &item in &items[1..] {
+            let both = self.and(item, any_before);
+            parts.push(!both);
+            any_before = self.or(any_before, item);
+        }
+        self.and_all(parts)
+    }
+
+    /// Exactly one of `items` is true.
+    pub fn exactly_one(&mut self, items: &[BoolRef]) -> BoolRef {
+        let some = self.or_all(items.iter().copied());
+        let amo = self.at_most_one(items);
+        self.and(some, amo)
+    }
+
+    /// Evaluates a reference under an assignment of input labels to booleans.
+    ///
+    /// Inputs missing from `env` default to `false`.
+    pub fn eval(&self, r: BoolRef, env: &HashMap<u32, bool>) -> bool {
+        let base = match &self.gates[r.index() as usize] {
+            Gate::True => true,
+            Gate::Input(label) => *env.get(label).unwrap_or(&false),
+            Gate::And(children) => children.iter().all(|&c| self.eval(c, env)),
+            Gate::Or(children) => children.iter().any(|&c| self.eval(c, env)),
+        };
+        base != r.negated()
+    }
+}
+
+/// The result of lowering a circuit to CNF inside a [`Solver`].
+///
+/// Maps circuit input labels to solver variables so models can be decoded.
+#[derive(Debug, Default)]
+pub struct CnfMap {
+    input_vars: HashMap<u32, Var>,
+}
+
+impl CnfMap {
+    /// The solver variable allocated for a circuit input, if it was
+    /// reachable from the asserted root.
+    pub fn var_for_input(&self, label: u32) -> Option<Var> {
+        self.input_vars.get(&label).copied()
+    }
+
+    /// Iterates over `(input label, solver var)` pairs.
+    pub fn inputs(&self) -> impl Iterator<Item = (u32, Var)> + '_ {
+        self.input_vars.iter().map(|(&l, &v)| (l, v))
+    }
+}
+
+/// Asserts `root` into `solver` via the Tseitin transformation.
+///
+/// Only gates reachable from `root` are translated. Returns the mapping
+/// from circuit inputs to solver variables.
+pub fn assert_circuit(circuit: &Circuit, root: BoolRef, solver: &mut Solver) -> CnfMap {
+    let mut map = CnfMap::default();
+    if root.is_const_true() {
+        return map;
+    }
+    if root.is_const_false() {
+        solver.add_clause(&[]);
+        return map;
+    }
+    let mut gate_lit: HashMap<u32, Lit> = HashMap::new();
+    let root_lit = tseitin(circuit, root.index(), solver, &mut gate_lit, &mut map);
+    let root_lit = if root.negated() { !root_lit } else { root_lit };
+    solver.add_clause(&[root_lit]);
+    map
+}
+
+fn tseitin(
+    circuit: &Circuit,
+    index: u32,
+    solver: &mut Solver,
+    gate_lit: &mut HashMap<u32, Lit>,
+    map: &mut CnfMap,
+) -> Lit {
+    if let Some(&l) = gate_lit.get(&index) {
+        return l;
+    }
+    let lit = match &circuit.gates[index as usize] {
+        Gate::True => unreachable!("constants are handled by the caller"),
+        Gate::Input(label) => {
+            let v = solver.new_var();
+            map.input_vars.insert(*label, v);
+            v.positive()
+        }
+        Gate::And(children) => {
+            let child_lits: Vec<Lit> = children
+                .iter()
+                .map(|c| {
+                    let l = tseitin(circuit, c.index(), solver, gate_lit, map);
+                    if c.negated() {
+                        !l
+                    } else {
+                        l
+                    }
+                })
+                .collect();
+            let g = solver.new_var().positive();
+            // g => child, for each child
+            for &cl in &child_lits {
+                solver.add_clause(&[!g, cl]);
+            }
+            // (children) => g
+            let mut clause: Vec<Lit> = child_lits.iter().map(|&c| !c).collect();
+            clause.push(g);
+            solver.add_clause(&clause);
+            g
+        }
+        Gate::Or(children) => {
+            let child_lits: Vec<Lit> = children
+                .iter()
+                .map(|c| {
+                    let l = tseitin(circuit, c.index(), solver, gate_lit, map);
+                    if c.negated() {
+                        !l
+                    } else {
+                        l
+                    }
+                })
+                .collect();
+            let g = solver.new_var().positive();
+            // child => g, for each child
+            for &cl in &child_lits {
+                solver.add_clause(&[!cl, g]);
+            }
+            // g => (children)
+            let mut clause = child_lits.clone();
+            clause.push(!g);
+            solver.add_clause(&clause);
+            g
+        }
+    };
+    gate_lit.insert(index, lit);
+    lit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sat::SolveResult;
+
+    #[test]
+    fn constant_folding() {
+        let mut c = Circuit::new();
+        let a = c.input();
+        let t = c.mk_true();
+        let f = c.mk_false();
+        assert_eq!(c.and(a, t), a);
+        assert_eq!(c.and(a, f), f);
+        assert_eq!(c.or(a, f), a);
+        assert_eq!(c.or(a, t), t);
+        assert_eq!(c.and(a, !a), f);
+        assert_eq!(c.or(a, !a), t);
+        assert_eq!(c.and(a, a), a);
+    }
+
+    #[test]
+    fn hash_consing_shares_gates() {
+        let mut c = Circuit::new();
+        let a = c.input();
+        let b = c.input();
+        let g1 = c.and(a, b);
+        let g2 = c.and(b, a);
+        assert_eq!(g1, g2);
+        let before = c.len();
+        let _ = c.and(a, b);
+        assert_eq!(c.len(), before);
+    }
+
+    #[test]
+    fn tseitin_sat_round_trip() {
+        let mut c = Circuit::new();
+        let a = c.input();
+        let b = c.input();
+        let xor_ish = {
+            let l = c.and(a, !b);
+            let r = c.and(!a, b);
+            c.or(l, r)
+        };
+        let mut s = Solver::new();
+        let map = assert_circuit(&c, xor_ish, &mut s);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        let va = map.var_for_input(0).expect("input a mapped");
+        let vb = map.var_for_input(1).expect("input b mapped");
+        assert_ne!(s.is_true(va.positive()), s.is_true(vb.positive()));
+    }
+
+    #[test]
+    fn tseitin_unsat_contradiction() {
+        let mut c = Circuit::new();
+        let a = c.input();
+        let b = c.input();
+        let g = c.and(a, b);
+        let contradiction = c.and(g, !a);
+        // Folding may or may not collapse this; assert via SAT either way.
+        let mut s = Solver::new();
+        assert_circuit(&c, contradiction, &mut s);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn constant_roots() {
+        let c0 = Circuit::new();
+        let mut s = Solver::new();
+        assert_circuit(&c0, c0.mk_true(), &mut s);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        let mut s2 = Solver::new();
+        assert_circuit(&c0, c0.mk_false(), &mut s2);
+        assert_eq!(s2.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn exactly_one_enumerates_n_models() {
+        let mut c = Circuit::new();
+        let inputs: Vec<BoolRef> = (0..4).map(|_| c.input()).collect();
+        let formula = c.exactly_one(&inputs);
+        let mut s = Solver::new();
+        let map = assert_circuit(&c, formula, &mut s);
+        let vars: Vec<_> = (0..4).map(|i| map.var_for_input(i).expect("mapped")).collect();
+        let mut models = 0;
+        while s.solve(&[]) == SolveResult::Sat {
+            models += 1;
+            assert!(models <= 4);
+            assert_eq!(vars.iter().filter(|v| s.is_true(v.positive())).count(), 1);
+            let blocking: Vec<_> = vars
+                .iter()
+                .map(|v| {
+                    if s.is_true(v.positive()) {
+                        v.negative()
+                    } else {
+                        v.positive()
+                    }
+                })
+                .collect();
+            s.add_clause(&blocking);
+        }
+        assert_eq!(models, 4);
+    }
+
+    #[test]
+    fn eval_matches_sat_model() {
+        let mut c = Circuit::new();
+        let a = c.input();
+        let b = c.input();
+        let d = c.input();
+        let ab = c.or(a, b);
+        let formula = c.and(ab, !d);
+        let mut s = Solver::new();
+        let map = assert_circuit(&c, formula, &mut s);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        let mut env = HashMap::new();
+        for (label, var) in map.inputs() {
+            env.insert(label, s.is_true(var.positive()));
+        }
+        assert!(c.eval(formula, &env));
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type for relational-logic translation.
+
+use std::fmt;
+
+/// Errors raised while translating a relational problem to SAT.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogicError {
+    /// Two subexpressions were combined with incompatible arities.
+    ArityMismatch {
+        /// The operation that failed (e.g. `"union"`).
+        operation: &'static str,
+        /// Arity of the left operand.
+        left: usize,
+        /// Arity of the right operand.
+        right: usize,
+    },
+    /// An operation requiring a specific arity was applied elsewhere.
+    BadArity {
+        /// The operation that failed (e.g. `"closure"`).
+        operation: &'static str,
+        /// The arity encountered.
+        found: usize,
+    },
+    /// A quantified variable was used outside the scope of its binder.
+    UnboundVariable(u32),
+    /// A relation id referenced a relation not declared in the problem.
+    UnknownRelation(u32),
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::ArityMismatch {
+                operation,
+                left,
+                right,
+            } => write!(
+                f,
+                "arity mismatch in {operation}: left has arity {left}, right has arity {right}"
+            ),
+            LogicError::BadArity { operation, found } => {
+                write!(f, "{operation} requires a different arity, found {found}")
+            }
+            LogicError::UnboundVariable(v) => write!(f, "unbound quantified variable q{v}"),
+            LogicError::UnknownRelation(r) => write!(f, "unknown relation r{r}"),
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, LogicError>;

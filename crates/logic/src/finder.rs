@@ -1,0 +1,580 @@
+//! Problems and the bounded model finder.
+//!
+//! A [`Problem`] bundles a universe, bounded relation declarations and a
+//! conjunction of facts. [`ModelFinder`] solves it and supports both plain
+//! model enumeration (Alloy Analyzer style) and *minimal* model enumeration
+//! (Aluminum style), which the paper relies on to synthesize minimal exploit
+//! scenarios.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use crate::ast::{Formula, QuantVar};
+use crate::circuit::assert_circuit;
+use crate::error::Result;
+use crate::instance::Instance;
+use crate::relation::{RelationDecl, RelationId, Tuple, TupleSet};
+use crate::sat::{Lit, SolveResult, Solver, Var};
+use crate::translate::translate;
+use crate::universe::Universe;
+
+/// A bounded relational-logic problem.
+///
+/// # Examples
+///
+/// ```
+/// use separ_logic::finder::Problem;
+/// use separ_logic::ast::Expr;
+/// use separ_logic::relation::{RelationDecl, TupleSet};
+/// use separ_logic::universe::Universe;
+///
+/// let mut u = Universe::new();
+/// let atoms: Vec<_> = (0..2).map(|i| u.add(format!("c{i}"))).collect();
+/// let mut p = Problem::new(u);
+/// let comp = p.relation(RelationDecl::free(
+///     "Component",
+///     TupleSet::unary_from(atoms),
+/// ));
+/// p.fact(Expr::relation(comp).some());
+/// let mut finder = p.model_finder()?;
+/// let instance = finder.next_model().expect("satisfiable");
+/// assert!(!instance.tuples(comp).is_empty());
+/// # Ok::<(), separ_logic::error::LogicError>(())
+/// ```
+#[derive(Debug)]
+pub struct Problem {
+    universe: Universe,
+    relations: Vec<RelationDecl>,
+    facts: Vec<Formula>,
+    next_var: u32,
+}
+
+impl Problem {
+    /// Creates a problem over the given universe.
+    pub fn new(universe: Universe) -> Problem {
+        Problem {
+            universe,
+            relations: Vec::new(),
+            facts: Vec::new(),
+            next_var: 0,
+        }
+    }
+
+    /// The universe of this problem.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// Declares a bounded relation, returning its id.
+    pub fn relation(&mut self, decl: RelationDecl) -> RelationId {
+        let id = RelationId(self.relations.len() as u32);
+        self.relations.push(decl);
+        id
+    }
+
+    /// Looks up a declared relation id by name.
+    pub fn relation_by_name(&self, name: &str) -> Option<RelationId> {
+        self.relations
+            .iter()
+            .position(|d| d.name() == name)
+            .map(|i| RelationId(i as u32))
+    }
+
+    /// The declaration of a relation.
+    pub fn decl(&self, r: RelationId) -> &RelationDecl {
+        &self.relations[r.index()]
+    }
+
+    /// Number of declared relations.
+    pub fn num_relations(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Adds a fact (conjoined with all others).
+    pub fn fact(&mut self, f: Formula) {
+        self.facts.push(f);
+    }
+
+    /// Allocates a quantified variable unique within this problem.
+    pub fn fresh_var(&mut self) -> QuantVar {
+        let v = QuantVar::new(self.next_var);
+        self.next_var += 1;
+        v
+    }
+
+    /// Translates the problem and returns a reusable model finder.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any fact is ill-typed.
+    pub fn model_finder(&self) -> Result<ModelFinder> {
+        let conj = Formula::and(self.facts.iter().cloned());
+        let t0 = Instant::now();
+        let translation = translate(&self.universe, &self.relations, &conj)?;
+        let mut solver = Solver::new();
+        let cnf = assert_circuit(&translation.circuit, translation.root, &mut solver);
+        let construction_time = t0.elapsed();
+        // Map each free tuple to its solver variable, if the tuple's input
+        // survived into the CNF (inputs the formula never constrains do
+        // not; they decode as absent, biasing toward minimal instances).
+        let mut free_vars: Vec<(RelationId, Tuple, Var)> = Vec::new();
+        for (label, (rel, tuple)) in &translation.free_inputs {
+            if let Some(var) = cnf.var_for_input(*label) {
+                free_vars.push((*rel, tuple.clone(), var));
+            }
+        }
+        free_vars.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        Ok(ModelFinder {
+            universe: self.universe.clone(),
+            relations: self.relations.clone(),
+            solver,
+            free_vars,
+            construction_time,
+            solve_time: Duration::ZERO,
+            exhausted: false,
+        })
+    }
+
+    /// Convenience: finds one satisfying instance, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any fact is ill-typed.
+    pub fn solve(&self) -> Result<Option<Instance>> {
+        Ok(self.model_finder()?.next_model())
+    }
+
+    /// Convenience: finds one minimal satisfying instance, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any fact is ill-typed.
+    pub fn solve_minimal(&self) -> Result<Option<Instance>> {
+        Ok(self.model_finder()?.next_minimal_model())
+    }
+
+    /// Checks an assertion against the facts: returns a counterexample
+    /// instance if the facts do not entail `assertion` within the bounds,
+    /// or `None` if the assertion holds.
+    ///
+    /// This is the *verification* direction of the paper's observation
+    /// that synthesis is the dual of verification: `solve` looks for a
+    /// model of `facts ∧ property`, `check` looks for a model of
+    /// `facts ∧ ¬assertion`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the assertion or any fact is ill-typed.
+    pub fn check(&self, assertion: Formula) -> Result<Option<Instance>> {
+        let conj = Formula::and(
+            self.facts
+                .iter()
+                .cloned()
+                .chain(std::iter::once(assertion.not())),
+        );
+        let translation = translate(&self.universe, &self.relations, &conj)?;
+        let mut solver = Solver::new();
+        let cnf = assert_circuit(&translation.circuit, translation.root, &mut solver);
+        let mut free_vars: Vec<(RelationId, Tuple, Var)> = Vec::new();
+        for (label, (rel, tuple)) in &translation.free_inputs {
+            if let Some(var) = cnf.var_for_input(*label) {
+                free_vars.push((*rel, tuple.clone(), var));
+            }
+        }
+        free_vars.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        let mut finder = ModelFinder {
+            universe: self.universe.clone(),
+            relations: self.relations.clone(),
+            solver,
+            free_vars,
+            construction_time: Duration::ZERO,
+            solve_time: Duration::ZERO,
+            exhausted: false,
+        };
+        Ok(finder.next_model())
+    }
+}
+
+/// An incremental model finder over a translated [`Problem`].
+///
+/// Use either [`next_model`](ModelFinder::next_model) repeatedly (plain
+/// enumeration with blocking clauses) or
+/// [`next_minimal_model`](ModelFinder::next_minimal_model) repeatedly
+/// (Aluminum-style minimal-scenario enumeration: each returned instance is
+/// minimal, and all of its supersets are excluded from later results). The
+/// two modes should not be mixed on one finder.
+#[derive(Debug)]
+pub struct ModelFinder {
+    universe: Universe,
+    relations: Vec<RelationDecl>,
+    solver: Solver,
+    /// Free tuples with their solver variables, sorted for determinism.
+    free_vars: Vec<(RelationId, Tuple, Var)>,
+    construction_time: Duration,
+    solve_time: Duration,
+    exhausted: bool,
+}
+
+impl ModelFinder {
+    /// Time spent translating the relational problem into CNF.
+    pub fn construction_time(&self) -> Duration {
+        self.construction_time
+    }
+
+    /// Cumulative time spent inside the SAT solver.
+    pub fn solve_time(&self) -> Duration {
+        self.solve_time
+    }
+
+    /// Number of free boolean variables (primary variables).
+    pub fn num_primary_vars(&self) -> usize {
+        self.free_vars.len()
+    }
+
+    /// Total number of solver variables, including Tseitin auxiliaries.
+    pub fn num_solver_vars(&self) -> usize {
+        self.solver.num_vars()
+    }
+
+    fn timed_solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        let t0 = Instant::now();
+        let r = self.solver.solve(assumptions);
+        self.solve_time += t0.elapsed();
+        r
+    }
+
+    fn snapshot(&self) -> Vec<bool> {
+        self.free_vars
+            .iter()
+            .map(|&(_, _, v)| self.solver.is_true(v.positive()))
+            .collect()
+    }
+
+    fn decode(&self, assignment: &[bool]) -> Instance {
+        let mut rels: HashMap<RelationId, TupleSet> = HashMap::new();
+        for (i, decl) in self.relations.iter().enumerate() {
+            rels.insert(RelationId(i as u32), decl.lower().clone());
+        }
+        for (i, (rel, tuple, _)) in self.free_vars.iter().enumerate() {
+            if assignment[i] {
+                rels.get_mut(rel)
+                    .expect("free var belongs to declared relation")
+                    .insert(tuple.clone());
+            }
+        }
+        let names = self.relations.iter().map(|d| d.name().to_string()).collect();
+        Instance::new(names, rels, self.universe.clone())
+    }
+
+    /// Finds the next satisfying instance, blocking it for later calls.
+    ///
+    /// Returns `None` once the instance space is exhausted. Instances are
+    /// distinguished by their free-tuple assignment.
+    pub fn next_model(&mut self) -> Option<Instance> {
+        if self.exhausted {
+            return None;
+        }
+        if self.timed_solve(&[]) != SolveResult::Sat {
+            self.exhausted = true;
+            return None;
+        }
+        let assignment = self.snapshot();
+        if self.free_vars.is_empty() {
+            // A unique (fully determined) instance.
+            self.exhausted = true;
+            return Some(self.decode(&assignment));
+        }
+        let blocking: Vec<Lit> = self
+            .free_vars
+            .iter()
+            .zip(&assignment)
+            .map(|(&(_, _, v), &val)| v.lit(!val))
+            .collect();
+        self.solver.add_clause(&blocking);
+        Some(self.decode(&assignment))
+    }
+
+    /// Finds the next *minimal* satisfying instance.
+    ///
+    /// An instance is minimal if no other satisfying instance has a strict
+    /// subset of its free tuples. After one is returned, every superset of
+    /// its positive tuples (including itself) is excluded, so repeated calls
+    /// walk the antichain of minimal scenarios, as Aluminum does.
+    pub fn next_minimal_model(&mut self) -> Option<Instance> {
+        if self.exhausted {
+            return None;
+        }
+        if self.timed_solve(&[]) != SolveResult::Sat {
+            self.exhausted = true;
+            return None;
+        }
+        let mut assignment = self.snapshot();
+        // Shrink: repeatedly ask for a model whose positives are a strict
+        // subset of the current ones.
+        loop {
+            let positives: Vec<usize> = (0..assignment.len())
+                .filter(|&i| assignment[i])
+                .collect();
+            if positives.is_empty() {
+                break;
+            }
+            // Activation literal for the "drop at least one positive" clause.
+            let act = self.solver.new_var();
+            let mut clause: Vec<Lit> = positives
+                .iter()
+                .map(|&i| self.free_vars[i].2.negative())
+                .collect();
+            clause.push(act.negative());
+            self.solver.add_clause(&clause);
+            let mut assumptions: Vec<Lit> = vec![act.positive()];
+            for (i, &val) in assignment.iter().enumerate() {
+                if !val {
+                    assumptions.push(self.free_vars[i].2.negative());
+                }
+            }
+            if self.timed_solve(&assumptions) == SolveResult::Sat {
+                assignment = self.snapshot();
+                // Retire the activation var so its clause becomes inert.
+                self.solver.add_clause(&[act.negative()]);
+            } else {
+                self.solver.add_clause(&[act.negative()]);
+                break;
+            }
+        }
+        // Block the upward cone of this minimal model.
+        let positives: Vec<Lit> = (0..assignment.len())
+            .filter(|&i| assignment[i])
+            .map(|i| self.free_vars[i].2.negative())
+            .collect();
+        if positives.is_empty() {
+            self.exhausted = true;
+        } else {
+            self.solver.add_clause(&positives);
+        }
+        Some(self.decode(&assignment))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Expr;
+
+    fn unary_problem(n_atoms: usize) -> (Problem, RelationId) {
+        let mut u = Universe::new();
+        let atoms: Vec<_> = (0..n_atoms).map(|i| u.add(format!("a{i}"))).collect();
+        let mut p = Problem::new(u);
+        let r = p.relation(RelationDecl::free("r", TupleSet::unary_from(atoms)));
+        (p, r)
+    }
+
+    #[test]
+    fn some_forces_nonempty() {
+        let (mut p, r) = unary_problem(3);
+        p.fact(Expr::relation(r).some());
+        let inst = p.solve().expect("well-typed").expect("satisfiable");
+        assert!(!inst.tuples(r).is_empty());
+    }
+
+    #[test]
+    fn contradiction_is_unsat() {
+        let (mut p, r) = unary_problem(2);
+        p.fact(Expr::relation(r).some());
+        p.fact(Expr::relation(r).no());
+        assert!(p.solve().expect("well-typed").is_none());
+    }
+
+    #[test]
+    fn one_gives_singleton() {
+        let (mut p, r) = unary_problem(4);
+        p.fact(Expr::relation(r).one());
+        let inst = p.solve().expect("well-typed").expect("satisfiable");
+        assert_eq!(inst.tuples(r).len(), 1);
+    }
+
+    #[test]
+    fn enumeration_counts_models() {
+        // `lone r` over 3 atoms: the empty set plus 3 singletons = 4 models.
+        let (mut p, r) = unary_problem(3);
+        p.fact(Expr::relation(r).lone());
+        let mut finder = p.model_finder().expect("well-typed");
+        let mut count = 0;
+        while let Some(inst) = finder.next_model() {
+            assert!(inst.tuples(r).len() <= 1);
+            count += 1;
+            assert!(count <= 4, "too many models");
+        }
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn minimal_model_of_some_is_singleton() {
+        let (mut p, r) = unary_problem(5);
+        p.fact(Expr::relation(r).some());
+        let inst = p.solve_minimal().expect("well-typed").expect("satisfiable");
+        assert_eq!(inst.tuples(r).len(), 1, "minimal witness of `some` is a singleton");
+    }
+
+    #[test]
+    fn minimal_enumeration_walks_the_antichain() {
+        // `some r` over 3 atoms has exactly 3 minimal models (singletons).
+        let (mut p, r) = unary_problem(3);
+        p.fact(Expr::relation(r).some());
+        let mut finder = p.model_finder().expect("well-typed");
+        let mut count = 0;
+        while let Some(inst) = finder.next_minimal_model() {
+            assert_eq!(inst.tuples(r).len(), 1);
+            count += 1;
+            assert!(count <= 3);
+        }
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn quantifiers_and_join_interact() {
+        // Universe: two components, one app. cmp_app: Component -> App,
+        // constrained so every component maps to exactly one app.
+        let mut u = Universe::new();
+        let c0 = u.add("C0");
+        let c1 = u.add("C1");
+        let a0 = u.add("A0");
+        let mut p = Problem::new(u);
+        let comp = p.relation(RelationDecl::exact(
+            "Component",
+            TupleSet::unary_from([c0, c1]),
+        ));
+        let app = p.relation(RelationDecl::exact("App", TupleSet::unary_from([a0])));
+        let cmp_app = p.relation(RelationDecl::free(
+            "cmp_app",
+            TupleSet::binary_from([(c0, a0), (c1, a0)]),
+        ));
+        let v = p.fresh_var();
+        p.fact(Formula::for_all(
+            v,
+            Expr::relation(comp),
+            Expr::var(v).join(&Expr::relation(cmp_app)).one(),
+        ));
+        // Redundant but exercises join in the other direction:
+        p.fact(Expr::relation(app)
+            .join(&Expr::relation(cmp_app).transpose())
+            .some());
+        let inst = p.solve().expect("well-typed").expect("satisfiable");
+        assert_eq!(inst.tuples(cmp_app).len(), 2);
+    }
+
+    #[test]
+    fn closure_reaches_transitively() {
+        // edges is exact {(a,b),(b,c)}; fact: (a,c) in ^edges must hold —
+        // trivially true, so solvable; and (c,a) in ^edges must be
+        // unsatisfiable.
+        let mut u = Universe::new();
+        let a = u.add("a");
+        let b = u.add("b");
+        let c = u.add("c");
+        let mut p = Problem::new(u.clone());
+        let edges = p.relation(RelationDecl::exact(
+            "edges",
+            TupleSet::binary_from([(a, b), (b, c)]),
+        ));
+        p.fact(
+            Expr::atom(a)
+                .product(&Expr::atom(c))
+                .in_(&Expr::relation(edges).closure()),
+        );
+        assert!(p.solve().expect("ok").is_some());
+
+        let mut p2 = Problem::new(u);
+        let edges2 = p2.relation(RelationDecl::exact(
+            "edges",
+            TupleSet::binary_from([(a, b), (b, c)]),
+        ));
+        p2.fact(
+            Expr::atom(c)
+                .product(&Expr::atom(a))
+                .in_(&Expr::relation(edges2).closure()),
+        );
+        assert!(p2.solve().expect("ok").is_none());
+    }
+
+    #[test]
+    fn paper_style_component_app_meta_model() {
+        // The Alloy example from the paper (Fig. 4): each Component belongs
+        // to exactly one Application. With 1 app and 2 components, the
+        // instance where a component is orphaned must be excluded.
+        let mut u = Universe::new();
+        let app1 = u.add("App1");
+        let app2 = u.add("App2");
+        let c1 = u.add("Comp1");
+        let c2 = u.add("Comp2");
+        let mut p = Problem::new(u);
+        let application = p.relation(RelationDecl::exact(
+            "Application",
+            TupleSet::unary_from([app1, app2]),
+        ));
+        let component = p.relation(RelationDecl::exact(
+            "Component",
+            TupleSet::unary_from([c1, c2]),
+        ));
+        let cmps = p.relation(RelationDecl::free(
+            "cmps",
+            TupleSet::binary_from([(app1, c1), (app1, c2), (app2, c1), (app2, c2)]),
+        ));
+        // fact { all c: Component | one c.~cmps }
+        let v = p.fresh_var();
+        p.fact(Formula::for_all(
+            v,
+            Expr::relation(component),
+            Expr::var(v)
+                .join(&Expr::relation(cmps).transpose())
+                .one(),
+        ));
+        let _ = application;
+        let mut finder = p.model_finder().expect("well-typed");
+        let mut count = 0;
+        while let Some(inst) = finder.next_model() {
+            // Every model assigns each component exactly one app.
+            let ts = inst.tuples(cmps);
+            assert_eq!(ts.len(), 2);
+            count += 1;
+            assert!(count <= 4);
+        }
+        // 2 choices for c1 × 2 choices for c2.
+        assert_eq!(count, 4);
+    }
+
+    #[test]
+    fn check_returns_counterexamples_or_proves() {
+        // Facts: r is a singleton. Assertion `some r` holds; assertion
+        // `no r` has a counterexample.
+        let (mut p, r) = unary_problem(3);
+        p.fact(Expr::relation(r).one());
+        assert!(
+            p.check(Expr::relation(r).some()).expect("ok").is_none(),
+            "one(r) entails some(r)"
+        );
+        let cex = p
+            .check(Expr::relation(r).no())
+            .expect("ok")
+            .expect("counterexample exists");
+        assert_eq!(cex.tuples(r).len(), 1, "counterexample satisfies facts");
+    }
+
+    #[test]
+    fn check_is_bounded_verification() {
+        // Vacuous entailment: with an empty-upper-bound constraint the
+        // assertion holds for want of counterexamples.
+        let (mut p, r) = unary_problem(2);
+        p.fact(Expr::relation(r).no());
+        assert!(p.check(Expr::relation(r).lone()).expect("ok").is_none());
+    }
+
+    #[test]
+    fn timing_counters_accumulate() {
+        let (mut p, r) = unary_problem(6);
+        p.fact(Expr::relation(r).some());
+        let mut finder = p.model_finder().expect("well-typed");
+        let _ = finder.next_model();
+        assert!(finder.num_primary_vars() > 0);
+        assert!(finder.num_solver_vars() >= finder.num_primary_vars());
+    }
+}

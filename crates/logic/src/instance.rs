@@ -1,0 +1,88 @@
+//! Decoded model instances.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::relation::{RelationId, Tuple, TupleSet};
+use crate::universe::Universe;
+
+/// A satisfying instance: a concrete tuple set for every declared relation.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    names: Vec<String>,
+    relations: HashMap<RelationId, TupleSet>,
+    universe: Universe,
+}
+
+impl Instance {
+    pub(crate) fn new(
+        names: Vec<String>,
+        relations: HashMap<RelationId, TupleSet>,
+        universe: Universe,
+    ) -> Instance {
+        Instance {
+            names,
+            relations,
+            universe,
+        }
+    }
+
+    /// The tuples of a relation in this instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` was not declared in the problem that produced this
+    /// instance.
+    pub fn tuples(&self, r: RelationId) -> &TupleSet {
+        self.relations
+            .get(&r)
+            .expect("relation declared in the originating problem")
+    }
+
+    /// Returns `true` if the relation contains the given tuple.
+    pub fn contains(&self, r: RelationId, t: &Tuple) -> bool {
+        self.tuples(r).contains(t)
+    }
+
+    /// The universe this instance was found in (for naming atoms).
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// Total number of tuples across all relations (a size measure used by
+    /// minimality tests).
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(TupleSet::len).sum()
+    }
+
+    /// Iterates over `(relation, name, tuples)`.
+    pub fn iter(&self) -> impl Iterator<Item = (RelationId, &str, &TupleSet)> + '_ {
+        let mut ids: Vec<&RelationId> = self.relations.keys().collect();
+        ids.sort();
+        ids.into_iter()
+            .map(move |&r| (r, self.names[r.index()].as_str(), &self.relations[&r]))
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (_, name, tuples) in self.iter() {
+            write!(f, "{name} = {{")?;
+            for (i, t) in tuples.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "(")?;
+                for (j, a) in t.atoms().iter().enumerate() {
+                    if j > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{}", self.universe.name(*a))?;
+                }
+                write!(f, ")")?;
+            }
+            writeln!(f, "}}")?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,165 @@
+//! Boolean variables and literals.
+//!
+//! Variables are dense `u32` indices allocated by [`Solver::new_var`];
+//! literals pack a variable together with a sign in MiniSat's
+//! `2 * var + sign` encoding so they can index watch lists directly.
+//!
+//! [`Solver::new_var`]: crate::sat::Solver::new_var
+
+use std::fmt;
+
+/// A propositional variable.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Returns the dense index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a variable from a dense index.
+    ///
+    /// Only meaningful for indices previously handed out by a solver.
+    pub fn from_index(index: usize) -> Var {
+        Var(index as u32)
+    }
+
+    /// The positive literal of this variable.
+    pub fn positive(self) -> Lit {
+        Lit(self.0 << 1)
+    }
+
+    /// The negative literal of this variable.
+    pub fn negative(self) -> Lit {
+        Lit((self.0 << 1) | 1)
+    }
+
+    /// A literal of this variable with the given sign.
+    ///
+    /// `sign == true` yields the positive literal.
+    pub fn lit(self, sign: bool) -> Lit {
+        if sign {
+            self.positive()
+        } else {
+            self.negative()
+        }
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The variable underlying this literal.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns `true` if this is a positive (unnegated) literal.
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Dense index usable for watch lists (`2 * var + sign`).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_positive() {
+            write!(f, "v{}", self.var().0)
+        } else {
+            write!(f, "!v{}", self.var().0)
+        }
+    }
+}
+
+/// Three-valued assignment state of a variable.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Unassigned.
+    #[default]
+    Undef,
+}
+
+impl LBool {
+    /// Converts a Rust `bool`.
+    pub fn from_bool(b: bool) -> LBool {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// The value of a literal with sign applied: `True` stays `True` for a
+    /// positive literal and flips for a negative one.
+    pub fn under_sign(self, positive: bool) -> LBool {
+        match (self, positive) {
+            (LBool::Undef, _) => LBool::Undef,
+            (v, true) => v,
+            (LBool::True, false) => LBool::False,
+            (LBool::False, false) => LBool::True,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_packing_round_trips() {
+        let v = Var::from_index(7);
+        assert_eq!(v.positive().var(), v);
+        assert_eq!(v.negative().var(), v);
+        assert!(v.positive().is_positive());
+        assert!(!v.negative().is_positive());
+        assert_eq!(!v.positive(), v.negative());
+        assert_eq!(!!v.positive(), v.positive());
+    }
+
+    #[test]
+    fn lit_indices_are_adjacent() {
+        let v = Var::from_index(3);
+        assert_eq!(v.positive().index(), 6);
+        assert_eq!(v.negative().index(), 7);
+    }
+
+    #[test]
+    fn lbool_sign_application() {
+        assert_eq!(LBool::True.under_sign(false), LBool::False);
+        assert_eq!(LBool::False.under_sign(false), LBool::True);
+        assert_eq!(LBool::Undef.under_sign(false), LBool::Undef);
+        assert_eq!(LBool::True.under_sign(true), LBool::True);
+    }
+
+    #[test]
+    fn var_lit_constructor_signs() {
+        let v = Var::from_index(1);
+        assert_eq!(v.lit(true), v.positive());
+        assert_eq!(v.lit(false), v.negative());
+    }
+}

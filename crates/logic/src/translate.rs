@@ -1,0 +1,496 @@
+//! Translation of relational formulas into boolean circuits.
+//!
+//! Following Kodkod, every relation is represented as a sparse *matrix*
+//! mapping tuples to circuit nodes: lower-bound tuples map to the constant
+//! true, free tuples (upper minus lower) map to fresh circuit inputs, and
+//! everything else is absent (false). Relational operators combine matrices
+//! pointwise or by join; quantifiers expand over the bounding expression's
+//! tuples, which the finite bounds keep small.
+
+use std::collections::HashMap;
+
+use crate::ast::{Expr, Formula, QuantVar};
+use crate::circuit::{BoolRef, Circuit};
+use crate::error::{LogicError, Result};
+use crate::relation::{RelationDecl, RelationId, Tuple};
+use crate::universe::{Atom, Universe};
+
+/// A sparse boolean matrix over tuples. Absent tuples are false.
+#[derive(Clone, Debug)]
+pub(crate) struct Matrix {
+    arity: usize,
+    entries: HashMap<Tuple, BoolRef>,
+}
+
+impl Matrix {
+    fn new(arity: usize) -> Matrix {
+        Matrix {
+            arity,
+            entries: HashMap::new(),
+        }
+    }
+
+    fn get(&self, t: &Tuple) -> Option<BoolRef> {
+        self.entries.get(t).copied()
+    }
+
+    /// Inserts `value` at `t`, OR-ing with any existing entry.
+    fn accumulate(&mut self, circuit: &mut Circuit, t: Tuple, value: BoolRef) {
+        if value.is_const_false() {
+            return;
+        }
+        match self.entries.get(&t).copied() {
+            None => {
+                self.entries.insert(t, value);
+            }
+            Some(old) => {
+                let merged = circuit.or(old, value);
+                self.entries.insert(t, merged);
+            }
+        }
+    }
+}
+
+/// The output of translating a problem: a circuit, its root, and the map
+/// from circuit inputs back to `(relation, tuple)` pairs.
+#[derive(Debug)]
+pub struct Translation {
+    /// The circuit holding every gate the formula produced.
+    pub circuit: Circuit,
+    /// The root that must be asserted true.
+    pub root: BoolRef,
+    /// For each allocated circuit-input label, the free tuple it decides.
+    pub free_inputs: HashMap<u32, (RelationId, Tuple)>,
+}
+
+/// Translates `formula` (a conjunction with the problem facts is expected
+/// to have been taken by the caller) against the given bounds.
+///
+/// # Errors
+///
+/// Returns an error if the formula is ill-typed (arity mismatches,
+/// unbound variables, unknown relations).
+pub fn translate(
+    universe: &Universe,
+    relations: &[RelationDecl],
+    formula: &Formula,
+) -> Result<Translation> {
+    let mut tr = Translator {
+        universe,
+        relations,
+        circuit: Circuit::new(),
+        leaves: vec![None; relations.len()],
+        free_inputs: HashMap::new(),
+        env: HashMap::new(),
+    };
+    let root = tr.formula(formula)?;
+    Ok(Translation {
+        circuit: tr.circuit,
+        root,
+        free_inputs: tr.free_inputs,
+    })
+}
+
+struct Translator<'a> {
+    universe: &'a Universe,
+    relations: &'a [RelationDecl],
+    circuit: Circuit,
+    /// Lazily-built leaf matrices, one per relation.
+    leaves: Vec<Option<Matrix>>,
+    free_inputs: HashMap<u32, (RelationId, Tuple)>,
+    env: HashMap<QuantVar, Atom>,
+}
+
+impl<'a> Translator<'a> {
+    fn leaf(&mut self, r: RelationId) -> Result<Matrix> {
+        if r.index() >= self.relations.len() {
+            return Err(LogicError::UnknownRelation(r.0));
+        }
+        if let Some(m) = &self.leaves[r.index()] {
+            return Ok(m.clone());
+        }
+        let decl = &self.relations[r.index()];
+        let mut m = Matrix::new(decl.arity());
+        for t in decl.upper().iter() {
+            let node = if decl.lower().contains(t) {
+                self.circuit.mk_true()
+            } else {
+                let input = self.circuit.input();
+                let label = self.circuit.num_inputs() - 1;
+                self.free_inputs.insert(label, (r, t.clone()));
+                input
+            };
+            m.entries.insert(t.clone(), node);
+        }
+        self.leaves[r.index()] = Some(m.clone());
+        Ok(m)
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<Matrix> {
+        match e {
+            Expr::Relation(r) => self.leaf(*r),
+            Expr::Atom(a) => {
+                let mut m = Matrix::new(1);
+                m.entries.insert(Tuple::unary(*a), self.circuit.mk_true());
+                Ok(m)
+            }
+            Expr::Var(v) => {
+                let a = self
+                    .env
+                    .get(v)
+                    .copied()
+                    .ok_or(LogicError::UnboundVariable(v.0))?;
+                let mut m = Matrix::new(1);
+                m.entries.insert(Tuple::unary(a), self.circuit.mk_true());
+                Ok(m)
+            }
+            Expr::Union(a, b) => {
+                let ma = self.expr(a)?;
+                let mb = self.expr(b)?;
+                if ma.arity != mb.arity {
+                    return Err(LogicError::ArityMismatch {
+                        operation: "union",
+                        left: ma.arity,
+                        right: mb.arity,
+                    });
+                }
+                let mut out = ma.clone();
+                for (t, g) in mb.entries {
+                    out.accumulate(&mut self.circuit, t, g);
+                }
+                Ok(out)
+            }
+            Expr::Intersect(a, b) => {
+                let ma = self.expr(a)?;
+                let mb = self.expr(b)?;
+                if ma.arity != mb.arity {
+                    return Err(LogicError::ArityMismatch {
+                        operation: "intersection",
+                        left: ma.arity,
+                        right: mb.arity,
+                    });
+                }
+                let mut out = Matrix::new(ma.arity);
+                for (t, ga) in &ma.entries {
+                    if let Some(gb) = mb.get(t) {
+                        let both = self.circuit.and(*ga, gb);
+                        if !both.is_const_false() {
+                            out.entries.insert(t.clone(), both);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Expr::Difference(a, b) => {
+                let ma = self.expr(a)?;
+                let mb = self.expr(b)?;
+                if ma.arity != mb.arity {
+                    return Err(LogicError::ArityMismatch {
+                        operation: "difference",
+                        left: ma.arity,
+                        right: mb.arity,
+                    });
+                }
+                let mut out = Matrix::new(ma.arity);
+                for (t, ga) in &ma.entries {
+                    let g = match mb.get(t) {
+                        None => *ga,
+                        Some(gb) => self.circuit.and(*ga, !gb),
+                    };
+                    if !g.is_const_false() {
+                        out.entries.insert(t.clone(), g);
+                    }
+                }
+                Ok(out)
+            }
+            Expr::Join(a, b) => {
+                let ma = self.expr(a)?;
+                let mb = self.expr(b)?;
+                if ma.arity + mb.arity < 3 {
+                    return Err(LogicError::BadArity {
+                        operation: "join",
+                        found: ma.arity + mb.arity,
+                    });
+                }
+                Ok(self.join(&ma, &mb))
+            }
+            Expr::Product(a, b) => {
+                let ma = self.expr(a)?;
+                let mb = self.expr(b)?;
+                let mut out = Matrix::new(ma.arity + mb.arity);
+                for (ta, ga) in &ma.entries {
+                    for (tb, gb) in &mb.entries {
+                        let g = self.circuit.and(*ga, *gb);
+                        if !g.is_const_false() {
+                            out.entries.insert(ta.concat(tb), g);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            Expr::Transpose(a) => {
+                let ma = self.expr(a)?;
+                if ma.arity != 2 {
+                    return Err(LogicError::BadArity {
+                        operation: "transpose",
+                        found: ma.arity,
+                    });
+                }
+                let mut out = Matrix::new(2);
+                for (t, g) in &ma.entries {
+                    out.entries.insert(t.reversed(), *g);
+                }
+                Ok(out)
+            }
+            Expr::Closure(a) => {
+                let ma = self.expr(a)?;
+                if ma.arity != 2 {
+                    return Err(LogicError::BadArity {
+                        operation: "closure",
+                        found: ma.arity,
+                    });
+                }
+                Ok(self.closure(&ma))
+            }
+            Expr::Iden => {
+                let mut m = Matrix::new(2);
+                for a in self.universe.atoms() {
+                    m.entries
+                        .insert(Tuple::binary(a, a), self.circuit.mk_true());
+                }
+                Ok(m)
+            }
+            Expr::Univ => {
+                let mut m = Matrix::new(1);
+                for a in self.universe.atoms() {
+                    m.entries.insert(Tuple::unary(a), self.circuit.mk_true());
+                }
+                Ok(m)
+            }
+            Expr::None => Ok(Matrix::new(1)),
+        }
+    }
+
+    fn join(&mut self, a: &Matrix, b: &Matrix) -> Matrix {
+        // Index b's tuples by leading atom.
+        let mut by_first: HashMap<Atom, Vec<(&Tuple, BoolRef)>> = HashMap::new();
+        for (t, g) in &b.entries {
+            by_first.entry(t.first()).or_default().push((t, *g));
+        }
+        let mut out = Matrix::new(a.arity + b.arity - 2);
+        for (ta, ga) in &a.entries {
+            if let Some(cands) = by_first.get(&ta.last()) {
+                for (tb, gb) in cands {
+                    if let Some(t) = ta.join(tb) {
+                        let g = self.circuit.and(*ga, *gb);
+                        out.accumulate(&mut self.circuit, t, g);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Transitive closure by iterated squaring.
+    fn closure(&mut self, m: &Matrix) -> Matrix {
+        let mut acc = m.clone();
+        let mut hops = 1usize;
+        let n = self.universe.len().max(1);
+        while hops < n {
+            let squared = self.join(&acc, &acc);
+            let mut next = acc.clone();
+            for (t, g) in squared.entries {
+                next.accumulate(&mut self.circuit, t, g);
+            }
+            acc = next;
+            hops *= 2;
+        }
+        acc
+    }
+
+    fn formula(&mut self, f: &Formula) -> Result<BoolRef> {
+        match f {
+            Formula::True => Ok(self.circuit.mk_true()),
+            Formula::False => Ok(self.circuit.mk_false()),
+            Formula::Subset(a, b) => {
+                let ma = self.expr(a)?;
+                let mb = self.expr(b)?;
+                if ma.arity != mb.arity {
+                    return Err(LogicError::ArityMismatch {
+                        operation: "subset",
+                        left: ma.arity,
+                        right: mb.arity,
+                    });
+                }
+                let mut parts = Vec::with_capacity(ma.entries.len());
+                for (t, ga) in &ma.entries {
+                    let gb = mb.get(t).unwrap_or_else(|| self.circuit.mk_false());
+                    parts.push(self.circuit.implies(*ga, gb));
+                }
+                Ok(self.circuit.and_all(parts))
+            }
+            Formula::Equal(a, b) => {
+                let fwd = self.formula(&Formula::Subset(a.clone(), b.clone()))?;
+                let back = self.formula(&Formula::Subset(b.clone(), a.clone()))?;
+                Ok(self.circuit.and(fwd, back))
+            }
+            Formula::Some(e) => {
+                let m = self.expr(e)?;
+                let items: Vec<BoolRef> = m.entries.values().copied().collect();
+                Ok(self.circuit.or_all(items))
+            }
+            Formula::No(e) => {
+                let some = self.formula(&Formula::Some(e.clone()))?;
+                Ok(!some)
+            }
+            Formula::One(e) => {
+                let m = self.expr(e)?;
+                let items: Vec<BoolRef> = m.entries.values().copied().collect();
+                Ok(self.circuit.exactly_one(&items))
+            }
+            Formula::Lone(e) => {
+                let m = self.expr(e)?;
+                let items: Vec<BoolRef> = m.entries.values().copied().collect();
+                Ok(self.circuit.at_most_one(&items))
+            }
+            Formula::And(items) => {
+                let mut parts = Vec::with_capacity(items.len());
+                for i in items {
+                    parts.push(self.formula(i)?);
+                }
+                Ok(self.circuit.and_all(parts))
+            }
+            Formula::Or(items) => {
+                let mut parts = Vec::with_capacity(items.len());
+                for i in items {
+                    parts.push(self.formula(i)?);
+                }
+                Ok(self.circuit.or_all(parts))
+            }
+            Formula::Not(inner) => Ok(!self.formula(inner)?),
+            Formula::ForAll(v, bound, body) => self.quantify(*v, bound, body, true),
+            Formula::Exists(v, bound, body) => self.quantify(*v, bound, body, false),
+        }
+    }
+
+    fn quantify(
+        &mut self,
+        v: QuantVar,
+        bound: &Expr,
+        body: &Formula,
+        universal: bool,
+    ) -> Result<BoolRef> {
+        let mb = self.expr(bound)?;
+        if mb.arity != 1 {
+            return Err(LogicError::BadArity {
+                operation: "quantifier bound",
+                found: mb.arity,
+            });
+        }
+        let saved = self.env.get(&v).copied();
+        let mut parts = Vec::with_capacity(mb.entries.len());
+        // Deterministic expansion order helps circuit sharing & testing.
+        let mut items: Vec<(Tuple, BoolRef)> =
+            mb.entries.iter().map(|(t, g)| (t.clone(), *g)).collect();
+        items.sort_by(|a, b| a.0.cmp(&b.0));
+        for (t, guard) in items {
+            self.env.insert(v, t.first());
+            let b = self.formula(body)?;
+            let part = if universal {
+                self.circuit.implies(guard, b)
+            } else {
+                self.circuit.and(guard, b)
+            };
+            parts.push(part);
+        }
+        match saved {
+            Some(a) => {
+                self.env.insert(v, a);
+            }
+            None => {
+                self.env.remove(&v);
+            }
+        }
+        Ok(if universal {
+            self.circuit.and_all(parts)
+        } else {
+            self.circuit.or_all(parts)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::TupleSet;
+
+    /// Builds a 3-atom universe with an exact unary relation `s` and a free
+    /// binary relation `r` over s×s.
+    fn setup() -> (Universe, Vec<RelationDecl>, RelationId, RelationId) {
+        let mut u = Universe::new();
+        let atoms: Vec<Atom> = (0..3).map(|i| u.add(format!("x{i}"))).collect();
+        let s = TupleSet::unary_from(atoms.clone());
+        let pairs = s.product(&s);
+        let decls = vec![
+            RelationDecl::exact("s", s),
+            RelationDecl::free("r", pairs),
+        ];
+        (u, decls, RelationId(0), RelationId(1))
+    }
+
+    #[test]
+    fn exact_relation_translates_to_constants() {
+        let (u, decls, s, _r) = setup();
+        let f = Expr::relation(s).some();
+        let t = translate(&u, &decls, &f).expect("translates");
+        assert!(t.root.is_const_true());
+        assert!(t.free_inputs.is_empty());
+    }
+
+    #[test]
+    fn free_relation_allocates_inputs() {
+        let (u, decls, _s, r) = setup();
+        let f = Expr::relation(r).some();
+        let t = translate(&u, &decls, &f).expect("translates");
+        assert_eq!(t.free_inputs.len(), 9);
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let (u, decls, s, r) = setup();
+        let f = Expr::relation(s).equal(&Expr::relation(r));
+        let err = translate(&u, &decls, &f).expect_err("must fail");
+        assert!(matches!(err, LogicError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn unbound_variable_is_reported() {
+        let (u, decls, _s, _r) = setup();
+        let f = Expr::var(QuantVar::new(9)).some();
+        let err = translate(&u, &decls, &f).expect_err("must fail");
+        assert_eq!(err, LogicError::UnboundVariable(9));
+    }
+
+    #[test]
+    fn closure_requires_binary() {
+        let (u, decls, s, _r) = setup();
+        let f = Expr::relation(s).closure().some();
+        let err = translate(&u, &decls, &f).expect_err("must fail");
+        assert!(matches!(
+            err,
+            LogicError::BadArity {
+                operation: "closure",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn no_of_free_relation_is_contingent() {
+        let (u, decls, _s, r) = setup();
+        let f = Expr::relation(r).no();
+        let t = translate(&u, &decls, &f).expect("translates");
+        assert!(!t.root.is_const_true());
+        assert!(!t.root.is_const_false());
+    }
+}

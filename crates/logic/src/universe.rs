@@ -1,0 +1,143 @@
+//! Universes of atoms for bounded relational analysis.
+//!
+//! Like Alloy/Kodkod, model finding is performed within a finite universe:
+//! every relation is bounded by sets of tuples drawn from these atoms.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An atom: an index into a [`Universe`].
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Atom(pub(crate) u32);
+
+impl Atom {
+    /// Dense index of the atom within its universe.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// A finite, named collection of atoms.
+///
+/// # Examples
+///
+/// ```
+/// use separ_logic::universe::Universe;
+///
+/// let mut u = Universe::new();
+/// let app = u.add("App0");
+/// assert_eq!(u.name(app), "App0");
+/// assert_eq!(u.lookup("App0"), Some(app));
+/// assert_eq!(u.len(), 1);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct Universe {
+    names: Vec<String>,
+    index: HashMap<String, Atom>,
+}
+
+impl Universe {
+    /// Creates an empty universe.
+    pub fn new() -> Universe {
+        Universe::default()
+    }
+
+    /// Adds an atom with the given name, returning its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an atom with the same name already exists; atom names are
+    /// identities and must be unique.
+    pub fn add(&mut self, name: impl Into<String>) -> Atom {
+        let name = name.into();
+        assert!(
+            !self.index.contains_key(&name),
+            "duplicate atom name: {name}"
+        );
+        let atom = Atom(self.names.len() as u32);
+        self.index.insert(name.clone(), atom);
+        self.names.push(name);
+        atom
+    }
+
+    /// Adds an atom if absent; returns the existing handle otherwise.
+    pub fn add_or_get(&mut self, name: impl Into<String>) -> Atom {
+        let name = name.into();
+        if let Some(&a) = self.index.get(&name) {
+            return a;
+        }
+        self.add(name)
+    }
+
+    /// Looks up an atom by name.
+    pub fn lookup(&self, name: &str) -> Option<Atom> {
+        self.index.get(name).copied()
+    }
+
+    /// The name of an atom.
+    pub fn name(&self, atom: Atom) -> &str {
+        &self.names[atom.index()]
+    }
+
+    /// Number of atoms.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Returns `true` if the universe has no atoms.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all atoms in index order.
+    pub fn atoms(&self) -> impl Iterator<Item = Atom> + '_ {
+        (0..self.names.len() as u32).map(Atom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut u = Universe::new();
+        let a = u.add("x");
+        let b = u.add("y");
+        assert_ne!(a, b);
+        assert_eq!(u.lookup("x"), Some(a));
+        assert_eq!(u.lookup("z"), None);
+        assert_eq!(u.name(b), "y");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate atom name")]
+    fn duplicate_names_panic() {
+        let mut u = Universe::new();
+        u.add("x");
+        u.add("x");
+    }
+
+    #[test]
+    fn add_or_get_is_idempotent() {
+        let mut u = Universe::new();
+        let a = u.add_or_get("x");
+        let b = u.add_or_get("x");
+        assert_eq!(a, b);
+        assert_eq!(u.len(), 1);
+    }
+
+    #[test]
+    fn atoms_iterates_in_order() {
+        let mut u = Universe::new();
+        let a = u.add("x");
+        let b = u.add("y");
+        assert_eq!(u.atoms().collect::<Vec<_>>(), vec![a, b]);
+    }
+}

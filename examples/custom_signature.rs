@@ -1,0 +1,61 @@
+//! Authoring a vulnerability signature in SEPAR's textual specification
+//! language and running it through the full pipeline — the paper's
+//! "plugin-based architecture supports extensions that can be provided by
+//! users at any time", made concrete.
+//!
+//! ```sh
+//! cargo run --example custom_signature
+//! ```
+
+use separ::core::{Separ, SignatureRegistry, TextualSignature, VulnKind};
+use separ::corpus::motivating;
+
+/// The paper's Listing 5, verbatim in spirit: a forged intent launches an
+/// exported Activity/Service whose entry surface feeds a capability.
+const SERVICE_LAUNCH: &str = r"
+    vuln GeneratedServiceLaunch {
+        launched: one Component
+    } {
+        launched in exported
+        launched in Activity + Service
+        launched in MalIntent.canReceive
+        some launched.pathSource & IccRes
+        some MalIntent.extras
+    }
+";
+
+/// A signature of our own invention: a *double agent* — a component that
+/// both receives sensitive data over ICC and holds an exfiltration path.
+const DOUBLE_AGENT: &str = r"
+    vuln DoubleAgent {
+        agent: one Component
+    } {
+        agent in exported
+        some agent.pathSource & IccRes
+        some agent.pathSink & SinkRes
+        agent in MalIntent.canReceive
+    }
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut registry = SignatureRegistry::standard();
+    for (title, src) in [("Listing 5", SERVICE_LAUNCH), ("DoubleAgent", DOUBLE_AGENT)] {
+        let sig = TextualSignature::parse(src)?;
+        println!("registered textual signature '{}' ({title})", sig.spec_name());
+        registry.register(Box::new(sig));
+    }
+    let report = Separ::with_registry(registry).analyze_apks(&[
+        motivating::navigator_app(),
+        motivating::messenger_app(false),
+    ])?;
+
+    println!("\ncustom findings:");
+    for e in report.exploits_of(VulnKind::Custom) {
+        println!("  - {e}");
+    }
+    println!("\nall derived policies:");
+    for p in &report.policies {
+        println!("  #{} [{}] -> {:?}", p.id, p.vulnerability, p.action);
+    }
+    Ok(())
+}

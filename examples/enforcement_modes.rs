@@ -1,0 +1,93 @@
+//! Tour of the enforcement runtime: prompts, denials, consents, degraded
+//! mode, and the audit trail — the APE component in isolation.
+//!
+//! ```sh
+//! cargo run --example enforcement_modes
+//! ```
+
+use separ::android::types::Resource;
+use separ::core::policy::{Condition, Policy, PolicyAction, PolicyEvent};
+use separ::corpus::motivating;
+use separ::enforce::{AuditEvent, Device, PromptHandler};
+
+fn sms_guard(action: PolicyAction) -> Policy {
+    Policy {
+        id: 0,
+        vulnerability: "information-leakage".into(),
+        event: PolicyEvent::IccReceive,
+        conditions: vec![
+            Condition::ReceiverIs(motivating::MESSAGE_SENDER.into()),
+            Condition::ExtraTagged("LOCATION".into()),
+        ],
+        action,
+        rationale: "location data must not reach the SMS proxy".into(),
+    }
+}
+
+fn run_attack(device: &mut Device) {
+    device.launch("com.navigator", motivating::LOCATION_FINDER);
+    device.run_until_idle();
+}
+
+fn apps() -> Vec<separ::dex::Apk> {
+    vec![
+        motivating::navigator_app(),
+        motivating::messenger_app(false),
+        motivating::malicious_app("+15550187"),
+    ]
+}
+
+fn main() {
+    // 1. Prompt + user declines (the paper's default posture).
+    let mut device = Device::new(apps());
+    device.install_policies(vec![sms_guard(PolicyAction::Prompt)], vec![], PromptHandler::AlwaysDeny);
+    run_attack(&mut device);
+    println!(
+        "prompt/deny : leaked={} blocked={} prompts={}",
+        device.audit.leaked(Resource::Location, Resource::Sms),
+        device.audit.blocked_count(),
+        device.pdp().prompts()
+    );
+
+    // 2. Prompt + user consents: the user's call, SEPAR steps aside.
+    let mut device = Device::new(apps());
+    device.install_policies(vec![sms_guard(PolicyAction::Prompt)], vec![], PromptHandler::AlwaysAllow);
+    run_attack(&mut device);
+    println!(
+        "prompt/allow: leaked={} blocked={}",
+        device.audit.leaked(Resource::Location, Resource::Sms),
+        device.audit.blocked_count(),
+    );
+
+    // 3. Hard deny: no prompt at all.
+    let mut device = Device::new(apps());
+    device.install_policies(vec![sms_guard(PolicyAction::Deny)], vec![], PromptHandler::AlwaysAllow);
+    run_attack(&mut device);
+    println!(
+        "deny        : leaked={} blocked={} prompts={}",
+        device.audit.leaked(Resource::Location, Resource::Sms),
+        device.audit.blocked_count(),
+        device.pdp().prompts()
+    );
+
+    // 4. Degraded mode: the malicious app's ICC was skipped, nothing
+    //    crashed — walk the audit trail to see the story.
+    println!("\naudit trail of the denied run:");
+    for event in device.audit.events() {
+        match event {
+            AuditEvent::IccSent { from_component, intent, .. } => {
+                println!("  sent      {} action={:?}", from_component, intent.action)
+            }
+            AuditEvent::IccDelivered { to_component, .. } => {
+                println!("  delivered -> {to_component}")
+            }
+            AuditEvent::IccBlocked { vulnerability, to_component, .. } => {
+                println!("  BLOCKED   -> {to_component:?} [{vulnerability}]")
+            }
+            AuditEvent::SinkFired { sink, detail, .. } => {
+                println!("  sink      {sink}: {detail}")
+            }
+            _ => {}
+        }
+    }
+}

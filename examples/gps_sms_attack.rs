@@ -1,0 +1,61 @@
+//! The paper's Figure 1, end to end: synthesize the exploit, run the
+//! actual attack on the simulated device, then install the synthesized
+//! policies and watch the same attack get stopped.
+//!
+//! ```sh
+//! cargo run --example gps_sms_attack
+//! ```
+
+use separ::android::types::Resource;
+use separ::core::Separ;
+use separ::corpus::motivating;
+use separ::enforce::{Device, PromptHandler};
+
+fn main() -> Result<(), separ::logic::LogicError> {
+    let navigator = motivating::navigator_app();
+    let messenger = motivating::messenger_app(false);
+    let malicious = motivating::malicious_app("+15558666");
+
+    // ---- Phase 1: SEPAR analyzes the *benign* bundle ahead of time. ----
+    let report = Separ::new().analyze_apks(&[navigator.clone(), messenger.clone()])?;
+    println!("SEPAR synthesized {} exploit scenario(s):", report.exploits.len());
+    for e in &report.exploits {
+        println!("  - {e}");
+    }
+    println!("and derived {} polic(ies).\n", report.policies.len());
+
+    // ---- Phase 2: the unprotected device. ----
+    println!("--- attack on an UNPROTECTED device ---");
+    let mut device = Device::new(vec![navigator.clone(), messenger.clone(), malicious.clone()]);
+    device.launch("com.navigator", motivating::LOCATION_FINDER);
+    device.run_until_idle();
+    if device.audit.leaked(Resource::Location, Resource::Sms) {
+        println!("LEAK: the device location was texted to the adversary:");
+        for e in device.audit.sinks_fired(Resource::Sms) {
+            println!("  {e:?}");
+        }
+    } else {
+        println!("unexpected: attack failed without enforcement");
+    }
+
+    // ---- Phase 3: the protected device. ----
+    println!("\n--- same attack with SEPAR's policies enforced ---");
+    let mut device = Device::new(vec![navigator, messenger, malicious]);
+    device.install_policies(
+        report.policies.clone(),
+        report.apps.iter().map(|a| a.package.clone()).collect(),
+        PromptHandler::AlwaysDeny, // the user declines every prompt
+    );
+    device.launch("com.navigator", motivating::LOCATION_FINDER);
+    device.run_until_idle();
+    if device.audit.leaked(Resource::Location, Resource::Sms) {
+        println!("unexpected: the leak was not blocked!");
+    } else {
+        println!(
+            "BLOCKED: {} ICC event(s) stopped by policy, {} prompt(s) shown, 0 SMS sent.",
+            device.audit.blocked_count(),
+            device.pdp().prompts()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! **separ** — the umbrella crate of the SEPAR reproduction.
+//!
+//! SEPAR (Bagheri, Sadeghi, Jabbarvand, Malek — DSN 2016) synthesizes and
+//! enforces Android security policies for inter-app vulnerabilities. This
+//! crate re-exports the whole stack so applications can depend on one
+//! name:
+//!
+//! * [`logic`] — bounded relational-logic model finding over a CDCL SAT
+//!   core (the Alloy/Kodkod/SAT4J/Aluminum substitute);
+//! * [`dex`] — the Dalvik-like bytecode substrate with a binary container
+//!   codec, builder DSL and interpreter;
+//! * [`android`] — the modelled Android framework (types, intent
+//!   resolution, API & permission maps);
+//! * [`analysis`] — AME, the static model extractor;
+//! * [`core`] — ASE, the analysis & synthesis engine (the paper's primary
+//!   contribution): vulnerability signatures, exploit synthesis, ECA
+//!   policy derivation;
+//! * [`enforce`] — APE, the runtime policy enforcer on a simulated device;
+//! * [`corpus`] — benchmark suites, market generators, case-study apps;
+//! * [`baselines`] — the DidFail-like and AmanDroid-like comparators.
+//!
+//! # Examples
+//!
+//! Analyze the paper's motivating bundle and print the derived policies:
+//!
+//! ```
+//! use separ::core::Separ;
+//! use separ::corpus::motivating;
+//!
+//! let bundle = vec![motivating::navigator_app(), motivating::messenger_app(false)];
+//! let report = Separ::new().analyze_apks(&bundle)?;
+//! assert!(!report.policies.is_empty());
+//! # Ok::<(), separ::logic::LogicError>(())
+//! ```
+#![warn(missing_docs)]
+
+pub use separ_analysis as analysis;
+pub use separ_android as android;
+pub use separ_baselines as baselines;
+pub use separ_core as core;
+pub use separ_corpus as corpus;
+pub use separ_dex as dex;
+pub use separ_enforce as enforce;
+pub use separ_logic as logic;

@@ -1,0 +1,211 @@
+//! `separ` — the command-line front end of the reproduction.
+//!
+//! ```text
+//! separ pack <dir>                         write the demo bundle as .sdex files
+//! separ analyze <app.sdex>... [options]    run AME + ASE on a bundle
+//!     --policies-out <file>                write synthesized policies as JSON
+//!     --alloy                              print the extracted Alloy modules
+//! separ disasm <app.sdex>                  disassemble a package
+//! separ enforce <app.sdex>... --policies <file> --launch <pkg> <Class>
+//!                                          run a bundle under enforcement
+//! separ demo                               the Figure 1 attack, end to end
+//! ```
+
+use std::process::ExitCode;
+
+use separ::core::{policy_io, Separ};
+use separ::dex::codec;
+use separ::enforce::{Device, PromptHandler};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("pack") => cmd_pack(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("disasm") => cmd_disasm(&args[1..]),
+        Some("enforce") => cmd_enforce(&args[1..]),
+        Some("demo") => cmd_demo(),
+        _ => {
+            eprintln!("usage: separ <pack|analyze|disasm|enforce|demo> ...");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("separ: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), String>;
+
+fn load_apk(path: &str) -> Result<separ::dex::Apk, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    codec::decode(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `separ pack <dir>`: writes the motivating bundle as binary packages.
+fn cmd_pack(args: &[String]) -> CliResult {
+    let dir = args.first().ok_or("pack: missing output directory")?;
+    std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+    let apps = [
+        ("navigator.sdex", separ::corpus::motivating::navigator_app()),
+        ("messenger.sdex", separ::corpus::motivating::messenger_app(false)),
+        ("wallpaper.sdex", separ::corpus::motivating::malicious_app("+15550000")),
+    ];
+    for (name, apk) in apps {
+        let path = format!("{dir}/{name}");
+        std::fs::write(&path, codec::encode(&apk)).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path} ({})", apk.package());
+    }
+    Ok(())
+}
+
+/// `separ analyze <apps...>`: full pipeline, human-readable report.
+fn cmd_analyze(args: &[String]) -> CliResult {
+    let mut files = Vec::new();
+    let mut policies_out: Option<String> = None;
+    let mut print_alloy = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--policies-out" => {
+                i += 1;
+                policies_out = Some(
+                    args.get(i)
+                        .ok_or("analyze: --policies-out needs a path")?
+                        .clone(),
+                );
+            }
+            "--alloy" => print_alloy = true,
+            f => files.push(f.to_string()),
+        }
+        i += 1;
+    }
+    if files.is_empty() {
+        return Err("analyze: no input packages".into());
+    }
+    let apks: Vec<_> = files
+        .iter()
+        .map(|f| load_apk(f))
+        .collect::<Result<_, _>>()?;
+    let report = Separ::new()
+        .analyze_apks(&apks)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "bundle: {} app(s), {} component(s), {} intent(s)",
+        report.apps.len(),
+        report.stats.components,
+        report.stats.intents
+    );
+    if print_alloy {
+        println!("\n{}", separ::core::alloy_export::bundle_modules(&report.apps));
+    }
+    println!("\nexploit scenarios ({}):", report.exploits.len());
+    for e in &report.exploits {
+        println!("  - {e}");
+    }
+    println!("\npolicies ({}):", report.policies.len());
+    for p in &report.policies {
+        println!("  #{} [{}] {:?}: {:?}", p.id, p.vulnerability, p.event, p.conditions);
+    }
+    if let Some(path) = policies_out {
+        std::fs::write(&path, policy_io::to_json(&report.policies))
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("\npolicies written to {path}");
+    }
+    Ok(())
+}
+
+/// `separ disasm <app>`: textual listing.
+fn cmd_disasm(args: &[String]) -> CliResult {
+    let file = args.first().ok_or("disasm: missing input package")?;
+    let apk = load_apk(file)?;
+    print!("{}", separ::dex::disasm::package(&apk));
+    Ok(())
+}
+
+/// `separ enforce <apps...> --policies <file> --launch <pkg> <Class>`.
+fn cmd_enforce(args: &[String]) -> CliResult {
+    let mut files = Vec::new();
+    let mut policy_file: Option<String> = None;
+    let mut launch: Option<(String, String)> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--policies" => {
+                i += 1;
+                policy_file = Some(args.get(i).ok_or("enforce: --policies needs a path")?.clone());
+            }
+            "--launch" => {
+                let pkg = args.get(i + 1).ok_or("enforce: --launch needs <pkg> <Class>")?;
+                let class = args.get(i + 2).ok_or("enforce: --launch needs <pkg> <Class>")?;
+                launch = Some((pkg.clone(), class.clone()));
+                i += 2;
+            }
+            f => files.push(f.to_string()),
+        }
+        i += 1;
+    }
+    let apks: Vec<_> = files
+        .iter()
+        .map(|f| load_apk(f))
+        .collect::<Result<_, _>>()?;
+    if apks.is_empty() {
+        return Err("enforce: no input packages".into());
+    }
+    let packages: Vec<String> = apks.iter().map(|a| a.package().to_string()).collect();
+    let mut device = Device::new(apks);
+    if let Some(path) = policy_file {
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+        let policies = policy_io::from_json(&text).map_err(|e| e.to_string())?;
+        println!("installed {} polic(ies)", policies.len());
+        device.install_policies(policies, packages, PromptHandler::AlwaysDeny);
+    }
+    let (pkg, class) = launch.ok_or("enforce: --launch <pkg> <Class> is required")?;
+    if !device.launch(&pkg, &class) {
+        return Err(format!("could not launch {pkg}/{class}"));
+    }
+    let delivered = device.run_until_idle();
+    println!("processed {delivered} ICC envelope(s)\naudit:");
+    for e in device.audit.events() {
+        println!("  {e:?}");
+    }
+    Ok(())
+}
+
+/// `separ demo`: the whole Figure 1 story in one command.
+fn cmd_demo() -> CliResult {
+    use separ::android::types::Resource;
+    use separ::corpus::motivating;
+    let navigator = motivating::navigator_app();
+    let messenger = motivating::messenger_app(false);
+    let malicious = motivating::malicious_app("+15550000");
+    let report = Separ::new()
+        .analyze_apks(&[navigator.clone(), messenger.clone()])
+        .map_err(|e| e.to_string())?;
+    println!("synthesized {} exploit(s), {} polic(ies)", report.exploits.len(), report.policies.len());
+    let mut unprotected = Device::new(vec![navigator.clone(), messenger.clone(), malicious.clone()]);
+    unprotected.launch("com.navigator", motivating::LOCATION_FINDER);
+    unprotected.run_until_idle();
+    println!(
+        "unprotected: location leaked over SMS = {}",
+        unprotected.audit.leaked(Resource::Location, Resource::Sms)
+    );
+    let mut protected = Device::new(vec![navigator, messenger, malicious]);
+    protected.install_policies(
+        report.policies,
+        report.apps.iter().map(|a| a.package.clone()).collect(),
+        PromptHandler::AlwaysDeny,
+    );
+    protected.launch("com.navigator", motivating::LOCATION_FINDER);
+    protected.run_until_idle();
+    println!(
+        "protected:   location leaked over SMS = {} ({} blocked)",
+        protected.audit.leaked(Resource::Location, Resource::Sms),
+        protected.audit.blocked_count()
+    );
+    Ok(())
+}

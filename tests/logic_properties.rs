@@ -1,0 +1,154 @@
+//! Property-based tests of the relational-logic / SAT substrate.
+
+use proptest::prelude::*;
+
+use separ::logic::ast::{Expr, Formula};
+use separ::logic::relation::{RelationDecl, Tuple, TupleSet};
+use separ::logic::sat::{SolveResult, Solver};
+use separ::logic::universe::Universe;
+use separ::logic::Problem;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The CDCL solver agrees with brute force on random small CNF.
+    #[test]
+    fn cdcl_matches_brute_force(
+        clauses in prop::collection::vec(
+            prop::collection::vec((0usize..7, any::<bool>()), 1..4),
+            1..24,
+        )
+    ) {
+        let n = 7;
+        let mut brute_sat = false;
+        'assignments: for bits in 0u32..(1 << n) {
+            for clause in &clauses {
+                if !clause.iter().any(|&(v, sign)| ((bits >> v) & 1 == 1) == sign) {
+                    continue 'assignments;
+                }
+            }
+            brute_sat = true;
+            break;
+        }
+        let mut solver = Solver::new();
+        let vars: Vec<_> = (0..n).map(|_| solver.new_var()).collect();
+        for clause in &clauses {
+            let lits: Vec<_> = clause.iter().map(|&(v, sign)| vars[v].lit(sign)).collect();
+            solver.add_clause(&lits);
+        }
+        let got = solver.solve(&[]) == SolveResult::Sat;
+        prop_assert_eq!(got, brute_sat);
+        if got {
+            for clause in &clauses {
+                prop_assert!(clause.iter().any(|&(v, sign)| solver.is_true(vars[v].lit(sign))));
+            }
+        }
+    }
+
+    /// Every model the finder returns satisfies `some r` and `lone s`,
+    /// and enumeration counts exactly the expected number of models.
+    #[test]
+    fn enumeration_is_exact_for_known_spaces(n_atoms in 1usize..5) {
+        let mut u = Universe::new();
+        let atoms: Vec<_> = (0..n_atoms).map(|i| u.add(format!("a{i}"))).collect();
+        let mut p = Problem::new(u);
+        let r = p.relation(RelationDecl::free("r", TupleSet::unary_from(atoms)));
+        p.fact(Expr::relation(r).some());
+        let mut finder = p.model_finder().expect("well-typed");
+        let mut count = 0usize;
+        while let Some(inst) = finder.next_model() {
+            prop_assert!(!inst.tuples(r).is_empty());
+            count += 1;
+            prop_assert!(count <= (1 << n_atoms));
+        }
+        // Non-empty subsets of n atoms.
+        prop_assert_eq!(count, (1usize << n_atoms) - 1);
+    }
+
+    /// Minimal-model enumeration of `some r` yields exactly the singletons.
+    #[test]
+    fn minimal_models_are_singletons(n_atoms in 1usize..6) {
+        let mut u = Universe::new();
+        let atoms: Vec<_> = (0..n_atoms).map(|i| u.add(format!("a{i}"))).collect();
+        let mut p = Problem::new(u);
+        let r = p.relation(RelationDecl::free("r", TupleSet::unary_from(atoms)));
+        p.fact(Expr::relation(r).some());
+        let mut finder = p.model_finder().expect("well-typed");
+        let mut count = 0usize;
+        while let Some(inst) = finder.next_minimal_model() {
+            prop_assert_eq!(inst.tuples(r).len(), 1);
+            count += 1;
+            prop_assert!(count <= n_atoms);
+        }
+        prop_assert_eq!(count, n_atoms);
+    }
+
+    /// Transitive closure in the finder agrees with a reference
+    /// Floyd-Warshall on random digraphs.
+    #[test]
+    fn closure_matches_reference(
+        edges in prop::collection::btree_set((0usize..4, 0usize..4), 0..10)
+    ) {
+        let n = 4;
+        let mut u = Universe::new();
+        let atoms: Vec<_> = (0..n).map(|i| u.add(format!("v{i}"))).collect();
+        let mut p = Problem::new(u);
+        let e = p.relation(RelationDecl::exact(
+            "e",
+            {
+                let mut ts = TupleSet::new(2);
+                for &(a, b) in &edges {
+                    ts.insert(Tuple::binary(atoms[a], atoms[b]));
+                }
+                ts
+            },
+        ));
+        // Reference reachability.
+        let mut reach = vec![vec![false; n]; n];
+        for &(a, b) in &edges {
+            reach[a][b] = true;
+        }
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    reach[i][j] |= reach[i][k] && reach[k][j];
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                let f = Expr::atom(atoms[i])
+                    .product(&Expr::atom(atoms[j]))
+                    .in_(&Expr::relation(e).closure());
+                let mut q = Problem::new(p.universe().clone());
+                let e2 = q.relation(RelationDecl::exact(
+                    "e",
+                    p.decl(e).lower().clone(),
+                ));
+                let f = match f {
+                    Formula::Subset(a, _) => Formula::Subset(a, Expr::relation(e2).closure()),
+                    other => other,
+                };
+                q.fact(f);
+                let sat = q.solve().expect("well-typed").is_some();
+                prop_assert_eq!(sat, reach[i][j], "pair ({}, {})", i, j);
+            }
+        }
+    }
+}
+
+#[test]
+fn quantifier_scoping_restores_outer_bindings() {
+    // all x: S | (some x': S | x' in S) and x in S — nested quantifiers
+    // over the same variable id must not corrupt the outer binding.
+    let mut u = Universe::new();
+    let a = u.add("a");
+    let b = u.add("b");
+    let mut p = Problem::new(u);
+    let s = p.relation(RelationDecl::exact("S", TupleSet::unary_from([a, b])));
+    let x = p.fresh_var();
+    let inner = Formula::exists(x, Expr::relation(s), Expr::var(x).in_(&Expr::relation(s)));
+    let body = Formula::and([inner, Expr::var(x).in_(&Expr::relation(s))]);
+    p.fact(Formula::for_all(x, Expr::relation(s), body));
+    assert!(p.solve().expect("well-typed").is_some());
+}

@@ -1,0 +1,119 @@
+//! Integration: the pipeline's secondary artifacts — Alloy module export
+//! and JSON policy shipping — survive a full round trip from real
+//! binaries to a running device.
+
+use separ::core::{alloy_export, policy_io, Separ};
+use separ::corpus::motivating;
+use separ::dex::codec;
+use separ::enforce::{Device, PromptHandler};
+
+fn motivating_report() -> separ::core::Report {
+    let bundle = vec![
+        motivating::navigator_app(),
+        motivating::messenger_app(false),
+    ];
+    Separ::new().analyze_apks(&bundle).expect("analysis succeeds")
+}
+
+#[test]
+fn alloy_export_of_the_motivating_bundle_matches_listing_4() {
+    let report = motivating_report();
+    let text = alloy_export::bundle_modules(&report.apps);
+    // Listing 3 core.
+    assert!(text.contains("module androidDeclaration"));
+    assert!(text.contains("fact IFandComponent"));
+    // Listing 4(a): LocationFinder with the LOCATION -> ICC path and the
+    // showLoc intent carrying LOCATION.
+    assert!(text.contains("extends Service"));
+    assert!(text.contains("source = LOCATION"));
+    assert!(text.contains("sink = ICC"));
+    assert!(text.contains("action = showLoc"));
+    assert!(text.contains("extra = LOCATION"));
+    // Listing 4(b): MessageSender with the ICC -> SMS path and no
+    // permissions.
+    assert!(text.contains("source = ICC"));
+    assert!(text.contains("sink = SMS"));
+    assert!(text.contains("no permissions"));
+}
+
+#[test]
+fn policies_survive_json_shipping_and_still_block_the_attack() {
+    let report = motivating_report();
+    // Ship the policies as JSON, as the PDP app would receive them.
+    let json = policy_io::to_json(&report.policies);
+    let shipped = policy_io::from_json(&json).expect("valid JSON");
+    assert_eq!(shipped, report.policies);
+
+    let mut device = Device::new(vec![
+        motivating::navigator_app(),
+        motivating::messenger_app(false),
+        motivating::malicious_app("+15550000"),
+    ]);
+    device.install_policies(
+        shipped,
+        vec!["com.navigator".into(), "com.messenger".into()],
+        PromptHandler::AlwaysDeny,
+    );
+    device.launch("com.navigator", motivating::LOCATION_FINDER);
+    device.run_until_idle();
+    assert!(!device.audit.leaked(
+        separ::android::types::Resource::Location,
+        separ::android::types::Resource::Sms
+    ));
+    assert!(device.audit.blocked_count() >= 1);
+}
+
+#[test]
+fn disassembly_round_trips_through_the_codec() {
+    // Disassembling a decoded binary equals disassembling the original:
+    // the codec loses nothing the disassembler can see.
+    for apk in [
+        motivating::navigator_app(),
+        motivating::messenger_app(true),
+        motivating::malicious_app("+15550000"),
+    ] {
+        let decoded = codec::decode(&codec::encode(&apk)).expect("round-trips");
+        assert_eq!(
+            separ::dex::disasm::package(&apk),
+            separ::dex::disasm::package(&decoded)
+        );
+    }
+}
+
+#[test]
+fn incremental_delta_applies_to_a_running_device() {
+    use separ::analysis::extractor::extract_apk;
+    use separ::android::types::perm;
+    use separ::core::{IncrementalSession, SeparConfig, SignatureRegistry};
+
+    let apks = vec![
+        motivating::navigator_app(),
+        motivating::messenger_app(false),
+    ];
+    let models = apks.iter().map(extract_apk).collect();
+    let mut session = IncrementalSession::new(
+        SignatureRegistry::standard(),
+        SeparConfig::default(),
+        models,
+    )
+    .expect("analysis succeeds");
+    let mut device = Device::new(apks);
+    device.install_policies(
+        session.policies().to_vec(),
+        vec!["com.navigator".into(), "com.messenger".into()],
+        PromptHandler::AlwaysDeny,
+    );
+    let initial = device.pdp().policies().len();
+    let delta = session
+        .set_permission("com.messenger", perm::SEND_SMS, false)
+        .expect("re-analysis succeeds");
+    device.apply_policy_delta(delta.added.clone(), &delta.removed);
+    assert_eq!(
+        device.pdp().policies().len(),
+        initial - delta.removed.len() + delta.added.len()
+    );
+    // Ids stay dense after the delta.
+    for (i, p) in device.pdp().policies().iter().enumerate() {
+        assert_eq!(p.id as usize, i);
+    }
+}

@@ -1,0 +1,172 @@
+//! Differential soundness: over a grid of leak-app configurations, the
+//! static analyzer's verdict must agree with what actually happens when
+//! the app runs on the device — SEPAR reports a leak if and only if
+//! executing the app leaks tagged data into the predicted sink.
+//!
+//! (The one deliberate exception, dynamically registered receivers, is
+//! covered by its own test in `runtime_semantics.rs`.)
+
+use separ::android::types::Resource;
+use separ::baselines::{IccAnalyzer, SeparAnalyzer};
+use separ::corpus::builder::{
+    kind_for, single_app_case, Addressing, Indirection, ReceiverSpec, SenderSpec,
+};
+use separ::enforce::Device;
+use separ_android::api::IccMethod;
+
+#[derive(Clone, Copy, Debug)]
+enum Match {
+    Explicit,
+    ActionMatch,
+    ActionMismatch,
+}
+
+fn build_case(
+    via: IccMethod,
+    matching: Match,
+    indirection: Indirection,
+    dead: bool,
+    source: Resource,
+    sink: Resource,
+) -> separ::dex::Apk {
+    let addressing = match matching {
+        Match::Explicit => Addressing::Explicit,
+        Match::ActionMatch | Match::ActionMismatch => Addressing::action("grid.GO"),
+    };
+    let sender = SenderSpec {
+        source,
+        indirection,
+        dead_guard: dead,
+        ..SenderSpec::new("LGridSender;", via, addressing)
+    };
+    let mut receiver = ReceiverSpec {
+        sink,
+        exported: Some(true),
+        ..ReceiverSpec::new("LGridRecv;", kind_for(via))
+    };
+    match matching {
+        Match::Explicit => {}
+        Match::ActionMatch => {
+            receiver = receiver.with_action_filter("grid.GO");
+        }
+        Match::ActionMismatch => {
+            receiver = receiver.with_action_filter("grid.OTHER");
+        }
+    }
+    single_app_case("grid.app", &sender, &receiver)
+}
+
+/// Executes every component entry once and reports whether tagged data
+/// reached the sink.
+fn runtime_leaks(apk: &separ::dex::Apk, source: Resource, sink: Resource) -> bool {
+    let mut device = Device::new(vec![apk.clone()]);
+    let classes: Vec<String> = apk
+        .manifest
+        .components
+        .iter()
+        .map(|c| c.class.clone())
+        .collect();
+    for class in classes {
+        device.launch("grid.app", &class);
+        device.run_until_idle();
+    }
+    device.audit.leaked(source, sink)
+}
+
+#[test]
+fn static_and_runtime_verdicts_agree_across_the_grid() {
+    let vias = [
+        IccMethod::StartService,
+        IccMethod::SendBroadcast,
+        IccMethod::StartActivity,
+    ];
+    let matches = [Match::Explicit, Match::ActionMatch, Match::ActionMismatch];
+    let indirections = [Indirection::None, Indirection::Helper, Indirection::Field];
+    let combos = [
+        (Resource::Location, Resource::Log),
+        (Resource::DeviceId, Resource::Sms),
+    ];
+    let mut checked = 0;
+    for &via in &vias {
+        for &matching in &matches {
+            for &indirection in &indirections {
+                for &dead in &[false, true] {
+                    let (source, sink) = combos[checked % combos.len()];
+                    let apk = build_case(via, matching, indirection, dead, source, sink);
+                    let static_leak = !SeparAnalyzer.find_leaks(&[apk.clone()]).is_empty();
+                    let dynamic_leak = runtime_leaks(&apk, source, sink);
+                    let expected = !dead && !matches!(matching, Match::ActionMismatch);
+                    assert_eq!(
+                        static_leak, expected,
+                        "static verdict for {via:?}/{matching:?}/{indirection:?} dead={dead}"
+                    );
+                    assert_eq!(
+                        dynamic_leak, expected,
+                        "runtime verdict for {via:?}/{matching:?}/{indirection:?} dead={dead}"
+                    );
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(checked, 54);
+}
+
+#[test]
+fn category_and_data_dimensions_agree_too() {
+    // Matching and mismatching category / type / scheme combinations.
+    use separ::dex::manifest::IntentFilterDecl;
+    struct Dim {
+        name: &'static str,
+        send_cat: Option<&'static str>,
+        send_type: Option<&'static str>,
+        send_scheme: Option<&'static str>,
+        filt_cat: Option<&'static str>,
+        filt_type: Option<&'static str>,
+        filt_scheme: Option<&'static str>,
+        expect: bool,
+    }
+    let dims = [
+        Dim { name: "cat_match", send_cat: Some("c.D"), send_type: None, send_scheme: None,
+              filt_cat: Some("c.D"), filt_type: None, filt_scheme: None, expect: true },
+        Dim { name: "cat_mismatch", send_cat: Some("c.D"), send_type: None, send_scheme: None,
+              filt_cat: None, filt_type: None, filt_scheme: None, expect: false },
+        Dim { name: "type_match", send_cat: None, send_type: Some("text/plain"), send_scheme: None,
+              filt_cat: None, filt_type: Some("text/plain"), filt_scheme: None, expect: true },
+        Dim { name: "type_mismatch", send_cat: None, send_type: Some("text/plain"), send_scheme: None,
+              filt_cat: None, filt_type: Some("image/png"), filt_scheme: None, expect: false },
+        Dim { name: "scheme_match", send_cat: None, send_type: None, send_scheme: Some("content"),
+              filt_cat: None, filt_type: None, filt_scheme: Some("content"), expect: true },
+        Dim { name: "scheme_mismatch", send_cat: None, send_type: None, send_scheme: Some("content"),
+              filt_cat: None, filt_type: None, filt_scheme: Some("ftp"), expect: false },
+    ];
+    for d in &dims {
+        let sender = SenderSpec {
+            source: Resource::Location,
+            ..SenderSpec::new(
+                "LGridSender;",
+                IccMethod::StartService,
+                Addressing::Implicit {
+                    action: "grid.DIM".into(),
+                    categories: d.send_cat.iter().map(|s| s.to_string()).collect(),
+                    data_type: d.send_type.map(String::from),
+                    data_scheme: d.send_scheme.map(String::from),
+                },
+            )
+        };
+        let mut filter = IntentFilterDecl::for_actions(["grid.DIM"]);
+        filter.categories = d.filt_cat.iter().map(|s| s.to_string()).collect();
+        filter.data_types = d.filt_type.iter().map(|s| s.to_string()).collect();
+        filter.data_schemes = d.filt_scheme.iter().map(|s| s.to_string()).collect();
+        let receiver = ReceiverSpec {
+            filter: Some(filter),
+            sink: Resource::Log,
+            ..ReceiverSpec::new("LGridRecv;", kind_for(IccMethod::StartService))
+        };
+        let apk = single_app_case("grid.app", &sender, &receiver);
+        let static_leak = !SeparAnalyzer.find_leaks(&[apk.clone()]).is_empty();
+        let dynamic_leak = runtime_leaks(&apk, Resource::Location, Resource::Log);
+        assert_eq!(static_leak, d.expect, "static: {}", d.name);
+        assert_eq!(dynamic_leak, d.expect, "runtime: {}", d.name);
+    }
+}
