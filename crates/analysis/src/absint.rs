@@ -120,7 +120,11 @@ impl AbsValue {
         }
         if !self.strings.is_empty() {
             // Strings are non-null references.
-            return if self.ints.is_empty() { Some(true) } else { None };
+            return if self.ints.is_empty() {
+                Some(true)
+            } else {
+                None
+            };
         }
         if self.ints.len() == 1 {
             return Some(*self.ints.iter().next().expect("len 1") != 0);
@@ -302,8 +306,10 @@ impl Frame {
 
 impl<'a> Engine<'a> {
     fn new(apk: &'a Apk, options: AnalysisOptions) -> Engine<'a> {
-        let mut received = AbstractIntent::default();
-        received.is_received = true;
+        let received = AbstractIntent {
+            is_received: true,
+            ..Default::default()
+        };
         Engine {
             dex: &apk.dex,
             options,
@@ -337,7 +343,10 @@ impl<'a> Engine<'a> {
         self.fields
             .values()
             .map(|v| {
-                v.strings.len() + v.ints.len() + v.taints.len() + v.intents.len()
+                v.strings.len()
+                    + v.ints.len()
+                    + v.taints.len()
+                    + v.intents.len()
                     + usize::from(v.unknown)
             })
             .sum::<usize>()
@@ -403,8 +412,7 @@ impl<'a> Engine<'a> {
             match instr {
                 Instr::Nop => succs.push(pc + 1),
                 Instr::ConstString { dst, value } => {
-                    next.regs[dst.index()] =
-                        AbsValue::of_string(self.dex.pools.str_at(*value));
+                    next.regs[dst.index()] = AbsValue::of_string(self.dex.pools.str_at(*value));
                     succs.push(pc + 1);
                 }
                 Instr::ConstInt { dst, value } => {
@@ -455,8 +463,11 @@ impl<'a> Engine<'a> {
                         self.dex.pools.type_at(fref.class).to_string(),
                         self.dex.pools.str_at(fref.name).to_string(),
                     );
-                    next.regs[dst.index()] =
-                        self.fields.get(&fkey).cloned().unwrap_or_else(AbsValue::top);
+                    next.regs[dst.index()] = self
+                        .fields
+                        .get(&fkey)
+                        .cloned()
+                        .unwrap_or_else(AbsValue::top);
                     succs.push(pc + 1);
                 }
                 Instr::IPut { src, object, field } => {
@@ -476,8 +487,11 @@ impl<'a> Engine<'a> {
                         self.dex.pools.type_at(fref.class).to_string(),
                         self.dex.pools.str_at(fref.name).to_string(),
                     );
-                    next.regs[dst.index()] =
-                        self.fields.get(&fkey).cloned().unwrap_or_else(AbsValue::top);
+                    next.regs[dst.index()] = self
+                        .fields
+                        .get(&fkey)
+                        .cloned()
+                        .unwrap_or_else(AbsValue::top);
                     succs.push(pc + 1);
                 }
                 Instr::SPut { src, field } => {
@@ -678,19 +692,13 @@ impl<'a> Engine<'a> {
                 // API: propagate taint conservatively.
                 if let Some(ty) = self.dex.pools.find_type(&class) {
                     if let Some((def_ty, _)) = self.dex.resolve_method(ty, &name) {
-                        if let Some(ci) =
-                            self.dex.classes.iter().position(|c| c.ty == def_ty)
-                        {
+                        if let Some(ci) = self.dex.classes.iter().position(|c| c.ty == def_ty) {
                             if let Some(mi) = self.dex.classes[ci]
                                 .methods
                                 .iter()
                                 .position(|m| self.dex.pools.str_at(m.name) == name)
                             {
-                                return self.analyze_method(
-                                    (ci, mi),
-                                    args.to_vec(),
-                                    depth + 1,
-                                );
+                                return self.analyze_method((ci, mi), args.to_vec(), depth + 1);
                             }
                         }
                     }
@@ -789,7 +797,12 @@ mod tests {
         let loc = m.reg();
         let intent = m.reg();
         let s = m.reg();
-        m.invoke_virtual(class::LOCATION_MANAGER, "getLastKnownLocation", &[loc], true);
+        m.invoke_virtual(
+            class::LOCATION_MANAGER,
+            "getLastKnownLocation",
+            &[loc],
+            true,
+        );
         m.move_result(loc);
         m.new_instance(intent, class::INTENT);
         m.const_string(s, "showLoc");
@@ -827,9 +840,7 @@ mod tests {
         assert!(sent[0].extra_taints.contains(&Resource::Location));
         assert!(sent[0].sent_via.contains(&IccMethod::StartService));
         // Location permission usage recorded.
-        assert!(facts
-            .used_permissions
-            .contains(perm::ACCESS_FINE_LOCATION));
+        assert!(facts.used_permissions.contains(perm::ACCESS_FINE_LOCATION));
     }
 
     /// Builds Listing 2's MessageSender: reads intent extras, sends SMS,
@@ -901,7 +912,12 @@ mod tests {
             let p = m.reg();
             let r = m.reg();
             m.const_string(p, perm::SEND_SMS);
-            m.invoke_virtual(class::CONTEXT, "checkCallingPermission", &[m.this(), p], true);
+            m.invoke_virtual(
+                class::CONTEXT,
+                "checkCallingPermission",
+                &[m.this(), p],
+                true,
+            );
             m.move_result(r);
             m.ret(r);
             m.finish();
@@ -950,7 +966,12 @@ mod tests {
         m.const_int(flag, 0);
         m.if_eqz(flag, skip);
         // Unreachable leak:
-        m.invoke_virtual(class::LOCATION_MANAGER, "getLastKnownLocation", &[loc], true);
+        m.invoke_virtual(
+            class::LOCATION_MANAGER,
+            "getLastKnownLocation",
+            &[loc],
+            true,
+        );
         m.move_result(loc);
         m.invoke_virtual(class::SMS_MANAGER, "sendTextMessage", &[loc], false);
         m.bind(skip);
@@ -959,7 +980,11 @@ mod tests {
         cb.finish();
         let apk = apk.finish();
         let facts = analyze_component(&apk, "LDead;");
-        assert!(facts.flows.is_empty(), "dead leak must be ignored: {:?}", facts.flows);
+        assert!(
+            facts.flows.is_empty(),
+            "dead leak must be ignored: {:?}",
+            facts.flows
+        );
     }
 
     #[test]
@@ -1048,7 +1073,12 @@ mod tests {
         m.new_instance(i, class::INTENT);
         m.const_string(t, "Lcom/other/Target;");
         m.invoke_virtual(class::INTENT, "setClassName", &[i, t], false);
-        m.invoke_virtual(class::ACTIVITY, "startActivityForResult", &[m.this(), i], false);
+        m.invoke_virtual(
+            class::ACTIVITY,
+            "startActivityForResult",
+            &[m.this(), i],
+            false,
+        );
         m.ret_void();
         m.finish();
         cb.finish();

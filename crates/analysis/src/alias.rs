@@ -93,25 +93,20 @@ pub fn backward_slice(
                 continue_with.push(Tracked::Reg(*src));
             }
             (Tracked::Reg(r), Instr::IGet { dst, field, .. })
-            | (Tracked::Reg(r), Instr::SGet { dst, field }) if dst == r => {
+            | (Tracked::Reg(r), Instr::SGet { dst, field })
+                if dst == r =>
+            {
                 slice.insert(at);
                 let fref = pools.field_at(*field);
-                let fname = format!(
-                    "{}->{}",
-                    pools.type_at(fref.class),
-                    pools.str_at(fref.name)
-                );
+                let fname = format!("{}->{}", pools.type_at(fref.class), pools.str_at(fref.name));
                 result.fields.insert(fname.clone());
                 continue_with.push(Tracked::Field(fname));
             }
             (Tracked::Field(fname), Instr::IPut { src, field, .. })
             | (Tracked::Field(fname), Instr::SPut { src, field }) => {
                 let fref = pools.field_at(*field);
-                let this_name = format!(
-                    "{}->{}",
-                    pools.type_at(fref.class),
-                    pools.str_at(fref.name)
-                );
+                let this_name =
+                    format!("{}->{}", pools.type_at(fref.class), pools.str_at(fref.name));
                 if this_name == *fname {
                     slice.insert(at);
                     result.aliases.insert(*src);
@@ -152,11 +147,7 @@ pub fn backward_slice(
 
 /// Renders a slice as a human-readable explanation against the method's
 /// disassembly (used by flow-provenance diagnostics).
-pub fn explain(
-    method: &Method,
-    dex: &separ_dex::program::Dex,
-    slice: &BackwardSlice,
-) -> String {
+pub fn explain(method: &Method, dex: &separ_dex::program::Dex, slice: &BackwardSlice) -> String {
     use std::fmt::Write;
     let mut out = String::new();
     let _ = writeln!(

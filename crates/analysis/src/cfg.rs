@@ -52,11 +52,12 @@ impl Cfg {
         let mut blocks = Vec::new();
         let mut block_of = vec![0u32; n];
         let mut start = 0usize;
+        #[allow(clippy::needless_range_loop)] // index math over two arrays is clearer here
         for i in 1..=n {
             if i == n || is_leader[i] {
                 let b = blocks.len() as u32;
-                for pc in start..i {
-                    block_of[pc] = b;
+                for slot in block_of.iter_mut().take(i).skip(start) {
+                    *slot = b;
                 }
                 blocks.push(Block {
                     start: start as u32,

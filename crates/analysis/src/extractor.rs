@@ -62,9 +62,8 @@ pub fn extract_apk_with(apk: &Apk, options: crate::absint::AnalysisOptions) -> A
     // exported, as runtime-registered receivers are reachable).
     for (class, action) in dynamic_filters {
         if let Some(c) = components.iter_mut().find(|c| c.class == class) {
-            c.filters.push(
-                separ_dex::manifest::IntentFilterDecl::for_actions([action]),
-            );
+            c.filters
+                .push(separ_dex::manifest::IntentFilterDecl::for_actions([action]));
             c.exported = true;
         }
     }
@@ -98,8 +97,7 @@ fn flatten_intents(intents: &[AbstractIntent]) -> Vec<SentIntentModel> {
         let actions: Vec<Option<String>> = if ai.actions.is_empty() {
             vec![None]
         } else {
-            let mut v: Vec<Option<String>> =
-                ai.actions.iter().cloned().map(Some).collect();
+            let mut v: Vec<Option<String>> = ai.actions.iter().cloned().map(Some).collect();
             if ai.actions_unknown {
                 v.push(None);
             }
@@ -173,7 +171,12 @@ mod tests {
             let loc = m.reg();
             let intent = m.reg();
             let s = m.reg();
-            m.invoke_virtual(class::LOCATION_MANAGER, "getLastKnownLocation", &[loc], true);
+            m.invoke_virtual(
+                class::LOCATION_MANAGER,
+                "getLastKnownLocation",
+                &[loc],
+                true,
+            );
             m.move_result(loc);
             m.new_instance(intent, class::INTENT);
             m.const_string(s, "showLoc");

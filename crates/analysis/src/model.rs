@@ -279,7 +279,8 @@ mod tests {
     fn unguarded_check_considers_both_layers() {
         let mut c = component("LX;", vec![]);
         assert!(c.is_unguarded_for("android.permission.SEND_SMS"));
-        c.dynamic_checks.insert("android.permission.SEND_SMS".into());
+        c.dynamic_checks
+            .insert("android.permission.SEND_SMS".into());
         assert!(!c.is_unguarded_for("android.permission.SEND_SMS"));
         c.dynamic_checks.clear();
         c.enforced_permission = Some("android.permission.SEND_SMS".into());

@@ -158,15 +158,50 @@ fn table() -> &'static ApiTable {
 
         // --- Intent configuration ---
         put(class::INTENT, "<init>", K::IntentConfig(C::Init), None);
-        put(class::INTENT, "setAction", K::IntentConfig(C::SetAction), None);
-        put(class::INTENT, "addCategory", K::IntentConfig(C::AddCategory), None);
+        put(
+            class::INTENT,
+            "setAction",
+            K::IntentConfig(C::SetAction),
+            None,
+        );
+        put(
+            class::INTENT,
+            "addCategory",
+            K::IntentConfig(C::AddCategory),
+            None,
+        );
         put(class::INTENT, "setType", K::IntentConfig(C::SetType), None);
         put(class::INTENT, "setData", K::IntentConfig(C::SetData), None);
-        put(class::INTENT, "setDataAndType", K::IntentConfig(C::SetData), None);
-        put(class::INTENT, "putExtra", K::IntentConfig(C::PutExtra), None);
-        put(class::INTENT, "setClassName", K::IntentConfig(C::SetTarget), None);
-        put(class::INTENT, "setComponent", K::IntentConfig(C::SetTarget), None);
-        put(class::INTENT, "setClass", K::IntentConfig(C::SetTarget), None);
+        put(
+            class::INTENT,
+            "setDataAndType",
+            K::IntentConfig(C::SetData),
+            None,
+        );
+        put(
+            class::INTENT,
+            "putExtra",
+            K::IntentConfig(C::PutExtra),
+            None,
+        );
+        put(
+            class::INTENT,
+            "setClassName",
+            K::IntentConfig(C::SetTarget),
+            None,
+        );
+        put(
+            class::INTENT,
+            "setComponent",
+            K::IntentConfig(C::SetTarget),
+            None,
+        );
+        put(
+            class::INTENT,
+            "setClass",
+            K::IntentConfig(C::SetTarget),
+            None,
+        );
 
         // --- Intent reads (ICC sources) ---
         for m in [
@@ -204,9 +239,24 @@ fn table() -> &'static ApiTable {
         put(class::CONTEXT, "registerReceiver", K::DynamicRegister, None);
 
         // --- permission check ---
-        put(class::CONTEXT, "checkCallingPermission", K::PermissionCheck, None);
-        put(class::ACTIVITY, "checkCallingPermission", K::PermissionCheck, None);
-        put(class::SERVICE, "checkCallingPermission", K::PermissionCheck, None);
+        put(
+            class::CONTEXT,
+            "checkCallingPermission",
+            K::PermissionCheck,
+            None,
+        );
+        put(
+            class::ACTIVITY,
+            "checkCallingPermission",
+            K::PermissionCheck,
+            None,
+        );
+        put(
+            class::SERVICE,
+            "checkCallingPermission",
+            K::PermissionCheck,
+            None,
+        );
 
         // --- sources ---
         put(
@@ -374,7 +424,9 @@ pub fn component_super(kind: separ_dex::ComponentKind) -> &'static str {
 /// The lifecycle entry-point method names of each component kind.
 pub fn entry_points(kind: separ_dex::ComponentKind) -> &'static [&'static str] {
     match kind {
-        separ_dex::ComponentKind::Activity => &["onCreate", "onStart", "onResume", "onActivityResult"],
+        separ_dex::ComponentKind::Activity => {
+            &["onCreate", "onStart", "onResume", "onActivityResult"]
+        }
         separ_dex::ComponentKind::Service => &["onStartCommand", "onBind", "onCreate"],
         separ_dex::ComponentKind::Receiver => &["onReceive"],
         separ_dex::ComponentKind::Provider => &["query", "insert", "update", "delete", "onCreate"],
@@ -399,7 +451,10 @@ mod tests {
             classify(class::CONTEXT, "startService"),
             ApiKind::Icc(IccMethod::StartService)
         );
-        assert_eq!(classify(class::INTENT, "getStringExtra"), ApiKind::IntentRead);
+        assert_eq!(
+            classify(class::INTENT, "getStringExtra"),
+            ApiKind::IntentRead
+        );
         assert_eq!(
             classify(class::CONTEXT, "checkCallingPermission"),
             ApiKind::PermissionCheck

@@ -143,8 +143,7 @@ mod tests {
         f.categories = vec!["android.intent.category.DEFAULT".into()];
         let plain = IntentData::for_action("a");
         assert!(category_test(&plain, &f), "no categories always passes");
-        let with_cat =
-            IntentData::for_action("a").with_category("android.intent.category.DEFAULT");
+        let with_cat = IntentData::for_action("a").with_category("android.intent.category.DEFAULT");
         assert!(category_test(&with_cat, &f));
         let extra_cat = IntentData::for_action("a").with_category("other");
         assert!(!category_test(&extra_cat, &f));
@@ -156,7 +155,10 @@ mod tests {
         let plain = IntentData::for_action("a");
         assert!(data_test(&plain, &f));
         f.data_types = vec!["text/plain".into()];
-        assert!(!data_test(&plain, &f), "filter demands data, intent has none");
+        assert!(
+            !data_test(&plain, &f),
+            "filter demands data, intent has none"
+        );
         let mut typed = IntentData::for_action("a");
         typed.data_type = Some("text/plain".into());
         assert!(data_test(&typed, &f));
@@ -166,7 +168,10 @@ mod tests {
         let mut schemed = IntentData::for_action("a");
         schemed.data_scheme = Some("https".into());
         let mut f2 = filter(&["a"]);
-        assert!(!data_test(&schemed, &f2), "intent has scheme, filter doesn't");
+        assert!(
+            !data_test(&schemed, &f2),
+            "intent has scheme, filter doesn't"
+        );
         f2.data_schemes = vec!["https".into()];
         assert!(data_test(&schemed, &f2));
     }

@@ -31,7 +31,8 @@ pub mod perm {
     /// Read call log.
     pub const READ_CALL_LOG: &str = "android.permission.READ_CALL_LOG";
     /// Read browser history/bookmarks.
-    pub const READ_HISTORY_BOOKMARKS: &str = "com.android.browser.permission.READ_HISTORY_BOOKMARKS";
+    pub const READ_HISTORY_BOOKMARKS: &str =
+        "com.android.browser.permission.READ_HISTORY_BOOKMARKS";
     /// Access accounts.
     pub const GET_ACCOUNTS: &str = "android.permission.GET_ACCOUNTS";
     /// Place phone calls.

@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use separ_analysis::extractor::extract_apk;
-use separ_core::Separ;
+use separ_core::{Separ, SeparConfig};
 use separ_corpus::market::{generate, MarketSpec};
 use separ_corpus::motivating;
 use separ_enforce::{Device, PromptHandler};
@@ -52,6 +52,33 @@ fn bench_synthesis(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serial vs parallel executor on the same bundle. On multi-core hosts
+/// the `threads/0` (all cores) rows should beat `threads/1`; on a
+/// single-core host they document that the fan-out overhead is noise.
+/// Either way the reports are identical (see `tests/determinism.rs`).
+fn bench_parallelism(c: &mut Criterion) {
+    let market: Vec<_> = generate(&MarketSpec::scaled(24, 0xD5_7E_2A))
+        .into_iter()
+        .map(|m| m.apk)
+        .collect();
+    let mut group = c.benchmark_group("exec");
+    group.sample_size(10);
+    for threads in [1usize, 0] {
+        group.bench_with_input(
+            BenchmarkId::new("analyze_apks_threads", threads),
+            &threads,
+            |b, &threads| {
+                let separ = Separ::new().with_config(SeparConfig {
+                    threads,
+                    ..SeparConfig::default()
+                });
+                b.iter(|| separ.analyze_apks(&market).expect("succeeds"));
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_enforcement(c: &mut Criterion) {
     let apps = vec![
         motivating::navigator_app(),
@@ -82,5 +109,11 @@ fn bench_enforcement(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_extraction, bench_synthesis, bench_enforcement);
+criterion_group!(
+    benches,
+    bench_extraction,
+    bench_synthesis,
+    bench_parallelism,
+    bench_enforcement
+);
 criterion_main!(benches);

@@ -17,6 +17,7 @@ fn pigeonhole_sat(n: usize) -> SolveResult {
     for row in &p {
         s.add_clause(row);
     }
+    #[allow(clippy::needless_range_loop)] // triple-index form is the textbook encoding
     for j in 0..n {
         for i in 0..n {
             for k in (i + 1)..n {
@@ -37,6 +38,7 @@ fn pigeonhole_unsat(n: usize) -> SolveResult {
     for row in &p {
         s.add_clause(row);
     }
+    #[allow(clippy::needless_range_loop)] // triple-index form is the textbook encoding
     for j in 0..n {
         for i in 0..=n {
             for k in (i + 1)..=n {
@@ -125,5 +127,10 @@ fn bench_minimality_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sat, bench_translate, bench_minimality_ablation);
+criterion_group!(
+    benches,
+    bench_sat,
+    bench_translate,
+    bench_minimality_ablation
+);
 criterion_main!(benches);

@@ -7,15 +7,27 @@ fn main() {
     let market = separ_corpus::market::generate(&spec);
     let apks: Vec<_> = market.into_iter().map(|m| m.apk).collect();
     let t0 = Instant::now();
-    let mut apps: Vec<_> = apks.iter().map(separ_analysis::extractor::extract_apk).collect();
+    let mut apps: Vec<_> = apks
+        .iter()
+        .map(separ_analysis::extractor::extract_apk)
+        .collect();
     println!("extract: {:?}", t0.elapsed());
     separ_analysis::model::update_passive_intent_targets(&mut apps);
     let t1 = Instant::now();
     let enc = separ_core::encode::encode_bundle(&apps);
-    println!("encode: {:?} (universe {})", t1.elapsed(), enc.problem.universe().len());
+    println!(
+        "encode: {:?} (universe {})",
+        t1.elapsed(),
+        enc.problem.universe().len()
+    );
     let t2 = Instant::now();
     let report = separ_core::Separ::new().analyze_models(apps).unwrap();
-    println!("full ASE: {:?} construction={:?} solving={:?} vars={}",
-        t2.elapsed(), report.stats.construction, report.stats.solving, report.stats.primary_vars);
+    println!(
+        "full ASE: {:?} construction={:?} solving={:?} vars={}",
+        t2.elapsed(),
+        report.stats.construction,
+        report.stats.solving,
+        report.stats.primary_vars
+    );
     println!("exploits: {}", report.exploits.len());
 }

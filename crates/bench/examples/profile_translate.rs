@@ -6,17 +6,31 @@ fn main() {
     let spec = separ_corpus::market::MarketSpec::scaled(50, 7);
     let market = separ_corpus::market::generate(&spec);
     let apks: Vec<_> = market.into_iter().map(|m| m.apk).collect();
-    let mut apps: Vec<_> = apks.iter().map(separ_analysis::extractor::extract_apk).collect();
+    let mut apps: Vec<_> = apks
+        .iter()
+        .map(separ_analysis::extractor::extract_apk)
+        .collect();
     separ_analysis::model::update_passive_intent_targets(&mut apps);
     for (name, sig) in [
-        ("hijack", &separ_core::vulns::IntentHijackSignature as &dyn VulnerabilitySignature),
+        (
+            "hijack",
+            &separ_core::vulns::IntentHijackSignature as &dyn VulnerabilitySignature,
+        ),
         ("launch", &separ_core::vulns::ComponentLaunchSignature),
-        ("escalation", &separ_core::vulns::PrivilegeEscalationSignature),
+        (
+            "escalation",
+            &separ_core::vulns::PrivilegeEscalationSignature,
+        ),
         ("leakage", &separ_core::vulns::InformationLeakageSignature),
     ] {
         let t = Instant::now();
         let syn = sig.synthesize(&apps, 64).unwrap();
-        println!("{name}: total={:?} constr={:?} solve={:?} exploits={}",
-            t.elapsed(), syn.construction, syn.solving, syn.exploits.len());
+        println!(
+            "{name}: total={:?} constr={:?} solve={:?} exploits={}",
+            t.elapsed(),
+            syn.construction,
+            syn.solving,
+            syn.exploits.len()
+        );
     }
 }

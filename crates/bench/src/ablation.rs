@@ -52,10 +52,9 @@ pub fn private_component_elimination(apps_count: usize, seed: u64) -> Eliminatio
         ));
         let w_e = Expr::relation(w);
         enc.problem.fact(w_e.one());
-        enc.problem.fact(w_e.in_(
-            &Expr::atom(enc.atoms.mal_intent)
-                .join(&Expr::relation(enc.rels.can_receive)),
-        ));
+        enc.problem.fact(
+            w_e.in_(&Expr::atom(enc.atoms.mal_intent).join(&Expr::relation(enc.rels.can_receive))),
+        );
         let finder = enc.problem.model_finder().expect("well-typed");
         let vars = finder.num_primary_vars();
         // Behaviour measurement: the launch signature end to end. (The
@@ -103,10 +102,7 @@ pub fn minimality(n: usize) -> MinimalityAblation {
         p
     };
     let t0 = Instant::now();
-    let plain = build()
-        .solve()
-        .expect("well-typed")
-        .expect("satisfiable");
+    let plain = build().solve().expect("well-typed").expect("satisfiable");
     let plain_time = t0.elapsed();
     let t1 = Instant::now();
     let minimal = build()

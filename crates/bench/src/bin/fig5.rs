@@ -1,10 +1,7 @@
 //! Regenerates Figure 5. Usage: `fig5 [total_apps] [seed] [--csv]`.
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let total = args
-        .first()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(4000);
+    let total = args.first().and_then(|a| a.parse().ok()).unwrap_or(4000);
     let seed = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(0x5E9A12);
     let f = separ_bench::fig5::run(total, seed);
     if args.iter().any(|a| a == "--csv") {

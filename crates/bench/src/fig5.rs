@@ -87,7 +87,12 @@ impl Fig5 {
     pub fn to_csv(&self) -> String {
         let mut out = String::from("repository,size,micros\n");
         for p in &self.points {
-            out.push_str(&format!("{},{},{}\n", p.repository.name(), p.size, p.micros));
+            out.push_str(&format!(
+                "{},{},{}\n",
+                p.repository.name(),
+                p.size,
+                p.micros
+            ));
         }
         out
     }

@@ -8,8 +8,8 @@
 
 use std::collections::BTreeSet;
 
-use separ_analysis::extractor::extract_apk;
-use separ_core::{Separ, VulnKind};
+use separ_core::exec::Executor;
+use separ_core::{Separ, SeparConfig, VulnKind};
 use separ_corpus::market::{generate, MarketSpec};
 
 /// The census result.
@@ -40,32 +40,22 @@ pub fn run(bundle_count: usize, bundle_size: usize, seed: u64) -> Census {
         .take(bundle_count)
         .map(<[separ_dex::Apk]>::to_vec)
         .collect();
+    // Bundles simulate independent devices: fan them out on the shared
+    // executor, keeping each device's own pipeline serial.
     let per_bundle: Vec<(Vec<(VulnKind, String)>, usize)> =
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .iter()
-                .map(|bundle| {
-                    scope.spawn(move |_| {
-                        let apps: Vec<_> = bundle.iter().map(extract_apk).collect();
-                        let report = Separ::new()
-                            .analyze_models(apps)
-                            .expect("signatures well-typed");
-                        let mut found = Vec::new();
-                        for kind in VulnKind::ALL {
-                            for app in report.vulnerable_apps(kind) {
-                                found.push((kind, app.to_string()));
-                            }
-                        }
-                        (found, report.policies.len())
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("bundle analysis does not panic"))
-                .collect()
-        })
-        .expect("scope");
+        Executor::default().ordered_map(&chunks, |bundle| {
+            let report = Separ::new()
+                .with_config(SeparConfig::serial())
+                .analyze_apks(bundle)
+                .expect("signatures well-typed");
+            let mut found = Vec::new();
+            for kind in VulnKind::ALL {
+                for app in report.vulnerable_apps(kind) {
+                    found.push((kind, app.to_string()));
+                }
+            }
+            (found, report.policies.len())
+        });
     let mut census = Census {
         total_apps,
         ..Census::default()
@@ -113,8 +103,7 @@ mod tests {
         // 4 bundles x 25 apps = 100 apps: expect a handful of findings.
         let c = run(4, 25, 0x5E9A12);
         assert_eq!(c.total_apps, 100);
-        let total_found =
-            c.hijack.len() + c.launch.len() + c.leakage.len() + c.escalation.len();
+        let total_found = c.hijack.len() + c.launch.len() + c.leakage.len() + c.escalation.len();
         assert!(total_found > 0, "injected weaknesses must surface");
         assert!(c.total_policies > 0);
     }

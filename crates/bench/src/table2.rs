@@ -7,8 +7,8 @@
 
 use std::time::Duration;
 
-use separ_analysis::extractor::extract_apk;
-use separ_core::Separ;
+use separ_core::exec::Executor;
+use separ_core::{Separ, SeparConfig};
 use separ_corpus::market::{generate, MarketSpec};
 
 /// One bundle's measurements.
@@ -86,33 +86,23 @@ pub fn run(bundle_count: usize, bundle_size: usize, seed: u64) -> Table2 {
                 .collect()
         })
         .collect();
-    // Bundles are independent: analyze them in parallel.
-    let bundles: Vec<BundleRow> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|bundle| {
-                scope.spawn(move |_| {
-                    let apps: Vec<_> = bundle.iter().map(extract_apk).collect();
-                    let report = Separ::new()
-                        .analyze_models(apps)
-                        .expect("signatures well-typed");
-                    BundleRow {
-                        components: report.stats.components,
-                        intents: report.stats.intents,
-                        filters: report.stats.filters,
-                        construction: report.stats.construction,
-                        solving: report.stats.solving,
-                        primary_vars: report.stats.primary_vars,
-                    }
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("bundle analysis does not panic"))
-            .collect()
-    })
-    .expect("scope");
+    // Bundles are independent: fan them out on the shared executor.
+    // Each bundle's own pipeline stays serial — the outer fan-out already
+    // saturates the hardware threads.
+    let bundles: Vec<BundleRow> = Executor::default().ordered_map(&chunks, |bundle| {
+        let report = Separ::new()
+            .with_config(SeparConfig::serial())
+            .analyze_apks(bundle)
+            .expect("signatures well-typed");
+        BundleRow {
+            components: report.stats.components,
+            intents: report.stats.intents,
+            filters: report.stats.filters,
+            construction: report.stats.construction,
+            solving: report.stats.solving,
+            primary_vars: report.stats.primary_vars,
+        }
+    });
     Table2 { bundles }
 }
 

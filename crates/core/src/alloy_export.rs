@@ -28,7 +28,9 @@ pub fn framework_module() -> String {
     out.push_str("\tdataScheme: set DataScheme,\n");
     out.push_str("\tcategories: set Category\n}\n");
     out.push_str("fact IFandComponent {\n\tall i: IntentFilter | one i.~intentFilters\n}\n");
-    out.push_str("fact NoIFforProviders {\n\tno i: IntentFilter | i.~intentFilters in Provider\n}\n");
+    out.push_str(
+        "fact NoIFforProviders {\n\tno i: IntentFilter | i.~intentFilters in Provider\n}\n",
+    );
     out.push_str("abstract sig Intent {\n");
     out.push_str("\tsender: one Component,\n");
     out.push_str("\treceiver: lone Component,\n");
@@ -132,7 +134,10 @@ fn render_component(out: &mut String, app_sig: &str, c: &ComponentModel) {
         );
     }
     for (i, f) in c.filters.iter().enumerate() {
-        let _ = writeln!(out, "one sig {cname}_filter{i} extends IntentFilter {{}} {{");
+        let _ = writeln!(
+            out,
+            "one sig {cname}_filter{i} extends IntentFilter {{}} {{"
+        );
         let actions: Vec<String> = f.actions.iter().map(|a| action_ident(a)).collect();
         let _ = writeln!(out, "\tactions = {}", actions.join(" + "));
         if f.categories.is_empty() {
@@ -153,7 +158,10 @@ fn render_component(out: &mut String, app_sig: &str, c: &ComponentModel) {
 }
 
 fn render_intent(out: &mut String, sender: &str, index: usize, intent: &SentIntentModel) {
-    let _ = writeln!(out, "one sig Intent_{sender}_{index} extends Intent {{}} {{");
+    let _ = writeln!(
+        out,
+        "one sig Intent_{sender}_{index} extends Intent {{}} {{"
+    );
     let _ = writeln!(out, "\tsender = {sender}");
     match &intent.explicit_target {
         Some(t) => {

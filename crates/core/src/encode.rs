@@ -753,7 +753,9 @@ mod tests {
         let intent_atom = enc.atoms.intents[0].1;
         let route_atom = enc.atoms.atom_of_component((0, 1)).expect("route");
         let decl = enc.problem.decl(enc.rels.can_receive);
-        assert!(decl.lower().contains(&Tuple::binary(intent_atom, route_atom)));
+        assert!(decl
+            .lower()
+            .contains(&Tuple::binary(intent_atom, route_atom)));
         // And the malicious intent may reach any real component.
         let msg_atom = enc.atoms.atom_of_component((1, 0)).expect("messenger");
         assert!(decl

@@ -1,0 +1,166 @@
+//! The deterministic scoped worker pool behind the parallel pipeline.
+//!
+//! Both halves of the ASE pipeline are embarrassingly parallel: app
+//! extraction is independent per package, and each vulnerability
+//! signature solves its own relational problem against the shared bundle.
+//! [`Executor::ordered_map`] fans such work out over scoped OS threads
+//! (work is claimed by atomic index, so long items don't stall the queue)
+//! and merges results back **in input order**, which keeps every
+//! [`crate::Report`] byte-identical regardless of thread count — the
+//! determinism the regression suite pins down.
+//!
+//! The executor is shared by [`crate::Separ`], [`crate::IncrementalSession`],
+//! the `separ` CLI (`--threads`), and the bench crate's bundle fan-outs,
+//! replacing the hand-rolled thread-scope scaffolding those used to carry.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A scoped worker pool with deterministic, input-ordered results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Default for Executor {
+    /// One worker per available hardware thread.
+    fn default() -> Executor {
+        Executor::new(0)
+    }
+}
+
+impl Executor {
+    /// An executor with `threads` workers; `0` means one worker per
+    /// available hardware thread.
+    pub fn new(threads: usize) -> Executor {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            threads
+        };
+        Executor { threads }
+    }
+
+    /// The resolved worker count (never zero).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every item, in parallel, returning the results in
+    /// input order. With one worker (or one item) it runs inline on the
+    /// calling thread — no spawn overhead for the serial configuration.
+    pub fn ordered_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        match self.try_ordered_map(items, |item| Ok::<R, Unreachable>(f(item))) {
+            Ok(results) => results,
+            Err(unreachable) => match unreachable {},
+        }
+    }
+
+    /// Fallible [`Executor::ordered_map`]: on failure, returns the error
+    /// of the **lowest-indexed** failing item, so the reported error is
+    /// also independent of thread count. (The serial path short-circuits
+    /// there; parallel workers finish their queue — signatures fail only
+    /// on implementation bugs, so the error path is not worth
+    /// short-circuiting at the cost of a nondeterministic report.)
+    pub fn try_ordered_map<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(&T) -> Result<R, E> + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let worker = || {
+            let mut out: Vec<(usize, Result<R, E>)> = Vec::new();
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else {
+                    return out;
+                };
+                out.push((i, f(item)));
+            }
+        };
+        let mut slots: Vec<Option<Result<R, E>>> = Vec::new();
+        slots.resize_with(items.len(), || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers).map(|_| scope.spawn(worker)).collect();
+            for handle in handles {
+                for (i, result) in handle.join().expect("executor worker panicked") {
+                    slots[i] = Some(result);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every index was claimed by exactly one worker"))
+            .collect()
+    }
+}
+
+/// An error type with no values, for the infallible wrapper.
+enum Unreachable {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_zero_to_hardware_threads() {
+        assert!(Executor::new(0).threads() >= 1);
+        assert_eq!(Executor::new(3).threads(), 3);
+    }
+
+    #[test]
+    fn results_arrive_in_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        for threads in [1, 2, 8, 64] {
+            let exec = Executor::new(threads);
+            let out = exec.ordered_map(&items, |&i| i * i);
+            assert_eq!(out, items.iter().map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn uneven_workloads_stay_ordered() {
+        // Early items are the slowest: a naive chunk-per-thread split
+        // would finish out of order; the merge must still be by index.
+        let items: Vec<u64> = (0..48).rev().collect();
+        let out = Executor::new(8).ordered_map(&items, |&n| {
+            std::thread::sleep(std::time::Duration::from_micros(n * 50));
+            n
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn error_reported_is_the_lowest_indexed_one() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 4, 16] {
+            let err = Executor::new(threads)
+                .try_ordered_map(&items, |&i| if i % 7 == 3 { Err(i) } else { Ok(i) })
+                .expect_err("items 3, 10, ... fail");
+            assert_eq!(err, 3, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_run_inline() {
+        let exec = Executor::new(8);
+        assert_eq!(exec.ordered_map(&[] as &[u8], |&b| b), Vec::<u8>::new());
+        assert_eq!(exec.ordered_map(&[5u8], |&b| b + 1), vec![6]);
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let out = Executor::new(64).ordered_map(&[1, 2, 3], |&n| n * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+}

@@ -14,10 +14,11 @@
 use separ_analysis::model::{update_passive_intent_targets, AppModel};
 use separ_logic::LogicError;
 
+use crate::exec::Executor;
 use crate::exploit::Exploit;
-use crate::pipeline::intended_recipients;
-use crate::policy::{finalize_policies, policies_for_exploit, Policy};
-use crate::signature::{SignatureRegistry, Sensitivity};
+use crate::pipeline::{derive_policies, synthesize_all};
+use crate::policy::Policy;
+use crate::signature::{Sensitivity, SignatureRegistry};
 use crate::SeparConfig;
 
 /// What changed in the policy set after a system change.
@@ -106,34 +107,26 @@ impl IncrementalSession {
     }
 
     fn rerun(&mut self, select: impl Fn(Sensitivity) -> bool) -> Result<usize, LogicError> {
+        // Affected signatures re-solve in parallel on the shared executor;
+        // results land back in their registry slots, so the merged caches
+        // (and thus the policy set) are independent of thread count.
+        let syntheses = synthesize_all(
+            &Executor::new(self.config.threads),
+            &self.registry,
+            |sig| select(sig.sensitivity()),
+            &self.apps,
+            self.config.scenario_limit,
+        )?;
         let mut reran = 0;
-        let sigs: Vec<(usize, Sensitivity)> = self
-            .registry
-            .iter()
-            .enumerate()
-            .map(|(i, s)| (i, s.sensitivity()))
-            .collect();
-        for (i, sens) in sigs {
-            if !select(sens) {
-                continue;
+        for (slot, syn) in self.cache.iter_mut().zip(syntheses) {
+            if let Some(syn) = syn {
+                *slot = syn.exploits;
+                reran += 1;
             }
-            let sig = self
-                .registry
-                .iter()
-                .nth(i)
-                .expect("index within registry");
-            let syn = sig.synthesize(&self.apps, self.config.scenario_limit)?;
-            self.cache[i] = syn.exploits;
-            reran += 1;
-            self.total_syntheses += 1;
         }
+        self.total_syntheses += reran;
         // Re-derive the policy set from the merged caches.
-        let mut policies = Vec::new();
-        for e in self.cache.iter().flatten() {
-            let intended = intended_recipients(&self.apps, e);
-            policies.extend(policies_for_exploit(e, &intended));
-        }
-        self.policies = finalize_policies(policies);
+        self.policies = derive_policies(&self.apps, self.cache.iter().flatten());
         Ok(reran)
     }
 

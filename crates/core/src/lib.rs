@@ -16,6 +16,7 @@
 
 pub mod alloy_export;
 pub mod encode;
+pub mod exec;
 pub mod exploit;
 pub mod incremental;
 pub mod pipeline;
@@ -25,9 +26,10 @@ pub mod signature;
 pub mod spec;
 pub mod vulns;
 
+pub use exec::Executor;
 pub use exploit::{Exploit, VulnKind};
-pub use pipeline::{BundleStats, Report, Separ, SeparConfig};
-pub use policy::{Condition, Policy, PolicyAction, PolicyEvent};
 pub use incremental::{IncrementalSession, PolicyDelta};
+pub use pipeline::{BundleStats, CountStats, Report, Separ, SeparConfig, SignatureStats};
+pub use policy::{Condition, Policy, PolicyAction, PolicyEvent};
 pub use signature::{SignatureRegistry, Synthesis, VulnerabilitySignature};
 pub use spec::TextualSignature;

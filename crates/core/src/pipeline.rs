@@ -2,10 +2,14 @@
 //!
 //! Orchestrates the full ASE pipeline: passive-intent resolution across
 //! the bundle (Algorithm 1), per-signature exploit synthesis, and ECA
-//! policy derivation.
+//! policy derivation. Extraction fans out across the bundle and synthesis
+//! fans out across the signature registry on the shared [`Executor`];
+//! results merge in bundle/registry order, so the [`Report`] is identical
+//! whatever [`SeparConfig::threads`] says (only the wall-clock timings in
+//! [`BundleStats`] vary).
 
 use std::collections::BTreeSet;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use separ_analysis::extractor::extract_apk;
 use separ_analysis::model::{update_passive_intent_targets, AppModel};
@@ -13,14 +17,18 @@ use separ_android::resolution;
 use separ_dex::program::Apk;
 use separ_logic::LogicError;
 
+use crate::exec::Executor;
 use crate::exploit::{Exploit, VulnKind};
 use crate::policy::{finalize_policies, policies_for_exploit, Policy};
-use crate::signature::SignatureRegistry;
+use crate::signature::{SignatureRegistry, Synthesis, VulnerabilitySignature};
 use crate::vulns::DEFAULT_SCENARIO_LIMIT;
 
 /// Tunables for an analysis run.
 #[derive(Debug, Clone, Copy)]
 pub struct SeparConfig {
+    /// Worker threads for extraction and per-signature synthesis;
+    /// `0` means one per available hardware thread.
+    pub threads: usize,
     /// Maximum minimal scenarios enumerated per signature.
     pub scenario_limit: usize,
 }
@@ -28,13 +36,44 @@ pub struct SeparConfig {
 impl Default for SeparConfig {
     fn default() -> SeparConfig {
         SeparConfig {
+            threads: 0,
             scenario_limit: DEFAULT_SCENARIO_LIMIT,
         }
     }
 }
 
-/// Aggregate statistics for one bundle analysis (Table II's columns).
-#[derive(Debug, Clone, Copy, Default)]
+impl SeparConfig {
+    /// A strictly single-threaded configuration (the reference the
+    /// determinism suite compares parallel runs against).
+    pub fn serial() -> SeparConfig {
+        SeparConfig {
+            threads: 1,
+            ..SeparConfig::default()
+        }
+    }
+}
+
+/// One signature's contribution to a bundle analysis (per-stage timing
+/// plus the count-type results).
+#[derive(Debug, Clone)]
+pub struct SignatureStats {
+    /// The signature plugin's name.
+    pub name: &'static str,
+    /// Time translating relational logic to CNF.
+    pub construction: Duration,
+    /// Time inside the SAT solver.
+    pub solving: Duration,
+    /// Primary (free) boolean variables in the instance.
+    pub primary_vars: usize,
+    /// Exploit scenarios the signature decoded.
+    pub exploits: usize,
+}
+
+/// Aggregate statistics for one bundle analysis (Table II's columns plus
+/// per-stage timing). CPU-summed durations add the time every worker
+/// spent; wall durations measure the stage end to end, so
+/// `*_cpu / *_wall` approximates the realized parallel speedup.
+#[derive(Debug, Clone, Default)]
 pub struct BundleStats {
     /// Components across the bundle.
     pub components: usize,
@@ -42,12 +81,59 @@ pub struct BundleStats {
     pub intents: usize,
     /// Intent filters across the bundle.
     pub filters: usize,
-    /// Total CNF-construction time across signatures.
+    /// Wall-clock time of the extraction stage (zero for
+    /// [`Separ::analyze_models`], which takes pre-extracted models).
+    pub extraction_wall: Duration,
+    /// CPU-summed extraction time across apps.
+    pub extraction_cpu: Duration,
+    /// Time resolving passive intent targets across the bundle
+    /// (Algorithm 1; serial, it is a cross-app fixpoint).
+    pub resolution: Duration,
+    /// Total CNF-construction time across signatures (CPU-summed).
     pub construction: Duration,
-    /// Total SAT time across signatures.
+    /// Total SAT time across signatures (CPU-summed).
     pub solving: Duration,
+    /// Wall-clock time of the synthesis stage (all signatures).
+    pub synthesis_wall: Duration,
     /// Total primary variables across signatures.
     pub primary_vars: usize,
+    /// Per-signature breakdown, in registry order.
+    pub per_signature: Vec<SignatureStats>,
+}
+
+impl BundleStats {
+    /// The count-type portion of the stats: everything except timings.
+    /// Two analyses of the same bundle must agree on this exactly,
+    /// whatever their thread counts — the determinism suite asserts it.
+    pub fn counts(&self) -> CountStats {
+        CountStats {
+            components: self.components,
+            intents: self.intents,
+            filters: self.filters,
+            primary_vars: self.primary_vars,
+            per_signature: self
+                .per_signature
+                .iter()
+                .map(|s| (s.name, s.primary_vars, s.exploits))
+                .collect(),
+        }
+    }
+}
+
+/// The timing-free projection of [`BundleStats`] (see
+/// [`BundleStats::counts`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountStats {
+    /// Components across the bundle.
+    pub components: usize,
+    /// Intent entities across the bundle.
+    pub intents: usize,
+    /// Intent filters across the bundle.
+    pub filters: usize,
+    /// Total primary variables across signatures.
+    pub primary_vars: usize,
+    /// Per signature: `(name, primary_vars, exploits)` in registry order.
+    pub per_signature: Vec<(&'static str, usize, usize)>,
 }
 
 /// The result of analyzing one bundle.
@@ -86,7 +172,7 @@ impl Report {
 /// ```no_run
 /// use separ_core::Separ;
 ///
-/// let separ = Separ::new();
+/// let separ = Separ::new().with_threads(8);
 /// let apks: Vec<separ_dex::Apk> = vec![/* a bundle */];
 /// let report = separ.analyze_apks(&apks)?;
 /// for policy in &report.policies {
@@ -129,6 +215,23 @@ impl Separ {
         self
     }
 
+    /// Overrides just the worker-thread count (`0` = all hardware
+    /// threads). The report is identical for every value; only wall-clock
+    /// timings change.
+    pub fn with_threads(mut self, threads: usize) -> Separ {
+        self.config.threads = threads;
+        self
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> SeparConfig {
+        self.config
+    }
+
+    fn executor(&self) -> Executor {
+        Executor::new(self.config.threads)
+    }
+
     /// Analyzes a bundle of packages end to end (AME + ASE).
     ///
     /// # Errors
@@ -136,8 +239,18 @@ impl Separ {
     /// Returns a [`LogicError`] if a signature produced an ill-typed
     /// specification.
     pub fn analyze_apks(&self, apks: &[Apk]) -> Result<Report, LogicError> {
-        let apps: Vec<AppModel> = apks.iter().map(extract_apk).collect();
-        self.analyze_models(apps)
+        let wall = Instant::now();
+        let timed: Vec<(AppModel, Duration)> = self.executor().ordered_map(apks, |apk| {
+            let start = Instant::now();
+            (extract_apk(apk), start.elapsed())
+        });
+        let extraction_wall = wall.elapsed();
+        let extraction_cpu = timed.iter().map(|(_, d)| *d).sum();
+        let apps = timed.into_iter().map(|(app, _)| app).collect();
+        let mut report = self.analyze_models(apps)?;
+        report.stats.extraction_wall = extraction_wall;
+        report.stats.extraction_cpu = extraction_cpu;
+        Ok(report)
     }
 
     /// Analyzes pre-extracted app models (ASE only).
@@ -148,27 +261,41 @@ impl Separ {
     /// specification.
     pub fn analyze_models(&self, mut apps: Vec<AppModel>) -> Result<Report, LogicError> {
         // Bundle-level Algorithm 1: passive intents may cross apps.
+        let wall = Instant::now();
         update_passive_intent_targets(&mut apps);
+        let resolution = wall.elapsed();
         let mut stats = BundleStats {
             components: apps.iter().map(|a| a.components.len()).sum(),
             intents: apps.iter().map(AppModel::num_intents).sum(),
             filters: apps.iter().map(AppModel::num_filters).sum(),
+            resolution,
             ..BundleStats::default()
         };
+        let wall = Instant::now();
+        let syntheses = synthesize_all(
+            &self.executor(),
+            &self.registry,
+            |_| true,
+            &apps,
+            self.config.scenario_limit,
+        )?;
+        stats.synthesis_wall = wall.elapsed();
         let mut exploits = Vec::new();
-        for sig in self.registry.iter() {
-            let syn = sig.synthesize(&apps, self.config.scenario_limit)?;
+        for (sig, syn) in self.registry.iter().zip(syntheses) {
+            let syn = syn.expect("unfiltered synthesis ran every signature");
             stats.construction += syn.construction;
             stats.solving += syn.solving;
             stats.primary_vars += syn.primary_vars;
+            stats.per_signature.push(SignatureStats {
+                name: sig.name(),
+                construction: syn.construction,
+                solving: syn.solving,
+                primary_vars: syn.primary_vars,
+                exploits: syn.exploits.len(),
+            });
             exploits.extend(syn.exploits);
         }
-        let mut policies = Vec::new();
-        for e in &exploits {
-            let intended = intended_recipients(&apps, e);
-            policies.extend(policies_for_exploit(e, &intended));
-        }
-        let policies = finalize_policies(policies);
+        let policies = derive_policies(&apps, exploits.iter());
         Ok(Report {
             apps,
             exploits,
@@ -176,6 +303,45 @@ impl Separ {
             stats,
         })
     }
+}
+
+/// Runs `sig.synthesize` for every registry signature selected by
+/// `select`, fanned out on `executor`, returning per-signature results in
+/// registry order (`None` where `select` declined). Shared by the full
+/// pipeline and [`crate::IncrementalSession`] re-runs.
+pub(crate) fn synthesize_all(
+    executor: &Executor,
+    registry: &SignatureRegistry,
+    select: impl Fn(&dyn VulnerabilitySignature) -> bool,
+    apps: &[AppModel],
+    scenario_limit: usize,
+) -> Result<Vec<Option<Synthesis>>, LogicError> {
+    let selected: Vec<(usize, &dyn VulnerabilitySignature)> = registry
+        .iter()
+        .enumerate()
+        .filter(|(_, sig)| select(*sig))
+        .collect();
+    let syntheses =
+        executor.try_ordered_map(&selected, |(_, sig)| sig.synthesize(apps, scenario_limit))?;
+    let mut out: Vec<Option<Synthesis>> = Vec::new();
+    out.resize_with(registry.len(), || None);
+    for ((i, _), syn) in selected.into_iter().zip(syntheses) {
+        out[i] = Some(syn);
+    }
+    Ok(out)
+}
+
+/// Derives the final, deduplicated policy set from exploit scenarios.
+pub(crate) fn derive_policies<'a>(
+    apps: &[AppModel],
+    exploits: impl Iterator<Item = &'a Exploit>,
+) -> Vec<Policy> {
+    let mut policies = Vec::new();
+    for e in exploits {
+        let intended = intended_recipients(apps, e);
+        policies.extend(policies_for_exploit(e, &intended));
+    }
+    finalize_policies(policies)
 }
 
 /// For a hijack exploit, the components legitimately able to receive the
@@ -269,6 +435,26 @@ mod tests {
         assert_eq!(report.stats.intents, 1);
         assert_eq!(report.stats.filters, 1);
         assert!(report.stats.primary_vars > 0);
+        // Per-signature breakdown covers the registry in order.
+        assert_eq!(report.stats.per_signature.len(), 4);
+        assert_eq!(
+            report
+                .stats
+                .per_signature
+                .iter()
+                .map(|s| s.primary_vars)
+                .sum::<usize>(),
+            report.stats.primary_vars
+        );
+        assert_eq!(
+            report
+                .stats
+                .per_signature
+                .iter()
+                .map(|s| s.exploits)
+                .sum::<usize>(),
+            report.exploits.len()
+        );
     }
 
     #[test]
@@ -285,11 +471,31 @@ mod tests {
     #[test]
     fn scenario_limit_caps_enumeration() {
         let report = Separ::new()
-            .with_config(SeparConfig { scenario_limit: 1 })
+            .with_config(SeparConfig {
+                scenario_limit: 1,
+                ..SeparConfig::default()
+            })
             .analyze_models(motivating_bundle())
             .expect("succeeds");
         for kind in VulnKind::ALL {
             assert!(report.exploits_of(kind).count() <= 1);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_report() {
+        let serial = Separ::new()
+            .with_config(SeparConfig::serial())
+            .analyze_models(motivating_bundle())
+            .expect("succeeds");
+        for threads in [2, 8] {
+            let parallel = Separ::new()
+                .with_threads(threads)
+                .analyze_models(motivating_bundle())
+                .expect("succeeds");
+            assert_eq!(parallel.exploits, serial.exploits);
+            assert_eq!(parallel.policies, serial.policies);
+            assert_eq!(parallel.stats.counts(), serial.stats.counts());
         }
     }
 }

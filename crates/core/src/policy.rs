@@ -2,17 +2,15 @@
 //!
 //! Policies are the deliverable of the ASE: fine-grained, system-specific
 //! ECA rules derived from synthesized exploits, ready for the runtime
-//! enforcer (APE). They serialize with serde so they can be shipped to a
-//! device as configuration, as the paper describes.
+//! enforcer (APE). They ship to a device as JSON via [`crate::policy_io`],
+//! as the paper describes.
 
 use std::collections::BTreeSet;
-
-use serde::{Deserialize, Serialize};
 
 use crate::exploit::{Exploit, VulnKind};
 
 /// The ICC event a policy guards.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum PolicyEvent {
     /// An intent is about to leave a component.
     IccSend,
@@ -21,7 +19,7 @@ pub enum PolicyEvent {
 }
 
 /// A conjunctive condition over an intercepted ICC event.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
 pub enum Condition {
     /// The receiving component's class equals this.
     ReceiverIs(String),
@@ -41,7 +39,7 @@ pub enum Condition {
 }
 
 /// What the enforcement point does when the conditions hold.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub enum PolicyAction {
     /// Ask the user; proceed only on consent.
     Prompt,
@@ -52,7 +50,7 @@ pub enum PolicyAction {
 }
 
 /// One synthesized ECA rule.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Policy {
     /// Stable identifier within its policy set.
     pub id: u32,
@@ -247,7 +245,9 @@ mod tests {
         assert_eq!(pols.len(), 1);
         let p = &pols[0];
         assert_eq!(p.event, PolicyEvent::IccSend);
-        assert!(p.conditions.contains(&Condition::ActionIs("showLoc".into())));
+        assert!(p
+            .conditions
+            .contains(&Condition::ActionIs("showLoc".into())));
         assert!(p
             .conditions
             .contains(&Condition::ExtraTagged("LOCATION".into())));
@@ -293,11 +293,13 @@ mod tests {
     }
 
     #[test]
-    fn policies_are_serde_capable() {
-        // serde_json is not in the workspace dependency set; assert the
-        // bounds hold so any serializer can ship policies to a device.
-        fn assert_serializable<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
-        assert_serializable::<Vec<Policy>>();
+    fn policies_ship_through_policy_io() {
+        // No serialization framework is in the workspace dependency set;
+        // `policy_io` is the shipping format. Every policy this module
+        // derives must survive the round trip.
+        let pols = policies_for_exploit(&hijack(), &["LRouteFinder;".to_string()]);
+        let json = crate::policy_io::to_json(&pols);
+        assert_eq!(crate::policy_io::from_json(&json).expect("parses"), pols);
         let _ = (IntentData::new(), BTreeSet::<u8>::new());
     }
 }

@@ -22,7 +22,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "policy parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "policy parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -202,12 +206,11 @@ impl<'a> Parser<'a> {
                             if self.pos + 4 > self.bytes.len() {
                                 return self.err("truncated \\u escape");
                             }
-                            let hex =
-                                std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-                                    .map_err(|_| ParseError {
-                                        offset: self.pos,
-                                        message: "non-utf8 escape".into(),
-                                    })?;
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                                .map_err(|_| ParseError {
+                                    offset: self.pos,
+                                    message: "non-utf8 escape".into(),
+                                })?;
                             let code = u32::from_str_radix(hex, 16).map_err(|_| ParseError {
                                 offset: self.pos,
                                 message: "bad \\u escape".into(),
@@ -244,11 +247,7 @@ impl<'a> Parser<'a> {
     fn integer(&mut self) -> Result<u32, ParseError> {
         self.skip_ws();
         let start = self.pos;
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_digit())
-        {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
             self.pos += 1;
         }
         if start == self.pos {
@@ -541,7 +540,11 @@ mod tests {
 
     #[test]
     fn action_variants_round_trip() {
-        for action in [PolicyAction::Prompt, PolicyAction::Deny, PolicyAction::Allow] {
+        for action in [
+            PolicyAction::Prompt,
+            PolicyAction::Deny,
+            PolicyAction::Allow,
+        ] {
             let mut p = sample_policies();
             p[0].action = action;
             let back = from_json(&to_json(&p)).expect("parses");

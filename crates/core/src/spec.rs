@@ -468,9 +468,7 @@ impl TextualSignature {
         // unknown names.
         let decl_names: BTreeSet<&str> = ast.decls.iter().map(|(n, _, _)| n.as_str()).collect();
         let known = |name: &str| {
-            decl_names.contains(name)
-                || MAL_ATOMS.contains(&name)
-                || VOCABULARY.contains(&name)
+            decl_names.contains(name) || MAL_ATOMS.contains(&name) || VOCABULARY.contains(&name)
         };
         for (dname, _, domain) in &ast.decls {
             if !VOCABULARY.contains(&domain.as_str()) {
@@ -504,10 +502,7 @@ impl TextualSignature {
 fn collect_names_e(e: &EAst, out: &mut Vec<String>) {
     match e {
         EAst::Name(n) => out.push(n.clone()),
-        EAst::Join(a, b)
-        | EAst::Union(a, b)
-        | EAst::Intersect(a, b)
-        | EAst::Difference(a, b) => {
+        EAst::Join(a, b) | EAst::Union(a, b) | EAst::Intersect(a, b) | EAst::Difference(a, b) => {
             collect_names_e(a, out);
             collect_names_e(b, out);
         }
@@ -677,7 +672,11 @@ impl VulnerabilitySignature for TextualSignature {
                 enc: &enc,
                 witnesses: witnesses.clone(),
             };
-            self.ast.facts.iter().map(|f| resolver.resolve_f(f)).collect()
+            self.ast
+                .facts
+                .iter()
+                .map(|f| resolver.resolve_f(f))
+                .collect()
         };
         for f in resolved {
             enc.problem.fact(f);
@@ -850,9 +849,18 @@ mod tests {
             ("vuln {", "identifier"),
             ("oops X {} {}", "must start with 'vuln"),
             ("vuln X { w: one Nonexistent } {}", "unknown witness domain"),
-            ("vuln X { w: one Component } { w in nonsense }", "unknown identifier"),
-            ("vuln X { w: one Component } { w exported }", "expected 'in' or '='"),
-            ("vuln X { w: one Component } { some w } trailing", "trailing"),
+            (
+                "vuln X { w: one Component } { w in nonsense }",
+                "unknown identifier",
+            ),
+            (
+                "vuln X { w: one Component } { w exported }",
+                "expected 'in' or '='",
+            ),
+            (
+                "vuln X { w: one Component } { some w } trailing",
+                "trailing",
+            ),
         ] {
             let err = TextualSignature::parse(src).expect_err(src);
             assert!(

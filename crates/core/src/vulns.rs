@@ -62,15 +62,8 @@ where
 }
 
 /// Reads the single atom of a witness relation from an instance.
-fn witness_atom(
-    instance: &separ_logic::Instance,
-    rel: RelationId,
-) -> Option<separ_logic::Atom> {
-    instance
-        .tuples(rel)
-        .iter()
-        .next()
-        .map(|t| t.atoms()[0])
+fn witness_atom(instance: &separ_logic::Instance, rel: RelationId) -> Option<separ_logic::Atom> {
+    instance.tuples(rel).iter().next().map(|t| t.atoms()[0])
 }
 
 // ---------------------------------------------------------------------
@@ -178,11 +171,12 @@ impl VulnerabilitySignature for ComponentLaunchSignature {
         let can_receive = Expr::relation(enc.rels.can_receive);
         let icc = Expr::relation(enc.rels.icc_res);
         enc.problem.fact(w_e.one());
-        enc.problem.fact(w_e.in_(&Expr::relation(enc.rels.exported)));
+        enc.problem
+            .fact(w_e.in_(&Expr::relation(enc.rels.exported)));
         // Activity or Service launch, per the paper.
-        enc.problem.fact(w_e.in_(
-            &Expr::relation(enc.rels.activities).union(&Expr::relation(enc.rels.services)),
-        ));
+        enc.problem.fact(
+            w_e.in_(&Expr::relation(enc.rels.activities).union(&Expr::relation(enc.rels.services))),
+        );
         // The malicious intent reaches the launched component...
         enc.problem.fact(w_e.in_(&mal_intent.join(&can_receive)));
         // ...which has a path rooted at its exported (ICC) interface.
@@ -263,7 +257,8 @@ impl VulnerabilitySignature for PrivilegeEscalationSignature {
         let mal_intent = Expr::atom(enc.atoms.mal_intent);
         enc.problem.fact(w_e.one());
         enc.problem.fact(wp_e.one());
-        enc.problem.fact(w_e.in_(&Expr::relation(enc.rels.exported)));
+        enc.problem
+            .fact(w_e.in_(&Expr::relation(enc.rels.exported)));
         // The component exercises the permission...
         enc.problem
             .fact(wp_e.in_(&w_e.join(&Expr::relation(enc.rels.uses_perm))));
@@ -274,10 +269,12 @@ impl VulnerabilitySignature for PrivilegeEscalationSignature {
         );
         // ...while its app actually holds the permission (a revoked
         // permission — the Marshmallow scenario — cannot be re-delegated)...
-        enc.problem.fact(wp_e.in_(
-            &w_e.join(&Expr::relation(enc.rels.cmp_app))
-                .join(&Expr::relation(enc.rels.app_perms)),
-        ));
+        enc.problem.fact(
+            wp_e.in_(
+                &w_e.join(&Expr::relation(enc.rels.cmp_app))
+                    .join(&Expr::relation(enc.rels.app_perms)),
+            ),
+        );
         // ...and the adversary can reach it.
         enc.problem
             .fact(w_e.in_(&mal_intent.join(&Expr::relation(enc.rels.can_receive))));
@@ -452,8 +449,11 @@ impl VulnerabilitySignature for BroadcastInjectionSignature {
                 .some(),
         );
         // The malicious intent forges exactly that action.
-        enc.problem
-            .fact(mal_intent.join(&Expr::relation(enc.rels.intent_action)).equal(&wa_e));
+        enc.problem.fact(
+            mal_intent
+                .join(&Expr::relation(enc.rels.intent_action))
+                .equal(&wa_e),
+        );
         enumerate(&enc, limit, |instance| {
             let watom = witness_atom(instance, w)?;
             let aatom = witness_atom(instance, wa)?;
@@ -539,11 +539,7 @@ mod tests {
         let syn = ComponentLaunchSignature
             .synthesize(&apps, 8)
             .expect("well-typed");
-        let targets: Vec<&str> = syn
-            .exploits
-            .iter()
-            .map(|e| e.guarded_component())
-            .collect();
+        let targets: Vec<&str> = syn.exploits.iter().map(|e| e.guarded_component()).collect();
         assert!(
             targets.contains(&"LMessageSender;"),
             "MessageSender is launchable: {targets:?}"
@@ -627,7 +623,8 @@ mod tests {
         recv.filters
             .push(IntentFilterDecl::for_actions([action::BOOT_COMPLETED]));
         recv.exported = true;
-        recv.paths.insert(FlowPath::new(Resource::Icc, Resource::Sms));
+        recv.paths
+            .insert(FlowPath::new(Resource::Icc, Resource::Sms));
         let apps = vec![app("com.minion", vec![recv])];
         let syn = BroadcastInjectionSignature
             .synthesize(&apps, 8)
@@ -654,7 +651,8 @@ mod tests {
         recv.filters
             .push(IntentFilterDecl::for_actions(["com.app.CUSTOM"]));
         recv.exported = true;
-        recv.paths.insert(FlowPath::new(Resource::Icc, Resource::Log));
+        recv.paths
+            .insert(FlowPath::new(Resource::Icc, Resource::Log));
         let apps = vec![app("com.chatty", vec![recv])];
         let syn = BroadcastInjectionSignature
             .synthesize(&apps, 8)
@@ -672,7 +670,10 @@ mod tests {
 
     #[test]
     fn empty_ish_bundle_yields_no_exploits() {
-        let apps = vec![app("com.empty", vec![comp("LMain;", ComponentKind::Activity)])];
+        let apps = vec![app(
+            "com.empty",
+            vec![comp("LMain;", ComponentKind::Activity)],
+        )];
         for sig in [
             &IntentHijackSignature as &dyn VulnerabilitySignature,
             &ComponentLaunchSignature,
@@ -680,7 +681,12 @@ mod tests {
             &InformationLeakageSignature,
         ] {
             let syn = sig.synthesize(&apps, 4).expect("well-typed");
-            assert!(syn.exploits.is_empty(), "{} found {:?}", sig.name(), syn.exploits);
+            assert!(
+                syn.exploits.is_empty(),
+                "{} found {:?}",
+                sig.name(),
+                syn.exploits
+            );
         }
     }
 }

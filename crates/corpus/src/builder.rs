@@ -77,11 +77,7 @@ pub struct SenderSpec {
 
 impl SenderSpec {
     /// A conventional sender.
-    pub fn new(
-        class: impl Into<String>,
-        via: IccMethod,
-        addressing: Addressing,
-    ) -> SenderSpec {
+    pub fn new(class: impl Into<String>, via: IccMethod, addressing: Addressing) -> SenderSpec {
         SenderSpec {
             class: class.into(),
             kind: ComponentKind::Activity,
@@ -302,7 +298,12 @@ fn emit_receiver_body(m: &mut MethodBuilder<'_, '_>, spec: &ReceiverSpec, via: I
             m.invoke_static(class::SMS_MANAGER, "getDefault", &[], true);
             m.move_result(mgr);
             m.const_string(num, "+15550001");
-            m.invoke_virtual(class::SMS_MANAGER, "sendTextMessage", &[mgr, num, payload], false);
+            m.invoke_virtual(
+                class::SMS_MANAGER,
+                "sendTextMessage",
+                &[mgr, num, payload],
+                false,
+            );
         }
         Resource::NetworkWrite => {
             m.invoke_virtual(class::HTTP, "getOutputStream", &[payload], true);
@@ -499,7 +500,9 @@ mod tests {
             .contains(&FlowPath::new(Resource::Location, Resource::Icc)));
         assert_eq!(s.sent_intents.len(), 1);
         let r = model.component("LRecv;").expect("receiver");
-        assert!(r.paths.contains(&FlowPath::new(Resource::Icc, Resource::Log)));
+        assert!(r
+            .paths
+            .contains(&FlowPath::new(Resource::Icc, Resource::Log)));
     }
 
     #[test]
@@ -510,8 +513,8 @@ mod tests {
             Addressing::action("com.case.GO"),
         );
         sender.dead_guard = true;
-        let receiver = ReceiverSpec::new("LRecv;", ComponentKind::Service)
-            .with_action_filter("com.case.GO");
+        let receiver =
+            ReceiverSpec::new("LRecv;", ComponentKind::Service).with_action_filter("com.case.GO");
         let apk = single_app_case("com.case", &sender, &receiver);
         let model = extract_apk(&apk);
         let s = model.component("LSender;").expect("sender");
@@ -521,7 +524,11 @@ mod tests {
 
     #[test]
     fn explicit_addressing_targets_by_convention() {
-        let sender = SenderSpec::new("LCaseSender;", IccMethod::StartService, Addressing::Explicit);
+        let sender = SenderSpec::new(
+            "LCaseSender;",
+            IccMethod::StartService,
+            Addressing::Explicit,
+        );
         assert_eq!(sender.explicit_target(), "LCaseRecv;");
         let receiver = ReceiverSpec::new("LCaseRecv;", ComponentKind::Service);
         let apk = single_app_case("com.case", &sender, &receiver);

@@ -34,7 +34,12 @@ pub fn barcoder() -> Apk {
     m.invoke_static(class::SMS_MANAGER, "getDefault", &[], true);
     m.move_result(mgr);
     m.const_string(bank, "+9850001");
-    m.invoke_virtual(class::SMS_MANAGER, "sendTextMessage", &[mgr, bank, bill], false);
+    m.invoke_virtual(
+        class::SMS_MANAGER,
+        "sendTextMessage",
+        &[mgr, bank, bill],
+        false,
+    );
     m.ret_void();
     m.finish();
     cb.finish();
@@ -159,7 +164,12 @@ pub fn ermete_sms() -> Apk {
     m.move_result(body);
     m.invoke_static(class::SMS_MANAGER, "getDefault", &[], true);
     m.move_result(mgr);
-    m.invoke_virtual(class::SMS_MANAGER, "sendTextMessage", &[mgr, num, body], false);
+    m.invoke_virtual(
+        class::SMS_MANAGER,
+        "sendTextMessage",
+        &[mgr, num, body],
+        false,
+    );
     m.ret_void();
     m.finish();
     cb.finish();

@@ -18,8 +18,11 @@ use crate::builder::{
 };
 use crate::suite::{Case, SuiteKind};
 
-fn db(name: &'static str, apks: Vec<separ_dex::program::Apk>,
-      truth: impl IntoIterator<Item = (&'static str, &'static str)>) -> Case {
+fn db(
+    name: &'static str,
+    apks: Vec<separ_dex::program::Apk>,
+    truth: impl IntoIterator<Item = (&'static str, &'static str)>,
+) -> Case {
     Case::new(SuiteKind::DroidBench, name, apks, truth)
 }
 
@@ -41,9 +44,21 @@ fn bind_service(n: usize) -> Case {
         key,
     );
     match n {
-        1 => db("ICC_bindService1", vec![apk], [("LBoundSvc;", "LBindMain;")]),
-        2 => db("ICC_bindService2", vec![apk], [("LBoundSvc;", "LBindMain;")]),
-        _ => db("ICC_bindService3", vec![apk], [("LBoundSvc;", "LBindMain;")]),
+        1 => db(
+            "ICC_bindService1",
+            vec![apk],
+            [("LBoundSvc;", "LBindMain;")],
+        ),
+        2 => db(
+            "ICC_bindService2",
+            vec![apk],
+            [("LBoundSvc;", "LBindMain;")],
+        ),
+        _ => db(
+            "ICC_bindService3",
+            vec![apk],
+            [("LBoundSvc;", "LBindMain;")],
+        ),
     }
 }
 
@@ -120,7 +135,11 @@ fn start_activity2() -> Case {
         kind: ComponentKind::Activity,
         source: Resource::DeviceId,
         indirection: Indirection::Field,
-        ..SenderSpec::new("LSa2Sender;", IccMethod::StartActivity, Addressing::Explicit)
+        ..SenderSpec::new(
+            "LSa2Sender;",
+            IccMethod::StartActivity,
+            Addressing::Explicit,
+        )
     };
     let receiver = ReceiverSpec::new("LSa2Recv;", ComponentKind::Activity);
     db(
@@ -325,8 +344,7 @@ fn iac(name: &'static str, via: IccMethod, action: &str, pkgs: (&str, &str)) -> 
     };
     let receiver = ReceiverSpec {
         sink: Resource::Sms,
-        ..ReceiverSpec::new("LIacRecv;", crate::builder::kind_for(via))
-            .with_action_filter(action)
+        ..ReceiverSpec::new("LIacRecv;", crate::builder::kind_for(via)).with_action_filter(action)
     };
     db(
         name,

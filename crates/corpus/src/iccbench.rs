@@ -34,7 +34,11 @@ fn explicit_src_sink() -> Case {
     };
     ib(
         "Explicit_Src_Sink",
-        vec![crate::builder::single_app_case("org.icc.explicit", &sender, &receiver)],
+        vec![crate::builder::single_app_case(
+            "org.icc.explicit",
+            &sender,
+            &receiver,
+        )],
         [("LExpSender;", "LExpRecv;")],
     )
 }
@@ -130,8 +134,18 @@ fn dyn_registered(n: usize) -> Case {
             m.invoke_virtual(class::TELEPHONY_MANAGER, "getDeviceId", &[action], true);
             m.move_result(action);
         }
-        m.invoke_virtual(class::CONTEXT, "registerReceiver", &[m.this(), recv, action], true);
-        m.invoke_virtual(class::LOCATION_MANAGER, "getLastKnownLocation", &[data], true);
+        m.invoke_virtual(
+            class::CONTEXT,
+            "registerReceiver",
+            &[m.this(), recv, action],
+            true,
+        );
+        m.invoke_virtual(
+            class::LOCATION_MANAGER,
+            "getLastKnownLocation",
+            &[data],
+            true,
+        );
         m.move_result(data);
         m.new_instance(i, class::INTENT);
         m.invoke_virtual(class::INTENT, "setAction", &[i, action], false);
@@ -162,7 +176,14 @@ fn dyn_registered(n: usize) -> Case {
 pub fn cases() -> Vec<Case> {
     vec![
         explicit_src_sink(),
-        implicit("Implicit_Action", "org.icc.action", vec![], None, None, false),
+        implicit(
+            "Implicit_Action",
+            "org.icc.action",
+            vec![],
+            None,
+            None,
+            false,
+        ),
         implicit(
             "Implicit_Category",
             "org.icc.category",
@@ -237,7 +258,11 @@ mod tests {
         for case in cases() {
             for apk in &case.apks {
                 let bytes = separ_dex::codec::encode(apk);
-                assert!(separ_dex::codec::decode(&bytes).is_ok(), "case {}", case.name);
+                assert!(
+                    separ_dex::codec::decode(&bytes).is_ok(),
+                    "case {}",
+                    case.name
+                );
             }
         }
     }

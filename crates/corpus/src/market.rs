@@ -186,7 +186,10 @@ pub fn generate_app(repo: Repository, index: usize, seed: u64) -> Apk {
     let (mu, sigma) = repo.size_params();
     let target_size = (mu + sigma * standard_normal(&mut rng)).exp().max(30.0) as usize;
     let n_components = rng.gen_range(3..=9);
-    let tag = format!("L{}/C{index:04}", repo.name().to_lowercase().replace('-', ""));
+    let tag = format!(
+        "L{}/C{index:04}",
+        repo.name().to_lowercase().replace('-', "")
+    );
 
     // Helper utility class exercised by filler code (real call depth).
     let util_class = format!("{tag}Util;");
@@ -219,15 +222,20 @@ pub fn generate_app(repo: Repository, index: usize, seed: u64) -> Apk {
         let class_name = format!("{tag}Comp{c};");
         let mut decl = ComponentDecl::new(&class_name, kind);
         if kind != ComponentKind::Provider && rng.gen_bool(0.4) {
-            decl.intent_filters.push(IntentFilterDecl::for_actions([
-                action_pool(rng.gen_range(0..1000)),
-            ]));
+            decl.intent_filters
+                .push(IntentFilterDecl::for_actions([action_pool(
+                    rng.gen_range(0..1000),
+                )]));
         }
         apk.add_component(decl);
         let superclass = separ_android::api::component_super(kind);
         let mut cb = apk.class_extends(&class_name, superclass);
         let entry = separ_android::api::entry_points(kind)[0];
-        let params = if kind == ComponentKind::Activity { 1 } else { 2 };
+        let params = if kind == ComponentKind::Activity {
+            1
+        } else {
+            2
+        };
         let mut m = cb.method(entry, params, false, false);
         emit_filler(&mut m, &util_class, per_component, &mut rng);
         // Benign ICC chatter: most real components talk to other
@@ -258,12 +266,7 @@ pub fn generate_app(repo: Repository, index: usize, seed: u64) -> Apk {
     apk.finish()
 }
 
-fn emit_filler(
-    m: &mut MethodBuilder<'_, '_>,
-    util_class: &str,
-    budget: usize,
-    rng: &mut SmallRng,
-) {
+fn emit_filler(m: &mut MethodBuilder<'_, '_>, util_class: &str, budget: usize, rng: &mut SmallRng) {
     let a = m.reg();
     let b = m.reg();
     let s = m.reg();
@@ -323,7 +326,12 @@ fn inject_hijack_victim(apk: &mut ApkBuilder, tag: &str, rng: &mut SmallRng) {
     let loc = m.reg();
     let i = m.reg();
     let s = m.reg();
-    m.invoke_virtual(class::LOCATION_MANAGER, "getLastKnownLocation", &[loc], true);
+    m.invoke_virtual(
+        class::LOCATION_MANAGER,
+        "getLastKnownLocation",
+        &[loc],
+        true,
+    );
     m.move_result(loc);
     m.new_instance(i, class::INTENT);
     m.const_string(s, &action_pool(rng.gen_range(0..1000)));
@@ -420,7 +428,12 @@ fn inject_escalation_victim(apk: &mut ApkBuilder, tag: &str) {
     m.move_result(body);
     m.invoke_static(class::SMS_MANAGER, "getDefault", &[], true);
     m.move_result(mgr);
-    m.invoke_virtual(class::SMS_MANAGER, "sendTextMessage", &[mgr, num, body], false);
+    m.invoke_virtual(
+        class::SMS_MANAGER,
+        "sendTextMessage",
+        &[mgr, num, body],
+        false,
+    );
     m.ret_void();
     m.finish();
     cb.finish();
@@ -522,7 +535,9 @@ mod tests {
                 .map(|c| c.class.as_str())
                 .collect();
             if names.iter().any(|n| {
-                n.contains("Beacon") || n.contains("Door") || n.contains("Collector")
+                n.contains("Beacon")
+                    || n.contains("Door")
+                    || n.contains("Collector")
                     || n.contains("SmsProxy")
             }) {
                 any_vulnerable += 1;

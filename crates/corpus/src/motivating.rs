@@ -45,7 +45,12 @@ pub fn navigator_app() -> Apk {
         let loc = m.reg();
         let intent = m.reg();
         let s = m.reg();
-        m.invoke_virtual(class::LOCATION_MANAGER, "getLastKnownLocation", &[loc], true);
+        m.invoke_virtual(
+            class::LOCATION_MANAGER,
+            "getLastKnownLocation",
+            &[loc],
+            true,
+        );
         m.move_result(loc);
         m.new_instance(intent, class::INTENT);
         m.const_string(s, SHOW_LOC);
@@ -128,7 +133,12 @@ pub fn messenger_app(with_check: bool) -> Apk {
         let p = m.reg();
         let r = m.reg();
         m.const_string(p, perm::SEND_SMS);
-        m.invoke_virtual(class::CONTEXT, "checkCallingPermission", &[m.this(), p], true);
+        m.invoke_virtual(
+            class::CONTEXT,
+            "checkCallingPermission",
+            &[m.this(), p],
+            true,
+        );
         m.move_result(r);
         m.ret(r);
         m.finish();
@@ -196,7 +206,9 @@ mod tests {
         let model = extract_apk(&messenger_app(false));
         let ms = model.component(MESSAGE_SENDER).expect("MessageSender");
         assert!(ms.exported);
-        assert!(ms.paths.contains(&FlowPath::new(Resource::Icc, Resource::Sms)));
+        assert!(ms
+            .paths
+            .contains(&FlowPath::new(Resource::Icc, Resource::Sms)));
         // The check exists in code but is unreachable: not recorded.
         assert!(ms.dynamic_checks.is_empty());
         assert!(ms.used_permissions.contains(perm::SEND_SMS));

@@ -130,7 +130,14 @@ mod tests {
         let truth = pairs(&[("a", "b"), ("c", "d")]);
         let found = pairs(&[("a", "b"), ("x", "y")]);
         let s = Score::of(&truth, &found);
-        assert_eq!(s, Score { tp: 1, fp: 1, fn_: 1 });
+        assert_eq!(
+            s,
+            Score {
+                tp: 1,
+                fp: 1,
+                fn_: 1
+            }
+        );
         assert!((s.precision() - 0.5).abs() < 1e-9);
         assert!((s.recall() - 0.5).abs() < 1e-9);
         assert!((s.f_measure() - 0.5).abs() < 1e-9);
@@ -147,8 +154,23 @@ mod tests {
     #[test]
     fn accumulation_sums() {
         let mut total = Score::default();
-        total.add(Score { tp: 2, fp: 1, fn_: 0 });
-        total.add(Score { tp: 1, fp: 0, fn_: 2 });
-        assert_eq!(total, Score { tp: 3, fp: 1, fn_: 2 });
+        total.add(Score {
+            tp: 2,
+            fp: 1,
+            fn_: 0,
+        });
+        total.add(Score {
+            tp: 1,
+            fp: 0,
+            fn_: 2,
+        });
+        assert_eq!(
+            total,
+            Score {
+                tp: 3,
+                fp: 1,
+                fn_: 2
+            }
+        );
     }
 }

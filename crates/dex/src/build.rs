@@ -289,7 +289,13 @@ impl<'a, 'c> MethodBuilder<'a, 'c> {
         args: &[Reg],
         returns_value: bool,
     ) -> &mut Self {
-        self.invoke(InvokeKind::Virtual, class_descriptor, name, args, returns_value)
+        self.invoke(
+            InvokeKind::Virtual,
+            class_descriptor,
+            name,
+            args,
+            returns_value,
+        )
     }
 
     /// Emits `invoke-static`.
@@ -300,7 +306,13 @@ impl<'a, 'c> MethodBuilder<'a, 'c> {
         args: &[Reg],
         returns_value: bool,
     ) -> &mut Self {
-        self.invoke(InvokeKind::Static, class_descriptor, name, args, returns_value)
+        self.invoke(
+            InvokeKind::Static,
+            class_descriptor,
+            name,
+            args,
+            returns_value,
+        )
     }
 
     /// Emits `invoke-direct` (constructors).
@@ -311,7 +323,13 @@ impl<'a, 'c> MethodBuilder<'a, 'c> {
         args: &[Reg],
         returns_value: bool,
     ) -> &mut Self {
-        self.invoke(InvokeKind::Direct, class_descriptor, name, args, returns_value)
+        self.invoke(
+            InvokeKind::Direct,
+            class_descriptor,
+            name,
+            args,
+            returns_value,
+        )
     }
 
     /// Emits `move-result`.
@@ -320,14 +338,26 @@ impl<'a, 'c> MethodBuilder<'a, 'c> {
     }
 
     /// Emits `iget`.
-    pub fn iget(&mut self, dst: Reg, object: Reg, class_descriptor: &str, field: &str) -> &mut Self {
+    pub fn iget(
+        &mut self,
+        dst: Reg,
+        object: Reg,
+        class_descriptor: &str,
+        field: &str,
+    ) -> &mut Self {
         let class = self.class.apk.dex.pools.ty(class_descriptor);
         let field = self.class.apk.dex.pools.field(class, field);
         self.push(Instr::IGet { dst, object, field })
     }
 
     /// Emits `iput`.
-    pub fn iput(&mut self, src: Reg, object: Reg, class_descriptor: &str, field: &str) -> &mut Self {
+    pub fn iput(
+        &mut self,
+        src: Reg,
+        object: Reg,
+        class_descriptor: &str,
+        field: &str,
+    ) -> &mut Self {
         let class = self.class.apk.dex.pools.ty(class_descriptor);
         let field = self.class.apk.dex.pools.field(class, field);
         self.push(Instr::IPut { src, object, field })
@@ -350,13 +380,19 @@ impl<'a, 'c> MethodBuilder<'a, 'c> {
     /// Emits `if-eqz` targeting a label.
     pub fn if_eqz(&mut self, reg: Reg, target: Label) -> &mut Self {
         self.fixups.push((self.code.len(), target));
-        self.push(Instr::IfEqz { reg, target: u32::MAX })
+        self.push(Instr::IfEqz {
+            reg,
+            target: u32::MAX,
+        })
     }
 
     /// Emits `if-nez` targeting a label.
     pub fn if_nez(&mut self, reg: Reg, target: Label) -> &mut Self {
         self.fixups.push((self.code.len(), target));
-        self.push(Instr::IfNez { reg, target: u32::MAX })
+        self.push(Instr::IfNez {
+            reg,
+            target: u32::MAX,
+        })
     }
 
     /// Emits `goto` targeting a label.
@@ -543,6 +579,10 @@ mod tests {
         apk.add_component(decl);
         let apk = apk.finish();
         assert!(apk.manifest.has_permission("android.permission.SEND_SMS"));
-        assert!(apk.manifest.component("Lcom/x/S;").expect("decl").is_effectively_exported());
+        assert!(apk
+            .manifest
+            .component("Lcom/x/S;")
+            .expect("decl")
+            .is_effectively_exported());
     }
 }

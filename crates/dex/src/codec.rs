@@ -678,10 +678,7 @@ mod tests {
         let decoded = decode(&bytes).expect("decodes");
         assert_eq!(decoded.manifest, apk.manifest);
         assert_eq!(decoded.dex.classes, apk.dex.classes);
-        assert_eq!(
-            decoded.dex.pools.num_strings(),
-            apk.dex.pools.num_strings()
-        );
+        assert_eq!(decoded.dex.pools.num_strings(), apk.dex.pools.num_strings());
         assert_eq!(decoded.dex.pools.num_methods(), apk.dex.pools.num_methods());
         // Re-encoding is byte-identical (canonical form).
         assert_eq!(encode(&decoded), bytes);

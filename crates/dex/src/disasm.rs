@@ -101,11 +101,8 @@ pub fn method(dex: &Dex, m: &Method) -> String {
         if m.returns_value { " -> value" } else { "" },
     );
     // Collect branch targets so labels are printed inline.
-    let targets: std::collections::BTreeSet<u32> = m
-        .code
-        .iter()
-        .filter_map(Instr::branch_target)
-        .collect();
+    let targets: std::collections::BTreeSet<u32> =
+        m.code.iter().filter_map(Instr::branch_target).collect();
     for (pc, instr) in m.code.iter().enumerate() {
         if targets.contains(&(pc as u32)) {
             let _ = writeln!(out, "  :{pc}");
@@ -207,7 +204,10 @@ mod tests {
     fn branch_targets_get_labels() {
         let text = package(&sample());
         assert!(text.contains("if-eqz v1, :4"));
-        assert!(text.contains("  :4\n"), "label line before the target: {text}");
+        assert!(
+            text.contains("  :4\n"),
+            "label line before the target: {text}"
+        );
     }
 
     #[test]
@@ -225,25 +225,62 @@ mod tests {
         let m = dex.pools.method(t, "m", 1, true);
         let all = vec![
             Instr::Nop,
-            Instr::ConstString { dst: Reg(0), value: s },
-            Instr::ConstInt { dst: Reg(0), value: -3 },
+            Instr::ConstString {
+                dst: Reg(0),
+                value: s,
+            },
+            Instr::ConstInt {
+                dst: Reg(0),
+                value: -3,
+            },
             Instr::ConstNull { dst: Reg(0) },
-            Instr::Move { dst: Reg(0), src: Reg(1) },
-            Instr::NewInstance { dst: Reg(0), class: t },
+            Instr::Move {
+                dst: Reg(0),
+                src: Reg(1),
+            },
+            Instr::NewInstance {
+                dst: Reg(0),
+                class: t,
+            },
             Instr::Invoke {
                 kind: InvokeKind::Direct,
                 method: m,
                 args: vec![Reg(0)],
             },
             Instr::MoveResult { dst: Reg(0) },
-            Instr::IGet { dst: Reg(0), object: Reg(1), field: f },
-            Instr::IPut { src: Reg(0), object: Reg(1), field: f },
-            Instr::SGet { dst: Reg(0), field: f },
-            Instr::SPut { src: Reg(0), field: f },
-            Instr::IfEqz { reg: Reg(0), target: 0 },
-            Instr::IfNez { reg: Reg(0), target: 0 },
+            Instr::IGet {
+                dst: Reg(0),
+                object: Reg(1),
+                field: f,
+            },
+            Instr::IPut {
+                src: Reg(0),
+                object: Reg(1),
+                field: f,
+            },
+            Instr::SGet {
+                dst: Reg(0),
+                field: f,
+            },
+            Instr::SPut {
+                src: Reg(0),
+                field: f,
+            },
+            Instr::IfEqz {
+                reg: Reg(0),
+                target: 0,
+            },
+            Instr::IfNez {
+                reg: Reg(0),
+                target: 0,
+            },
             Instr::Goto { target: 0 },
-            Instr::BinOp { op: BinOp::Sub, dst: Reg(0), lhs: Reg(1), rhs: Reg(2) },
+            Instr::BinOp {
+                op: BinOp::Sub,
+                dst: Reg(0),
+                lhs: Reg(1),
+                rhs: Reg(2),
+            },
             Instr::ReturnVoid,
             Instr::Return { reg: Reg(0) },
             Instr::Throw { reg: Reg(0) },

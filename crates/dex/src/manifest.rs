@@ -184,7 +184,8 @@ mod tests {
         let mut m = Manifest::new("com.example");
         m.components
             .push(ComponentDecl::new("LMain;", ComponentKind::Activity));
-        m.uses_permissions.push("android.permission.SEND_SMS".into());
+        m.uses_permissions
+            .push("android.permission.SEND_SMS".into());
         assert!(m.component("LMain;").is_some());
         assert!(m.component("LOther;").is_none());
         assert!(m.has_permission("android.permission.SEND_SMS"));

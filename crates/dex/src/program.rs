@@ -149,9 +149,7 @@ impl Apk {
     /// Approximate size in "instructions + declarations", used by the
     /// Figure-5 experiment as the app-size axis.
     pub fn size_metric(&self) -> usize {
-        self.dex.code_size()
-            + self.manifest.components.len() * 10
-            + self.dex.classes.len() * 5
+        self.dex.code_size() + self.manifest.components.len() * 10 + self.dex.classes.len() * 5
     }
 }
 

@@ -220,12 +220,9 @@ impl<'p> Vm<'p> {
             .pools
             .find_type(class_descriptor)
             .ok_or_else(|| VmError::UnresolvedMethod(class_descriptor.to_string()))?;
-        let (def_ty, method) = self
-            .dex
-            .resolve_method(ty, method_name)
-            .ok_or_else(|| {
-                VmError::UnresolvedMethod(format!("{class_descriptor}->{method_name}"))
-            })?;
+        let (def_ty, method) = self.dex.resolve_method(ty, method_name).ok_or_else(|| {
+            VmError::UnresolvedMethod(format!("{class_descriptor}->{method_name}"))
+        })?;
         let method = method.clone();
         self.run(heap, sys, def_ty, &method, args)
     }
@@ -240,7 +237,11 @@ impl<'p> Vm<'p> {
     ) -> Result<Option<Value>, VmError> {
         let mut regs = vec![Value::Null; method.num_registers as usize];
         let first_param = method.num_registers as usize - method.num_params as usize;
-        for (i, v) in args.into_iter().enumerate().take(method.num_params as usize) {
+        for (i, v) in args
+            .into_iter()
+            .enumerate()
+            .take(method.num_params as usize)
+        {
             regs[first_param + i] = v;
         }
         let mut pc = 0usize;
@@ -271,7 +272,11 @@ impl<'p> Vm<'p> {
                     let descriptor = self.dex.pools.type_at(*class).to_string();
                     regs[dst.index()] = Value::Object(heap.alloc(descriptor));
                 }
-                Instr::Invoke { kind, method: m, args } => {
+                Instr::Invoke {
+                    kind,
+                    method: m,
+                    args,
+                } => {
                     let mref = self.dex.pools.method_at(*m).clone();
                     let arg_values: Vec<Value> =
                         args.iter().map(|r| regs[r.index()].clone()).collect();
@@ -394,7 +399,8 @@ mod tests {
             name: &str,
             args: &[Value],
         ) -> Result<Option<Value>, VmError> {
-            self.calls.push((class.to_string(), name.to_string(), args.len()));
+            self.calls
+                .push((class.to_string(), name.to_string(), args.len()));
             Ok(Some(Value::str("syscall-result")))
         }
     }
@@ -418,7 +424,13 @@ mod tests {
         let mut vm = Vm::new(&apk.dex);
         let mut heap = Heap::new();
         let result = vm
-            .invoke(&mut heap, &mut NopSyscalls, "LMath;", "triple", vec![Value::Int(7)])
+            .invoke(
+                &mut heap,
+                &mut NopSyscalls,
+                "LMath;",
+                "triple",
+                vec![Value::Int(7)],
+            )
             .expect("runs");
         assert_eq!(result, Some(Value::Int(21)));
     }

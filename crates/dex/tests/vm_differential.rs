@@ -16,19 +16,37 @@ const REGS: u16 = 4;
 /// One step of the generated program.
 #[derive(Clone, Debug)]
 enum Step {
-    ConstInt { dst: u16, value: i64 },
-    Move { dst: u16, src: u16 },
-    Bin { op: u8, dst: u16, lhs: u16, rhs: u16 },
+    ConstInt {
+        dst: u16,
+        value: i64,
+    },
+    Move {
+        dst: u16,
+        src: u16,
+    },
+    Bin {
+        op: u8,
+        dst: u16,
+        lhs: u16,
+        rhs: u16,
+    },
     /// `if-eqz reg: skip the next `skip` steps` (forward only).
-    SkipIfZero { reg: u16, skip: u8 },
+    SkipIfZero {
+        reg: u16,
+        skip: u8,
+    },
 }
 
 fn arb_step() -> impl Strategy<Value = Step> {
     prop_oneof![
         (0..REGS, -100i64..100).prop_map(|(dst, value)| Step::ConstInt { dst, value }),
         (0..REGS, 0..REGS).prop_map(|(dst, src)| Step::Move { dst, src }),
-        (0u8..4, 0..REGS, 0..REGS, 0..REGS)
-            .prop_map(|(op, dst, lhs, rhs)| Step::Bin { op, dst, lhs, rhs }),
+        (0u8..4, 0..REGS, 0..REGS, 0..REGS).prop_map(|(op, dst, lhs, rhs)| Step::Bin {
+            op,
+            dst,
+            lhs,
+            rhs
+        }),
         (0..REGS, 1u8..4).prop_map(|(reg, skip)| Step::SkipIfZero { reg, skip }),
     ]
 }
@@ -91,7 +109,12 @@ fn assemble(steps: &[Step]) -> separ_dex::Apk {
                     2 => BinOp::Mul,
                     _ => BinOp::CmpEq,
                 };
-                m.binop(op, regs[*dst as usize], regs[*lhs as usize], regs[*rhs as usize]);
+                m.binop(
+                    op,
+                    regs[*dst as usize],
+                    regs[*lhs as usize],
+                    regs[*rhs as usize],
+                );
             }
             Step::SkipIfZero { reg, skip } => {
                 let target = (i + 1 + *skip as usize).min(steps.len());

@@ -88,9 +88,9 @@ impl AuditLog {
 
     /// Sink firings of a given resource.
     pub fn sinks_fired(&self, sink: Resource) -> impl Iterator<Item = &AuditEvent> + '_ {
-        self.events.iter().filter(move |e| {
-            matches!(e, AuditEvent::SinkFired { sink: s, .. } if *s == sink)
-        })
+        self.events
+            .iter()
+            .filter(move |e| matches!(e, AuditEvent::SinkFired { sink: s, .. } if *s == sink))
     }
 
     /// Returns `true` if data tagged `tag` ever reached `sink`.

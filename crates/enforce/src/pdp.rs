@@ -77,8 +77,11 @@ pub enum PromptHandler {
     /// Scripted decisions, consumed in order; refuses once exhausted.
     Scripted(Vec<bool>),
     /// Ask the embedder, passing the policy and the intercepted event.
-    Callback(Box<dyn FnMut(&Policy, &IccContext) -> bool + Send>),
+    Callback(PromptCallback),
 }
+
+/// Embedder-supplied prompt answering function; see [`PromptHandler::Callback`].
+pub type PromptCallback = Box<dyn FnMut(&Policy, &IccContext) -> bool + Send>;
 
 impl std::fmt::Debug for PromptHandler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -234,7 +237,11 @@ fn conditions_hold(policy: &Policy, ctx: &IccContext, bundle: &[String]) -> bool
             .map(|r| ctx.tags.contains(&r))
             .unwrap_or(false),
         Condition::SenderAppNotIn(packages) => {
-            let reference: &[String] = if packages.is_empty() { bundle } else { packages };
+            let reference: &[String] = if packages.is_empty() {
+                bundle
+            } else {
+                packages
+            };
             !reference.contains(&ctx.sender_app)
         }
     })
@@ -286,8 +293,7 @@ mod tests {
 
     #[test]
     fn user_consent_allows() {
-        let mut pdp =
-            Pdp::new(vec![leak_policy()], vec![]).with_prompt(PromptHandler::AlwaysAllow);
+        let mut pdp = Pdp::new(vec![leak_policy()], vec![]).with_prompt(PromptHandler::AlwaysAllow);
         let d = pdp.evaluate(PolicyEvent::IccReceive, &attack_ctx());
         assert_eq!(d, Decision::PromptAllowed { policy_id: 7 });
         assert!(d.allows());
@@ -331,20 +337,21 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::type_complexity)]
     fn callback_prompts_see_the_policy_and_the_event() {
         use std::sync::{Arc, Mutex};
         let seen: Arc<Mutex<Vec<(String, Option<String>)>>> = Arc::default();
         let seen2 = Arc::clone(&seen);
-        let mut pdp = Pdp::new(vec![leak_policy()], vec![]).with_prompt(
-            PromptHandler::Callback(Box::new(move |policy, ctx| {
-                seen2.lock().expect("lock").push((
-                    policy.rationale.clone(),
-                    ctx.receiver_component.clone(),
-                ));
+        let mut pdp = Pdp::new(vec![leak_policy()], vec![]).with_prompt(PromptHandler::Callback(
+            Box::new(move |policy, ctx| {
+                seen2
+                    .lock()
+                    .expect("lock")
+                    .push((policy.rationale.clone(), ctx.receiver_component.clone()));
                 // Allow exactly when the receiver is the known component.
                 ctx.receiver_component.as_deref() == Some("LMessageSender;")
-            })),
-        );
+            }),
+        ));
         let d = pdp.evaluate(PolicyEvent::IccReceive, &attack_ctx());
         assert!(d.allows());
         let log = seen.lock().expect("lock");
@@ -357,9 +364,15 @@ mod tests {
     fn scripted_prompts_consume_in_order() {
         let mut pdp = Pdp::new(vec![leak_policy()], vec![])
             .with_prompt(PromptHandler::Scripted(vec![true, false]));
-        assert!(pdp.evaluate(PolicyEvent::IccReceive, &attack_ctx()).allows());
-        assert!(!pdp.evaluate(PolicyEvent::IccReceive, &attack_ctx()).allows());
+        assert!(pdp
+            .evaluate(PolicyEvent::IccReceive, &attack_ctx())
+            .allows());
+        assert!(!pdp
+            .evaluate(PolicyEvent::IccReceive, &attack_ctx())
+            .allows());
         // Exhausted: refuse.
-        assert!(!pdp.evaluate(PolicyEvent::IccReceive, &attack_ctx()).allows());
+        assert!(!pdp
+            .evaluate(PolicyEvent::IccReceive, &attack_ctx())
+            .allows());
     }
 }

@@ -248,9 +248,7 @@ impl Device {
             return env.reply_to.iter().cloned().collect();
         }
         let kind = match env.via {
-            IccMethod::StartActivity | IccMethod::StartActivityForResult => {
-                ComponentKind::Activity
-            }
+            IccMethod::StartActivity | IccMethod::StartActivityForResult => ComponentKind::Activity,
             IccMethod::StartService | IccMethod::BindService => ComponentKind::Service,
             IccMethod::SendBroadcast => ComponentKind::Receiver,
             _ => ComponentKind::Provider,
@@ -411,11 +409,7 @@ impl Device {
         let received = env.map(|e| unmarshal_intent(&mut heap, &e.intent));
         let mut args = vec![this];
         if num_params >= 2 {
-            args.push(
-                received
-                    .map(Value::Object)
-                    .unwrap_or(Value::Null),
-            );
+            args.push(received.map(Value::Object).unwrap_or(Value::Null));
         }
         while args.len() < num_params as usize {
             args.push(Value::Null);
@@ -535,9 +529,11 @@ struct DeviceSyscalls<'a> {
 impl DeviceSyscalls<'_> {
     fn icc_send(&mut self, heap: &Heap, via: IccMethod, args: &[Value]) {
         // Find the intent argument.
-        let Some(obj) = args.iter().filter_map(Value::as_object).find(|&o| {
-            heap.get(o).class == api::class::INTENT
-        }) else {
+        let Some(obj) = args
+            .iter()
+            .filter_map(Value::as_object)
+            .find(|&o| heap.get(o).class == api::class::INTENT)
+        else {
             return;
         };
         let intent = marshal_intent(heap, obj);
@@ -821,7 +817,12 @@ mod tests {
         m.move_result(msg);
         m.invoke_static(class::SMS_MANAGER, "getDefault", &[], true);
         m.move_result(mgr);
-        m.invoke_virtual(class::SMS_MANAGER, "sendTextMessage", &[mgr, num, msg], false);
+        m.invoke_virtual(
+            class::SMS_MANAGER,
+            "sendTextMessage",
+            &[mgr, num, msg],
+            false,
+        );
         m.ret_void();
         m.finish();
         cb.finish();
@@ -839,7 +840,12 @@ mod tests {
         let loc = m.reg();
         let i = m.reg();
         let s = m.reg();
-        m.invoke_virtual(class::LOCATION_MANAGER, "getLastKnownLocation", &[loc], true);
+        m.invoke_virtual(
+            class::LOCATION_MANAGER,
+            "getLastKnownLocation",
+            &[loc],
+            true,
+        );
         m.move_result(loc);
         m.new_instance(i, class::INTENT);
         m.const_string(s, "LMessageSender;");
@@ -982,7 +988,12 @@ mod tests {
             m.new_instance(i, class::INTENT);
             m.const_string(s, "LB;");
             m.invoke_virtual(class::INTENT, "setClassName", &[i, s], false);
-            m.invoke_virtual(class::ACTIVITY, "startActivityForResult", &[m.this(), i], false);
+            m.invoke_virtual(
+                class::ACTIVITY,
+                "startActivityForResult",
+                &[m.this(), i],
+                false,
+            );
             m.ret_void();
             m.finish();
         }

@@ -25,7 +25,10 @@ pub fn extract(value: &str) -> Option<Resource> {
 
 /// The payload without its tag (the value itself if untagged).
 pub fn payload(value: &str) -> &str {
-    match value.strip_prefix(TAG_START).and_then(|r| r.split_once(TAG_END)) {
+    match value
+        .strip_prefix(TAG_START)
+        .and_then(|r| r.split_once(TAG_END))
+    {
         Some((_, p)) => p,
         None => value,
     }
@@ -50,7 +53,7 @@ mod tests {
 
     #[test]
     fn unknown_tag_names_are_ignored() {
-        let fake = format!("\u{1}NOT_A_RESOURCE\u{2}data");
+        let fake = "\u{1}NOT_A_RESOURCE\u{2}data".to_string();
         assert_eq!(extract(&fake), None);
     }
 }

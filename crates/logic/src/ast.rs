@@ -214,10 +214,7 @@ impl Formula {
 
     /// `self <=> other`.
     pub fn iff(self, other: Formula) -> Formula {
-        Formula::and([
-            self.clone().implies(other.clone()),
-            other.implies(self),
-        ])
+        Formula::and([self.clone().implies(other.clone()), other.implies(self)])
     }
 
     /// `all v: bound | body`.

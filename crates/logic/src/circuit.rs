@@ -457,7 +457,9 @@ mod tests {
         let formula = c.exactly_one(&inputs);
         let mut s = Solver::new();
         let map = assert_circuit(&c, formula, &mut s);
-        let vars: Vec<_> = (0..4).map(|i| map.var_for_input(i).expect("mapped")).collect();
+        let vars: Vec<_> = (0..4)
+            .map(|i| map.var_for_input(i).expect("mapped"))
+            .collect();
         let mut models = 0;
         while s.solve(&[]) == SolveResult::Sat {
             models += 1;

@@ -262,7 +262,11 @@ impl ModelFinder {
                     .insert(tuple.clone());
             }
         }
-        let names = self.relations.iter().map(|d| d.name().to_string()).collect();
+        let names = self
+            .relations
+            .iter()
+            .map(|d| d.name().to_string())
+            .collect();
         Instance::new(names, rels, self.universe.clone())
     }
 
@@ -312,9 +316,7 @@ impl ModelFinder {
         // Shrink: repeatedly ask for a model whose positives are a strict
         // subset of the current ones.
         loop {
-            let positives: Vec<usize> = (0..assignment.len())
-                .filter(|&i| assignment[i])
-                .collect();
+            let positives: Vec<usize> = (0..assignment.len()).filter(|&i| assignment[i]).collect();
             if positives.is_empty() {
                 break;
             }
@@ -412,7 +414,11 @@ mod tests {
         let (mut p, r) = unary_problem(5);
         p.fact(Expr::relation(r).some());
         let inst = p.solve_minimal().expect("well-typed").expect("satisfiable");
-        assert_eq!(inst.tuples(r).len(), 1, "minimal witness of `some` is a singleton");
+        assert_eq!(
+            inst.tuples(r).len(),
+            1,
+            "minimal witness of `some` is a singleton"
+        );
     }
 
     #[test]
@@ -455,9 +461,11 @@ mod tests {
             Expr::var(v).join(&Expr::relation(cmp_app)).one(),
         ));
         // Redundant but exercises join in the other direction:
-        p.fact(Expr::relation(app)
-            .join(&Expr::relation(cmp_app).transpose())
-            .some());
+        p.fact(
+            Expr::relation(app)
+                .join(&Expr::relation(cmp_app).transpose())
+                .some(),
+        );
         let inst = p.solve().expect("well-typed").expect("satisfiable");
         assert_eq!(inst.tuples(cmp_app).len(), 2);
     }
@@ -524,9 +532,7 @@ mod tests {
         p.fact(Formula::for_all(
             v,
             Expr::relation(component),
-            Expr::var(v)
-                .join(&Expr::relation(cmps).transpose())
-                .one(),
+            Expr::var(v).join(&Expr::relation(cmps).transpose()).one(),
         ));
         let _ = application;
         let mut finder = p.model_finder().expect("well-typed");

@@ -32,16 +32,14 @@ impl ActivityHeap {
     }
 
     /// Returns `true` if the heap contains no variables.
-    #[cfg_attr(not(test), allow(dead_code))]
+    #[allow(dead_code)] // part of the heap's natural API; kept for symmetry
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
 
     /// Returns `true` if `v` is currently in the heap.
     pub fn contains(&self, v: Var) -> bool {
-        self.positions
-            .get(v.index())
-            .is_some_and(|&p| p != NOT_IN)
+        self.positions.get(v.index()).is_some_and(|&p| p != NOT_IN)
     }
 
     /// Inserts `v`; no-op if already present.

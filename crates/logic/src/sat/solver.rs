@@ -421,7 +421,7 @@ impl Solver {
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
         let locked: Vec<Option<u32>> = self.reason.clone();
-        let is_locked = |i: usize| locked.iter().any(|r| *r == Some(i as u32));
+        let is_locked = |i: usize| locked.contains(&Some(i as u32));
         for &i in learnt_idx.iter().take(learnt_idx.len() / 2) {
             if !is_locked(i) {
                 self.clauses[i].deleted = true;
@@ -453,7 +453,15 @@ impl Solver {
             }
             for &l in &cl.lits {
                 let v = l.var().index() + 1;
-                let _ = write!(body, "{} ", if l.is_positive() { v as i64 } else { -(v as i64) });
+                let _ = write!(
+                    body,
+                    "{} ",
+                    if l.is_positive() {
+                        v as i64
+                    } else {
+                        -(v as i64)
+                    }
+                );
             }
             body.push_str("0\n");
             count += 1;
@@ -462,7 +470,15 @@ impl Solver {
         let bound = self.trail_lim.first().copied().unwrap_or(self.trail.len());
         for &l in &self.trail[..bound] {
             let v = l.var().index() + 1;
-            let _ = writeln!(body, "{} 0", if l.is_positive() { v as i64 } else { -(v as i64) });
+            let _ = writeln!(
+                body,
+                "{} 0",
+                if l.is_positive() {
+                    v as i64
+                } else {
+                    -(v as i64)
+                }
+            );
             count += 1;
         }
         format!("p cnf {} {count}\n{body}", self.num_vars())
@@ -516,9 +532,7 @@ impl Solver {
                     return Some(SolveResult::Unsat);
                 }
                 let (learnt, backjump) = self.analyze(confl);
-                // If the conflict forces us below the assumption levels, the
-                // assumptions are inconsistent with the clause set.
-                self.cancel_until(backjump.max(0));
+                self.cancel_until(backjump);
                 if learnt.len() == 1 {
                     if self.decision_level() > 0 {
                         self.cancel_until(0);
@@ -672,6 +686,7 @@ mod tests {
         for row in &p {
             s.add_clause(row);
         }
+        #[allow(clippy::needless_range_loop)] // triple-index form is the textbook encoding
         for j in 0..2 {
             for i in 0..3 {
                 for k in (i + 1)..3 {
@@ -692,6 +707,7 @@ mod tests {
         for row in &p {
             s.add_clause(row);
         }
+        #[allow(clippy::needless_range_loop)] // triple-index form is the textbook encoding
         for j in 0..n {
             for i in 0..n {
                 for k in (i + 1)..n {
@@ -701,6 +717,7 @@ mod tests {
         }
         assert_eq!(s.solve(&[]), SolveResult::Sat);
         // Verify it is a permutation matrix.
+        #[allow(clippy::needless_range_loop)] // column scan over a square matrix
         for j in 0..n {
             let count = (0..n).filter(|&i| s.is_true(p[i][j])).count();
             assert!(count <= 1, "two pigeons share hole {j}");
@@ -790,10 +807,7 @@ mod tests {
             let mut any = false;
             'outer: for bits in 0u32..(1 << n) {
                 for cl in &clauses {
-                    if !cl
-                        .iter()
-                        .any(|&(v, sign)| ((bits >> v) & 1 == 1) == sign)
-                    {
+                    if !cl.iter().any(|&(v, sign)| ((bits >> v) & 1 == 1) == sign) {
                         continue 'outer;
                     }
                 }

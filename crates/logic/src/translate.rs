@@ -7,7 +7,7 @@
 //! pointwise or by join; quantifiers expand over the bounding expression's
 //! tuples, which the finite bounds keep small.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::ast::{Expr, Formula, QuantVar};
 use crate::circuit::{BoolRef, Circuit};
@@ -16,17 +16,22 @@ use crate::relation::{RelationDecl, RelationId, Tuple};
 use crate::universe::{Atom, Universe};
 
 /// A sparse boolean matrix over tuples. Absent tuples are false.
+///
+/// Entries are kept in tuple order: matrix iteration decides the order in
+/// which OR-accumulation gates are built, and gate identity decides CNF
+/// variable numbering, so an unordered map here would make the model
+/// enumeration order vary run to run (and thread to thread).
 #[derive(Clone, Debug)]
 pub(crate) struct Matrix {
     arity: usize,
-    entries: HashMap<Tuple, BoolRef>,
+    entries: BTreeMap<Tuple, BoolRef>,
 }
 
 impl Matrix {
     fn new(arity: usize) -> Matrix {
         Matrix {
             arity,
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
         }
     }
 
@@ -272,8 +277,8 @@ impl<'a> Translator<'a> {
     }
 
     fn join(&mut self, a: &Matrix, b: &Matrix) -> Matrix {
-        // Index b's tuples by leading atom.
-        let mut by_first: HashMap<Atom, Vec<(&Tuple, BoolRef)>> = HashMap::new();
+        // Index b's tuples by leading atom (ordered, see [`Matrix`]).
+        let mut by_first: BTreeMap<Atom, Vec<(&Tuple, BoolRef)>> = BTreeMap::new();
         for (t, g) in &b.entries {
             by_first.entry(t.first()).or_default().push((t, *g));
         }
@@ -431,10 +436,7 @@ mod tests {
         let atoms: Vec<Atom> = (0..3).map(|i| u.add(format!("x{i}"))).collect();
         let s = TupleSet::unary_from(atoms.clone());
         let pairs = s.product(&s);
-        let decls = vec![
-            RelationDecl::exact("s", s),
-            RelationDecl::free("r", pairs),
-        ];
+        let decls = vec![RelationDecl::exact("s", s), RelationDecl::free("r", pairs)];
         (u, decls, RelationId(0), RelationId(1))
     }
 

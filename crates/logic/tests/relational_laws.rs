@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use separ_logic::ast::{Expr, Formula};
+use separ_logic::ast::Expr;
 use separ_logic::relation::{RelationDecl, Tuple, TupleSet};
 use separ_logic::universe::Universe;
 use separ_logic::Problem;
@@ -66,10 +66,7 @@ fn transpose_is_an_involution_and_antidistributes_over_join() {
     let (_, [r, s, _]) = setup();
     assert_law(r.transpose().transpose(), r.clone());
     // ~(r.s) = ~s.~r
-    assert_law(
-        r.join(&s).transpose(),
-        s.transpose().join(&r.transpose()),
-    );
+    assert_law(r.join(&s).transpose(), s.transpose().join(&r.transpose()));
 }
 
 #[test]

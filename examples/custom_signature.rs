@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut registry = SignatureRegistry::standard();
     for (title, src) in [("Listing 5", SERVICE_LAUNCH), ("DoubleAgent", DOUBLE_AGENT)] {
         let sig = TextualSignature::parse(src)?;
-        println!("registered textual signature '{}' ({title})", sig.spec_name());
+        println!(
+            "registered textual signature '{}' ({title})",
+            sig.spec_name()
+        );
         registry.register(Box::new(sig));
     }
     let report = Separ::with_registry(registry).analyze_apks(&[

@@ -40,7 +40,11 @@ fn apps() -> Vec<separ::dex::Apk> {
 fn main() {
     // 1. Prompt + user declines (the paper's default posture).
     let mut device = Device::new(apps());
-    device.install_policies(vec![sms_guard(PolicyAction::Prompt)], vec![], PromptHandler::AlwaysDeny);
+    device.install_policies(
+        vec![sms_guard(PolicyAction::Prompt)],
+        vec![],
+        PromptHandler::AlwaysDeny,
+    );
     run_attack(&mut device);
     println!(
         "prompt/deny : leaked={} blocked={} prompts={}",
@@ -51,7 +55,11 @@ fn main() {
 
     // 2. Prompt + user consents: the user's call, SEPAR steps aside.
     let mut device = Device::new(apps());
-    device.install_policies(vec![sms_guard(PolicyAction::Prompt)], vec![], PromptHandler::AlwaysAllow);
+    device.install_policies(
+        vec![sms_guard(PolicyAction::Prompt)],
+        vec![],
+        PromptHandler::AlwaysAllow,
+    );
     run_attack(&mut device);
     println!(
         "prompt/allow: leaked={} blocked={}",
@@ -61,7 +69,11 @@ fn main() {
 
     // 3. Hard deny: no prompt at all.
     let mut device = Device::new(apps());
-    device.install_policies(vec![sms_guard(PolicyAction::Deny)], vec![], PromptHandler::AlwaysAllow);
+    device.install_policies(
+        vec![sms_guard(PolicyAction::Deny)],
+        vec![],
+        PromptHandler::AlwaysAllow,
+    );
     run_attack(&mut device);
     println!(
         "deny        : leaked={} blocked={} prompts={}",
@@ -75,13 +87,21 @@ fn main() {
     println!("\naudit trail of the denied run:");
     for event in device.audit.events() {
         match event {
-            AuditEvent::IccSent { from_component, intent, .. } => {
+            AuditEvent::IccSent {
+                from_component,
+                intent,
+                ..
+            } => {
                 println!("  sent      {} action={:?}", from_component, intent.action)
             }
             AuditEvent::IccDelivered { to_component, .. } => {
                 println!("  delivered -> {to_component}")
             }
-            AuditEvent::IccBlocked { vulnerability, to_component, .. } => {
+            AuditEvent::IccBlocked {
+                vulnerability,
+                to_component,
+                ..
+            } => {
                 println!("  BLOCKED   -> {to_component:?} [{vulnerability}]")
             }
             AuditEvent::SinkFired { sink, detail, .. } => {

@@ -18,7 +18,10 @@ fn main() -> Result<(), separ::logic::LogicError> {
 
     // ---- Phase 1: SEPAR analyzes the *benign* bundle ahead of time. ----
     let report = Separ::new().analyze_apks(&[navigator.clone(), messenger.clone()])?;
-    println!("SEPAR synthesized {} exploit scenario(s):", report.exploits.len());
+    println!(
+        "SEPAR synthesized {} exploit scenario(s):",
+        report.exploits.len()
+    );
     for e in &report.exploits {
         println!("  - {e}");
     }
@@ -26,7 +29,11 @@ fn main() -> Result<(), separ::logic::LogicError> {
 
     // ---- Phase 2: the unprotected device. ----
     println!("--- attack on an UNPROTECTED device ---");
-    let mut device = Device::new(vec![navigator.clone(), messenger.clone(), malicious.clone()]);
+    let mut device = Device::new(vec![
+        navigator.clone(),
+        messenger.clone(),
+        malicious.clone(),
+    ]);
     device.launch("com.navigator", motivating::LOCATION_FINDER);
     device.run_until_idle();
     if device.audit.leaked(Resource::Location, Resource::Sms) {

@@ -7,8 +7,8 @@
 //! ```
 
 use separ::core::{Separ, VulnKind};
-use separ::corpus::market::{generate, MarketSpec};
 use separ::corpus::casestudy;
+use separ::corpus::market::{generate, MarketSpec};
 
 fn main() -> Result<(), separ::logic::LogicError> {
     let total: usize = std::env::args()

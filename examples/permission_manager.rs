@@ -42,7 +42,10 @@ fn main() -> Result<(), separ::logic::LogicError> {
         s.exploits()
             .any(|e| e.kind() == VulnKind::PrivilegeEscalation)
     };
-    println!("privilege-escalation exploit live: {}", escalation_live(&session));
+    println!(
+        "privilege-escalation exploit live: {}",
+        escalation_live(&session)
+    );
 
     // The user opens the Permission Manager and revokes SEND_SMS from the
     // messenger.
@@ -56,7 +59,10 @@ fn main() -> Result<(), separ::logic::LogicError> {
         delta.added.len()
     );
     device.apply_policy_delta(delta.added.clone(), &delta.removed);
-    println!("privilege-escalation exploit live: {}", escalation_live(&session));
+    println!(
+        "privilege-escalation exploit live: {}",
+        escalation_live(&session)
+    );
 
     // Later, the user grants it back.
     println!("\n>> user grants SEND_SMS back");
@@ -67,7 +73,10 @@ fn main() -> Result<(), separ::logic::LogicError> {
         delta.added.len()
     );
     device.apply_policy_delta(delta.added.clone(), &delta.removed);
-    println!("privilege-escalation exploit live: {}", escalation_live(&session));
+    println!(
+        "privilege-escalation exploit live: {}",
+        escalation_live(&session)
+    );
 
     println!(
         "\ntotal signature syntheses across the session: {} (vs {} for three full runs)",

@@ -1,0 +1,37 @@
+//! Per-test configuration and deterministic case RNGs.
+
+/// The generator strategies draw from (the shimmed `SmallRng`).
+pub type TestRng = rand::rngs::SmallRng;
+
+/// How a `proptest!` block runs its tests.
+#[derive(Copy, Clone, Debug)]
+pub struct ProptestConfig {
+    /// Generated input sets per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` inputs per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The RNG for one test case: a deterministic function of the fully
+/// qualified test name and the case number, so failures reproduce.
+pub fn case_rng(test_name: &str, case: u32) -> TestRng {
+    use rand::SeedableRng as _;
+    // FNV-1a over the test name, mixed with the case number.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(seed ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+}

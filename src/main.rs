@@ -5,6 +5,7 @@
 //! separ analyze <app.sdex>... [options]    run AME + ASE on a bundle
 //!     --policies-out <file>                write synthesized policies as JSON
 //!     --alloy                              print the extracted Alloy modules
+//!     --threads <n>                        worker threads (0 = all cores, the default)
 //! separ disasm <app.sdex>                  disassemble a package
 //! separ enforce <app.sdex>... --policies <file> --launch <pkg> <Class>
 //!                                          run a bundle under enforcement
@@ -13,7 +14,7 @@
 
 use std::process::ExitCode;
 
-use separ::core::{policy_io, Separ};
+use separ::core::{policy_io, Separ, SeparConfig};
 use separ::dex::codec;
 use separ::enforce::{Device, PromptHandler};
 
@@ -52,8 +53,14 @@ fn cmd_pack(args: &[String]) -> CliResult {
     std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
     let apps = [
         ("navigator.sdex", separ::corpus::motivating::navigator_app()),
-        ("messenger.sdex", separ::corpus::motivating::messenger_app(false)),
-        ("wallpaper.sdex", separ::corpus::motivating::malicious_app("+15550000")),
+        (
+            "messenger.sdex",
+            separ::corpus::motivating::messenger_app(false),
+        ),
+        (
+            "wallpaper.sdex",
+            separ::corpus::motivating::malicious_app("+15550000"),
+        ),
     ];
     for (name, apk) in apps {
         let path = format!("{dir}/{name}");
@@ -68,6 +75,7 @@ fn cmd_analyze(args: &[String]) -> CliResult {
     let mut files = Vec::new();
     let mut policies_out: Option<String> = None;
     let mut print_alloy = false;
+    let mut config = SeparConfig::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -80,6 +88,14 @@ fn cmd_analyze(args: &[String]) -> CliResult {
                 );
             }
             "--alloy" => print_alloy = true,
+            "--threads" => {
+                i += 1;
+                config.threads = args
+                    .get(i)
+                    .ok_or("analyze: --threads needs a count")?
+                    .parse()
+                    .map_err(|e| format!("analyze: --threads: {e}"))?;
+            }
             f => files.push(f.to_string()),
         }
         i += 1;
@@ -92,6 +108,7 @@ fn cmd_analyze(args: &[String]) -> CliResult {
         .map(|f| load_apk(f))
         .collect::<Result<_, _>>()?;
     let report = Separ::new()
+        .with_config(config)
         .analyze_apks(&apks)
         .map_err(|e| e.to_string())?;
     println!(
@@ -100,8 +117,20 @@ fn cmd_analyze(args: &[String]) -> CliResult {
         report.stats.components,
         report.stats.intents
     );
+    println!(
+        "timing: extraction {:?} wall / {:?} cpu, resolution {:?}, synthesis {:?} wall ({:?} construction + {:?} solving cpu)",
+        report.stats.extraction_wall,
+        report.stats.extraction_cpu,
+        report.stats.resolution,
+        report.stats.synthesis_wall,
+        report.stats.construction,
+        report.stats.solving,
+    );
     if print_alloy {
-        println!("\n{}", separ::core::alloy_export::bundle_modules(&report.apps));
+        println!(
+            "\n{}",
+            separ::core::alloy_export::bundle_modules(&report.apps)
+        );
     }
     println!("\nexploit scenarios ({}):", report.exploits.len());
     for e in &report.exploits {
@@ -109,7 +138,10 @@ fn cmd_analyze(args: &[String]) -> CliResult {
     }
     println!("\npolicies ({}):", report.policies.len());
     for p in &report.policies {
-        println!("  #{} [{}] {:?}: {:?}", p.id, p.vulnerability, p.event, p.conditions);
+        println!(
+            "  #{} [{}] {:?}: {:?}",
+            p.id, p.vulnerability, p.event, p.conditions
+        );
     }
     if let Some(path) = policies_out {
         std::fs::write(&path, policy_io::to_json(&report.policies))
@@ -137,11 +169,19 @@ fn cmd_enforce(args: &[String]) -> CliResult {
         match args[i].as_str() {
             "--policies" => {
                 i += 1;
-                policy_file = Some(args.get(i).ok_or("enforce: --policies needs a path")?.clone());
+                policy_file = Some(
+                    args.get(i)
+                        .ok_or("enforce: --policies needs a path")?
+                        .clone(),
+                );
             }
             "--launch" => {
-                let pkg = args.get(i + 1).ok_or("enforce: --launch needs <pkg> <Class>")?;
-                let class = args.get(i + 2).ok_or("enforce: --launch needs <pkg> <Class>")?;
+                let pkg = args
+                    .get(i + 1)
+                    .ok_or("enforce: --launch needs <pkg> <Class>")?;
+                let class = args
+                    .get(i + 2)
+                    .ok_or("enforce: --launch needs <pkg> <Class>")?;
                 launch = Some((pkg.clone(), class.clone()));
                 i += 2;
             }
@@ -186,8 +226,16 @@ fn cmd_demo() -> CliResult {
     let report = Separ::new()
         .analyze_apks(&[navigator.clone(), messenger.clone()])
         .map_err(|e| e.to_string())?;
-    println!("synthesized {} exploit(s), {} polic(ies)", report.exploits.len(), report.policies.len());
-    let mut unprotected = Device::new(vec![navigator.clone(), messenger.clone(), malicious.clone()]);
+    println!(
+        "synthesized {} exploit(s), {} polic(ies)",
+        report.exploits.len(),
+        report.policies.len()
+    );
+    let mut unprotected = Device::new(vec![
+        navigator.clone(),
+        messenger.clone(),
+        malicious.clone(),
+    ]);
     unprotected.launch("com.navigator", motivating::LOCATION_FINDER);
     unprotected.run_until_idle();
     println!(

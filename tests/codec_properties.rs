@@ -15,10 +15,7 @@ fn arb_apk() -> impl Strategy<Value = Apk> {
     (
         "[a-z]{3,8}\\.[a-z]{3,8}",
         prop::collection::vec(("[A-Z][a-z]{2,6}", 0u8..4, any::<bool>()), 1..5),
-        prop::collection::vec(
-            (0usize..5, prop::collection::vec(0u8..6, 0..20)),
-            1..5,
-        ),
+        prop::collection::vec((0usize..5, prop::collection::vec(0u8..6, 0..20)), 1..5),
         prop::collection::vec("[a-z]{2,10}", 0..4),
     )
         .prop_map(|(package, components, methods, perms)| {

@@ -13,7 +13,9 @@ fn analyzed_bundle() -> (Vec<separ::dex::Apk>, separ::core::Report) {
         motivating::navigator_app(),
         motivating::messenger_app(false),
     ];
-    let report = Separ::new().analyze_apks(&bundle).expect("analysis succeeds");
+    let report = Separ::new()
+        .analyze_apks(&bundle)
+        .expect("analysis succeeds");
     (bundle, report)
 }
 
@@ -79,11 +81,10 @@ fn consenting_user_overrides_the_prompt() {
 fn patched_messenger_is_not_flagged_for_escalation() {
     // With the hasPermission() call wired in (Listing 2 line 6
     // uncommented), privilege escalation must disappear.
-    let bundle = vec![
-        motivating::navigator_app(),
-        motivating::messenger_app(true),
-    ];
-    let report = Separ::new().analyze_apks(&bundle).expect("analysis succeeds");
+    let bundle = vec![motivating::navigator_app(), motivating::messenger_app(true)];
+    let report = Separ::new()
+        .analyze_apks(&bundle)
+        .expect("analysis succeeds");
     assert!(report
         .exploits_of(VulnKind::PrivilegeEscalation)
         .all(|e| !matches!(

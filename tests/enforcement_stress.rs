@@ -107,7 +107,10 @@ fn market_bundle_under_full_enforcement() {
                 .audit
                 .events()
                 .iter()
-                .filter(|e| matches!(e, separ::enforce::AuditEvent::PromptShown { allowed: true, .. }))
+                .filter(|e| matches!(
+                    e,
+                    separ::enforce::AuditEvent::PromptShown { allowed: true, .. }
+                ))
                 .count() as u64,
         device.pdp().prompts()
             + device

@@ -12,7 +12,9 @@ fn motivating_report() -> separ::core::Report {
         motivating::navigator_app(),
         motivating::messenger_app(false),
     ];
-    Separ::new().analyze_apks(&bundle).expect("analysis succeeds")
+    Separ::new()
+        .analyze_apks(&bundle)
+        .expect("analysis succeeds")
 }
 
 #[test]

@@ -1,0 +1,104 @@
+//! Policy-shipping stability: `to_json` → `from_json` → `to_json` must be
+//! byte-identical, and the parsed set structurally equal, for every policy
+//! kind the four standard signatures produce.
+//!
+//! The PDP ships policies between the analysis host and the device; any
+//! normalization drift across a hop would make policy diffing (and the
+//! incremental deltas built on it) unsound.
+
+use std::collections::BTreeSet;
+
+use separ::core::{policy_io, Policy, Separ, SeparConfig, VulnKind};
+use separ::corpus::market::{generate, MarketSpec};
+use separ::corpus::motivating;
+
+/// Policies from the motivating bundle (hijack, launch, escalation) plus a
+/// generated market bundle (information leakage), covering all four
+/// standard signatures.
+fn policies_covering_all_signatures() -> Vec<Policy> {
+    let motivating_bundle = vec![
+        motivating::navigator_app(),
+        motivating::messenger_app(false),
+    ];
+    let mut policies = Separ::new()
+        .with_config(SeparConfig::serial())
+        .analyze_apks(&motivating_bundle)
+        .expect("motivating bundle analyzes")
+        .policies;
+
+    // Scan seeded market bundles until one leaks; generation is
+    // deterministic, so the scan always lands on the same bundle.
+    let mut leaked = false;
+    for seed in 0..32 {
+        let market = generate(&MarketSpec::scaled(12, seed));
+        let apks: Vec<_> = market.into_iter().map(|m| m.apk).collect();
+        let report = Separ::new()
+            .with_config(SeparConfig::serial())
+            .analyze_apks(&apks)
+            .expect("market bundle analyzes");
+        if report.exploits_of(VulnKind::InformationLeakage).count() > 0 {
+            policies.extend(report.policies);
+            leaked = true;
+            break;
+        }
+    }
+    assert!(
+        leaked,
+        "no market seed in 0..32 produced information leakage"
+    );
+    policies
+}
+
+#[test]
+fn every_standard_policy_kind_reserializes_byte_identically() {
+    let policies = policies_covering_all_signatures();
+    let kinds: BTreeSet<&str> = policies.iter().map(|p| p.vulnerability.as_str()).collect();
+    for kind in [
+        VulnKind::IntentHijack,
+        VulnKind::ComponentLaunch,
+        VulnKind::InformationLeakage,
+        VulnKind::PrivilegeEscalation,
+    ] {
+        assert!(
+            kinds.contains(kind.name()),
+            "bundle must cover {} (got {kinds:?})",
+            kind.name()
+        );
+    }
+
+    // Whole-set stability.
+    let json = policy_io::to_json(&policies);
+    let parsed = policy_io::from_json(&json).expect("own output parses");
+    assert_eq!(parsed, policies, "parse must invert serialization");
+    assert_eq!(
+        policy_io::to_json(&parsed),
+        json,
+        "re-serialization must be byte-identical"
+    );
+
+    // Per-policy stability, so a failure names the offending kind.
+    for p in &policies {
+        let one = std::slice::from_ref(p);
+        let json = policy_io::to_json(one);
+        let parsed = policy_io::from_json(&json)
+            .unwrap_or_else(|e| panic!("{} policy fails to parse: {e}\n{json}", p.vulnerability));
+        assert_eq!(parsed.as_slice(), one, "{} policy drifts", p.vulnerability);
+        assert_eq!(
+            policy_io::to_json(&parsed),
+            json,
+            "{} policy re-serialization drifts",
+            p.vulnerability
+        );
+    }
+}
+
+#[test]
+fn json_round_trip_survives_a_second_hop() {
+    // Ship host -> device -> host: two hops must also be stable.
+    let policies = policies_covering_all_signatures();
+    let hop1 = policy_io::to_json(&policies);
+    let hop2 = policy_io::to_json(&policy_io::from_json(&hop1).expect("hop 1 parses"));
+    let hop3 = policy_io::to_json(&policy_io::from_json(&hop2).expect("hop 2 parses"));
+    assert_eq!(hop1, hop2);
+    assert_eq!(hop2, hop3);
+}

@@ -36,18 +36,16 @@ fn statically_found_leaks_actually_happen_at_runtime() {
     // leak, executing the app leaks tagged data into the predicted sink.
     let sender = SenderSpec {
         source: Resource::Location,
-        ..SenderSpec::new(
-            "LS;",
-            IccMethod::StartService,
-            Addressing::action("t.GO"),
-        )
+        ..SenderSpec::new("LS;", IccMethod::StartService, Addressing::action("t.GO"))
     };
     let receiver = ReceiverSpec {
         sink: Resource::Log,
         ..ReceiverSpec::new("LR;", ComponentKind::Service).with_action_filter("t.GO")
     };
     let apk = single_app_case("t.app", &sender, &receiver);
-    assert!(!SeparAnalyzer.find_leaks(&[apk.clone()]).is_empty());
+    assert!(!SeparAnalyzer
+        .find_leaks(std::slice::from_ref(&apk))
+        .is_empty());
     let device = exercise(&apk);
     assert!(device.audit.leaked(Resource::Location, Resource::Log));
 }
@@ -64,7 +62,9 @@ fn result_channel_leaks_at_runtime_too() {
         "token",
     );
     assert!(
-        !SeparAnalyzer.find_leaks(&[apk.clone()]).is_empty(),
+        !SeparAnalyzer
+            .find_leaks(std::slice::from_ref(&apk))
+            .is_empty(),
         "static analysis finds the passive-intent flow"
     );
     let mut device = Device::new(vec![apk]);

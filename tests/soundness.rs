@@ -15,6 +15,7 @@ use separ::enforce::Device;
 use separ_android::api::IccMethod;
 
 #[derive(Clone, Copy, Debug)]
+#[allow(clippy::enum_variant_names)] // ActionMatch/ActionMismatch are domain terms
 enum Match {
     Explicit,
     ActionMatch,
@@ -93,7 +94,9 @@ fn static_and_runtime_verdicts_agree_across_the_grid() {
                 for &dead in &[false, true] {
                     let (source, sink) = combos[checked % combos.len()];
                     let apk = build_case(via, matching, indirection, dead, source, sink);
-                    let static_leak = !SeparAnalyzer.find_leaks(&[apk.clone()]).is_empty();
+                    let static_leak = !SeparAnalyzer
+                        .find_leaks(std::slice::from_ref(&apk))
+                        .is_empty();
                     let dynamic_leak = runtime_leaks(&apk, source, sink);
                     let expected = !dead && !matches!(matching, Match::ActionMismatch);
                     assert_eq!(
@@ -127,18 +130,66 @@ fn category_and_data_dimensions_agree_too() {
         expect: bool,
     }
     let dims = [
-        Dim { name: "cat_match", send_cat: Some("c.D"), send_type: None, send_scheme: None,
-              filt_cat: Some("c.D"), filt_type: None, filt_scheme: None, expect: true },
-        Dim { name: "cat_mismatch", send_cat: Some("c.D"), send_type: None, send_scheme: None,
-              filt_cat: None, filt_type: None, filt_scheme: None, expect: false },
-        Dim { name: "type_match", send_cat: None, send_type: Some("text/plain"), send_scheme: None,
-              filt_cat: None, filt_type: Some("text/plain"), filt_scheme: None, expect: true },
-        Dim { name: "type_mismatch", send_cat: None, send_type: Some("text/plain"), send_scheme: None,
-              filt_cat: None, filt_type: Some("image/png"), filt_scheme: None, expect: false },
-        Dim { name: "scheme_match", send_cat: None, send_type: None, send_scheme: Some("content"),
-              filt_cat: None, filt_type: None, filt_scheme: Some("content"), expect: true },
-        Dim { name: "scheme_mismatch", send_cat: None, send_type: None, send_scheme: Some("content"),
-              filt_cat: None, filt_type: None, filt_scheme: Some("ftp"), expect: false },
+        Dim {
+            name: "cat_match",
+            send_cat: Some("c.D"),
+            send_type: None,
+            send_scheme: None,
+            filt_cat: Some("c.D"),
+            filt_type: None,
+            filt_scheme: None,
+            expect: true,
+        },
+        Dim {
+            name: "cat_mismatch",
+            send_cat: Some("c.D"),
+            send_type: None,
+            send_scheme: None,
+            filt_cat: None,
+            filt_type: None,
+            filt_scheme: None,
+            expect: false,
+        },
+        Dim {
+            name: "type_match",
+            send_cat: None,
+            send_type: Some("text/plain"),
+            send_scheme: None,
+            filt_cat: None,
+            filt_type: Some("text/plain"),
+            filt_scheme: None,
+            expect: true,
+        },
+        Dim {
+            name: "type_mismatch",
+            send_cat: None,
+            send_type: Some("text/plain"),
+            send_scheme: None,
+            filt_cat: None,
+            filt_type: Some("image/png"),
+            filt_scheme: None,
+            expect: false,
+        },
+        Dim {
+            name: "scheme_match",
+            send_cat: None,
+            send_type: None,
+            send_scheme: Some("content"),
+            filt_cat: None,
+            filt_type: None,
+            filt_scheme: Some("content"),
+            expect: true,
+        },
+        Dim {
+            name: "scheme_mismatch",
+            send_cat: None,
+            send_type: None,
+            send_scheme: Some("content"),
+            filt_cat: None,
+            filt_type: None,
+            filt_scheme: Some("ftp"),
+            expect: false,
+        },
     ];
     for d in &dims {
         let sender = SenderSpec {
@@ -164,7 +215,9 @@ fn category_and_data_dimensions_agree_too() {
             ..ReceiverSpec::new("LGridRecv;", kind_for(IccMethod::StartService))
         };
         let apk = single_app_case("grid.app", &sender, &receiver);
-        let static_leak = !SeparAnalyzer.find_leaks(&[apk.clone()]).is_empty();
+        let static_leak = !SeparAnalyzer
+            .find_leaks(std::slice::from_ref(&apk))
+            .is_empty();
         let dynamic_leak = runtime_leaks(&apk, Resource::Location, Resource::Log);
         assert_eq!(static_leak, d.expect, "static: {}", d.name);
         assert_eq!(dynamic_leak, d.expect, "runtime: {}", d.name);
