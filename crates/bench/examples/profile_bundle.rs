@@ -1,33 +1,155 @@
 //! Phase-level profiling of one bundle analysis (extract / encode /
-//! full ASE). Used to locate pipeline hotspots.
+//! full ASE), emitting both a human-readable summary and a
+//! machine-readable `BENCH_pipeline.json` for before/after comparisons.
+//!
+//! Two full pipeline runs are profiled over the same generated market:
+//! the full-Tseitin encoding (the "before" configuration) and the
+//! polarity-aware default with the shared per-bundle translation base.
+//! Per-stage wall/CPU timings, CNF sizes and SAT-solver counters come
+//! straight from [`separ_core::BundleStats`].
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use separ_core::{BundleStats, Separ, SeparConfig};
+use separ_logic::CnfEncoding;
+
+/// Named pipeline configurations profiled against the same bundle.
+type RunResult = (String, Duration, BundleStats, usize);
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn run_json(out: &mut String, (name, wall, stats, exploits): &RunResult) {
+    let _ = write!(
+        out,
+        concat!(
+            "    {{\n",
+            "      \"config\": \"{}\",\n",
+            "      \"wall_ms\": {:.3},\n",
+            "      \"extraction_wall_ms\": {:.3},\n",
+            "      \"extraction_cpu_ms\": {:.3},\n",
+            "      \"resolution_ms\": {:.3},\n",
+            "      \"synthesis_wall_ms\": {:.3},\n",
+            "      \"construction_cpu_ms\": {:.3},\n",
+            "      \"solving_cpu_ms\": {:.3},\n",
+            "      \"primary_vars\": {},\n",
+            "      \"cnf_clauses\": {},\n",
+            "      \"shared_base_reuse\": {},\n",
+            "      \"conflicts\": {},\n",
+            "      \"propagations\": {},\n",
+            "      \"exploits\": {},\n",
+            "      \"per_signature\": [\n"
+        ),
+        name,
+        ms(*wall),
+        ms(stats.extraction_wall),
+        ms(stats.extraction_cpu),
+        ms(stats.resolution),
+        ms(stats.synthesis_wall),
+        ms(stats.construction),
+        ms(stats.solving),
+        stats.primary_vars,
+        stats.cnf_clauses,
+        stats.shared_base_reuse,
+        stats.conflicts,
+        stats.propagations,
+        exploits,
+    );
+    for (i, s) in stats.per_signature.iter().enumerate() {
+        let _ = write!(
+            out,
+            concat!(
+                "        {{\"name\": \"{}\", \"vars\": {}, \"clauses\": {}, ",
+                "\"conflicts\": {}, \"propagations\": {}, \"restarts\": {}, ",
+                "\"learnts\": {}, \"minimized_lits\": {}, ",
+                "\"construction_ms\": {:.3}, \"solving_ms\": {:.3}}}{}\n"
+            ),
+            s.name,
+            s.primary_vars,
+            s.cnf_clauses,
+            s.solver.conflicts,
+            s.solver.propagations,
+            s.solver.restarts,
+            s.solver.learnts,
+            s.solver.minimized_lits,
+            ms(s.construction),
+            ms(s.solving),
+            if i + 1 == stats.per_signature.len() {
+                ""
+            } else {
+                ","
+            },
+        );
+    }
+    let _ = write!(out, "      ]\n    }}");
+}
 
 fn main() {
-    use std::time::Instant;
     let spec = separ_corpus::market::MarketSpec::scaled(50, 7);
     let market = separ_corpus::market::generate(&spec);
     let apks: Vec<_> = market.into_iter().map(|m| m.apk).collect();
-    let t0 = Instant::now();
-    let mut apps: Vec<_> = apks
-        .iter()
-        .map(separ_analysis::extractor::extract_apk)
-        .collect();
-    println!("extract: {:?}", t0.elapsed());
-    separ_analysis::model::update_passive_intent_targets(&mut apps);
-    let t1 = Instant::now();
-    let enc = separ_core::encode::encode_bundle(&apps);
-    println!(
-        "encode: {:?} (universe {})",
-        t1.elapsed(),
-        enc.problem.universe().len()
+
+    let configs = [
+        (
+            "tseitin",
+            SeparConfig {
+                cnf_encoding: CnfEncoding::Tseitin,
+                ..SeparConfig::default()
+            },
+        ),
+        ("polarity-shared-base", SeparConfig::default()),
+    ];
+    let mut runs: Vec<RunResult> = Vec::new();
+    for (name, config) in configs {
+        let t0 = Instant::now();
+        let report = Separ::new()
+            .with_config(config)
+            .analyze_apks(&apks)
+            .expect("well-typed signatures");
+        let wall = t0.elapsed();
+        println!(
+            "{name}: wall={wall:?} synthesis={:?} construction={:?} solving={:?} \
+             vars={} clauses={} conflicts={} propagations={} exploits={}",
+            report.stats.synthesis_wall,
+            report.stats.construction,
+            report.stats.solving,
+            report.stats.primary_vars,
+            report.stats.cnf_clauses,
+            report.stats.conflicts,
+            report.stats.propagations,
+            report.exploits.len(),
+        );
+        runs.push((name.to_string(), wall, report.stats, report.exploits.len()));
+    }
+
+    let before = runs[0].2.cnf_clauses as f64;
+    let after = runs[1].2.cnf_clauses as f64;
+    let reduction = 100.0 * (before - after) / before;
+    println!("clause reduction: {reduction:.1}% ({before} -> {after})");
+
+    let mut out = String::from("{\n");
+    let _ = write!(
+        out,
+        concat!(
+            "  \"workload\": \"market scaled(50, 7)\",\n",
+            "  \"apps\": {},\n",
+            "  \"components\": {},\n",
+            "  \"intents\": {},\n",
+            "  \"clause_reduction_pct\": {:.2},\n",
+            "  \"runs\": [\n"
+        ),
+        apks.len(),
+        runs[0].2.components,
+        runs[0].2.intents,
+        reduction,
     );
-    let t2 = Instant::now();
-    let report = separ_core::Separ::new().analyze_models(apps).unwrap();
-    println!(
-        "full ASE: {:?} construction={:?} solving={:?} vars={}",
-        t2.elapsed(),
-        report.stats.construction,
-        report.stats.solving,
-        report.stats.primary_vars
-    );
-    println!("exploits: {}", report.exploits.len());
+    for (i, run) in runs.iter().enumerate() {
+        run_json(&mut out, run);
+        out.push_str(if i + 1 == runs.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_pipeline.json", &out).expect("write BENCH_pipeline.json");
+    println!("wrote BENCH_pipeline.json");
 }

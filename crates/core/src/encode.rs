@@ -20,7 +20,9 @@ use separ_android::api::IccMethod;
 use separ_android::resolution;
 use separ_android::types::Resource;
 use separ_dex::manifest::ComponentKind;
-use separ_logic::{Atom, Problem, RelationDecl, RelationId, Tuple, TupleSet, Universe};
+use separ_logic::{
+    Atom, Problem, RelationDecl, RelationId, TranslationBase, Tuple, TupleSet, Universe,
+};
 
 /// Index of a component within a bundle: `(app index, component index)`.
 pub type CompIdx = (usize, usize);
@@ -171,6 +173,54 @@ pub struct Encoded {
     pub atoms: AtomRegistry,
     /// Relation registry.
     pub rels: Relations,
+}
+
+/// A bundle encoding paired with its reusable translation base.
+///
+/// The bundle-common part of every signature's problem — universe, bounds
+/// and the leaf matrices they induce — is identical across signatures, so
+/// the pipeline builds it once per bundle and every signature clones the
+/// [`Problem`] and translates from the shared [`TranslationBase`] instead
+/// of redoing the leaf translation. Witness relations a signature appends
+/// afterwards translate lazily on top of the shared prefix.
+#[derive(Debug)]
+pub struct BundleBase {
+    encoded: Encoded,
+    base: TranslationBase,
+}
+
+impl BundleBase {
+    /// Encodes `apps` and builds the shared translation base.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty.
+    pub fn new(apps: &[AppModel]) -> BundleBase {
+        let encoded = encode_bundle(apps);
+        let base = encoded.problem.translation_base();
+        BundleBase { encoded, base }
+    }
+
+    /// A fresh copy of the encoded problem for one signature to extend
+    /// with witness relations and facts.
+    pub fn problem(&self) -> Problem {
+        self.encoded.problem.clone()
+    }
+
+    /// The bundle's atom registry.
+    pub fn atoms(&self) -> &AtomRegistry {
+        &self.encoded.atoms
+    }
+
+    /// The bundle's relation registry.
+    pub fn rels(&self) -> &Relations {
+        &self.encoded.rels
+    }
+
+    /// The shared, fact-independent translation of the bundle relations.
+    pub fn base(&self) -> &TranslationBase {
+        &self.base
+    }
 }
 
 /// The component kind an ICC method delivers to.

@@ -115,7 +115,7 @@ impl IncrementalSession {
             &self.registry,
             |sig| select(sig.sensitivity()),
             &self.apps,
-            self.config.scenario_limit,
+            &self.config,
         )?;
         let mut reran = 0;
         for (slot, syn) in self.cache.iter_mut().zip(syntheses) {

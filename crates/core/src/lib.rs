@@ -26,10 +26,11 @@ pub mod signature;
 pub mod spec;
 pub mod vulns;
 
+pub use encode::BundleBase;
 pub use exec::Executor;
 pub use exploit::{Exploit, VulnKind};
 pub use incremental::{IncrementalSession, PolicyDelta};
 pub use pipeline::{BundleStats, CountStats, Report, Separ, SeparConfig, SignatureStats};
 pub use policy::{Condition, Policy, PolicyAction, PolicyEvent};
-pub use signature::{SignatureRegistry, Synthesis, VulnerabilitySignature};
+pub use signature::{SignatureRegistry, Synthesis, SynthesisContext, VulnerabilitySignature};
 pub use spec::TextualSignature;

@@ -15,12 +15,13 @@ use separ_analysis::extractor::extract_apk;
 use separ_analysis::model::{update_passive_intent_targets, AppModel};
 use separ_android::resolution;
 use separ_dex::program::Apk;
-use separ_logic::LogicError;
+use separ_logic::{CnfEncoding, FinderOptions, LogicError, SolverStats};
 
+use crate::encode::BundleBase;
 use crate::exec::Executor;
 use crate::exploit::{Exploit, VulnKind};
 use crate::policy::{finalize_policies, policies_for_exploit, Policy};
-use crate::signature::{SignatureRegistry, Synthesis, VulnerabilitySignature};
+use crate::signature::{SignatureRegistry, Synthesis, SynthesisContext, VulnerabilitySignature};
 use crate::vulns::DEFAULT_SCENARIO_LIMIT;
 
 /// Tunables for an analysis run.
@@ -31,6 +32,15 @@ pub struct SeparConfig {
     pub threads: usize,
     /// Maximum minimal scenarios enumerated per signature.
     pub scenario_limit: usize,
+    /// CNF encoding for circuit lowering. The polarity-aware default
+    /// emits only the implication directions the root polarity requires;
+    /// [`CnfEncoding::Tseitin`] keeps the full biconditional encoding.
+    pub cnf_encoding: CnfEncoding,
+    /// Conjoin lex-leader symmetry-breaking predicates over
+    /// bound-interchangeable atoms. Off by default: breaking prunes
+    /// symmetric models, so enumeration *counts* (not soundness) can
+    /// differ from the unbroken reference the determinism suite pins.
+    pub symmetry_breaking: bool,
 }
 
 impl Default for SeparConfig {
@@ -38,6 +48,8 @@ impl Default for SeparConfig {
         SeparConfig {
             threads: 0,
             scenario_limit: DEFAULT_SCENARIO_LIMIT,
+            cnf_encoding: CnfEncoding::default(),
+            symmetry_breaking: false,
         }
     }
 }
@@ -49,6 +61,14 @@ impl SeparConfig {
         SeparConfig {
             threads: 1,
             ..SeparConfig::default()
+        }
+    }
+
+    /// The model-finder options this configuration induces.
+    pub fn finder_options(&self) -> FinderOptions {
+        FinderOptions {
+            encoding: self.cnf_encoding,
+            symmetry_breaking: self.symmetry_breaking,
         }
     }
 }
@@ -65,6 +85,12 @@ pub struct SignatureStats {
     pub solving: Duration,
     /// Primary (free) boolean variables in the instance.
     pub primary_vars: usize,
+    /// CNF clauses asserted into the SAT solver.
+    pub cnf_clauses: usize,
+    /// Whether the signature translated from the shared per-bundle base.
+    pub shared_base: bool,
+    /// SAT-solver counters accumulated across the enumeration.
+    pub solver: SolverStats,
     /// Exploit scenarios the signature decoded.
     pub exploits: usize,
 }
@@ -97,6 +123,14 @@ pub struct BundleStats {
     pub synthesis_wall: Duration,
     /// Total primary variables across signatures.
     pub primary_vars: usize,
+    /// Total CNF clauses across signatures.
+    pub cnf_clauses: usize,
+    /// Signatures that translated from the shared per-bundle base.
+    pub shared_base_reuse: usize,
+    /// Total SAT conflicts across signatures.
+    pub conflicts: u64,
+    /// Total SAT propagations across signatures.
+    pub propagations: u64,
     /// Per-signature breakdown, in registry order.
     pub per_signature: Vec<SignatureStats>,
 }
@@ -111,10 +145,12 @@ impl BundleStats {
             intents: self.intents,
             filters: self.filters,
             primary_vars: self.primary_vars,
+            cnf_clauses: self.cnf_clauses,
+            shared_base_reuse: self.shared_base_reuse,
             per_signature: self
                 .per_signature
                 .iter()
-                .map(|s| (s.name, s.primary_vars, s.exploits))
+                .map(|s| (s.name, s.primary_vars, s.cnf_clauses, s.exploits))
                 .collect(),
         }
     }
@@ -132,8 +168,14 @@ pub struct CountStats {
     pub filters: usize,
     /// Total primary variables across signatures.
     pub primary_vars: usize,
-    /// Per signature: `(name, primary_vars, exploits)` in registry order.
-    pub per_signature: Vec<(&'static str, usize, usize)>,
+    /// Total CNF clauses across signatures (the solver is deterministic,
+    /// so clause counts are exact and thread-independent).
+    pub cnf_clauses: usize,
+    /// Signatures that translated from the shared per-bundle base.
+    pub shared_base_reuse: usize,
+    /// Per signature: `(name, primary_vars, cnf_clauses, exploits)` in
+    /// registry order.
+    pub per_signature: Vec<(&'static str, usize, usize, usize)>,
 }
 
 /// The result of analyzing one bundle.
@@ -277,7 +319,7 @@ impl Separ {
             &self.registry,
             |_| true,
             &apps,
-            self.config.scenario_limit,
+            &self.config,
         )?;
         stats.synthesis_wall = wall.elapsed();
         let mut exploits = Vec::new();
@@ -286,11 +328,18 @@ impl Separ {
             stats.construction += syn.construction;
             stats.solving += syn.solving;
             stats.primary_vars += syn.primary_vars;
+            stats.cnf_clauses += syn.cnf_clauses;
+            stats.shared_base_reuse += usize::from(syn.shared_base);
+            stats.conflicts += syn.solver.conflicts;
+            stats.propagations += syn.solver.propagations;
             stats.per_signature.push(SignatureStats {
                 name: sig.name(),
                 construction: syn.construction,
                 solving: syn.solving,
                 primary_vars: syn.primary_vars,
+                cnf_clauses: syn.cnf_clauses,
+                shared_base: syn.shared_base,
+                solver: syn.solver,
                 exploits: syn.exploits.len(),
             });
             exploits.extend(syn.exploits);
@@ -305,26 +354,40 @@ impl Separ {
     }
 }
 
-/// Runs `sig.synthesize` for every registry signature selected by
+/// Runs `sig.synthesize_with` for every registry signature selected by
 /// `select`, fanned out on `executor`, returning per-signature results in
-/// registry order (`None` where `select` declined). Shared by the full
-/// pipeline and [`crate::IncrementalSession`] re-runs.
+/// registry order (`None` where `select` declined). The bundle-common
+/// encoding and its translation base are built once and shared by
+/// reference across the worker threads, so each signature only pays for
+/// its own witnesses and facts. Shared by the full pipeline and
+/// [`crate::IncrementalSession`] re-runs.
 pub(crate) fn synthesize_all(
     executor: &Executor,
     registry: &SignatureRegistry,
     select: impl Fn(&dyn VulnerabilitySignature) -> bool,
     apps: &[AppModel],
-    scenario_limit: usize,
+    config: &SeparConfig,
 ) -> Result<Vec<Option<Synthesis>>, LogicError> {
     let selected: Vec<(usize, &dyn VulnerabilitySignature)> = registry
         .iter()
         .enumerate()
         .filter(|(_, sig)| select(*sig))
         .collect();
-    let syntheses =
-        executor.try_ordered_map(&selected, |(_, sig)| sig.synthesize(apps, scenario_limit))?;
     let mut out: Vec<Option<Synthesis>> = Vec::new();
     out.resize_with(registry.len(), || None);
+    if selected.is_empty() {
+        return Ok(out);
+    }
+    let base = BundleBase::new(apps);
+    let options = config.finder_options();
+    let syntheses = executor.try_ordered_map(&selected, |(_, sig)| {
+        sig.synthesize_with(&SynthesisContext {
+            apps,
+            base: &base,
+            limit: config.scenario_limit,
+            options,
+        })
+    })?;
     for ((i, _), syn) in selected.into_iter().zip(syntheses) {
         out[i] = Some(syn);
     }
@@ -480,6 +543,94 @@ mod tests {
         for kind in VulnKind::ALL {
             assert!(report.exploits_of(kind).count() <= 1);
         }
+    }
+
+    #[test]
+    fn every_signature_reuses_the_shared_bundle_base() {
+        let report = Separ::new()
+            .analyze_models(motivating_bundle())
+            .expect("succeeds");
+        assert_eq!(report.stats.shared_base_reuse, 4);
+        assert!(report.stats.cnf_clauses > 0);
+        assert!(report.stats.propagations > 0);
+        assert!(report.stats.conflicts < report.stats.propagations);
+        for s in &report.stats.per_signature {
+            assert!(s.shared_base, "{} must translate from the base", s.name);
+            assert!(s.cnf_clauses > 0, "{} reports its clause count", s.name);
+        }
+        assert_eq!(
+            report
+                .stats
+                .per_signature
+                .iter()
+                .map(|s| s.cnf_clauses)
+                .sum::<usize>(),
+            report.stats.cnf_clauses
+        );
+    }
+
+    /// Exploit/policy *sets* for encoding-robust comparison: enumeration
+    /// order may differ between CNF encodings under limit truncation.
+    fn result_sets(report: &Report) -> (BTreeSet<String>, BTreeSet<String>) {
+        (
+            report.exploits.iter().map(|e| format!("{e:?}")).collect(),
+            report
+                .policies
+                .iter()
+                .map(|p| {
+                    format!(
+                        "{:?} {:?} {:?} {:?}",
+                        p.vulnerability, p.event, p.conditions, p.action
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn cnf_encodings_agree_on_exploits_and_policies() {
+        let pg = Separ::new()
+            .analyze_models(motivating_bundle())
+            .expect("succeeds");
+        let ts = Separ::new()
+            .with_config(SeparConfig {
+                cnf_encoding: separ_logic::CnfEncoding::Tseitin,
+                ..SeparConfig::default()
+            })
+            .analyze_models(motivating_bundle())
+            .expect("succeeds");
+        assert_eq!(result_sets(&pg), result_sets(&ts));
+        // The polarity-aware default emits strictly fewer clauses.
+        assert!(
+            pg.stats.cnf_clauses < ts.stats.cnf_clauses,
+            "PG {} vs Tseitin {}",
+            pg.stats.cnf_clauses,
+            ts.stats.cnf_clauses
+        );
+    }
+
+    #[test]
+    fn symmetry_breaking_preserves_the_derived_policies() {
+        let plain = Separ::new()
+            .analyze_models(motivating_bundle())
+            .expect("succeeds");
+        let broken = Separ::new()
+            .with_config(SeparConfig {
+                symmetry_breaking: true,
+                ..SeparConfig::default()
+            })
+            .analyze_models(motivating_bundle())
+            .expect("succeeds");
+        // Breaking prunes symmetric *models*; every vulnerability category
+        // and the final policy set must survive.
+        for kind in VulnKind::ALL {
+            assert_eq!(
+                plain.vulnerable_apps(kind),
+                broken.vulnerable_apps(kind),
+                "{kind:?}"
+            );
+        }
+        assert_eq!(result_sets(&plain).1, result_sets(&broken).1);
     }
 
     #[test]

@@ -10,8 +10,9 @@
 use std::time::Duration;
 
 use separ_analysis::model::AppModel;
-use separ_logic::LogicError;
+use separ_logic::{FinderOptions, LogicError, SolverStats};
 
+use crate::encode::BundleBase;
 use crate::exploit::{Exploit, VulnKind};
 
 /// The result of one signature's synthesis run.
@@ -25,6 +26,27 @@ pub struct Synthesis {
     pub solving: Duration,
     /// Number of primary (free) boolean variables.
     pub primary_vars: usize,
+    /// Number of CNF clauses asserted into the solver.
+    pub cnf_clauses: usize,
+    /// Whether the run translated from a shared [`BundleBase`].
+    pub shared_base: bool,
+    /// SAT-solver counters accumulated across the enumeration.
+    pub solver: SolverStats,
+}
+
+/// Everything a signature needs for one synthesis run against a bundle:
+/// the app models, the shared per-bundle encoding/translation, the
+/// scenario cap and the solver options.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthesisContext<'a> {
+    /// The (passive-intent-resolved) bundle models.
+    pub apps: &'a [AppModel],
+    /// The shared bundle encoding and translation base.
+    pub base: &'a BundleBase,
+    /// Maximum minimal scenarios to enumerate.
+    pub limit: usize,
+    /// CNF-encoding and symmetry-breaking options for the model finder.
+    pub options: FinderOptions,
 }
 
 /// What parts of the bundle model a signature's verdict depends on, used
@@ -63,13 +85,36 @@ pub trait VulnerabilitySignature: Send + Sync {
         Sensitivity::default()
     }
 
-    /// Synthesizes up to `limit` exploit scenarios against the bundle.
+    /// Synthesizes exploit scenarios against a prepared bundle context.
+    ///
+    /// The context carries the shared per-bundle encoding: implementations
+    /// clone [`BundleBase::problem`] (instead of re-encoding the bundle)
+    /// and translate from [`BundleBase::base`].
     ///
     /// # Errors
     ///
     /// Returns a [`LogicError`] if the generated specification is
     /// ill-typed (a signature implementation bug).
-    fn synthesize(&self, apps: &[AppModel], limit: usize) -> Result<Synthesis, LogicError>;
+    fn synthesize_with(&self, ctx: &SynthesisContext<'_>) -> Result<Synthesis, LogicError>;
+
+    /// Synthesizes up to `limit` exploit scenarios against the bundle,
+    /// building a private [`BundleBase`] with default [`FinderOptions`].
+    /// Convenience for one-off runs; the pipeline shares one base across
+    /// the registry via [`VulnerabilitySignature::synthesize_with`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LogicError`] if the generated specification is
+    /// ill-typed (a signature implementation bug).
+    fn synthesize(&self, apps: &[AppModel], limit: usize) -> Result<Synthesis, LogicError> {
+        let base = BundleBase::new(apps);
+        self.synthesize_with(&SynthesisContext {
+            apps,
+            base: &base,
+            limit,
+            options: FinderOptions::default(),
+        })
+    }
 }
 
 /// An ordered collection of signatures (the plugin registry).
@@ -164,10 +209,9 @@ mod tests {
             fn name(&self) -> &'static str {
                 "custom-hijack-variant"
             }
-            fn synthesize(
+            fn synthesize_with(
                 &self,
-                _apps: &[AppModel],
-                _limit: usize,
+                _ctx: &SynthesisContext<'_>,
             ) -> Result<Synthesis, LogicError> {
                 Ok(Synthesis::default())
             }

@@ -43,11 +43,11 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 use separ_analysis::model::AppModel;
-use separ_logic::{Expr, Formula, LogicError, RelationDecl, RelationId, TupleSet};
+use separ_logic::{Expr, Formula, LogicError, Problem, RelationDecl, RelationId, TupleSet};
 
-use crate::encode::{encode_bundle, AtomRegistry, Encoded};
+use crate::encode::AtomRegistry;
 use crate::exploit::{Exploit, VulnKind};
-use crate::signature::{Synthesis, VulnerabilitySignature};
+use crate::signature::{Synthesis, SynthesisContext, VulnerabilitySignature};
 
 /// The relation names a specification may reference.
 const VOCABULARY: &[&str] = &[
@@ -526,7 +526,8 @@ fn collect_names_f(f: &FAst, out: &mut Vec<String>) {
 }
 
 struct Resolver<'e> {
-    enc: &'e Encoded,
+    atoms: &'e AtomRegistry,
+    problem: &'e Problem,
     witnesses: Vec<(String, RelationId)>,
 }
 
@@ -538,13 +539,12 @@ impl Resolver<'_> {
                     return Expr::relation(*r);
                 }
                 match n.as_str() {
-                    "MalIntent" => Expr::atom(self.enc.atoms.mal_intent),
-                    "MalComp" => Expr::atom(self.enc.atoms.mal_comp),
-                    "MalFilter" => Expr::atom(self.enc.atoms.mal_filter),
-                    "MalApp" => Expr::atom(self.enc.atoms.mal_app),
+                    "MalIntent" => Expr::atom(self.atoms.mal_intent),
+                    "MalComp" => Expr::atom(self.atoms.mal_comp),
+                    "MalFilter" => Expr::atom(self.atoms.mal_filter),
+                    "MalApp" => Expr::atom(self.atoms.mal_app),
                     other => Expr::relation(
-                        self.enc
-                            .problem
+                        self.problem
                             .relation_by_name(other)
                             .expect("vocabulary validated at parse time"),
                     ),
@@ -620,24 +620,24 @@ impl VulnerabilitySignature for TextualSignature {
         "textual-signature"
     }
 
-    fn synthesize(&self, apps: &[AppModel], limit: usize) -> Result<Synthesis, LogicError> {
-        let mut enc = encode_bundle(apps);
+    fn synthesize_with(&self, ctx: &SynthesisContext<'_>) -> Result<Synthesis, LogicError> {
+        let (apps, atoms) = (ctx.apps, ctx.base.atoms());
+        let mut problem = ctx.base.problem();
         // Install witnesses: upper bound = the domain relation's upper
         // bound, minus the postulated malicious atoms (witnesses pick
         // *real* entities to report).
         let mal = [
-            enc.atoms.mal_intent,
-            enc.atoms.mal_comp,
-            enc.atoms.mal_filter,
-            enc.atoms.mal_app,
+            atoms.mal_intent,
+            atoms.mal_comp,
+            atoms.mal_filter,
+            atoms.mal_app,
         ];
         let mut witnesses = Vec::new();
         for (dname, mult, domain) in &self.ast.decls {
-            let domain_rel = enc
-                .problem
+            let domain_rel = problem
                 .relation_by_name(domain)
                 .expect("vocabulary validated at parse time");
-            let decl = enc.problem.decl(domain_rel);
+            let decl = problem.decl(domain_rel);
             if decl.arity() != 1 {
                 // Parse-time vocabulary check admits binary fields as
                 // domains; reject here with an empty synthesis rather
@@ -653,14 +653,12 @@ impl VulnerabilitySignature for TextualSignature {
             if upper.is_empty() {
                 return Ok(Synthesis::default());
             }
-            let w = enc
-                .problem
-                .relation(RelationDecl::free(format!("W_{dname}"), upper));
+            let w = problem.relation(RelationDecl::free(format!("W_{dname}"), upper));
             let we = Expr::relation(w);
             match mult {
-                Mult::One => enc.problem.fact(we.one()),
-                Mult::Some => enc.problem.fact(we.some()),
-                Mult::Lone => enc.problem.fact(we.lone()),
+                Mult::One => problem.fact(we.one()),
+                Mult::Some => problem.fact(we.some()),
+                Mult::Lone => problem.fact(we.lone()),
                 Mult::Set => {}
             }
             witnesses.push((dname.clone(), w));
@@ -669,7 +667,8 @@ impl VulnerabilitySignature for TextualSignature {
         // install them.
         let resolved: Vec<Formula> = {
             let resolver = Resolver {
-                enc: &enc,
+                atoms,
+                problem: &problem,
                 witnesses: witnesses.clone(),
             };
             self.ast
@@ -679,11 +678,11 @@ impl VulnerabilitySignature for TextualSignature {
                 .collect()
         };
         for f in resolved {
-            enc.problem.fact(f);
+            problem.fact(f);
         }
-        let mut finder = enc.problem.model_finder()?;
+        let mut finder = problem.model_finder_from(ctx.base.base(), ctx.options)?;
         let mut exploits: Vec<Exploit> = Vec::new();
-        while exploits.len() < limit {
+        while exploits.len() < ctx.limit {
             let Some(instance) = finder.next_minimal_model() else {
                 break;
             };
@@ -692,7 +691,7 @@ impl VulnerabilitySignature for TextualSignature {
             let mut guarded_component = String::new();
             for (dname, w) in &witnesses {
                 for t in instance.tuples(*w).iter() {
-                    let (desc, comp) = describe_atom(&enc.atoms, apps, t.atoms()[0]);
+                    let (desc, comp) = describe_atom(atoms, apps, t.atoms()[0]);
                     if let Some((pkg, class)) = comp {
                         if guarded_component.is_empty() {
                             guarded_app = pkg;
@@ -717,6 +716,9 @@ impl VulnerabilitySignature for TextualSignature {
             construction: finder.construction_time(),
             solving: finder.solve_time(),
             primary_vars: finder.num_primary_vars(),
+            cnf_clauses: finder.cnf_clauses(),
+            shared_base: finder.used_shared_base(),
+            solver: finder.solver_stats(),
         })
     }
 }

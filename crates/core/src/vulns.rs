@@ -8,14 +8,12 @@
 
 use std::collections::BTreeSet;
 
-use separ_analysis::model::AppModel;
 use separ_android::resolution::IntentData;
 use separ_android::types::Resource;
 use separ_logic::{Expr, LogicError, Problem, RelationDecl, RelationId, TupleSet};
 
-use crate::encode::{encode_bundle, Encoded};
 use crate::exploit::{Exploit, VulnKind};
-use crate::signature::{Synthesis, VulnerabilitySignature};
+use crate::signature::{Synthesis, SynthesisContext, VulnerabilitySignature};
 
 /// Default cap on enumerated minimal scenarios per signature run.
 pub const DEFAULT_SCENARIO_LIMIT: usize = 64;
@@ -36,14 +34,20 @@ fn witness(
     Some(problem.relation(RelationDecl::free(name, ts)))
 }
 
-/// Runs the enumeration loop shared by all signatures.
-fn enumerate<F>(enc: &Encoded, limit: usize, mut decode: F) -> Result<Synthesis, LogicError>
+/// Runs the enumeration loop shared by all signatures. The problem is a
+/// clone of the context's bundle problem extended with this signature's
+/// witnesses and facts; translation starts from the shared base.
+fn enumerate<F>(
+    problem: &Problem,
+    ctx: &SynthesisContext<'_>,
+    mut decode: F,
+) -> Result<Synthesis, LogicError>
 where
     F: FnMut(&separ_logic::Instance) -> Option<Exploit>,
 {
-    let mut finder = enc.problem.model_finder()?;
+    let mut finder = problem.model_finder_from(ctx.base.base(), ctx.options)?;
     let mut exploits: Vec<Exploit> = Vec::new();
-    while exploits.len() < limit {
+    while exploits.len() < ctx.limit {
         let Some(instance) = finder.next_minimal_model() else {
             break;
         };
@@ -58,6 +62,9 @@ where
         construction: finder.construction_time(),
         solving: finder.solve_time(),
         primary_vars: finder.num_primary_vars(),
+        cnf_clauses: finder.cnf_clauses(),
+        shared_base: finder.used_shared_base(),
+        solver: finder.solver_stats(),
     })
 }
 
@@ -87,36 +94,35 @@ impl VulnerabilitySignature for IntentHijackSignature {
         }
     }
 
-    fn synthesize(&self, apps: &[AppModel], limit: usize) -> Result<Synthesis, LogicError> {
-        let mut enc = encode_bundle(apps);
+    fn synthesize_with(&self, ctx: &SynthesisContext<'_>) -> Result<Synthesis, LogicError> {
+        let (apps, atoms, rels) = (ctx.apps, ctx.base.atoms(), ctx.base.rels());
+        let mut problem = ctx.base.problem();
         let Some(wi) = witness(
-            &mut enc.problem,
+            &mut problem,
             "W_intent",
-            enc.atoms.intents.iter().map(|&(_, a)| a),
+            atoms.intents.iter().map(|&(_, a)| a),
         ) else {
             return Ok(Synthesis::default());
         };
         let wi_e = Expr::relation(wi);
-        let extras = Expr::relation(enc.rels.extras);
-        let sources = Expr::relation(enc.rels.source_res);
+        let extras = Expr::relation(rels.extras);
+        let sources = Expr::relation(rels.source_res);
         let mal_actions =
-            Expr::atom(enc.atoms.mal_filter).join(&Expr::relation(enc.rels.mal_filter_actions));
-        enc.problem.fact(wi_e.one());
-        enc.problem
-            .fact(wi_e.in_(&Expr::relation(enc.rels.hijackable)));
+            Expr::atom(atoms.mal_filter).join(&Expr::relation(rels.mal_filter_actions));
+        problem.fact(wi_e.one());
+        problem.fact(wi_e.in_(&Expr::relation(rels.hijackable)));
         // The stolen payload is sensitive.
-        enc.problem
-            .fact(wi_e.join(&extras).intersect(&sources).some());
+        problem.fact(wi_e.join(&extras).intersect(&sources).some());
         // The malicious filter matches the intent's action (an actionless
         // implicit intent is matched by any filter, hence subset).
-        enc.problem.fact(
-            wi_e.join(&Expr::relation(enc.rels.intent_action))
+        problem.fact(
+            wi_e.join(&Expr::relation(rels.intent_action))
                 .in_(&mal_actions),
         );
-        enc.problem.fact(mal_actions.some());
-        enumerate(&enc, limit, |instance| {
+        problem.fact(mal_actions.some());
+        enumerate(&problem, ctx, |instance| {
             let atom = witness_atom(instance, wi)?;
-            let (ai, ci, ii) = enc.atoms.intent_of(atom)?;
+            let (ai, ci, ii) = atoms.intent_of(atom)?;
             let comp = &apps[ai].components[ci];
             let intent = &comp.sent_intents[ii];
             let leaked: BTreeSet<Resource> = intent
@@ -157,53 +163,51 @@ impl VulnerabilitySignature for ComponentLaunchSignature {
         }
     }
 
-    fn synthesize(&self, apps: &[AppModel], limit: usize) -> Result<Synthesis, LogicError> {
-        let mut enc = encode_bundle(apps);
+    fn synthesize_with(&self, ctx: &SynthesisContext<'_>) -> Result<Synthesis, LogicError> {
+        let (apps, atoms, rels) = (ctx.apps, ctx.base.atoms(), ctx.base.rels());
+        let mut problem = ctx.base.problem();
         let Some(w) = witness(
-            &mut enc.problem,
+            &mut problem,
             "W_launched",
-            enc.atoms.components.iter().map(|&(_, a)| a),
+            atoms.components.iter().map(|&(_, a)| a),
         ) else {
             return Ok(Synthesis::default());
         };
         let w_e = Expr::relation(w);
-        let mal_intent = Expr::atom(enc.atoms.mal_intent);
-        let can_receive = Expr::relation(enc.rels.can_receive);
-        let icc = Expr::relation(enc.rels.icc_res);
-        enc.problem.fact(w_e.one());
-        enc.problem
-            .fact(w_e.in_(&Expr::relation(enc.rels.exported)));
+        let mal_intent = Expr::atom(atoms.mal_intent);
+        let can_receive = Expr::relation(rels.can_receive);
+        let icc = Expr::relation(rels.icc_res);
+        problem.fact(w_e.one());
+        problem.fact(w_e.in_(&Expr::relation(rels.exported)));
         // Activity or Service launch, per the paper.
-        enc.problem.fact(
-            w_e.in_(&Expr::relation(enc.rels.activities).union(&Expr::relation(enc.rels.services))),
-        );
+        problem
+            .fact(w_e.in_(&Expr::relation(rels.activities).union(&Expr::relation(rels.services))));
         // The malicious intent reaches the launched component...
-        enc.problem.fact(w_e.in_(&mal_intent.join(&can_receive)));
+        problem.fact(w_e.in_(&mal_intent.join(&can_receive)));
         // ...which has a path rooted at its exported (ICC) interface.
-        enc.problem.fact(
-            w_e.join(&Expr::relation(enc.rels.path_source_of))
+        problem.fact(
+            w_e.join(&Expr::relation(rels.path_source_of))
                 .intersect(&icc)
                 .some(),
         );
         // The forged intent carries a payload (Listing 5 line 10).
-        enc.problem
-            .fact(mal_intent.join(&Expr::relation(enc.rels.extras)).some());
+        problem.fact(mal_intent.join(&Expr::relation(rels.extras)).some());
         // The minimal-model enumerator distinguishes instances by the
         // payload resource the forged intent carries; for reporting, one
         // scenario per launched component suffices.
         let mut seen_targets: BTreeSet<(usize, usize)> = BTreeSet::new();
-        enumerate(&enc, limit, |instance| {
+        enumerate(&problem, ctx, |instance| {
             let atom = witness_atom(instance, w)?;
-            let (ai, ci) = enc.atoms.component_of(atom)?;
+            let (ai, ci) = atoms.component_of(atom)?;
             if !seen_targets.insert((ai, ci)) {
                 return None;
             }
             let comp = &apps[ai].components[ci];
             let payload: BTreeSet<Resource> = instance
-                .tuples(enc.rels.extras)
+                .tuples(rels.extras)
                 .iter()
-                .filter(|t| t.atoms()[0] == enc.atoms.mal_intent)
-                .filter_map(|t| enc.atoms.resource_of(t.atoms()[1]))
+                .filter(|t| t.atoms()[0] == atoms.mal_intent)
+                .filter_map(|t| atoms.resource_of(t.atoms()[1]))
                 .collect();
             Some(Exploit::ComponentLaunch {
                 target_app: apps[ai].package.clone(),
@@ -230,21 +234,22 @@ impl VulnerabilitySignature for PrivilegeEscalationSignature {
         VulnKind::PrivilegeEscalation
     }
 
-    fn synthesize(&self, apps: &[AppModel], limit: usize) -> Result<Synthesis, LogicError> {
-        let mut enc = encode_bundle(apps);
+    fn synthesize_with(&self, ctx: &SynthesisContext<'_>) -> Result<Synthesis, LogicError> {
+        let (apps, atoms, rels) = (ctx.apps, ctx.base.atoms(), ctx.base.rels());
+        let mut problem = ctx.base.problem();
         let Some(w) = witness(
-            &mut enc.problem,
+            &mut problem,
             "W_victim",
-            enc.atoms.components.iter().map(|&(_, a)| a),
+            atoms.components.iter().map(|&(_, a)| a),
         ) else {
             return Ok(Synthesis::default());
         };
         // Only dangerous-level permissions can be escalated; re-delegating
         // a normal-level permission (e.g. INTERNET) is not a violation.
         let Some(wp) = witness(
-            &mut enc.problem,
+            &mut problem,
             "W_perm",
-            enc.atoms
+            atoms
                 .permissions
                 .iter()
                 .filter(|(name, _)| separ_android::types::perm::is_dangerous(name))
@@ -254,36 +259,33 @@ impl VulnerabilitySignature for PrivilegeEscalationSignature {
         };
         let w_e = Expr::relation(w);
         let wp_e = Expr::relation(wp);
-        let mal_intent = Expr::atom(enc.atoms.mal_intent);
-        enc.problem.fact(w_e.one());
-        enc.problem.fact(wp_e.one());
-        enc.problem
-            .fact(w_e.in_(&Expr::relation(enc.rels.exported)));
+        let mal_intent = Expr::atom(atoms.mal_intent);
+        problem.fact(w_e.one());
+        problem.fact(wp_e.one());
+        problem.fact(w_e.in_(&Expr::relation(rels.exported)));
         // The component exercises the permission...
-        enc.problem
-            .fact(wp_e.in_(&w_e.join(&Expr::relation(enc.rels.uses_perm))));
+        problem.fact(wp_e.in_(&w_e.join(&Expr::relation(rels.uses_perm))));
         // ...without enforcing it against callers...
-        enc.problem.fact(
-            wp_e.intersect(&w_e.join(&Expr::relation(enc.rels.enforces)))
+        problem.fact(
+            wp_e.intersect(&w_e.join(&Expr::relation(rels.enforces)))
                 .no(),
         );
         // ...while its app actually holds the permission (a revoked
         // permission — the Marshmallow scenario — cannot be re-delegated)...
-        enc.problem.fact(
+        problem.fact(
             wp_e.in_(
-                &w_e.join(&Expr::relation(enc.rels.cmp_app))
-                    .join(&Expr::relation(enc.rels.app_perms)),
+                &w_e.join(&Expr::relation(rels.cmp_app))
+                    .join(&Expr::relation(rels.app_perms)),
             ),
         );
         // ...and the adversary can reach it.
-        enc.problem
-            .fact(w_e.in_(&mal_intent.join(&Expr::relation(enc.rels.can_receive))));
-        enumerate(&enc, limit, |instance| {
+        problem.fact(w_e.in_(&mal_intent.join(&Expr::relation(rels.can_receive))));
+        enumerate(&problem, ctx, |instance| {
             let watom = witness_atom(instance, w)?;
             let patom = witness_atom(instance, wp)?;
-            let (ai, ci) = enc.atoms.component_of(watom)?;
+            let (ai, ci) = atoms.component_of(watom)?;
             let comp = &apps[ai].components[ci];
-            let permission = enc.atoms.permission_of(patom)?.to_string();
+            let permission = atoms.permission_of(patom)?.to_string();
             Some(Exploit::PrivilegeEscalation {
                 target_app: apps[ai].package.clone(),
                 target_component: comp.class.clone(),
@@ -316,50 +318,50 @@ impl VulnerabilitySignature for InformationLeakageSignature {
         }
     }
 
-    fn synthesize(&self, apps: &[AppModel], limit: usize) -> Result<Synthesis, LogicError> {
-        let mut enc = encode_bundle(apps);
+    fn synthesize_with(&self, ctx: &SynthesisContext<'_>) -> Result<Synthesis, LogicError> {
+        let (apps, atoms, rels) = (ctx.apps, ctx.base.atoms(), ctx.base.rels());
+        let mut problem = ctx.base.problem();
         let Some(wi) = witness(
-            &mut enc.problem,
+            &mut problem,
             "W_intent",
-            enc.atoms.intents.iter().map(|&(_, a)| a),
+            atoms.intents.iter().map(|&(_, a)| a),
         ) else {
             return Ok(Synthesis::default());
         };
         let Some(wc) = witness(
-            &mut enc.problem,
+            &mut problem,
             "W_receiver",
-            enc.atoms.components.iter().map(|&(_, a)| a),
+            atoms.components.iter().map(|&(_, a)| a),
         ) else {
             return Ok(Synthesis::default());
         };
         let wi_e = Expr::relation(wi);
         let wc_e = Expr::relation(wc);
-        let icc = Expr::relation(enc.rels.icc_res);
-        enc.problem.fact(wi_e.one());
-        enc.problem.fact(wc_e.one());
+        let icc = Expr::relation(rels.icc_res);
+        problem.fact(wi_e.one());
+        problem.fact(wc_e.one());
         // The receiver actually receives the intent (precomputed Android
         // resolution, both implicit and explicit, including passive reply
         // intents resolved by Algorithm 1).
-        enc.problem
-            .fact(wc_e.in_(&wi_e.join(&Expr::relation(enc.rels.can_receive))));
+        problem.fact(wc_e.in_(&wi_e.join(&Expr::relation(rels.can_receive))));
         // The payload is sensitive.
-        enc.problem.fact(
-            wi_e.join(&Expr::relation(enc.rels.extras))
-                .intersect(&Expr::relation(enc.rels.source_res))
+        problem.fact(
+            wi_e.join(&Expr::relation(rels.extras))
+                .intersect(&Expr::relation(rels.source_res))
                 .some(),
         );
         // The receiver completes the leak: ICC-source path to a real sink.
-        let recv_paths = wc_e.join(&Expr::relation(enc.rels.path_of)); // Source -> Sink
-        enc.problem.fact(
+        let recv_paths = wc_e.join(&Expr::relation(rels.path_of)); // Source -> Sink
+        problem.fact(
             icc.join(&recv_paths)
-                .intersect(&Expr::relation(enc.rels.sink_res))
+                .intersect(&Expr::relation(rels.sink_res))
                 .some(),
         );
-        enumerate(&enc, limit, |instance| {
+        enumerate(&problem, ctx, |instance| {
             let iatom = witness_atom(instance, wi)?;
             let catom = witness_atom(instance, wc)?;
-            let (ai, ci, ii) = enc.atoms.intent_of(iatom)?;
-            let (bi, bci) = enc.atoms.component_of(catom)?;
+            let (ai, ci, ii) = atoms.intent_of(iatom)?;
+            let (bi, bci) = atoms.component_of(catom)?;
             let src_comp = &apps[ai].components[ci];
             let intent = &src_comp.sent_intents[ii];
             let sink_comp = &apps[bi].components[bci];
@@ -412,54 +414,48 @@ impl VulnerabilitySignature for BroadcastInjectionSignature {
         }
     }
 
-    fn synthesize(&self, apps: &[AppModel], limit: usize) -> Result<Synthesis, LogicError> {
-        let mut enc = encode_bundle(apps);
+    fn synthesize_with(&self, ctx: &SynthesisContext<'_>) -> Result<Synthesis, LogicError> {
+        let (apps, atoms, rels) = (ctx.apps, ctx.base.atoms(), ctx.base.rels());
+        let mut problem = ctx.base.problem();
         let Some(w) = witness(
-            &mut enc.problem,
+            &mut problem,
             "W_victim",
-            enc.atoms.components.iter().map(|&(_, a)| a),
+            atoms.components.iter().map(|&(_, a)| a),
         ) else {
             return Ok(Synthesis::default());
         };
-        let Some(wa) = witness(
-            &mut enc.problem,
-            "W_action",
-            enc.atoms.actions.values().copied(),
-        ) else {
+        let Some(wa) = witness(&mut problem, "W_action", atoms.actions.values().copied()) else {
             return Ok(Synthesis::default());
         };
         let w_e = Expr::relation(w);
         let wa_e = Expr::relation(wa);
-        let mal_intent = Expr::atom(enc.atoms.mal_intent);
-        enc.problem.fact(w_e.one());
-        enc.problem.fact(wa_e.one());
+        let mal_intent = Expr::atom(atoms.mal_intent);
+        problem.fact(w_e.one());
+        problem.fact(wa_e.one());
         // The victim is a broadcast receiver...
-        enc.problem
-            .fact(w_e.in_(&Expr::relation(enc.rels.receivers)));
+        problem.fact(w_e.in_(&Expr::relation(rels.receivers)));
         // ...whose filter accepts the spoofed action...
-        enc.problem
-            .fact(wa_e.in_(&w_e.join(&Expr::relation(enc.rels.comp_filter_actions))));
+        problem.fact(wa_e.in_(&w_e.join(&Expr::relation(rels.comp_filter_actions))));
         // ...which is a protected system action apps may not send...
-        enc.problem
-            .fact(wa_e.in_(&Expr::relation(enc.rels.protected_actions)));
+        problem.fact(wa_e.in_(&Expr::relation(rels.protected_actions)));
         // ...and the receiver acts on the payload (ICC-source path).
-        enc.problem.fact(
-            w_e.join(&Expr::relation(enc.rels.path_source_of))
-                .intersect(&Expr::relation(enc.rels.icc_res))
+        problem.fact(
+            w_e.join(&Expr::relation(rels.path_source_of))
+                .intersect(&Expr::relation(rels.icc_res))
                 .some(),
         );
         // The malicious intent forges exactly that action.
-        enc.problem.fact(
+        problem.fact(
             mal_intent
-                .join(&Expr::relation(enc.rels.intent_action))
+                .join(&Expr::relation(rels.intent_action))
                 .equal(&wa_e),
         );
-        enumerate(&enc, limit, |instance| {
+        enumerate(&problem, ctx, |instance| {
             let watom = witness_atom(instance, w)?;
             let aatom = witness_atom(instance, wa)?;
-            let (ai, ci) = enc.atoms.component_of(watom)?;
+            let (ai, ci) = atoms.component_of(watom)?;
             let comp = &apps[ai].components[ci];
-            let spoofed_action = enc.atoms.action_of(aatom)?.to_string();
+            let spoofed_action = atoms.action_of(aatom)?.to_string();
             let sinks: BTreeSet<Resource> = comp
                 .paths
                 .iter()
@@ -480,6 +476,7 @@ impl VulnerabilitySignature for BroadcastInjectionSignature {
 mod tests {
     use super::*;
     use crate::encode::tests_support::{app, comp, sent};
+    use separ_analysis::model::AppModel;
     use separ_android::api::IccMethod;
     use separ_android::types::{perm, FlowPath};
     use separ_dex::manifest::{ComponentKind, IntentFilterDecl};

@@ -1,9 +1,13 @@
-//! Hash-consed boolean circuits and Tseitin transformation to CNF.
+//! Hash-consed boolean circuits and their lowering to CNF.
 //!
 //! The relational-logic translator (the Kodkod analog) produces circuits
 //! rather than CNF directly: intermediate gates are shared aggressively via
 //! hash-consing, and only the gates reachable from the root formula get
-//! Tseitin variables.
+//! solver variables. Lowering is polarity-aware by default
+//! ([`CnfEncoding::PlaistedGreenbaum`]): each reachable gate's polarity is
+//! computed from the root first, and only the implication direction(s) that
+//! polarity requires are emitted. The classic bidirectional encoding stays
+//! available as [`CnfEncoding::Tseitin`].
 
 use std::collections::HashMap;
 
@@ -85,7 +89,7 @@ enum Gate {
 /// assert_eq!(c.and(a, b), both); // hash-consed
 /// assert!(c.or(a, !a).is_const_true());
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Circuit {
     gates: Vec<Gate>,
     dedup: HashMap<Gate, u32>,
@@ -252,6 +256,37 @@ impl Circuit {
         self.and(some, amo)
     }
 
+    /// The reference of an already-allocated input, by its label.
+    pub fn input_ref(&self, label: u32) -> Option<BoolRef> {
+        self.dedup
+            .get(&Gate::Input(label))
+            .map(|&i| BoolRef::new(i, false))
+    }
+
+    /// Labels of all inputs reachable from `root`, sorted ascending.
+    ///
+    /// These are exactly the inputs that receive solver variables when the
+    /// root is asserted; unreachable inputs cannot influence its value.
+    pub fn reachable_inputs(&self, root: BoolRef) -> Vec<u32> {
+        let mut visited = vec![false; self.gates.len()];
+        let mut labels = Vec::new();
+        let mut stack = vec![root.index()];
+        while let Some(idx) = stack.pop() {
+            if std::mem::replace(&mut visited[idx as usize], true) {
+                continue;
+            }
+            match &self.gates[idx as usize] {
+                Gate::True => {}
+                Gate::Input(label) => labels.push(*label),
+                Gate::And(children) | Gate::Or(children) => {
+                    stack.extend(children.iter().map(|c| c.index()));
+                }
+            }
+        }
+        labels.sort_unstable();
+        labels
+    }
+
     /// Evaluates a reference under an assignment of input labels to booleans.
     ///
     /// Inputs missing from `env` default to `false`.
@@ -266,12 +301,31 @@ impl Circuit {
     }
 }
 
+/// The CNF transformation used by [`assert_circuit_with`].
+#[derive(Debug, Default, Copy, Clone, PartialEq, Eq, Hash)]
+pub enum CnfEncoding {
+    /// Polarity-aware Plaisted–Greenbaum encoding (the default): each gate
+    /// emits only the implication direction(s) its polarity from the root
+    /// requires. Equisatisfiable with the circuit, and the projections of
+    /// CNF models onto the input variables are exactly the circuit's
+    /// models, so model enumeration is unaffected.
+    #[default]
+    PlaistedGreenbaum,
+    /// Classic bidirectional Tseitin encoding: every gate is fully defined
+    /// in both directions. Roughly twice the clauses, kept as a toggle for
+    /// cross-checking the polarity analysis.
+    Tseitin,
+}
+
 /// The result of lowering a circuit to CNF inside a [`Solver`].
 ///
-/// Maps circuit input labels to solver variables so models can be decoded.
+/// Maps circuit input labels to solver variables so models can be decoded,
+/// and records how large the emitted CNF was.
 #[derive(Debug, Default)]
 pub struct CnfMap {
     input_vars: HashMap<u32, Var>,
+    clauses: usize,
+    aux_vars: usize,
 }
 
 impl CnfMap {
@@ -285,94 +339,151 @@ impl CnfMap {
     pub fn inputs(&self) -> impl Iterator<Item = (u32, Var)> + '_ {
         self.input_vars.iter().map(|(&l, &v)| (l, v))
     }
+
+    /// Number of clauses this lowering handed to the solver (before the
+    /// solver's own simplifications).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses
+    }
+
+    /// Number of auxiliary (gate-definition) variables allocated.
+    pub fn num_aux_vars(&self) -> usize {
+        self.aux_vars
+    }
 }
 
-/// Asserts `root` into `solver` via the Tseitin transformation.
+/// Polarity bits: whether a gate is observed positively and/or negatively
+/// from the asserted root.
+const POL_POS: u8 = 1;
+const POL_NEG: u8 = 2;
+
+fn flip_polarity(p: u8) -> u8 {
+    ((p & POL_POS) << 1) | ((p & POL_NEG) >> 1)
+}
+
+/// Computes each reachable gate's polarity set from `root`.
+///
+/// A gate has positive polarity if some path from the root reaches it
+/// through an even number of negations, negative polarity for an odd
+/// number; both bits can be set.
+fn polarities(circuit: &Circuit, root: BoolRef) -> HashMap<u32, u8> {
+    let mut pol: HashMap<u32, u8> = HashMap::new();
+    let seed = if root.negated() { POL_NEG } else { POL_POS };
+    let mut work: Vec<(u32, u8)> = vec![(root.index(), seed)];
+    while let Some((idx, p)) = work.pop() {
+        let entry = pol.entry(idx).or_insert(0);
+        if *entry & p == p {
+            continue;
+        }
+        *entry |= p;
+        if let Gate::And(children) | Gate::Or(children) = &circuit.gates[idx as usize] {
+            for c in children {
+                let cp = if c.negated() { flip_polarity(p) } else { p };
+                work.push((c.index(), cp));
+            }
+        }
+    }
+    pol
+}
+
+/// Asserts `root` into `solver` using the default (polarity-aware) encoding.
 ///
 /// Only gates reachable from `root` are translated. Returns the mapping
 /// from circuit inputs to solver variables.
 pub fn assert_circuit(circuit: &Circuit, root: BoolRef, solver: &mut Solver) -> CnfMap {
+    assert_circuit_with(circuit, root, solver, CnfEncoding::default())
+}
+
+/// Asserts `root` into `solver` with an explicit CNF encoding choice.
+///
+/// Gates are lowered in creation order (children always precede parents in
+/// a hash-consed circuit), so variable numbering is deterministic for a
+/// given circuit and root.
+pub fn assert_circuit_with(
+    circuit: &Circuit,
+    root: BoolRef,
+    solver: &mut Solver,
+    encoding: CnfEncoding,
+) -> CnfMap {
     let mut map = CnfMap::default();
     if root.is_const_true() {
         return map;
     }
     if root.is_const_false() {
         solver.add_clause(&[]);
+        map.clauses = 1;
         return map;
     }
+    let pol = polarities(circuit, root);
+    let mut indices: Vec<u32> = pol.keys().copied().collect();
+    indices.sort_unstable();
     let mut gate_lit: HashMap<u32, Lit> = HashMap::new();
-    let root_lit = tseitin(circuit, root.index(), solver, &mut gate_lit, &mut map);
-    let root_lit = if root.negated() { !root_lit } else { root_lit };
-    solver.add_clause(&[root_lit]);
-    map
-}
-
-fn tseitin(
-    circuit: &Circuit,
-    index: u32,
-    solver: &mut Solver,
-    gate_lit: &mut HashMap<u32, Lit>,
-    map: &mut CnfMap,
-) -> Lit {
-    if let Some(&l) = gate_lit.get(&index) {
-        return l;
-    }
-    let lit = match &circuit.gates[index as usize] {
-        Gate::True => unreachable!("constants are handled by the caller"),
-        Gate::Input(label) => {
-            let v = solver.new_var();
-            map.input_vars.insert(*label, v);
-            v.positive()
-        }
-        Gate::And(children) => {
-            let child_lits: Vec<Lit> = children
-                .iter()
-                .map(|c| {
-                    let l = tseitin(circuit, c.index(), solver, gate_lit, map);
-                    if c.negated() {
-                        !l
-                    } else {
-                        l
-                    }
-                })
-                .collect();
-            let g = solver.new_var().positive();
-            // g => child, for each child
-            for &cl in &child_lits {
-                solver.add_clause(&[!g, cl]);
-            }
-            // (children) => g
-            let mut clause: Vec<Lit> = child_lits.iter().map(|&c| !c).collect();
-            clause.push(g);
-            solver.add_clause(&clause);
-            g
-        }
-        Gate::Or(children) => {
-            let child_lits: Vec<Lit> = children
-                .iter()
-                .map(|c| {
-                    let l = tseitin(circuit, c.index(), solver, gate_lit, map);
-                    if c.negated() {
-                        !l
-                    } else {
-                        l
-                    }
-                })
-                .collect();
-            let g = solver.new_var().positive();
-            // child => g, for each child
-            for &cl in &child_lits {
-                solver.add_clause(&[!cl, g]);
-            }
-            // g => (children)
-            let mut clause = child_lits.clone();
-            clause.push(!g);
-            solver.add_clause(&clause);
-            g
+    let signed = |gate_lit: &HashMap<u32, Lit>, r: BoolRef| -> Lit {
+        let l = gate_lit[&r.index()];
+        if r.negated() {
+            !l
+        } else {
+            l
         }
     };
-    gate_lit.insert(index, lit);
-    lit
+    for idx in indices {
+        let p = match encoding {
+            CnfEncoding::PlaistedGreenbaum => pol[&idx],
+            CnfEncoding::Tseitin => POL_POS | POL_NEG,
+        };
+        match &circuit.gates[idx as usize] {
+            Gate::True => unreachable!("constants never appear inside gates"),
+            Gate::Input(label) => {
+                let v = solver.new_var();
+                map.input_vars.insert(*label, v);
+                gate_lit.insert(idx, v.positive());
+            }
+            Gate::And(children) => {
+                let child_lits: Vec<Lit> = children.iter().map(|&c| signed(&gate_lit, c)).collect();
+                let g = solver.new_var().positive();
+                map.aux_vars += 1;
+                if p & POL_POS != 0 {
+                    // g => child, for each child
+                    for &cl in &child_lits {
+                        solver.add_clause(&[!g, cl]);
+                        map.clauses += 1;
+                    }
+                }
+                if p & POL_NEG != 0 {
+                    // (children) => g
+                    let mut clause: Vec<Lit> = child_lits.iter().map(|&c| !c).collect();
+                    clause.push(g);
+                    solver.add_clause(&clause);
+                    map.clauses += 1;
+                }
+                gate_lit.insert(idx, g);
+            }
+            Gate::Or(children) => {
+                let child_lits: Vec<Lit> = children.iter().map(|&c| signed(&gate_lit, c)).collect();
+                let g = solver.new_var().positive();
+                map.aux_vars += 1;
+                if p & POL_NEG != 0 {
+                    // child => g, for each child
+                    for &cl in &child_lits {
+                        solver.add_clause(&[!cl, g]);
+                        map.clauses += 1;
+                    }
+                }
+                if p & POL_POS != 0 {
+                    // g => (children)
+                    let mut clause = child_lits.clone();
+                    clause.push(!g);
+                    solver.add_clause(&clause);
+                    map.clauses += 1;
+                }
+                gate_lit.insert(idx, g);
+            }
+        }
+    }
+    let root_lit = signed(&gate_lit, BoolRef::new(root.index(), root.negated()));
+    solver.add_clause(&[root_lit]);
+    map.clauses += 1;
+    map
 }
 
 #[cfg(test)]
@@ -478,6 +589,123 @@ mod tests {
             s.add_clause(&blocking);
         }
         assert_eq!(models, 4);
+    }
+
+    /// Builds a random circuit over `n_inputs` inputs and returns the root.
+    fn random_circuit(rng: &mut impl rand::Rng, c: &mut Circuit, n_inputs: u32) -> BoolRef {
+        let mut refs: Vec<BoolRef> = (0..n_inputs).map(|_| c.input()).collect();
+        for _ in 0..14 {
+            let mut a = refs[rng.gen_range(0..refs.len())];
+            let mut b = refs[rng.gen_range(0..refs.len())];
+            if rng.gen_bool(0.3) {
+                a = !a;
+            }
+            if rng.gen_bool(0.3) {
+                b = !b;
+            }
+            let g = if rng.gen_bool(0.5) {
+                c.and(a, b)
+            } else {
+                c.or(a, b)
+            };
+            refs.push(g);
+        }
+        let root = *refs.last().expect("non-empty");
+        if rng.gen_bool(0.3) {
+            !root
+        } else {
+            root
+        }
+    }
+
+    /// Both encodings must agree with `Circuit::eval` on every input
+    /// assignment — a property strictly stronger than equisatisfiability:
+    /// the CNF's models, projected onto the input variables, are exactly
+    /// the circuit's models.
+    #[test]
+    fn encodings_agree_with_eval_on_random_circuits() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(0xC1C1_2026);
+        for round in 0..60 {
+            let n_inputs = 4;
+            let mut c = Circuit::new();
+            let root = random_circuit(&mut rng, &mut c, n_inputs);
+            for encoding in [CnfEncoding::PlaistedGreenbaum, CnfEncoding::Tseitin] {
+                let mut s = Solver::new();
+                let map = assert_circuit_with(&c, root, &mut s, encoding);
+                if root.is_const_true() {
+                    assert_eq!(s.solve(&[]), SolveResult::Sat);
+                    continue;
+                }
+                if root.is_const_false() {
+                    assert_eq!(s.solve(&[]), SolveResult::Unsat);
+                    continue;
+                }
+                for bits in 0u32..(1 << n_inputs) {
+                    let env: HashMap<u32, bool> =
+                        (0..n_inputs).map(|i| (i, bits >> i & 1 == 1)).collect();
+                    let expected = c.eval(root, &env);
+                    // Fix every mapped (= reachable) input; unmapped inputs
+                    // cannot influence the root's value.
+                    let assumptions: Vec<Lit> = (0..n_inputs)
+                        .filter_map(|l| map.var_for_input(l).map(|v| v.lit(env[&l])))
+                        .collect();
+                    let got = s.solve(&assumptions) == SolveResult::Sat;
+                    assert_eq!(
+                        got, expected,
+                        "round {round}, {encoding:?}, assignment {bits:04b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn polarity_encoding_emits_fewer_clauses() {
+        // A deep one-sided formula (big disjunction of conjunctions): every
+        // internal gate has a single polarity, so Plaisted–Greenbaum should
+        // emit roughly half the clauses Tseitin does.
+        let mut c = Circuit::new();
+        let mut disjuncts = Vec::new();
+        for _ in 0..16 {
+            let a = c.input();
+            let b = c.input();
+            let d = c.input();
+            let ab = c.and(a, b);
+            disjuncts.push(c.and(ab, !d));
+        }
+        let root = c.or_all(disjuncts.iter().copied());
+        let mut s_pg = Solver::new();
+        let pg = assert_circuit_with(&c, root, &mut s_pg, CnfEncoding::PlaistedGreenbaum);
+        let mut s_ts = Solver::new();
+        let ts = assert_circuit_with(&c, root, &mut s_ts, CnfEncoding::Tseitin);
+        assert_eq!(pg.num_aux_vars(), ts.num_aux_vars());
+        assert!(
+            pg.num_clauses() * 4 <= ts.num_clauses() * 3,
+            "expected >= 25% clause reduction: pg {} vs tseitin {}",
+            pg.num_clauses(),
+            ts.num_clauses()
+        );
+        assert_eq!(s_pg.solve(&[]), SolveResult::Sat);
+        assert_eq!(s_ts.solve(&[]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn reachable_inputs_and_input_refs() {
+        let mut c = Circuit::new();
+        let a = c.input();
+        let b = c.input();
+        let _unused = c.input();
+        let root = c.and(a, !b);
+        assert_eq!(c.reachable_inputs(root), vec![0, 1]);
+        assert_eq!(c.input_ref(0), Some(a));
+        assert_eq!(c.input_ref(1), Some(b));
+        assert_eq!(c.input_ref(9), None);
+        let mut s = Solver::new();
+        let map = assert_circuit(&c, root, &mut s);
+        assert!(map.var_for_input(0).is_some());
+        assert!(map.var_for_input(2).is_none());
     }
 
     #[test]

@@ -6,17 +6,33 @@
 //! (Aluminum style), which the paper relies on to synthesize minimal exploit
 //! scenarios.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::time::{Duration, Instant};
 
 use crate::ast::{Formula, QuantVar};
-use crate::circuit::assert_circuit;
+use crate::circuit::{assert_circuit_with, CnfEncoding};
 use crate::error::Result;
 use crate::instance::Instance;
 use crate::relation::{RelationDecl, RelationId, Tuple, TupleSet};
-use crate::sat::{Lit, SolveResult, Solver, Var};
-use crate::translate::translate;
+use crate::sat::{Lit, SolveResult, Solver, SolverStats, Var};
+use crate::symmetry;
+use crate::translate::{build_base, translate, translate_from, Translation, TranslationBase};
 use crate::universe::Universe;
+
+/// Options controlling how a [`Problem`] is lowered into a [`ModelFinder`].
+///
+/// The defaults (polarity-aware CNF, no symmetry breaking) preserve the
+/// model set and enumeration semantics of the seed pipeline. Symmetry
+/// breaking is opt-in because it prunes symmetric models — satisfiability
+/// and per-orbit representatives are preserved, but exact model counts
+/// shrink.
+#[derive(Debug, Default, Copy, Clone, PartialEq, Eq)]
+pub struct FinderOptions {
+    /// CNF transformation for the circuit-to-solver lowering.
+    pub encoding: CnfEncoding,
+    /// Conjoin bound-induced lex-leader symmetry-breaking predicates.
+    pub symmetry_breaking: bool,
+}
 
 /// A bounded relational-logic problem.
 ///
@@ -41,7 +57,7 @@ use crate::universe::Universe;
 /// assert!(!instance.tuples(comp).is_empty());
 /// # Ok::<(), separ_logic::error::LogicError>(())
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Problem {
     universe: Universe,
     relations: Vec<RelationDecl>,
@@ -102,17 +118,62 @@ impl Problem {
         v
     }
 
-    /// Translates the problem and returns a reusable model finder.
+    /// Translates the problem and returns a reusable model finder, using
+    /// default [`FinderOptions`].
     ///
     /// # Errors
     ///
     /// Returns an error if any fact is ill-typed.
     pub fn model_finder(&self) -> Result<ModelFinder> {
+        self.model_finder_with(FinderOptions::default())
+    }
+
+    /// Translates the problem with explicit [`FinderOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any fact is ill-typed.
+    pub fn model_finder_with(&self, options: FinderOptions) -> Result<ModelFinder> {
+        self.build_finder(None, options)
+    }
+
+    /// Builds the reusable, fact-independent translation base (all leaf
+    /// matrices) for this problem's bounds. Share it across several
+    /// problems derived from these declarations via
+    /// [`Problem::model_finder_from`].
+    pub fn translation_base(&self) -> TranslationBase {
+        build_base(&self.universe, &self.relations)
+    }
+
+    /// Translates the problem starting from a shared [`TranslationBase`],
+    /// which must have been built from a prefix of this problem's relation
+    /// declarations (relations appended afterwards translate lazily).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any fact is ill-typed.
+    pub fn model_finder_from(
+        &self,
+        base: &TranslationBase,
+        options: FinderOptions,
+    ) -> Result<ModelFinder> {
+        self.build_finder(Some(base), options)
+    }
+
+    fn build_finder(
+        &self,
+        base: Option<&TranslationBase>,
+        options: FinderOptions,
+    ) -> Result<ModelFinder> {
         let conj = Formula::and(self.facts.iter().cloned());
         let t0 = Instant::now();
-        let translation = translate(&self.universe, &self.relations, &conj)?;
+        let mut translation = match base {
+            Some(b) => translate_from(b, &self.universe, &self.relations, &conj)?,
+            None => translate(&self.universe, &self.relations, &conj)?,
+        };
+        let root = self.apply_symmetry_breaking(&mut translation, options);
         let mut solver = Solver::new();
-        let cnf = assert_circuit(&translation.circuit, translation.root, &mut solver);
+        let cnf = assert_circuit_with(&translation.circuit, root, &mut solver, options.encoding);
         let construction_time = t0.elapsed();
         // Map each free tuple to its solver variable, if the tuple's input
         // survived into the CNF (inputs the formula never constrains do
@@ -132,7 +193,47 @@ impl Problem {
             construction_time,
             solve_time: Duration::ZERO,
             exhausted: false,
+            cnf_clauses: cnf.num_clauses(),
+            shared_base: base.is_some(),
         })
+    }
+
+    /// Conjoins lex-leader predicates onto the translated root when
+    /// symmetry breaking is enabled; otherwise returns the root unchanged.
+    ///
+    /// The predicates only mention inputs already reachable from the root,
+    /// so the primary-variable set (and hence instance decoding) is
+    /// unaffected.
+    fn apply_symmetry_breaking(
+        &self,
+        translation: &mut Translation,
+        options: FinderOptions,
+    ) -> crate::circuit::BoolRef {
+        let root = translation.root;
+        if !options.symmetry_breaking || root.is_const_true() || root.is_const_false() {
+            return root;
+        }
+        let pinned: BTreeSet<_> = self
+            .facts
+            .iter()
+            .flat_map(symmetry::formula_atoms)
+            .collect();
+        let classes = symmetry::atom_classes(&self.universe, &self.relations, &pinned);
+        if classes.is_empty() {
+            return root;
+        }
+        let reachable: BTreeSet<u32> = translation
+            .circuit
+            .reachable_inputs(root)
+            .into_iter()
+            .collect();
+        let sb = symmetry::break_predicate(
+            &mut translation.circuit,
+            &translation.free_inputs,
+            &reachable,
+            &classes,
+        );
+        translation.circuit.and(root, sb)
     }
 
     /// Convenience: finds one satisfying instance, if any.
@@ -174,7 +275,12 @@ impl Problem {
         );
         let translation = translate(&self.universe, &self.relations, &conj)?;
         let mut solver = Solver::new();
-        let cnf = assert_circuit(&translation.circuit, translation.root, &mut solver);
+        let cnf = assert_circuit_with(
+            &translation.circuit,
+            translation.root,
+            &mut solver,
+            CnfEncoding::default(),
+        );
         let mut free_vars: Vec<(RelationId, Tuple, Var)> = Vec::new();
         for (label, (rel, tuple)) in &translation.free_inputs {
             if let Some(var) = cnf.var_for_input(*label) {
@@ -190,6 +296,8 @@ impl Problem {
             construction_time: Duration::ZERO,
             solve_time: Duration::ZERO,
             exhausted: false,
+            cnf_clauses: cnf.num_clauses(),
+            shared_base: false,
         };
         Ok(finder.next_model())
     }
@@ -213,6 +321,8 @@ pub struct ModelFinder {
     construction_time: Duration,
     solve_time: Duration,
     exhausted: bool,
+    cnf_clauses: usize,
+    shared_base: bool,
 }
 
 impl ModelFinder {
@@ -231,9 +341,26 @@ impl ModelFinder {
         self.free_vars.len()
     }
 
-    /// Total number of solver variables, including Tseitin auxiliaries.
+    /// Total number of solver variables, including gate auxiliaries.
     pub fn num_solver_vars(&self) -> usize {
         self.solver.num_vars()
+    }
+
+    /// Number of CNF clauses the translation emitted at construction time
+    /// (enumeration adds blocking clauses afterwards; they are not counted).
+    pub fn cnf_clauses(&self) -> usize {
+        self.cnf_clauses
+    }
+
+    /// Returns `true` if this finder was built from a shared
+    /// [`TranslationBase`].
+    pub fn used_shared_base(&self) -> bool {
+        self.shared_base
+    }
+
+    /// A snapshot of the underlying SAT solver's counters.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.solver.stats()
     }
 
     fn timed_solve(&mut self, assumptions: &[Lit]) -> SolveResult {
@@ -434,6 +561,98 @@ mod tests {
             assert!(count <= 3);
         }
         assert_eq!(count, 3);
+    }
+
+    fn count_models(finder: &mut ModelFinder) -> usize {
+        let mut count = 0;
+        while finder.next_model().is_some() {
+            count += 1;
+            assert!(count <= 64, "runaway enumeration");
+        }
+        count
+    }
+
+    #[test]
+    fn symmetry_breaking_prunes_symmetric_models() {
+        // `some r` over 4 interchangeable atoms: 15 nonempty subsets
+        // plainly; the lex-leader predicates keep only the 4 "sorted"
+        // representatives (one per subset size).
+        let (mut p, r) = unary_problem(4);
+        p.fact(Expr::relation(r).some());
+        let mut plain = p.model_finder().expect("well-typed");
+        assert_eq!(count_models(&mut plain), 15);
+        let sb = FinderOptions {
+            symmetry_breaking: true,
+            ..FinderOptions::default()
+        };
+        let mut broken = p.model_finder_with(sb).expect("well-typed");
+        assert_eq!(count_models(&mut broken), 4);
+    }
+
+    #[test]
+    fn symmetry_breaking_preserves_satisfiability_and_minimality() {
+        let (mut p, r) = unary_problem(5);
+        p.fact(Expr::relation(r).some());
+        let sb = FinderOptions {
+            symmetry_breaking: true,
+            ..FinderOptions::default()
+        };
+        let mut finder = p.model_finder_with(sb).expect("well-typed");
+        let inst = finder.next_minimal_model().expect("satisfiable");
+        assert_eq!(inst.tuples(r).len(), 1, "a singleton orbit representative");
+    }
+
+    #[test]
+    fn symmetry_breaking_respects_pinned_atoms() {
+        // The fact mentions a0 literally, so a0 must stay out of the
+        // symmetry class: `r = {a0}` must remain reachable.
+        let (mut p, r) = unary_problem(3);
+        let a0 = p.universe().lookup("a0").expect("atom exists");
+        p.fact(Expr::atom(a0).in_(&Expr::relation(r)));
+        let sb = FinderOptions {
+            symmetry_breaking: true,
+            ..FinderOptions::default()
+        };
+        let mut finder = p.model_finder_with(sb).expect("well-typed");
+        let inst = finder.next_minimal_model().expect("satisfiable");
+        assert!(inst.tuples(r).contains(&Tuple::unary(a0)));
+    }
+
+    #[test]
+    fn encodings_and_sharing_agree_on_model_counts() {
+        for encoding in [CnfEncoding::PlaistedGreenbaum, CnfEncoding::Tseitin] {
+            let (mut p, r) = unary_problem(3);
+            p.fact(Expr::relation(r).lone());
+            let options = FinderOptions {
+                encoding,
+                ..FinderOptions::default()
+            };
+            let mut fresh = p.model_finder_with(options).expect("well-typed");
+            assert_eq!(count_models(&mut fresh), 4, "{encoding:?}");
+            let base = p.translation_base();
+            let mut shared = p.model_finder_from(&base, options).expect("well-typed");
+            assert!(shared.used_shared_base());
+            assert_eq!(count_models(&mut shared), 4, "{encoding:?} shared");
+        }
+    }
+
+    #[test]
+    fn polarity_encoding_reduces_clause_counts() {
+        let (mut p, r) = unary_problem(6);
+        p.fact(Expr::relation(r).one());
+        let pg = p.model_finder().expect("well-typed");
+        let ts = p
+            .model_finder_with(FinderOptions {
+                encoding: CnfEncoding::Tseitin,
+                ..FinderOptions::default()
+            })
+            .expect("well-typed");
+        assert!(
+            pg.cnf_clauses() < ts.cnf_clauses(),
+            "pg {} vs tseitin {}",
+            pg.cnf_clauses(),
+            ts.cnf_clauses()
+        );
     }
 
     #[test]

@@ -42,12 +42,16 @@ pub mod finder;
 pub mod instance;
 pub mod relation;
 pub mod sat;
+pub mod symmetry;
 pub mod translate;
 pub mod universe;
 
 pub use ast::{Expr, Formula, QuantVar};
+pub use circuit::CnfEncoding;
 pub use error::LogicError;
-pub use finder::{ModelFinder, Problem};
+pub use finder::{FinderOptions, ModelFinder, Problem};
 pub use instance::Instance;
 pub use relation::{RelationDecl, RelationId, Tuple, TupleSet};
+pub use sat::SolverStats;
+pub use translate::TranslationBase;
 pub use universe::{Atom, Universe};

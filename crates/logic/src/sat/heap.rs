@@ -19,7 +19,6 @@ const NOT_IN: u32 = u32::MAX;
 
 impl ActivityHeap {
     /// Creates an empty heap.
-    #[cfg_attr(not(test), allow(dead_code))]
     pub fn new() -> ActivityHeap {
         ActivityHeap::default()
     }
@@ -32,7 +31,6 @@ impl ActivityHeap {
     }
 
     /// Returns `true` if the heap contains no variables.
-    #[allow(dead_code)] // part of the heap's natural API; kept for symmetry
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }

@@ -52,6 +52,8 @@ pub struct SolverStats {
     pub restarts: u64,
     /// Number of learnt clauses currently retained.
     pub learnts: u64,
+    /// Number of literals removed from learnt clauses by self-subsumption.
+    pub minimized_lits: u64,
 }
 
 /// An incremental CDCL SAT solver.
@@ -97,6 +99,7 @@ impl Solver {
             var_inc: 1.0,
             cla_inc: 1.0,
             ok: true,
+            order: ActivityHeap::new(),
             ..Solver::default()
         }
     }
@@ -386,10 +389,32 @@ impl Solver {
             }
             conflict = self.reason[pv.index()].expect("non-decision has a reason");
         }
-        // Clear seen flags of the learnt clause.
+        // Learnt-clause minimization by self-subsumption: a non-asserting
+        // literal whose reason clause is entirely covered by the rest of the
+        // learnt clause (plus level-0 facts) resolves away without weakening
+        // the clause. `seen` is still true exactly for the variables of
+        // `learnt[1..]` here, which makes the coverage check O(|reason|).
+        let mut minimized: Vec<Lit> = Vec::with_capacity(learnt.len());
+        for (i, &q) in learnt.iter().enumerate() {
+            let redundant = i > 0
+                && self.reason[q.var().index()].is_some_and(|r| {
+                    self.clauses[r as usize].lits.iter().all(|&l| {
+                        l.var() == q.var()
+                            || self.seen[l.var().index()]
+                            || self.level[l.var().index()] == 0
+                    })
+                });
+            if redundant {
+                self.stats.minimized_lits += 1;
+            } else {
+                minimized.push(q);
+            }
+        }
+        // Clear seen flags of the pre-minimization learnt clause.
         for &l in &learnt {
             self.seen[l.var().index()] = false;
         }
+        let mut learnt = minimized;
         let backjump = if learnt.len() == 1 {
             0
         } else {
@@ -431,7 +456,8 @@ impl Solver {
     }
 
     fn pick_branch(&mut self) -> Option<Var> {
-        while let Some(v) = self.order.pop(&self.activity) {
+        while !self.order.is_empty() {
+            let v = self.order.pop(&self.activity).expect("heap non-empty");
             if self.assigns[v.index()] == LBool::Undef {
                 return Some(v);
             }
@@ -778,6 +804,53 @@ mod tests {
                 }),
                 "model violates exported clause {line}"
             );
+        }
+    }
+
+    #[test]
+    fn dimacs_export_is_byte_stable() {
+        // Golden output: clauses are normalized (sorted, deduplicated) on
+        // entry and emitted in insertion order, so this exact string is part
+        // of the determinism guarantee.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        s.add_clause(&[v[0], v[1]]);
+        s.add_clause(&[!v[1], v[2]]);
+        s.add_clause(&[!v[0], !v[2]]);
+        s.add_clause(&[v[3]]); // level-0 unit
+        assert_eq!(s.to_dimacs(), "p cnf 4 4\n1 2 0\n-2 3 0\n-1 -3 0\n4 0\n");
+    }
+
+    #[test]
+    fn conflict_analysis_minimizes_learnt_clauses() {
+        // Assumption x0 propagates x1 (c0). Assumption y then propagates a
+        // and b (c1, c2), falsifying c3 — which kept two free literals at
+        // level 1, so the conflict genuinely happens at level 2. First-UIP
+        // learns (!y !x0 !x1), where !x1 is self-subsumed by c0 (its reason
+        // mentions only x0, already in the clause) and must be resolved away.
+        let mut s = Solver::new();
+        let v = lits(&mut s, 5);
+        let (x0, x1, y, a, b) = (v[0], v[1], v[2], v[3], v[4]);
+        s.add_clause(&[!x0, x1]); // c0
+        s.add_clause(&[!y, a]); // c1
+        s.add_clause(&[!y, b]); // c2
+        s.add_clause(&[!a, !b, !x0, !x1]); // c3
+        assert_eq!(s.solve(&[x0, y]), SolveResult::Unsat);
+        assert_eq!(s.stats().conflicts, 1);
+        assert!(
+            s.stats().minimized_lits >= 1,
+            "expected self-subsumption to fire: {:?}",
+            s.stats()
+        );
+        // The clause set itself stays satisfiable.
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
+        for cl in [
+            vec![!x0, x1],
+            vec![!y, a],
+            vec![!y, b],
+            vec![!a, !b, !x0, !x1],
+        ] {
+            assert!(cl.iter().any(|&l| s.is_true(l)));
         }
     }
 

@@ -1,0 +1,324 @@
+//! Bound-induced symmetry detection and lex-leader breaking predicates.
+//!
+//! Following Kodkod's `SymmetryDetector`/`SymmetryBreaker` pair: two atoms
+//! are *interchangeable* when swapping them maps every relation's lower and
+//! upper bound onto itself, so any permutation within a class of mutually
+//! interchangeable atoms maps models to models. For each class the breaker
+//! conjoins lex-leader predicates (`x <=_lex pi(x)` for the transpositions
+//! of consecutive class members) onto the translated circuit, which prunes
+//! symmetric models without losing satisfiability: every model orbit keeps
+//! at least one representative.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::ast::{Expr, Formula};
+use crate::circuit::{BoolRef, Circuit};
+use crate::relation::{RelationDecl, RelationId, Tuple, TupleSet};
+use crate::universe::{Atom, Universe};
+
+/// Atoms mentioned literally by a formula (via [`Expr::Atom`]).
+///
+/// Such atoms are pinned: a transposition moving one of them changes the
+/// formula itself, so they must be excluded from symmetry classes.
+pub fn formula_atoms(f: &Formula) -> BTreeSet<Atom> {
+    let mut out = BTreeSet::new();
+    collect_formula_atoms(f, &mut out);
+    out
+}
+
+fn collect_formula_atoms(f: &Formula, out: &mut BTreeSet<Atom>) {
+    match f {
+        Formula::True | Formula::False => {}
+        Formula::Subset(a, b) | Formula::Equal(a, b) => {
+            collect_expr_atoms(a, out);
+            collect_expr_atoms(b, out);
+        }
+        Formula::Some(e) | Formula::No(e) | Formula::One(e) | Formula::Lone(e) => {
+            collect_expr_atoms(e, out);
+        }
+        Formula::And(items) | Formula::Or(items) => {
+            for i in items {
+                collect_formula_atoms(i, out);
+            }
+        }
+        Formula::Not(inner) => collect_formula_atoms(inner, out),
+        Formula::ForAll(_, bound, body) | Formula::Exists(_, bound, body) => {
+            collect_expr_atoms(bound, out);
+            collect_formula_atoms(body, out);
+        }
+    }
+}
+
+fn collect_expr_atoms(e: &Expr, out: &mut BTreeSet<Atom>) {
+    match e {
+        Expr::Relation(_) | Expr::Var(_) | Expr::Iden | Expr::Univ | Expr::None => {}
+        Expr::Atom(a) => {
+            out.insert(*a);
+        }
+        Expr::Union(a, b)
+        | Expr::Intersect(a, b)
+        | Expr::Difference(a, b)
+        | Expr::Join(a, b)
+        | Expr::Product(a, b) => {
+            collect_expr_atoms(a, out);
+            collect_expr_atoms(b, out);
+        }
+        Expr::Transpose(a) | Expr::Closure(a) => collect_expr_atoms(a, out),
+    }
+}
+
+/// `t` with atoms `a` and `b` exchanged.
+fn swap_tuple(t: &Tuple, a: Atom, b: Atom) -> Tuple {
+    let atoms: Vec<Atom> = t
+        .atoms()
+        .iter()
+        .map(|&x| {
+            if x == a {
+                b
+            } else if x == b {
+                a
+            } else {
+                x
+            }
+        })
+        .collect();
+    Tuple::new(atoms)
+}
+
+/// Does exchanging `a` and `b` map `ts` onto itself?
+fn swap_fixes(ts: &TupleSet, a: Atom, b: Atom) -> bool {
+    ts.iter().all(|t| {
+        if !t.atoms().contains(&a) && !t.atoms().contains(&b) {
+            true
+        } else {
+            ts.contains(&swap_tuple(t, a, b))
+        }
+    })
+}
+
+/// Does exchanging `a` and `b` fix every bound of every relation?
+fn transposition_fixes_bounds(relations: &[RelationDecl], a: Atom, b: Atom) -> bool {
+    relations
+        .iter()
+        .all(|d| swap_fixes(d.lower(), a, b) && swap_fixes(d.upper(), a, b))
+}
+
+/// Partitions the universe into classes of interchangeable atoms.
+///
+/// Two atoms land in one class when their transposition fixes every
+/// relation bound (Kodkod's bound-induced partition refinement). Classes
+/// are closed under composition: transpositions joining a class generate
+/// its full symmetric group, so every permutation within a class is a
+/// symmetry. Atoms in `pinned` (typically those the facts mention
+/// literally) are kept as singletons and never returned. Only classes with
+/// at least two atoms are returned, each sorted, in ascending order of
+/// their smallest atom.
+pub fn atom_classes(
+    universe: &Universe,
+    relations: &[RelationDecl],
+    pinned: &BTreeSet<Atom>,
+) -> Vec<Vec<Atom>> {
+    let n = universe.len();
+    // Fingerprint prefilter: interchangeable atoms must occur in the same
+    // number of tuples of every bound, so unequal counts skip the O(bound)
+    // transposition check.
+    let mut prints: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for decl in relations {
+        for bound in [decl.lower(), decl.upper()] {
+            let mut counts = vec![0u32; n];
+            for t in bound.iter() {
+                for a in t.atoms() {
+                    counts[a.index()] += 1;
+                }
+            }
+            for (p, c) in prints.iter_mut().zip(&counts) {
+                p.push(*c);
+            }
+        }
+    }
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let atoms: Vec<Atom> = universe.atoms().collect();
+    for i in 0..n {
+        if pinned.contains(&atoms[i]) {
+            continue;
+        }
+        for j in (i + 1)..n {
+            if pinned.contains(&atoms[j]) || prints[i] != prints[j] {
+                continue;
+            }
+            let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+            if ri == rj {
+                continue;
+            }
+            if transposition_fixes_bounds(relations, atoms[i], atoms[j]) {
+                parent[rj.max(ri)] = rj.min(ri);
+            }
+        }
+    }
+    let mut classes: BTreeMap<usize, Vec<Atom>> = BTreeMap::new();
+    for (i, &atom) in atoms.iter().enumerate() {
+        let root = find(&mut parent, i);
+        classes.entry(root).or_default().push(atom);
+    }
+    classes.into_values().filter(|c| c.len() >= 2).collect()
+}
+
+/// Builds the conjunction of lex-leader predicates for `classes`.
+///
+/// For each transposition `pi = (a b)` of consecutive class members, the
+/// predicate constrains the vector of free-tuple inputs `x` (in
+/// `(relation, tuple)` order) to satisfy `x <=_lex pi(x)`. Columns are
+/// restricted to inputs in `reachable` (the inputs the asserted root
+/// actually constrains): if a tuple's swap image is missing there, the
+/// whole transposition is skipped — always sound, merely weaker.
+pub fn break_predicate(
+    circuit: &mut Circuit,
+    free_inputs: &HashMap<u32, (RelationId, Tuple)>,
+    reachable: &BTreeSet<u32>,
+    classes: &[Vec<Atom>],
+) -> BoolRef {
+    // Deterministic column order over the reachable free tuples.
+    let by_tuple: BTreeMap<(RelationId, &Tuple), BoolRef> = free_inputs
+        .iter()
+        .filter(|(label, _)| reachable.contains(label))
+        .map(|(&label, (rel, tuple))| {
+            let r = circuit
+                .input_ref(label)
+                .expect("free input exists in circuit");
+            ((*rel, tuple), r)
+        })
+        .collect();
+    let mut predicates = Vec::new();
+    for class in classes {
+        for pair in class.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let mut columns: Vec<(BoolRef, BoolRef)> = Vec::new();
+            let mut skip = false;
+            for (&(rel, tuple), &x) in &by_tuple {
+                let swapped = swap_tuple(tuple, a, b);
+                if swapped == *tuple {
+                    continue; // fixed position: contributes equality only
+                }
+                match by_tuple.get(&(rel, &swapped)) {
+                    Some(&y) => columns.push((x, y)),
+                    None => {
+                        // Asymmetric reachability (or the swapped tuple was
+                        // never free): constraining would be unsound.
+                        skip = true;
+                        break;
+                    }
+                }
+            }
+            if skip || columns.is_empty() {
+                continue;
+            }
+            predicates.push(lex_le(circuit, &columns));
+        }
+    }
+    circuit.and_all(predicates)
+}
+
+/// `x <=_lex y` over paired columns, false-before-true per position.
+fn lex_le(circuit: &mut Circuit, columns: &[(BoolRef, BoolRef)]) -> BoolRef {
+    let mut le = circuit.mk_true();
+    for &(x, y) in columns.iter().rev() {
+        let lt = circuit.and(!x, y);
+        let eq = circuit.iff(x, y);
+        let eq_and_rest = circuit.and(eq, le);
+        le = circuit.or(lt, eq_and_rest);
+    }
+    le
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn universe_with(n: usize) -> (Universe, Vec<Atom>) {
+        let mut u = Universe::new();
+        let atoms: Vec<Atom> = (0..n).map(|i| u.add(format!("a{i}"))).collect();
+        (u, atoms)
+    }
+
+    #[test]
+    fn uniform_bounds_give_one_class() {
+        let (u, atoms) = universe_with(4);
+        let decls = vec![RelationDecl::free("r", TupleSet::unary_from(atoms.clone()))];
+        let classes = atom_classes(&u, &decls, &BTreeSet::new());
+        assert_eq!(classes, vec![atoms]);
+    }
+
+    #[test]
+    fn distinguished_atom_is_excluded() {
+        let (u, atoms) = universe_with(4);
+        let decls = vec![
+            RelationDecl::free("r", TupleSet::unary_from(atoms.clone())),
+            // a0 alone in an exact relation: no transposition moving it
+            // fixes this bound.
+            RelationDecl::exact("s", TupleSet::unary_from([atoms[0]])),
+        ];
+        let classes = atom_classes(&u, &decls, &BTreeSet::new());
+        assert_eq!(classes, vec![atoms[1..].to_vec()]);
+    }
+
+    #[test]
+    fn pinned_atoms_stay_singletons() {
+        let (u, atoms) = universe_with(3);
+        let decls = vec![RelationDecl::free("r", TupleSet::unary_from(atoms.clone()))];
+        let pinned: BTreeSet<Atom> = [atoms[1]].into();
+        let classes = atom_classes(&u, &decls, &pinned);
+        assert_eq!(classes, vec![vec![atoms[0], atoms[2]]]);
+    }
+
+    #[test]
+    fn binary_bounds_constrain_classes() {
+        // edges ⊆ {(a0,a1), (a1,a0)} makes {a0,a1} interchangeable but
+        // separates them from a2 (which has different membership counts).
+        let (u, atoms) = universe_with(3);
+        let decls = vec![RelationDecl::free(
+            "edges",
+            TupleSet::binary_from([(atoms[0], atoms[1]), (atoms[1], atoms[0])]),
+        )];
+        let classes = atom_classes(&u, &decls, &BTreeSet::new());
+        assert_eq!(classes, vec![vec![atoms[0], atoms[1]]]);
+    }
+
+    #[test]
+    fn formula_atoms_walks_all_cases() {
+        let (_, atoms) = universe_with(3);
+        let f = Formula::and([
+            Expr::atom(atoms[0]).in_(&Expr::Univ),
+            Expr::atom(atoms[1])
+                .product(&Expr::atom(atoms[2]))
+                .some()
+                .not(),
+        ]);
+        let got = formula_atoms(&f);
+        assert_eq!(got, atoms.into_iter().collect());
+    }
+
+    #[test]
+    fn lex_le_orders_false_before_true() {
+        let mut c = Circuit::new();
+        let x = c.input();
+        let y = c.input();
+        let le = lex_le(&mut c, &[(x, y)]);
+        // (x <= y) with false < true, i.e. x => y.
+        for (vx, vy, expected) in [
+            (false, false, true),
+            (false, true, true),
+            (true, false, false),
+            (true, true, true),
+        ] {
+            let env: HashMap<u32, bool> = [(0, vx), (1, vy)].into();
+            assert_eq!(c.eval(le, &env), expected, "x={vx} y={vy}");
+        }
+    }
+}

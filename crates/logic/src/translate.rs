@@ -96,6 +96,91 @@ pub fn translate(
     })
 }
 
+/// The reusable, formula-independent part of a translation: every
+/// relation's leaf matrix built eagerly over a shared circuit.
+///
+/// A bundle builds this once; each per-signature translation then starts
+/// from a clone via [`translate_from`] instead of re-deriving the leaves,
+/// which is the Kodkod-style sharing the pipeline leans on when many
+/// formulas range over one set of bounds.
+#[derive(Debug, Clone)]
+pub struct TranslationBase {
+    circuit: Circuit,
+    leaves: Vec<Option<Matrix>>,
+    free_inputs: HashMap<u32, (RelationId, Tuple)>,
+}
+
+impl TranslationBase {
+    /// Number of relations whose leaves were prebuilt.
+    pub fn num_relations(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Number of free-tuple circuit inputs allocated by the leaves.
+    pub fn num_free_inputs(&self) -> usize {
+        self.free_inputs.len()
+    }
+}
+
+/// Builds the shared leaf matrices for every declared relation.
+pub fn build_base(universe: &Universe, relations: &[RelationDecl]) -> TranslationBase {
+    let mut tr = Translator {
+        universe,
+        relations,
+        circuit: Circuit::new(),
+        leaves: vec![None; relations.len()],
+        free_inputs: HashMap::new(),
+        env: HashMap::new(),
+    };
+    for i in 0..relations.len() {
+        tr.leaf(RelationId(i as u32))
+            .expect("declared relation index is in range");
+    }
+    TranslationBase {
+        circuit: tr.circuit,
+        leaves: tr.leaves,
+        free_inputs: tr.free_inputs,
+    }
+}
+
+/// Translates `formula` starting from a prebuilt [`TranslationBase`].
+///
+/// `relations` must begin with the declarations the base was built from,
+/// unchanged; relations appended after the base was built (e.g. witness
+/// relations) get their leaves translated lazily on first use.
+///
+/// # Errors
+///
+/// Returns an error if the formula is ill-typed (arity mismatches,
+/// unbound variables, unknown relations).
+pub fn translate_from(
+    base: &TranslationBase,
+    universe: &Universe,
+    relations: &[RelationDecl],
+    formula: &Formula,
+) -> Result<Translation> {
+    debug_assert!(
+        relations.len() >= base.leaves.len(),
+        "the base's relations must be a prefix of the problem's"
+    );
+    let mut leaves = base.leaves.clone();
+    leaves.resize(relations.len(), None);
+    let mut tr = Translator {
+        universe,
+        relations,
+        circuit: base.circuit.clone(),
+        leaves,
+        free_inputs: base.free_inputs.clone(),
+        env: HashMap::new(),
+    };
+    let root = tr.formula(formula)?;
+    Ok(Translation {
+        circuit: tr.circuit,
+        root,
+        free_inputs: tr.free_inputs,
+    })
+}
+
 struct Translator<'a> {
     universe: &'a Universe,
     relations: &'a [RelationDecl],
@@ -485,6 +570,33 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn shared_base_reuse_matches_fresh_translation() {
+        let (u, decls, _s, r) = setup();
+        let base = build_base(&u, &decls);
+        assert_eq!(base.num_relations(), 2);
+        assert_eq!(base.num_free_inputs(), 9);
+        let f = Expr::relation(r).some();
+        let fresh = translate(&u, &decls, &f).expect("translates");
+        let shared = translate_from(&base, &u, &decls, &f).expect("translates");
+        assert_eq!(shared.free_inputs.len(), fresh.free_inputs.len());
+        assert!(!shared.root.is_const_true() && !shared.root.is_const_false());
+    }
+
+    #[test]
+    fn base_extends_lazily_for_appended_relations() {
+        let (u, mut decls, _s, r) = setup();
+        let base = build_base(&u, &decls);
+        // A witness relation declared after the base was built.
+        let w_atoms: Vec<Atom> = u.atoms().collect();
+        decls.push(RelationDecl::free("w", TupleSet::unary_from(w_atoms)));
+        let w = RelationId(2);
+        let f = Formula::and([Expr::relation(r).some(), Expr::relation(w).some()]);
+        let t = translate_from(&base, &u, &decls, &f).expect("translates");
+        // 9 binary free tuples from the base + 3 fresh unary ones for `w`.
+        assert_eq!(t.free_inputs.len(), 12);
     }
 
     #[test]

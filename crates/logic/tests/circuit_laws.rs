@@ -1,0 +1,158 @@
+//! Property-based tests of boolean-circuit simplification laws and of the
+//! equisatisfiability of the two CNF encodings.
+//!
+//! Structural laws (idempotence) are checked on the hash-consed references
+//! directly; semantic laws (absorption, cardinality round-trips, encoding
+//! agreement) go through the SAT solver.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use separ_logic::circuit::{assert_circuit, assert_circuit_with, BoolRef, Circuit, CnfEncoding};
+use separ_logic::sat::{Lit, SolveResult, Solver};
+
+const N_INPUTS: u32 = 4;
+
+/// One gate-building instruction: operand indices into the refs built so
+/// far, negation flags, and the operator choice.
+type Op = (prop::sample::Index, prop::sample::Index, bool, bool, bool);
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (
+            any::<prop::sample::Index>(),
+            any::<prop::sample::Index>(),
+            any::<bool>(),
+            any::<bool>(),
+            any::<bool>(),
+        ),
+        1..16,
+    )
+}
+
+/// Replays `ops` into a circuit, returning every reference built.
+fn build(c: &mut Circuit, ops: &[Op]) -> Vec<BoolRef> {
+    let mut refs: Vec<BoolRef> = (0..N_INPUTS).map(|_| c.input()).collect();
+    for (ia, ib, na, nb, is_and) in ops {
+        let mut a = refs[ia.index(refs.len())];
+        let mut b = refs[ib.index(refs.len())];
+        if *na {
+            a = !a;
+        }
+        if *nb {
+            b = !b;
+        }
+        refs.push(if *is_and { c.and(a, b) } else { c.or(a, b) });
+    }
+    refs
+}
+
+/// Proves `root` is unsatisfiable (used to check semantic equivalences).
+fn unsat(c: &Circuit, root: BoolRef) -> bool {
+    let mut s = Solver::new();
+    assert_circuit(c, root, &mut s);
+    s.solve(&[]) == SolveResult::Unsat
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `and`/`or` are idempotent on the hash-consed representation itself.
+    #[test]
+    fn and_or_idempotence(ops in ops()) {
+        let mut c = Circuit::new();
+        for &x in &build(&mut c, &ops) {
+            prop_assert_eq!(c.and(x, x), x);
+            prop_assert_eq!(c.or(x, x), x);
+        }
+    }
+
+    /// Absorption holds semantically: `a & (a | b) = a` and
+    /// `a | (a & b) = a` (the circuit need not fold these structurally, so
+    /// the equivalence is proved through SAT).
+    #[test]
+    fn absorption_through_sat(ops in ops()) {
+        let mut c = Circuit::new();
+        let refs = build(&mut c, &ops);
+        let (a, b) = (refs[refs.len() - 1], refs[refs.len() / 2]);
+        let a_or_b = c.or(a, b);
+        let lhs1 = c.and(a, a_or_b);
+        let a_and_b = c.and(a, b);
+        let lhs2 = c.or(a, a_and_b);
+        for lhs in [lhs1, lhs2] {
+            let differs = {
+                let iff = c.iff(lhs, a);
+                !iff
+            };
+            prop_assert!(unsat(&c, differs), "absorption violated");
+        }
+    }
+
+    /// `exactly_one` admits exactly n models and `at_most_one` exactly
+    /// n + 1 when round-tripped through SAT enumeration.
+    #[test]
+    fn cardinality_round_trips(n in 1usize..6) {
+        let mut c = Circuit::new();
+        let inputs: Vec<BoolRef> = (0..n).map(|_| c.input()).collect();
+        let amo = c.at_most_one(&inputs);
+        let exo = c.exactly_one(&inputs);
+        for (formula, expected) in [(exo, n), (amo, n + 1)] {
+            let mut s = Solver::new();
+            let map = assert_circuit(&c, formula, &mut s);
+            let mut models = 0;
+            while s.solve(&[]) == SolveResult::Sat {
+                models += 1;
+                prop_assert!(models <= expected, "too many models");
+                let blocking: Vec<Lit> = (0..n as u32)
+                    // `at_most_one` of a single input is constant true, so
+                    // inputs may be unmapped; enumerate over mapped ones.
+                    .filter_map(|l| map.var_for_input(l))
+                    .map(|v| if s.is_true(v.positive()) { v.negative() } else { v.positive() })
+                    .collect();
+                if blocking.is_empty() {
+                    break;
+                }
+                s.add_clause(&blocking);
+            }
+            // With unmapped inputs, each model stands for 2^unmapped ones.
+            let unmapped = (0..n as u32).filter(|&l| map.var_for_input(l).is_none()).count();
+            prop_assert_eq!(models << unmapped, expected, "n={}, unmapped={}", n, unmapped);
+        }
+    }
+
+    /// Plaisted–Greenbaum and Tseitin agree with direct evaluation on every
+    /// input assignment of a random circuit: the projections of their CNF
+    /// models onto the inputs are exactly the circuit's models.
+    #[test]
+    fn encodings_are_equisatisfiable(ops in ops(), negate_root in any::<bool>()) {
+        let mut c = Circuit::new();
+        let refs = build(&mut c, &ops);
+        let mut root = refs[refs.len() - 1];
+        if negate_root {
+            root = !root;
+        }
+        for encoding in [CnfEncoding::PlaistedGreenbaum, CnfEncoding::Tseitin] {
+            let mut s = Solver::new();
+            let map = assert_circuit_with(&c, root, &mut s, encoding);
+            if root.is_const_true() {
+                prop_assert_eq!(s.solve(&[]), SolveResult::Sat);
+                continue;
+            }
+            if root.is_const_false() {
+                prop_assert_eq!(s.solve(&[]), SolveResult::Unsat);
+                continue;
+            }
+            for bits in 0u32..(1 << N_INPUTS) {
+                let env: HashMap<u32, bool> =
+                    (0..N_INPUTS).map(|i| (i, bits >> i & 1 == 1)).collect();
+                let expected = c.eval(root, &env);
+                let assumptions: Vec<Lit> = (0..N_INPUTS)
+                    .filter_map(|l| map.var_for_input(l).map(|v| v.lit(env[&l])))
+                    .collect();
+                let got = s.solve(&assumptions) == SolveResult::Sat;
+                prop_assert_eq!(got, expected, "{:?}, assignment {:04b}", encoding, bits);
+            }
+        }
+    }
+}

@@ -6,6 +6,9 @@
 //!     --policies-out <file>                write synthesized policies as JSON
 //!     --alloy                              print the extracted Alloy modules
 //!     --threads <n>                        worker threads (0 = all cores, the default)
+//!     --stats                              per-signature CNF and SAT-solver statistics
+//!     --encoding <pg|tseitin>              CNF encoding (polarity-aware pg is the default)
+//!     --symmetry-breaking                  conjoin lex-leader symmetry-breaking predicates
 //! separ disasm <app.sdex>                  disassemble a package
 //! separ enforce <app.sdex>... --policies <file> --launch <pkg> <Class>
 //!                                          run a bundle under enforcement
@@ -75,6 +78,7 @@ fn cmd_analyze(args: &[String]) -> CliResult {
     let mut files = Vec::new();
     let mut policies_out: Option<String> = None;
     let mut print_alloy = false;
+    let mut print_stats = false;
     let mut config = SeparConfig::default();
     let mut i = 0;
     while i < args.len() {
@@ -88,6 +92,7 @@ fn cmd_analyze(args: &[String]) -> CliResult {
                 );
             }
             "--alloy" => print_alloy = true,
+            "--stats" => print_stats = true,
             "--threads" => {
                 i += 1;
                 config.threads = args
@@ -96,6 +101,21 @@ fn cmd_analyze(args: &[String]) -> CliResult {
                     .parse()
                     .map_err(|e| format!("analyze: --threads: {e}"))?;
             }
+            "--encoding" => {
+                i += 1;
+                config.cnf_encoding = match args.get(i).map(String::as_str) {
+                    Some("pg") | Some("plaisted-greenbaum") => {
+                        separ::logic::CnfEncoding::PlaistedGreenbaum
+                    }
+                    Some("tseitin") => separ::logic::CnfEncoding::Tseitin,
+                    other => {
+                        return Err(format!(
+                            "analyze: --encoding must be pg or tseitin, got {other:?}"
+                        ))
+                    }
+                };
+            }
+            "--symmetry-breaking" => config.symmetry_breaking = true,
             f => files.push(f.to_string()),
         }
         i += 1;
@@ -126,6 +146,30 @@ fn cmd_analyze(args: &[String]) -> CliResult {
         report.stats.construction,
         report.stats.solving,
     );
+    if print_stats {
+        println!(
+            "solver: {} primary vars, {} clauses, {}/{} signatures reused the shared bundle base",
+            report.stats.primary_vars,
+            report.stats.cnf_clauses,
+            report.stats.shared_base_reuse,
+            report.stats.per_signature.len(),
+        );
+        for s in &report.stats.per_signature {
+            println!(
+                "  {:<22} vars={:<5} clauses={:<6} conflicts={:<5} propagations={:<7} restarts={} learnts={} minimized={} construction={:?} solving={:?}",
+                s.name,
+                s.primary_vars,
+                s.cnf_clauses,
+                s.solver.conflicts,
+                s.solver.propagations,
+                s.solver.restarts,
+                s.solver.learnts,
+                s.solver.minimized_lits,
+                s.construction,
+                s.solving,
+            );
+        }
+    }
     if print_alloy {
         println!(
             "\n{}",
