@@ -109,6 +109,18 @@ impl AbsValue {
             self.ints.clear();
             self.unknown = true;
         }
+        if self.taints.len() > SET_CAP {
+            // Taints must stay sound: widen to "tainted by every source"
+            // rather than dropping them (the full set is the fixpoint).
+            self.taints
+                .extend(Resource::ALL.iter().filter(|r| r.is_source()));
+        }
+        if self.intents.len() > SET_CAP {
+            // Dropping intent references loses precision, not soundness:
+            // `unknown` marks the value as referencing untracked objects.
+            self.intents.clear();
+            self.unknown = true;
+        }
     }
 
     /// Definite truthiness, if statically known: `Some(false)` when the
@@ -782,6 +794,36 @@ mod tests {
     use separ_android::types::perm;
     use separ_dex::build::ApkBuilder;
     use separ_dex::manifest::{ComponentDecl, ComponentKind};
+
+    #[test]
+    fn widening_caps_taints_and_intents() {
+        // More than SET_CAP distinct taints widen to the full source set
+        // (sound over-approximation, and a join fixpoint).
+        let mut v = AbsValue::default();
+        for &r in Resource::ALL.iter().filter(|r| r.is_source()).take(SET_CAP) {
+            v.taints.insert(r);
+        }
+        let mut extra = AbsValue::default();
+        extra.taints.insert(Resource::PhoneState);
+        assert!(v.join(&extra));
+        let all_sources: BTreeSet<Resource> = Resource::ALL
+            .iter()
+            .copied()
+            .filter(|r| r.is_source())
+            .collect();
+        assert_eq!(v.taints, all_sources);
+        assert!(!v.join(&extra), "widened taints are a fixpoint");
+
+        // Intent references widen to "unknown object".
+        let mut v = AbsValue::default();
+        for i in 0..=SET_CAP {
+            let mut o = AbsValue::default();
+            o.intents.insert(i);
+            v.join(&o);
+        }
+        assert!(v.intents.is_empty());
+        assert!(v.unknown);
+    }
 
     /// Builds Listing 1's LocationFinder: reads GPS, puts it into an
     /// implicit intent, startService.

@@ -36,11 +36,17 @@ pub fn extract_apk(apk: &Apk) -> AppModel {
 /// the comparator baselines).
 pub fn extract_apk_with(apk: &Apk, options: crate::absint::AnalysisOptions) -> AppModel {
     let start = Instant::now();
-    let mut components = Vec::with_capacity(apk.manifest.components.len());
+    // Graceful-degradation pre-pass: verify first, then analyze a
+    // sanitized copy with Error-poisoned scopes quarantined, so the
+    // abstract interpreter never consumes malformed structure.
+    let lint = crate::diagnostics::lint_apk(apk);
+    let sanitized = lint.sanitized_apk(apk);
+    let analyzed: &Apk = sanitized.as_ref().unwrap_or(apk);
+    let mut components = Vec::with_capacity(analyzed.manifest.components.len());
     let mut instructions = 0u64;
     let mut dynamic_filters: Vec<(String, String)> = Vec::new();
-    for decl in &apk.manifest.components {
-        let facts = crate::absint::analyze_component_with(apk, &decl.class, options);
+    for decl in &analyzed.manifest.components {
+        let facts = crate::absint::analyze_component_with(analyzed, &decl.class, options);
         instructions += facts.instructions_visited;
         dynamic_filters.extend(facts.dynamic_filters.iter().cloned());
         let sent_intents = flatten_intents(&facts.intents);
@@ -72,6 +78,7 @@ pub fn extract_apk_with(apk: &Apk, options: crate::absint::AnalysisOptions) -> A
         components,
         uses_permissions: apk.manifest.uses_permissions.iter().cloned().collect(),
         defines_permissions: apk.manifest.defines_permissions.iter().cloned().collect(),
+        diagnostics: lint.diagnostics,
         stats: ExtractionStats::default(),
     };
     // Intra-app passive-intent resolution (Algorithm 1); the bundle-level
@@ -81,6 +88,7 @@ pub fn extract_apk_with(apk: &Apk, options: crate::absint::AnalysisOptions) -> A
         duration: start.elapsed(),
         app_size: apk.size_metric(),
         instructions_visited: instructions,
+        quarantined_methods: lint.quarantined_methods,
     };
     model
 }

@@ -37,8 +37,10 @@ pub mod absint;
 pub mod alias;
 pub mod callgraph;
 pub mod cfg;
+pub mod diagnostics;
 pub mod extractor;
 pub mod model;
 
+pub use diagnostics::{Diagnostic, DiagnosticKind, Severity};
 pub use extractor::{extract, extract_apk};
 pub use model::{AppModel, ComponentModel, SentIntentModel};

@@ -121,6 +121,8 @@ pub struct ExtractionStats {
     pub app_size: usize,
     /// Instructions abstractly interpreted.
     pub instructions_visited: u64,
+    /// Method bodies the verifier quarantined (skipped, never analyzed).
+    pub quarantined_methods: usize,
 }
 
 /// The extracted model of one app — the unit the ASE composes.
@@ -134,6 +136,8 @@ pub struct AppModel {
     pub uses_permissions: BTreeSet<String>,
     /// Custom permissions the app defines.
     pub defines_permissions: BTreeSet<String>,
+    /// Verification findings from the pre-analysis lint pass.
+    pub diagnostics: Vec<crate::diagnostics::Diagnostic>,
     /// Extraction statistics.
     pub stats: ExtractionStats,
 }
@@ -157,6 +161,14 @@ impl AppModel {
     /// Total number of declared intent filters across components.
     pub fn num_filters(&self) -> usize {
         self.components.iter().map(|c| c.filters.len()).sum()
+    }
+
+    /// Returns `true` if the verifier found Error-severity defects (some
+    /// code was quarantined or structurally untrustworthy).
+    pub fn has_error_diagnostics(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == crate::diagnostics::Severity::Error)
     }
 }
 
@@ -242,6 +254,7 @@ mod tests {
             components,
             uses_permissions: BTreeSet::new(),
             defines_permissions: BTreeSet::new(),
+            diagnostics: Vec::new(),
             stats: ExtractionStats::default(),
         }
     }

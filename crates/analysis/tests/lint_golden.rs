@@ -1,0 +1,431 @@
+//! Golden tests for the verification/diagnostics layer: one hand-built
+//! malformed package per diagnostic kind, quarantine semantics through the
+//! extractor, and the property that builder-produced packages lint clean.
+
+use proptest::prelude::*;
+
+use separ_analysis::diagnostics::{self, DiagnosticKind, Severity};
+use separ_analysis::extractor::extract_apk;
+use separ_dex::build::ApkBuilder;
+use separ_dex::instr::{Instr, InvokeKind, Reg};
+use separ_dex::manifest::{ComponentDecl, ComponentKind, IntentFilterDecl, Manifest};
+use separ_dex::program::{Apk, Class, Dex, Method};
+use separ_dex::refs::{MethodId, StrId};
+
+/// A minimal well-formed app hosting one hand-built method named `m` in
+/// class `LHost;` (pools interned consistently).
+fn apk_with_code(code: Vec<Instr>) -> Apk {
+    let mut dex = Dex::new();
+    let ty = dex.pools.ty("LHost;");
+    let name = dex.pools.str("m");
+    dex.classes.push(Class {
+        ty,
+        super_ty: None,
+        fields: vec![],
+        methods: vec![simple_method(name, code)],
+    });
+    Apk::new(Manifest::new("com.golden"), dex)
+}
+
+fn simple_method(name: StrId, code: Vec<Instr>) -> Method {
+    Method {
+        name,
+        num_registers: 2,
+        num_params: 0,
+        is_static: true,
+        returns_value: false,
+        code,
+    }
+}
+
+fn lint_kinds(apk: &Apk) -> Vec<(DiagnosticKind, Severity)> {
+    diagnostics::lint_apk(apk)
+        .diagnostics
+        .iter()
+        .map(|d| (d.kind, d.severity))
+        .collect()
+}
+
+#[test]
+fn golden_register_bounds() {
+    let apk = apk_with_code(vec![
+        Instr::ConstInt {
+            dst: Reg(9),
+            value: 1,
+        },
+        Instr::ReturnVoid,
+    ]);
+    assert_eq!(
+        lint_kinds(&apk),
+        vec![(DiagnosticKind::RegisterBounds, Severity::Error)]
+    );
+    let lint = diagnostics::lint_apk(&apk);
+    assert_eq!(lint.quarantined_methods, 1);
+    assert_eq!(lint.diagnostics[0].app, "com.golden");
+    assert_eq!(lint.diagnostics[0].location, "LHost;->m@0");
+}
+
+#[test]
+fn golden_use_before_def() {
+    let apk = apk_with_code(vec![Instr::Return { reg: Reg(0) }]);
+    assert_eq!(
+        lint_kinds(&apk),
+        vec![(DiagnosticKind::UseBeforeDef, Severity::Warning)]
+    );
+    // Warnings do not quarantine.
+    assert_eq!(diagnostics::lint_apk(&apk).quarantined_methods, 0);
+}
+
+#[test]
+fn golden_move_result_pairing() {
+    let apk = apk_with_code(vec![Instr::MoveResult { dst: Reg(0) }, Instr::ReturnVoid]);
+    assert_eq!(
+        lint_kinds(&apk),
+        vec![(DiagnosticKind::MoveResultPairing, Severity::Error)]
+    );
+}
+
+#[test]
+fn golden_branch_target() {
+    let apk = apk_with_code(vec![Instr::Goto { target: 77 }]);
+    assert_eq!(
+        lint_kinds(&apk),
+        vec![(DiagnosticKind::BranchTarget, Severity::Error)]
+    );
+}
+
+#[test]
+fn golden_pool_index() {
+    let apk = apk_with_code(vec![
+        Instr::Invoke {
+            kind: InvokeKind::Static,
+            method: MethodId::from_index(999),
+            args: vec![],
+        },
+        Instr::ReturnVoid,
+    ]);
+    assert_eq!(
+        lint_kinds(&apk),
+        vec![(DiagnosticKind::PoolIndex, Severity::Error)]
+    );
+}
+
+#[test]
+fn golden_unreachable_code() {
+    let apk = apk_with_code(vec![Instr::ReturnVoid, Instr::Nop, Instr::ReturnVoid]);
+    assert_eq!(
+        lint_kinds(&apk),
+        vec![(DiagnosticKind::UnreachableCode, Severity::Warning)]
+    );
+}
+
+#[test]
+fn golden_superclass_cycle() {
+    let mut dex = Dex::new();
+    let a = dex.pools.ty("LA;");
+    let b = dex.pools.ty("LB;");
+    for (ty, sup) in [(a, b), (b, a)] {
+        dex.classes.push(Class {
+            ty,
+            super_ty: Some(sup),
+            fields: vec![],
+            methods: vec![],
+        });
+    }
+    let apk = Apk::new(Manifest::new("com.cycle"), dex);
+    let kinds = lint_kinds(&apk);
+    assert_eq!(kinds.len(), 2);
+    assert!(kinds
+        .iter()
+        .all(|k| *k == (DiagnosticKind::SuperclassCycle, Severity::Error)));
+    // Both classes are structurally untrustworthy and removed.
+    let lint = diagnostics::lint_apk(&apk);
+    let sanitized = lint.sanitized_apk(&apk).expect("needs quarantine");
+    assert!(sanitized.dex.classes.is_empty());
+    // Extraction over the cyclic app terminates.
+    let model = extract_apk(&apk);
+    assert!(model.has_error_diagnostics());
+}
+
+#[test]
+fn golden_duplicate_class() {
+    let mut dex = Dex::new();
+    let ty = dex.pools.ty("LDup;");
+    for _ in 0..2 {
+        dex.classes.push(Class {
+            ty,
+            super_ty: None,
+            fields: vec![],
+            methods: vec![],
+        });
+    }
+    let apk = Apk::new(Manifest::new("com.dup"), dex);
+    assert_eq!(
+        lint_kinds(&apk),
+        vec![(DiagnosticKind::DuplicateClass, Severity::Warning)]
+    );
+}
+
+#[test]
+fn golden_unresolved_component() {
+    let mut b = ApkBuilder::new("com.ghost");
+    b.add_component(ComponentDecl::new("LGhost;", ComponentKind::Activity));
+    assert_eq!(
+        lint_kinds(&b.finish()),
+        vec![(DiagnosticKind::UnresolvedComponent, Severity::Warning)]
+    );
+}
+
+#[test]
+fn golden_missing_entry_point() {
+    let mut b = ApkBuilder::new("com.noentry");
+    let mut decl = ComponentDecl::new("LSvc;", ComponentKind::Service);
+    decl.exported = Some(true);
+    b.add_component(decl);
+    let mut cb = b.class("LSvc;");
+    let mut m = cb.method("helper", 1, true, false);
+    m.ret_void();
+    m.finish();
+    cb.finish();
+    assert_eq!(
+        lint_kinds(&b.finish()),
+        vec![(DiagnosticKind::MissingEntryPoint, Severity::Warning)]
+    );
+    // An inherited entry point satisfies the check.
+    let mut b = ApkBuilder::new("com.inherited");
+    let mut decl = ComponentDecl::new("LSvc;", ComponentKind::Service);
+    decl.exported = Some(true);
+    b.add_component(decl);
+    let mut cb = b.class("LBase;");
+    let mut m = cb.method("onStartCommand", 1, false, false);
+    m.ret_void();
+    m.finish();
+    cb.finish();
+    let mut cb = b.class_extends("LSvc;", "LBase;");
+    let mut m = cb.method("helper", 1, true, false);
+    m.ret_void();
+    m.finish();
+    cb.finish();
+    assert_eq!(lint_kinds(&b.finish()), vec![]);
+}
+
+#[test]
+fn golden_filter_without_action() {
+    let mut b = ApkBuilder::new("com.emptyfilter");
+    let mut decl = ComponentDecl::new("LAct;", ComponentKind::Activity);
+    decl.exported = Some(false);
+    decl.intent_filters.push(IntentFilterDecl::default());
+    b.add_component(decl);
+    let mut cb = b.class("LAct;");
+    let mut m = cb.method("onCreate", 1, false, false);
+    m.ret_void();
+    m.finish();
+    cb.finish();
+    assert_eq!(
+        lint_kinds(&b.finish()),
+        vec![(DiagnosticKind::FilterWithoutAction, Severity::Warning)]
+    );
+}
+
+#[test]
+fn golden_provider_with_filter() {
+    let mut b = ApkBuilder::new("com.provfilter");
+    let mut decl = ComponentDecl::new("LProv;", ComponentKind::Provider);
+    decl.exported = Some(false);
+    decl.intent_filters
+        .push(IntentFilterDecl::for_actions(["x"]));
+    b.add_component(decl);
+    let mut cb = b.class("LProv;");
+    let mut m = cb.method("query", 1, false, true);
+    let v = m.reg();
+    m.const_null(v);
+    m.ret(v);
+    m.finish();
+    cb.finish();
+    assert_eq!(
+        lint_kinds(&b.finish()),
+        vec![(DiagnosticKind::ProviderWithFilter, Severity::Warning)]
+    );
+}
+
+#[test]
+fn golden_duplicate_component() {
+    let mut b = ApkBuilder::new("com.twice");
+    for _ in 0..2 {
+        b.add_component(ComponentDecl::new("LMain;", ComponentKind::Activity));
+    }
+    let mut cb = b.class("LMain;");
+    let mut m = cb.method("onCreate", 1, false, false);
+    m.ret_void();
+    m.finish();
+    cb.finish();
+    assert_eq!(
+        lint_kinds(&b.finish()),
+        vec![(DiagnosticKind::DuplicateComponent, Severity::Warning)]
+    );
+}
+
+#[test]
+fn golden_decode_failure() {
+    let d = diagnostics::decode_failure("bundle/app.sdex", &separ_dex::DexError::Truncated);
+    assert_eq!(d.kind, DiagnosticKind::DecodeFailure);
+    assert_eq!(d.severity, Severity::Error);
+    assert_eq!(d.app, "bundle/app.sdex");
+}
+
+#[test]
+fn quarantined_method_is_skipped_but_the_app_still_analyzes() {
+    // One good service leaking Location over ICC, one malformed method
+    // (orphan move-result). The bad method is quarantined; the good
+    // component's facts survive.
+    let mut b = ApkBuilder::new("com.mixed");
+    b.add_component(ComponentDecl::new("LLeaker;", ComponentKind::Service));
+    let mut cb = b.class_extends("LLeaker;", "Landroid/app/Service;");
+    let mut m = cb.method("onStartCommand", 2, false, false);
+    let loc = m.reg();
+    let intent = m.reg();
+    m.invoke_virtual(
+        "Landroid/location/LocationManager;",
+        "getLastKnownLocation",
+        &[loc],
+        true,
+    );
+    m.move_result(loc);
+    m.new_instance(intent, "Landroid/content/Intent;");
+    m.invoke_virtual(
+        "Landroid/content/Intent;",
+        "putExtra",
+        &[intent, loc, loc],
+        false,
+    );
+    m.invoke_virtual(
+        "Landroid/content/Context;",
+        "startService",
+        &[m.this(), intent],
+        false,
+    );
+    m.ret_void();
+    m.finish();
+    cb.finish();
+    let mut apk = b.finish();
+    // Plant the malformed method post-builder (the DSL cannot emit it).
+    let bad_name = apk.dex.pools.str("corrupted");
+    apk.dex.classes[0].methods.push(Method {
+        name: bad_name,
+        num_registers: 1,
+        num_params: 0,
+        is_static: true,
+        returns_value: false,
+        code: vec![Instr::MoveResult { dst: Reg(0) }, Instr::ReturnVoid],
+    });
+
+    let model = extract_apk(&apk);
+    assert!(model.has_error_diagnostics());
+    assert_eq!(model.stats.quarantined_methods, 1);
+    assert!(model
+        .diagnostics
+        .iter()
+        .any(|d| d.kind == DiagnosticKind::MoveResultPairing));
+    // The well-formed entry point was still analyzed.
+    let leaker = model.component("LLeaker;").expect("component extracted");
+    assert!(
+        !leaker.sent_intents.is_empty(),
+        "good method's facts survive quarantine: {leaker:?}"
+    );
+}
+
+#[test]
+fn quarantine_only_empties_the_poisoned_body() {
+    let mut dex = Dex::new();
+    let name_good = dex.pools.str("good");
+    let name_bad = dex.pools.str("bad");
+    let ty = dex.pools.ty("LHost;");
+    dex.classes.push(Class {
+        ty,
+        super_ty: None,
+        fields: vec![],
+        methods: vec![
+            simple_method(name_good, vec![Instr::ReturnVoid]),
+            simple_method(name_bad, vec![Instr::Goto { target: 5 }]),
+        ],
+    });
+    let apk = Apk::new(Manifest::new("com.q"), dex);
+    let lint = diagnostics::lint_apk(&apk);
+    let sanitized = lint.sanitized_apk(&apk).expect("quarantine needed");
+    assert_eq!(sanitized.dex.classes[0].methods[0].code.len(), 1);
+    assert!(sanitized.dex.classes[0].methods[1].code.is_empty());
+}
+
+/// Strategy: a random app assembled through the builder DSL with strict
+/// define-before-use discipline, so it must be diagnostic-free.
+fn arb_clean_apk() -> impl Strategy<Value = Apk> {
+    (
+        "[a-z]{3,8}",
+        prop::collection::vec(
+            (0u8..4, any::<bool>(), prop::collection::vec(0u8..7, 0..24)),
+            1..4,
+        ),
+    )
+        .prop_map(|(package, components)| {
+            let mut b = ApkBuilder::new(format!("com.{package}"));
+            for (i, (kind_tag, exported, ops)) in components.iter().enumerate() {
+                let kind = ComponentKind::from_tag(kind_tag % 4).expect("tag in range");
+                let class_name = format!("LGen{i};");
+                let mut decl = ComponentDecl::new(&class_name, kind);
+                decl.exported = Some(*exported);
+                if *exported && kind != ComponentKind::Provider {
+                    decl.intent_filters
+                        .push(IntentFilterDecl::for_actions([format!("act.{i}")]));
+                }
+                b.add_component(decl);
+                let mut cb = b.class(&class_name);
+                let entry = separ_android::api::entry_points(kind)[0];
+                let mut m = cb.method(entry, 2, false, true);
+                let a = m.reg();
+                let s = m.reg();
+                m.const_int(a, 1);
+                m.const_string(s, "seed");
+                for op in ops {
+                    match op % 7 {
+                        0 => {
+                            m.binop(separ_dex::BinOp::Add, a, a, a);
+                        }
+                        1 => {
+                            m.const_string(s, "other");
+                        }
+                        2 => {
+                            m.mov(s, a);
+                        }
+                        3 => {
+                            m.invoke_static(&class_name, entry, &[a], true);
+                            m.move_result(a);
+                        }
+                        4 => {
+                            m.new_instance(s, "Landroid/content/Intent;");
+                        }
+                        5 => {
+                            m.const_null(s);
+                        }
+                        _ => {
+                            m.nop();
+                        }
+                    }
+                }
+                m.ret(a);
+                m.finish();
+                cb.finish();
+            }
+            b.finish()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn builder_output_lints_clean(apk in arb_clean_apk()) {
+        let lint = diagnostics::lint_apk(&apk);
+        prop_assert!(lint.diagnostics.is_empty(), "{:?}", lint.diagnostics);
+        prop_assert!(!lint.needs_quarantine());
+    }
+}

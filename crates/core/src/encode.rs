@@ -750,6 +750,7 @@ pub(crate) mod tests_support {
             components,
             uses_permissions: BTreeSet::new(),
             defines_permissions: BTreeSet::new(),
+            diagnostics: Vec::new(),
             stats: ExtractionStats::default(),
         }
     }

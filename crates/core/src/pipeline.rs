@@ -107,6 +107,10 @@ pub struct BundleStats {
     pub intents: usize,
     /// Intent filters across the bundle.
     pub filters: usize,
+    /// Verification diagnostics across the bundle (all severities).
+    pub diagnostics: usize,
+    /// Method bodies the verifier quarantined across the bundle.
+    pub quarantined_methods: usize,
     /// Wall-clock time of the extraction stage (zero for
     /// [`Separ::analyze_models`], which takes pre-extracted models).
     pub extraction_wall: Duration,
@@ -144,6 +148,8 @@ impl BundleStats {
             components: self.components,
             intents: self.intents,
             filters: self.filters,
+            diagnostics: self.diagnostics,
+            quarantined_methods: self.quarantined_methods,
             primary_vars: self.primary_vars,
             cnf_clauses: self.cnf_clauses,
             shared_base_reuse: self.shared_base_reuse,
@@ -166,6 +172,10 @@ pub struct CountStats {
     pub intents: usize,
     /// Intent filters across the bundle.
     pub filters: usize,
+    /// Verification diagnostics across the bundle (all severities).
+    pub diagnostics: usize,
+    /// Method bodies the verifier quarantined across the bundle.
+    pub quarantined_methods: usize,
     /// Total primary variables across signatures.
     pub primary_vars: usize,
     /// Total CNF clauses across signatures (the solver is deterministic,
@@ -310,6 +320,8 @@ impl Separ {
             components: apps.iter().map(|a| a.components.len()).sum(),
             intents: apps.iter().map(AppModel::num_intents).sum(),
             filters: apps.iter().map(AppModel::num_filters).sum(),
+            diagnostics: apps.iter().map(|a| a.diagnostics.len()).sum(),
+            quarantined_methods: apps.iter().map(|a| a.stats.quarantined_methods).sum(),
             resolution,
             ..BundleStats::default()
         };

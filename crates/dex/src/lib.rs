@@ -44,6 +44,7 @@ pub mod instr;
 pub mod manifest;
 pub mod program;
 pub mod refs;
+pub mod verify;
 pub mod vm;
 
 pub use build::ApkBuilder;
@@ -52,4 +53,5 @@ pub use instr::{BinOp, Instr, InvokeKind, Reg};
 pub use manifest::{ComponentDecl, ComponentKind, IntentFilterDecl, Manifest};
 pub use program::{Apk, Class, Dex, FieldDef, Method};
 pub use refs::{FieldId, FieldRef, MethodId, MethodRef, Pools, StrId, TypeId};
+pub use verify::{Defect, DefectKind, DefectScope, Severity};
 pub use vm::{Heap, NopSyscalls, ObjRef, Syscalls, Value, Vm};

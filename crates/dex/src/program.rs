@@ -98,7 +98,14 @@ impl Dex {
     /// Returns the defining class and the method.
     pub fn resolve_method(&self, ty: TypeId, name: &str) -> Option<(TypeId, &Method)> {
         let mut current = Some(ty);
+        // Bound the walk: a chain longer than the class count means a
+        // superclass cycle (hostile input), not a deeper hierarchy.
+        let mut hops = 0;
         while let Some(t) = current {
+            if hops > self.classes.len() {
+                return None;
+            }
+            hops += 1;
             if let Some(m) = self.method(t, name) {
                 return Some((t, m));
             }

@@ -10,6 +10,7 @@
 //!     --encoding <pg|tseitin>              CNF encoding (polarity-aware pg is the default)
 //!     --symmetry-breaking                  conjoin lex-leader symmetry-breaking predicates
 //! separ disasm <app.sdex>                  disassemble a package
+//! separ lint <app.sdex>... [--json]        verify packages, report diagnostics
 //! separ enforce <app.sdex>... --policies <file> --launch <pkg> <Class>
 //!                                          run a bundle under enforcement
 //! separ demo                               the Figure 1 attack, end to end
@@ -17,6 +18,7 @@
 
 use std::process::ExitCode;
 
+use separ::analysis::diagnostics::{self, Severity};
 use separ::core::{policy_io, Separ, SeparConfig};
 use separ::dex::codec;
 use separ::enforce::{Device, PromptHandler};
@@ -27,10 +29,11 @@ fn main() -> ExitCode {
         Some("pack") => cmd_pack(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
+        Some("lint") => return cmd_lint(&args[1..]),
         Some("enforce") => cmd_enforce(&args[1..]),
         Some("demo") => cmd_demo(),
         _ => {
-            eprintln!("usage: separ <pack|analyze|disasm|enforce|demo> ...");
+            eprintln!("usage: separ <pack|analyze|disasm|lint|enforce|demo> ...");
             return ExitCode::from(2);
         }
     };
@@ -116,6 +119,9 @@ fn cmd_analyze(args: &[String]) -> CliResult {
                 };
             }
             "--symmetry-breaking" => config.symmetry_breaking = true,
+            f if f.starts_with('-') => {
+                return Err(format!("analyze: unknown option {f}"));
+            }
             f => files.push(f.to_string()),
         }
         i += 1;
@@ -146,7 +152,17 @@ fn cmd_analyze(args: &[String]) -> CliResult {
         report.stats.construction,
         report.stats.solving,
     );
+    if report.stats.quarantined_methods > 0 {
+        println!(
+            "warning: {} method(s) quarantined by the bytecode verifier (run `separ lint` for details)",
+            report.stats.quarantined_methods
+        );
+    }
     if print_stats {
+        println!(
+            "verifier: {} diagnostic(s), {} quarantined method(s)",
+            report.stats.diagnostics, report.stats.quarantined_methods
+        );
         println!(
             "solver: {} primary vars, {} clauses, {}/{} signatures reused the shared bundle base",
             report.stats.primary_vars,
@@ -203,6 +219,69 @@ fn cmd_disasm(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// `separ lint <apps...> [--json]`: decode and verify packages, reporting
+/// structured diagnostics. Exit codes: 0 = no Error-severity findings,
+/// 1 = at least one Error, 2 = usage or I/O problems.
+fn cmd_lint(args: &[String]) -> ExitCode {
+    let mut files = Vec::new();
+    let mut json = false;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            f if f.starts_with('-') => {
+                eprintln!("separ: lint: unknown option {f}");
+                return ExitCode::from(2);
+            }
+            f => files.push(f.to_string()),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("separ: lint: no input packages");
+        return ExitCode::from(2);
+    }
+    let mut all = Vec::new();
+    let mut quarantined = 0usize;
+    for path in &files {
+        match std::fs::read(path) {
+            Err(e) => {
+                eprintln!("separ: lint: {path}: {e}");
+                return ExitCode::from(2);
+            }
+            Ok(bytes) => match codec::decode(&bytes) {
+                // A malformed container is a finding, not an abort: the
+                // remaining packages still get linted.
+                Err(e) => all.push(diagnostics::decode_failure(path, &e)),
+                Ok(apk) => {
+                    let lint = diagnostics::lint_apk(&apk);
+                    quarantined += lint.quarantined_methods;
+                    all.extend(lint.diagnostics);
+                }
+            },
+        }
+    }
+    let errors = all.iter().filter(|d| d.severity == Severity::Error).count();
+    if json {
+        print!("{}", diagnostics::to_json(&all));
+    } else {
+        for d in &all {
+            println!("{d}");
+        }
+        println!(
+            "{} finding(s) in {} package(s): {} error(s), {} warning(s); {} method(s) would be quarantined",
+            all.len(),
+            files.len(),
+            errors,
+            all.len() - errors,
+            quarantined,
+        );
+    }
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// `separ enforce <apps...> --policies <file> --launch <pkg> <Class>`.
 fn cmd_enforce(args: &[String]) -> CliResult {
     let mut files = Vec::new();
@@ -228,6 +307,9 @@ fn cmd_enforce(args: &[String]) -> CliResult {
                     .ok_or("enforce: --launch needs <pkg> <Class>")?;
                 launch = Some((pkg.clone(), class.clone()));
                 i += 2;
+            }
+            f if f.starts_with('-') => {
+                return Err(format!("enforce: unknown option {f}"));
             }
             f => files.push(f.to_string()),
         }

@@ -1,0 +1,127 @@
+//! End-to-end verification/quarantine: a bundle containing one app with a
+//! quarantined method still analyzes end to end, the quarantine is visible
+//! in the pipeline stats, and the corpus itself is Error-free under
+//! `separ lint`'s checks.
+
+use separ::analysis::diagnostics::{self, DiagnosticKind, Severity};
+use separ::core::Separ;
+use separ::corpus::{casestudy, motivating};
+use separ::dex::codec::{decode, encode};
+use separ::dex::{Apk, Instr, Reg};
+
+/// The malicious app with one extra malformed (orphan `move-result`)
+/// method, shipped through the binary codec like any hostile package.
+fn tampered_malicious_app() -> Apk {
+    let mut apk = motivating::malicious_app("+15550000");
+    let name = apk.dex.pools.str("corrupted");
+    apk.dex.classes[0].methods.push(separ::dex::Method {
+        name,
+        num_registers: 1,
+        num_params: 0,
+        is_static: true,
+        returns_value: false,
+        code: vec![Instr::MoveResult { dst: Reg(0) }, Instr::ReturnVoid],
+    });
+    // The defect survives the codec (pairing is not a container-level
+    // property), so the verifier is the only line of defense.
+    decode(&encode(&apk)).expect("tampered app still decodes")
+}
+
+#[test]
+fn bundle_with_quarantined_method_analyzes_end_to_end() {
+    let bundle = vec![
+        motivating::navigator_app(),
+        motivating::messenger_app(false),
+        tampered_malicious_app(),
+    ];
+    let report = Separ::new()
+        .analyze_apks(&bundle)
+        .expect("bundle analyzes despite the malformed method");
+    // The quarantine is visible in the bundle stats (and thus in
+    // `separ analyze --stats`).
+    assert_eq!(report.stats.quarantined_methods, 1);
+    assert!(report.stats.diagnostics >= 1);
+    assert_eq!(report.stats.counts().quarantined_methods, 1);
+    let malicious = report
+        .apps
+        .iter()
+        .find(|a| a.package == "com.innocent.wallpaper")
+        .expect("tampered app extracted");
+    assert!(malicious.has_error_diagnostics());
+    assert!(malicious
+        .diagnostics
+        .iter()
+        .any(|d| d.kind == DiagnosticKind::MoveResultPairing && d.severity == Severity::Error));
+    // The rest of the bundle still yields the paper's exploits.
+    assert!(
+        !report.exploits.is_empty(),
+        "clean apps still produce exploit scenarios"
+    );
+    assert!(!report.policies.is_empty());
+}
+
+#[test]
+fn quarantine_changes_facts_only_for_the_poisoned_method() {
+    // Same bundle analyzed with and without the tampered method: every
+    // clean app's model is identical.
+    let clean = Separ::new()
+        .analyze_apks(&[
+            motivating::navigator_app(),
+            motivating::messenger_app(false),
+        ])
+        .expect("clean bundle");
+    let tampered = Separ::new()
+        .analyze_apks(&[
+            motivating::navigator_app(),
+            motivating::messenger_app(false),
+            tampered_malicious_app(),
+        ])
+        .expect("tampered bundle");
+    for app in &clean.apps {
+        let other = tampered
+            .apps
+            .iter()
+            .find(|a| a.package == app.package)
+            .expect("same apps");
+        assert_eq!(app.components, other.components);
+    }
+}
+
+#[test]
+fn corpus_is_free_of_error_diagnostics() {
+    let mut apks = vec![
+        motivating::navigator_app(),
+        motivating::messenger_app(false),
+        motivating::messenger_app(true),
+        motivating::malicious_app("+15550000"),
+    ];
+    apks.extend(casestudy::all());
+    for case in separ::corpus::table1_cases() {
+        apks.extend(case.apks);
+    }
+    for apk in &apks {
+        let lint = diagnostics::lint_apk(apk);
+        assert!(
+            !lint.has_errors(),
+            "{} must verify Error-free: {:?}",
+            apk.package(),
+            lint.diagnostics
+        );
+        assert_eq!(lint.quarantined_methods, 0);
+    }
+}
+
+#[test]
+fn motivating_bundle_lints_clean_of_errors_via_binary() {
+    // The exact bundle `separ pack` writes and CI's lint-smoke step
+    // checks: encode, decode, lint.
+    for apk in [
+        motivating::navigator_app(),
+        motivating::messenger_app(false),
+        motivating::malicious_app("+15550000"),
+    ] {
+        let decoded = decode(&encode(&apk)).expect("round-trips");
+        let lint = diagnostics::lint_apk(&decoded);
+        assert!(!lint.has_errors(), "{:?}", lint.diagnostics);
+    }
+}
