@@ -201,6 +201,8 @@ impl Lint {
 /// Lints one decoded package: manifest↔class cross-checks plus the sdex
 /// bytecode verifier, with Error-severity defects recorded for quarantine.
 pub fn lint_apk(apk: &Apk) -> Lint {
+    let mut span = separ_obs::span("ame.lint");
+    span.set_arg("app", apk.manifest.package.clone());
     let app = apk.manifest.package.clone();
     let mut lint = Lint::default();
     lint_manifest(apk, &app, &mut lint.diagnostics);
@@ -329,13 +331,13 @@ pub fn to_json(diagnostics: &[Diagnostic]) -> String {
         out.push_str("\n  {\"severity\": \"");
         out.push_str(d.severity.as_str());
         out.push_str("\", \"app\": \"");
-        escape_into(&mut out, &d.app);
+        separ_obs::json::escape_into(&d.app, &mut out);
         out.push_str("\", \"location\": \"");
-        escape_into(&mut out, &d.location);
+        separ_obs::json::escape_into(&d.location, &mut out);
         out.push_str("\", \"kind\": \"");
         out.push_str(d.kind.as_str());
         out.push_str("\", \"message\": \"");
-        escape_into(&mut out, &d.message);
+        separ_obs::json::escape_into(&d.message, &mut out);
         out.push_str("\"}");
     }
     if !diagnostics.is_empty() {
@@ -343,22 +345,6 @@ pub fn to_json(diagnostics: &[Diagnostic]) -> String {
     }
     out.push_str("]\n");
     out
-}
-
-fn escape_into(out: &mut String, s: &str) {
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
 }
 
 #[cfg(test)]

@@ -35,6 +35,8 @@ pub fn extract_apk(apk: &Apk) -> AppModel {
 /// Extracts the model of an app under an explicit tool profile (used by
 /// the comparator baselines).
 pub fn extract_apk_with(apk: &Apk, options: crate::absint::AnalysisOptions) -> AppModel {
+    let mut span = separ_obs::span("ame.extract");
+    span.set_arg("app", apk.manifest.package.clone());
     let start = Instant::now();
     // Graceful-degradation pre-pass: verify first, then analyze a
     // sanitized copy with Error-poisoned scopes quarantined, so the

@@ -1,27 +1,46 @@
-//! Phase-level profiling of one bundle analysis (extract / encode /
-//! full ASE), emitting both a human-readable summary and a
-//! machine-readable `BENCH_pipeline.json` for before/after comparisons.
+//! Phase-level profiling of one bundle analysis, emitting both a
+//! human-readable summary and a machine-readable `BENCH_pipeline.json`
+//! for before/after comparisons.
 //!
 //! Two full pipeline runs are profiled over the same generated market:
 //! the full-Tseitin encoding (the "before" configuration) and the
 //! polarity-aware default with the shared per-bundle translation base.
-//! Per-stage wall/CPU timings, CNF sizes and SAT-solver counters come
-//! straight from [`separ_core::BundleStats`].
+//! All timing comes from the separ-obs span tree — the per-stage fields
+//! of [`separ_core::BundleStats`] are span-derived projections, and the
+//! per-phase breakdown is the trace's own span rollup; this example adds
+//! no `Instant` re-timing of its own. The run also measures what the
+//! *disabled* probes cost (the default configuration ships with the
+//! collector off) and records that overhead, which must stay under 2%
+//! of the workload wall time.
 
 use std::fmt::Write as _;
+use std::hint::black_box;
 use std::time::{Duration, Instant};
 
 use separ_core::{BundleStats, Separ, SeparConfig};
 use separ_logic::CnfEncoding;
+use separ_obs::Trace;
 
-/// Named pipeline configurations profiled against the same bundle.
-type RunResult = (String, Duration, BundleStats, usize);
+/// One profiled pipeline configuration: name, span-derived wall time,
+/// the stats projection, exploit count, and the run's trace snapshot.
+struct RunResult {
+    name: String,
+    wall: Duration,
+    stats: BundleStats,
+    exploits: usize,
+    trace: Trace,
+}
 
 fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
 }
 
-fn run_json(out: &mut String, (name, wall, stats, exploits): &RunResult) {
+fn ns_ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn run_json(out: &mut String, run: &RunResult) {
+    let stats = &run.stats;
     let _ = write!(
         out,
         concat!(
@@ -40,10 +59,10 @@ fn run_json(out: &mut String, (name, wall, stats, exploits): &RunResult) {
             "      \"conflicts\": {},\n",
             "      \"propagations\": {},\n",
             "      \"exploits\": {},\n",
-            "      \"per_signature\": [\n"
+            "      \"phases\": [\n"
         ),
-        name,
-        ms(*wall),
+        run.name,
+        ms(run.wall),
         ms(stats.extraction_wall),
         ms(stats.extraction_cpu),
         ms(stats.resolution),
@@ -55,8 +74,25 @@ fn run_json(out: &mut String, (name, wall, stats, exploits): &RunResult) {
         stats.shared_base_reuse,
         stats.conflicts,
         stats.propagations,
-        exploits,
+        run.exploits,
     );
+    // Per-phase breakdown straight from the span tree.
+    let rollup = run.trace.span_rollup();
+    for (i, r) in rollup.iter().enumerate() {
+        let _ = write!(
+            out,
+            concat!(
+                "        {{\"span\": \"{}\", \"count\": {}, ",
+                "\"total_ms\": {:.3}, \"self_ms\": {:.3}}}{}\n"
+            ),
+            r.name,
+            r.count,
+            ns_ms(r.total_ns),
+            ns_ms(r.self_ns),
+            if i + 1 == rollup.len() { "" } else { "," },
+        );
+    }
+    let _ = write!(out, "      ],\n      \"per_signature\": [\n");
     for (i, s) in stats.per_signature.iter().enumerate() {
         let _ = write!(
             out,
@@ -91,6 +127,30 @@ fn main() {
     let market = separ_corpus::market::generate(&spec);
     let apks: Vec<_> = market.into_iter().map(|m| m.apk).collect();
 
+    // --- Disabled-collector overhead -----------------------------------
+    // The global collector starts disabled, so this run pays only the
+    // no-op probes — exactly what a default (non-traced) deployment pays.
+    let t0 = Instant::now();
+    let report = Separ::new()
+        .analyze_apks(&apks)
+        .expect("well-typed signatures");
+    let disabled_wall = t0.elapsed();
+    assert_eq!(
+        report.stats.extraction_wall,
+        Duration::ZERO,
+        "span-derived timings must be zero while the collector is off"
+    );
+    drop(report);
+    // Cost of one disabled span open/close, measured hot.
+    let iters = 4_000_000u32;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(separ_obs::span("bench.noop"));
+    }
+    let disabled_span_ns = t0.elapsed().as_nanos() as f64 / f64::from(iters);
+
+    // --- Traced runs ---------------------------------------------------
+    separ_obs::global().enable();
     let configs = [
         (
             "tseitin",
@@ -103,15 +163,19 @@ fn main() {
     ];
     let mut runs: Vec<RunResult> = Vec::new();
     for (name, config) in configs {
-        let t0 = Instant::now();
+        separ_obs::global().reset();
+        let root = separ_obs::span("bench.run");
+        let root_id = root.id();
         let report = Separ::new()
             .with_config(config)
             .analyze_apks(&apks)
             .expect("well-typed signatures");
-        let wall = t0.elapsed();
+        drop(root);
+        let wall = separ_obs::global().duration(root_id);
+        let trace = separ_obs::global().snapshot_subtree(root_id);
         println!(
             "{name}: wall={wall:?} synthesis={:?} construction={:?} solving={:?} \
-             vars={} clauses={} conflicts={} propagations={} exploits={}",
+             vars={} clauses={} conflicts={} propagations={} exploits={} spans={}",
             report.stats.synthesis_wall,
             report.stats.construction,
             report.stats.solving,
@@ -120,14 +184,37 @@ fn main() {
             report.stats.conflicts,
             report.stats.propagations,
             report.exploits.len(),
+            trace.spans().len(),
         );
-        runs.push((name.to_string(), wall, report.stats, report.exploits.len()));
+        runs.push(RunResult {
+            name: name.to_string(),
+            wall,
+            stats: report.stats,
+            exploits: report.exploits.len(),
+            trace,
+        });
     }
 
-    let before = runs[0].2.cnf_clauses as f64;
-    let after = runs[1].2.cnf_clauses as f64;
+    let before = runs[0].stats.cnf_clauses as f64;
+    let after = runs[1].stats.cnf_clauses as f64;
     let reduction = 100.0 * (before - after) / before;
     println!("clause reduction: {reduction:.1}% ({before} -> {after})");
+
+    // Disabled overhead: the workload executes one probe per recorded
+    // span; extrapolate their no-op cost against the untraced wall time.
+    // (An upper bound — it charges every probe at the measured hot-loop
+    // cost.)
+    let spans_per_run = runs[1].trace.spans().len() as f64;
+    let disabled_overhead_pct =
+        100.0 * (spans_per_run * disabled_span_ns) / disabled_wall.as_nanos() as f64;
+    println!(
+        "obs overhead (disabled): {disabled_span_ns:.2} ns/probe x {spans_per_run} spans \
+         = {disabled_overhead_pct:.4}% of the {disabled_wall:?} untraced run"
+    );
+    assert!(
+        disabled_overhead_pct < 2.0,
+        "disabled-collector overhead must stay under 2%"
+    );
 
     let mut out = String::from("{\n");
     let _ = write!(
@@ -138,12 +225,22 @@ fn main() {
             "  \"components\": {},\n",
             "  \"intents\": {},\n",
             "  \"clause_reduction_pct\": {:.2},\n",
+            "  \"obs\": {{\n",
+            "    \"disabled_wall_ms\": {:.3},\n",
+            "    \"disabled_span_ns_per_op\": {:.2},\n",
+            "    \"spans_per_run\": {},\n",
+            "    \"disabled_overhead_pct\": {:.4}\n",
+            "  }},\n",
             "  \"runs\": [\n"
         ),
         apks.len(),
-        runs[0].2.components,
-        runs[0].2.intents,
+        runs[0].stats.components,
+        runs[0].stats.intents,
         reduction,
+        ms(disabled_wall),
+        disabled_span_ns,
+        spans_per_run as u64,
+        disabled_overhead_pct,
     );
     for (i, run) in runs.iter().enumerate() {
         run_json(&mut out, run);

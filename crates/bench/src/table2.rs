@@ -72,6 +72,9 @@ impl Table2 {
 
 /// Runs the experiment: `bundle_count` bundles of `bundle_size` apps.
 pub fn run(bundle_count: usize, bundle_size: usize, seed: u64) -> Table2 {
+    // Construction/solving columns are span-derived timings, which are
+    // only recorded while the collector is on.
+    separ_obs::global().enable();
     let spec = MarketSpec::scaled(bundle_count * bundle_size, seed);
     let market = generate(&spec);
     // Interleave repositories across bundles (a device mixes sources).

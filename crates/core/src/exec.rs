@@ -78,7 +78,12 @@ impl Executor {
             return items.iter().map(f).collect();
         }
         let next = AtomicUsize::new(0);
+        // Worker-side spans must parent under whatever span is open on
+        // the spawning thread, so capture it here and adopt it in each
+        // worker (span context is otherwise thread-local).
+        let parent_span = separ_obs::current_span();
         let worker = || {
+            let _ctx = separ_obs::adopt_span(parent_span);
             let mut out: Vec<(usize, Result<R, E>)> = Vec::new();
             loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
@@ -162,5 +167,33 @@ mod tests {
     fn more_workers_than_items_is_fine() {
         let out = Executor::new(64).ordered_map(&[1, 2, 3], |&n| n * 10);
         assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn worker_spans_parent_under_the_spawning_span() {
+        // The worker closure records through the process-global
+        // collector, so scope every assertion to this test's own root
+        // span — other tests in this binary may be tracing concurrently.
+        let c = separ_obs::global();
+        c.enable();
+        let root = c.span("exec.test_root");
+        let root_id = root.id();
+        let items: Vec<usize> = (0..16).collect();
+        Executor::new(4).ordered_map(&items, |&i| {
+            let mut s = c.span("exec.test_child");
+            s.set_arg("i", i.to_string());
+        });
+        drop(root);
+        let trace = c.snapshot_subtree(root_id);
+        assert_eq!(trace.count_named("exec.test_child"), 16);
+        let root_span = &trace.spans()[0];
+        assert_eq!(root_span.name, "exec.test_root");
+        for s in trace.spans().iter().skip(1) {
+            assert_eq!(
+                s.parent, root_span.id,
+                "child {} parents under root",
+                s.name
+            );
+        }
     }
 }

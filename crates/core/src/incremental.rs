@@ -107,6 +107,7 @@ impl IncrementalSession {
     }
 
     fn rerun(&mut self, select: impl Fn(Sensitivity) -> bool) -> Result<usize, LogicError> {
+        let _span = separ_obs::span("pipeline.incremental");
         // Affected signatures re-solve in parallel on the shared executor;
         // results land back in their registry slots, so the merged caches
         // (and thus the policy set) are independent of thread count.
@@ -119,7 +120,7 @@ impl IncrementalSession {
         )?;
         let mut reran = 0;
         for (slot, syn) in self.cache.iter_mut().zip(syntheses) {
-            if let Some(syn) = syn {
+            if let Some((syn, _)) = syn {
                 *slot = syn.exploits;
                 reran += 1;
             }

@@ -7,9 +7,17 @@
 //! results merge in bundle/registry order, so the [`Report`] is identical
 //! whatever [`SeparConfig::threads`] says (only the wall-clock timings in
 //! [`BundleStats`] vary).
+//!
+//! Every timing field of [`BundleStats`] is **derived from the span
+//! tree** recorded by the global [`separ_obs`] collector (one source of
+//! truth for "where did the time go"; the same spans feed `--trace`
+//! exports). When the collector is disabled — the default — the span
+//! probes are no-ops and all timing fields are zero; the count-type
+//! fields are always populated. Timing consumers (the CLI, the bench
+//! crate) enable the collector first.
 
 use std::collections::BTreeSet;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use separ_analysis::extractor::extract_apk;
 use separ_analysis::model::{update_passive_intent_targets, AppModel};
@@ -291,17 +299,17 @@ impl Separ {
     /// Returns a [`LogicError`] if a signature produced an ill-typed
     /// specification.
     pub fn analyze_apks(&self, apks: &[Apk]) -> Result<Report, LogicError> {
-        let wall = Instant::now();
-        let timed: Vec<(AppModel, Duration)> = self.executor().ordered_map(apks, |apk| {
-            let start = Instant::now();
-            (extract_apk(apk), start.elapsed())
-        });
-        let extraction_wall = wall.elapsed();
-        let extraction_cpu = timed.iter().map(|(_, d)| *d).sum();
-        let apps = timed.into_iter().map(|(app, _)| app).collect();
+        let obs = separ_obs::global();
+        let _root = obs.span("pipeline.analyze");
+        let extraction = obs.span("pipeline.extraction");
+        let extraction_id = extraction.id();
+        let apps = self.executor().ordered_map(apks, extract_apk);
+        drop(extraction);
         let mut report = self.analyze_models(apps)?;
-        report.stats.extraction_wall = extraction_wall;
-        report.stats.extraction_cpu = extraction_cpu;
+        // Wall time is the stage span; CPU time sums the per-app
+        // `ame.extract` spans the workers recorded beneath it.
+        report.stats.extraction_wall = obs.duration(extraction_id);
+        report.stats.extraction_cpu = obs.subtree_sum(extraction_id, "ame.extract");
         Ok(report)
     }
 
@@ -312,20 +320,23 @@ impl Separ {
     /// Returns a [`LogicError`] if a signature produced an ill-typed
     /// specification.
     pub fn analyze_models(&self, mut apps: Vec<AppModel>) -> Result<Report, LogicError> {
+        let obs = separ_obs::global();
         // Bundle-level Algorithm 1: passive intents may cross apps.
-        let wall = Instant::now();
+        let resolution = obs.span("pipeline.resolution");
+        let resolution_id = resolution.id();
         update_passive_intent_targets(&mut apps);
-        let resolution = wall.elapsed();
+        drop(resolution);
         let mut stats = BundleStats {
             components: apps.iter().map(|a| a.components.len()).sum(),
             intents: apps.iter().map(AppModel::num_intents).sum(),
             filters: apps.iter().map(AppModel::num_filters).sum(),
             diagnostics: apps.iter().map(|a| a.diagnostics.len()).sum(),
             quarantined_methods: apps.iter().map(|a| a.stats.quarantined_methods).sum(),
-            resolution,
+            resolution: obs.duration(resolution_id),
             ..BundleStats::default()
         };
-        let wall = Instant::now();
+        let synthesis = obs.span("pipeline.synthesis");
+        let synthesis_id = synthesis.id();
         let syntheses = synthesize_all(
             &self.executor(),
             &self.registry,
@@ -333,12 +344,17 @@ impl Separ {
             &apps,
             &self.config,
         )?;
-        stats.synthesis_wall = wall.elapsed();
+        drop(synthesis);
+        stats.synthesis_wall = obs.duration(synthesis_id);
         let mut exploits = Vec::new();
         for (sig, syn) in self.registry.iter().zip(syntheses) {
-            let syn = syn.expect("unfiltered synthesis ran every signature");
-            stats.construction += syn.construction;
-            stats.solving += syn.solving;
+            let (syn, sig_span) = syn.expect("unfiltered synthesis ran every signature");
+            // Per-signature stage timings come from the spans recorded
+            // under this signature's `ase.signature` span.
+            let construction = obs.subtree_sum(sig_span, "logic.translate");
+            let solving = obs.subtree_sum(sig_span, "logic.solve");
+            stats.construction += construction;
+            stats.solving += solving;
             stats.primary_vars += syn.primary_vars;
             stats.cnf_clauses += syn.cnf_clauses;
             stats.shared_base_reuse += usize::from(syn.shared_base);
@@ -346,14 +362,24 @@ impl Separ {
             stats.propagations += syn.solver.propagations;
             stats.per_signature.push(SignatureStats {
                 name: sig.name(),
-                construction: syn.construction,
-                solving: syn.solving,
+                construction,
+                solving,
                 primary_vars: syn.primary_vars,
                 cnf_clauses: syn.cnf_clauses,
                 shared_base: syn.shared_base,
                 solver: syn.solver,
                 exploits: syn.exploits.len(),
             });
+            if separ_obs::enabled() {
+                separ_obs::event(
+                    "ase.synthesized",
+                    vec![
+                        ("signature", sig.name().to_string()),
+                        ("exploits", syn.exploits.len().to_string()),
+                        ("conflicts", syn.solver.conflicts.to_string()),
+                    ],
+                );
+            }
             exploits.extend(syn.exploits);
         }
         let policies = derive_policies(&apps, exploits.iter());
@@ -379,26 +405,32 @@ pub(crate) fn synthesize_all(
     select: impl Fn(&dyn VulnerabilitySignature) -> bool,
     apps: &[AppModel],
     config: &SeparConfig,
-) -> Result<Vec<Option<Synthesis>>, LogicError> {
+) -> Result<Vec<Option<(Synthesis, separ_obs::SpanId)>>, LogicError> {
     let selected: Vec<(usize, &dyn VulnerabilitySignature)> = registry
         .iter()
         .enumerate()
         .filter(|(_, sig)| select(*sig))
         .collect();
-    let mut out: Vec<Option<Synthesis>> = Vec::new();
+    let mut out: Vec<Option<(Synthesis, separ_obs::SpanId)>> = Vec::new();
     out.resize_with(registry.len(), || None);
     if selected.is_empty() {
         return Ok(out);
     }
+    let base_span = separ_obs::span("pipeline.bundle_base");
     let base = BundleBase::new(apps);
+    drop(base_span);
     let options = config.finder_options();
     let syntheses = executor.try_ordered_map(&selected, |(_, sig)| {
+        let mut span = separ_obs::span("ase.signature");
+        span.set_arg("signature", sig.name());
+        let span_id = span.id();
         sig.synthesize_with(&SynthesisContext {
             apps,
             base: &base,
             limit: config.scenario_limit,
             options,
         })
+        .map(|syn| (syn, span_id))
     })?;
     for ((i, _), syn) in selected.into_iter().zip(syntheses) {
         out[i] = Some(syn);
@@ -411,6 +443,7 @@ pub(crate) fn derive_policies<'a>(
     apps: &[AppModel],
     exploits: impl Iterator<Item = &'a Exploit>,
 ) -> Vec<Policy> {
+    let _span = separ_obs::span("pipeline.derive_policies");
     let mut policies = Vec::new();
     for e in exploits {
         let intended = intended_recipients(apps, e);

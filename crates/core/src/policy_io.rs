@@ -37,21 +37,8 @@ impl std::error::Error for ParseError {}
 // ---------------------------------------------------------------------
 
 fn escape_into(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
+    // Shared workspace escaper (separ-obs); writes `s` quoted.
+    separ_obs::json::write_str(s, out);
 }
 
 fn condition_to_json(out: &mut String, c: &Condition) {

@@ -41,6 +41,8 @@ pub fn encode(apk: &Apk) -> Bytes {
 /// mismatch, or any structural violation (bad opcode, out-of-range index,
 /// branch past the end of a method).
 pub fn decode(bytes: &[u8]) -> Result<Apk, DexError> {
+    let mut span = separ_obs::span("dex.decode");
+    span.set_arg("bytes", bytes.len().to_string());
     let mut buf = bytes;
     if buf.remaining() < 10 {
         return Err(DexError::Truncated);
@@ -68,6 +70,7 @@ pub fn decode(bytes: &[u8]) -> Result<Apk, DexError> {
     let manifest = decode_manifest(&mut p)?;
     let pools = decode_pools(&mut p)?;
     let classes = decode_classes(&mut p, &pools)?;
+    span.set_arg("app", manifest.package.clone());
     Ok(Apk::new(manifest, Dex { pools, classes }))
 }
 

@@ -168,6 +168,8 @@ impl Defect {
 /// Defects come out grouped by class, then by method, then by instruction
 /// index — a deterministic order suitable for golden tests.
 pub fn verify_dex(dex: &Dex) -> Vec<Defect> {
+    let mut span = separ_obs::span("dex.verify");
+    span.set_arg("classes", dex.classes.len().to_string());
     let pools = &dex.pools;
     let mut out = Vec::new();
     let mut seen_types: HashMap<usize, usize> = HashMap::new();
@@ -263,6 +265,7 @@ pub fn verify_dex(dex: &Dex) -> Vec<Defect> {
             ));
         }
     }
+    span.set_arg("defects", out.len().to_string());
     out
 }
 

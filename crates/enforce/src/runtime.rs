@@ -304,6 +304,7 @@ impl Device {
         }
         for (ai, class) in receivers {
             self.hook_stats.delivery_hooks += 1;
+            separ_obs::counter_add("pep.delivery_hooks", 1);
             if self.enforcement {
                 let ctx = IccContext {
                     sender_app: env
@@ -316,7 +317,17 @@ impl Device {
                     action: env.intent.action.clone(),
                     tags: env.tags(),
                 };
+                let timer = separ_obs::timer();
                 let decision = self.pdp.evaluate(PolicyEvent::IccReceive, &ctx);
+                separ_obs::observe("pdp.decision", timer);
+                separ_obs::counter_add(
+                    if decision.allows() {
+                        "pdp.allowed"
+                    } else {
+                        "pdp.blocked"
+                    },
+                    1,
+                );
                 match &decision {
                     Decision::PromptAllowed { policy_id } => {
                         self.audit.record(AuditEvent::PromptShown {
@@ -538,6 +549,7 @@ impl DeviceSyscalls<'_> {
         };
         let intent = marshal_intent(heap, obj);
         self.hook_stats.icc_hooks += 1;
+        separ_obs::counter_add("pep.icc_hooks", 1);
         if self.enforcement {
             let tags: BTreeSet<Resource> = intent
                 .extras
@@ -552,7 +564,17 @@ impl DeviceSyscalls<'_> {
                 action: intent.action.clone(),
                 tags,
             };
+            let timer = separ_obs::timer();
             let decision = self.pdp.evaluate(PolicyEvent::IccSend, &ctx);
+            separ_obs::observe("pdp.decision", timer);
+            separ_obs::counter_add(
+                if decision.allows() {
+                    "pdp.allowed"
+                } else {
+                    "pdp.blocked"
+                },
+                1,
+            );
             match &decision {
                 Decision::PromptAllowed { policy_id } => {
                     self.audit.record(AuditEvent::PromptShown {

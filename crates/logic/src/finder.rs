@@ -166,6 +166,7 @@ impl Problem {
         options: FinderOptions,
     ) -> Result<ModelFinder> {
         let conj = Formula::and(self.facts.iter().cloned());
+        let mut span = separ_obs::span("logic.translate");
         let t0 = Instant::now();
         let mut translation = match base {
             Some(b) => translate_from(b, &self.universe, &self.relations, &conj)?,
@@ -175,6 +176,9 @@ impl Problem {
         let mut solver = Solver::new();
         let cnf = assert_circuit_with(&translation.circuit, root, &mut solver, options.encoding);
         let construction_time = t0.elapsed();
+        span.set_arg("shared_base", base.is_some().to_string());
+        span.set_arg("clauses", cnf.num_clauses().to_string());
+        drop(span);
         // Map each free tuple to its solver variable, if the tuple's input
         // survived into the CNF (inputs the formula never constrains do
         // not; they decode as absent, biasing toward minimal instances).
@@ -364,6 +368,7 @@ impl ModelFinder {
     }
 
     fn timed_solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        let _span = separ_obs::span("logic.solve");
         let t0 = Instant::now();
         let r = self.solver.solve(assumptions);
         self.solve_time += t0.elapsed();

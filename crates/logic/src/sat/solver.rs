@@ -39,6 +39,9 @@ struct Watcher {
     blocker: Lit,
 }
 
+/// Conflict interval between `sat.tick` trace events during search.
+const SOLVER_TICK_CONFLICTS: u64 = 4096;
+
 /// Statistics accumulated across `solve` calls.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct SolverStats {
@@ -553,6 +556,21 @@ impl Solver {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts += 1;
+                // Progress tick so long-running solves are visible
+                // mid-flight in traces (no-op while tracing is off).
+                if self.stats.conflicts.is_multiple_of(SOLVER_TICK_CONFLICTS)
+                    && separ_obs::enabled()
+                {
+                    separ_obs::event(
+                        "sat.tick",
+                        vec![
+                            ("conflicts", self.stats.conflicts.to_string()),
+                            ("decisions", self.stats.decisions.to_string()),
+                            ("restarts", self.stats.restarts.to_string()),
+                            ("learnts", self.stats.learnts.to_string()),
+                        ],
+                    );
+                }
                 if self.decision_level() == 0 {
                     self.ok = false;
                     return Some(SolveResult::Unsat);

@@ -1,0 +1,59 @@
+//! Minimal JSON string escaping shared by every hand-rolled JSON writer
+//! in the workspace (trace exporters, policy I/O, lint output, CLI
+//! stats).
+//!
+//! The workspace writes JSON by hand (no serde under the offline-shim
+//! policy); the one subtle part — string escaping — lives here so every
+//! call site agrees on it.
+
+/// Appends the JSON escape of `s` to `out`, **without** surrounding
+/// quotes.
+///
+/// Escapes `"` and `\`, the named control escapes (`\n`, `\r`, `\t`,
+/// `\u{8}`, `\u{c}`), and all other control characters as `\u00XX`.
+pub fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Appends `s` as a quoted JSON string to `out` (escape plus `"` on both
+/// sides).
+pub fn write_str(s: &str, out: &mut String) {
+    out.push('"');
+    escape_into(s, out);
+    out.push('"');
+}
+
+/// Returns `s` as a quoted JSON string.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    write_str(s, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(quote("a\"b\\c"), r#""a\"b\\c""#);
+        assert_eq!(quote("x\ny\t"), r#""x\ny\t""#);
+        assert_eq!(quote("\u{1}"), "\"\\u0001\"");
+        assert_eq!(quote("\u{8}\u{c}\r"), r#""\b\f\r""#);
+        assert_eq!(quote("plain"), r#""plain""#);
+    }
+}

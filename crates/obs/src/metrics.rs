@@ -1,0 +1,120 @@
+//! Monotonic counters and fixed-bucket latency histograms.
+
+/// Default latency bucket upper bounds, in nanoseconds: one decade per
+/// bucket from 100 ns to 1 s, plus an implicit overflow bucket.
+pub const LATENCY_BOUNDS_NS: [u64; 8] = [
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+/// A fixed-bucket histogram of `u64` samples (latencies in nanoseconds
+/// by convention).
+///
+/// A sample `v` lands in the first bucket whose upper bound satisfies
+/// `v <= bound`; samples above every bound land in the overflow bucket,
+/// so `counts().len() == bounds().len() + 1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    counts: Vec<u64>,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// A histogram with the given ascending bucket upper bounds.
+    pub fn new(bounds: &[u64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "ascending bounds");
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// A histogram with the default latency decades
+    /// ([`LATENCY_BOUNDS_NS`]).
+    pub fn latency() -> Histogram {
+        Histogram::new(&LATENCY_BOUNDS_NS)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let i = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[i] += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// The bucket upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket sample counts (last entry is the overflow bucket).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// The largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The mean sample, or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count()).unwrap_or(0)
+    }
+}
+
+/// An owned copy of one histogram, as handed out by trace snapshots.
+pub type HistogramSnapshot = Histogram;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_land_in_the_first_covering_bucket() {
+        let mut h = Histogram::new(&[10, 100, 1000]);
+        for v in [0, 10] {
+            h.record(v); // <= 10
+        }
+        h.record(11); // (10, 100]
+        h.record(100); // (10, 100]
+        h.record(101); // (100, 1000]
+        h.record(1001); // overflow
+        assert_eq!(h.counts(), &[2, 2, 1, 1]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 1001);
+        assert_eq!(h.sum(), 10 + 11 + 100 + 101 + 1001);
+    }
+
+    #[test]
+    fn mean_is_zero_when_empty() {
+        let h = Histogram::latency();
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.counts().len(), LATENCY_BOUNDS_NS.len() + 1);
+    }
+}

@@ -16,6 +16,8 @@
 //!   contribution): vulnerability signatures, exploit synthesis, ECA
 //!   policy derivation;
 //! * [`enforce`] — APE, the runtime policy enforcer on a simulated device;
+//! * [`obs`] — structured tracing, metrics and trace export spanning all
+//!   of the above;
 //! * [`corpus`] — benchmark suites, market generators, case-study apps;
 //! * [`baselines`] — the DidFail-like and AmanDroid-like comparators.
 //!
@@ -42,3 +44,4 @@ pub use separ_corpus as corpus;
 pub use separ_dex as dex;
 pub use separ_enforce as enforce;
 pub use separ_logic as logic;
+pub use separ_obs as obs;

@@ -6,12 +6,14 @@
 //!     --policies-out <file>                write synthesized policies as JSON
 //!     --alloy                              print the extracted Alloy modules
 //!     --threads <n>                        worker threads (0 = all cores, the default)
-//!     --stats                              per-signature CNF and SAT-solver statistics
+//!     --stats                              per-signature CNF/SAT statistics + span/metric summary
+//!     --trace <file>                       write a Chrome trace-event JSON (Perfetto-loadable)
+//!     --events <file>                      write the structured event log as JSONL
 //!     --encoding <pg|tseitin>              CNF encoding (polarity-aware pg is the default)
 //!     --symmetry-breaking                  conjoin lex-leader symmetry-breaking predicates
 //! separ disasm <app.sdex>                  disassemble a package
 //! separ lint <app.sdex>... [--json]        verify packages, report diagnostics
-//! separ enforce <app.sdex>... --policies <file> --launch <pkg> <Class>
+//! separ enforce <app.sdex>... --policies <file> --launch <pkg> <Class> [--stats]
 //!                                          run a bundle under enforcement
 //! separ demo                               the Figure 1 attack, end to end
 //! ```
@@ -80,6 +82,8 @@ fn cmd_pack(args: &[String]) -> CliResult {
 fn cmd_analyze(args: &[String]) -> CliResult {
     let mut files = Vec::new();
     let mut policies_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut events_out: Option<String> = None;
     let mut print_alloy = false;
     let mut print_stats = false;
     let mut config = SeparConfig::default();
@@ -93,6 +97,14 @@ fn cmd_analyze(args: &[String]) -> CliResult {
                         .ok_or("analyze: --policies-out needs a path")?
                         .clone(),
                 );
+            }
+            "--trace" => {
+                i += 1;
+                trace_out = Some(args.get(i).ok_or("analyze: --trace needs a path")?.clone());
+            }
+            "--events" => {
+                i += 1;
+                events_out = Some(args.get(i).ok_or("analyze: --events needs a path")?.clone());
             }
             "--alloy" => print_alloy = true,
             "--stats" => print_stats = true,
@@ -129,6 +141,9 @@ fn cmd_analyze(args: &[String]) -> CliResult {
     if files.is_empty() {
         return Err("analyze: no input packages".into());
     }
+    // Timing in `BundleStats` is span-derived, so tracing is on for
+    // every analyze run; the snapshot also feeds --trace/--events.
+    separ::obs::global().enable();
     let apks: Vec<_> = files
         .iter()
         .map(|f| load_apk(f))
@@ -207,6 +222,21 @@ fn cmd_analyze(args: &[String]) -> CliResult {
         std::fs::write(&path, policy_io::to_json(&report.policies))
             .map_err(|e| format!("{path}: {e}"))?;
         println!("\npolicies written to {path}");
+    }
+    if trace_out.is_some() || events_out.is_some() || print_stats {
+        let trace = separ::obs::global().snapshot();
+        if print_stats {
+            println!("\nobservability summary:");
+            print!("{}", trace.text_summary());
+        }
+        if let Some(path) = trace_out {
+            std::fs::write(&path, trace.chrome_trace()).map_err(|e| format!("{path}: {e}"))?;
+            println!("trace written to {path}");
+        }
+        if let Some(path) = events_out {
+            std::fs::write(&path, trace.events_jsonl()).map_err(|e| format!("{path}: {e}"))?;
+            println!("events written to {path}");
+        }
     }
     Ok(())
 }
@@ -287,9 +317,11 @@ fn cmd_enforce(args: &[String]) -> CliResult {
     let mut files = Vec::new();
     let mut policy_file: Option<String> = None;
     let mut launch: Option<(String, String)> = None;
+    let mut print_stats = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--stats" => print_stats = true,
             "--policies" => {
                 i += 1;
                 policy_file = Some(
@@ -315,6 +347,9 @@ fn cmd_enforce(args: &[String]) -> CliResult {
         }
         i += 1;
     }
+    // PDP decision latencies land in a histogram on the global
+    // collector; --stats prints it after the run.
+    separ::obs::global().enable();
     let apks: Vec<_> = files
         .iter()
         .map(|f| load_apk(f))
@@ -339,6 +374,10 @@ fn cmd_enforce(args: &[String]) -> CliResult {
     for e in device.audit.events() {
         println!("  {e:?}");
     }
+    if print_stats {
+        println!("\nobservability summary:");
+        print!("{}", separ::obs::global().snapshot().text_summary());
+    }
     Ok(())
 }
 
@@ -346,6 +385,7 @@ fn cmd_enforce(args: &[String]) -> CliResult {
 fn cmd_demo() -> CliResult {
     use separ::android::types::Resource;
     use separ::corpus::motivating;
+    separ::obs::global().enable();
     let navigator = motivating::navigator_app();
     let messenger = motivating::messenger_app(false);
     let malicious = motivating::malicious_app("+15550000");

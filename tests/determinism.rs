@@ -70,3 +70,54 @@ fn repeated_parallel_runs_are_stable() {
     assert_eq!(a.policies, b.policies);
     assert_eq!(a.stats.counts(), b.stats.counts());
 }
+
+/// Runs the pipeline under a root span and returns the run's exports
+/// with timestamps, durations and thread ids zeroed out.
+fn traced_exports(apks: &[Apk], threads: usize) -> (String, String) {
+    let obs = separ::obs::global();
+    obs.enable();
+    let root = obs.span("test.run");
+    let root_id = root.id();
+    let report = analyze(apks, threads);
+    drop(root);
+    drop(report);
+    // Restrict to this run's subtree: other tests in the harness may be
+    // writing to the process-global collector concurrently.
+    let trace = obs.snapshot_subtree(root_id);
+    (
+        separ::obs::export::strip_timing(&trace.chrome_trace()),
+        separ::obs::export::strip_timing(&trace.events_jsonl()),
+    )
+}
+
+#[test]
+fn trace_exports_are_run_and_thread_count_independent() {
+    // The canonicalized trace — spans, nesting, args, events — must be
+    // byte-identical across repeated runs AND across thread counts once
+    // timing is stripped; only timestamps/durations/tids may vary.
+    let market = generate(&MarketSpec::scaled(12, 7));
+    let apks: Vec<_> = market.into_iter().map(|m| m.apk).collect();
+    let (trace_a, events_a) = traced_exports(&apks, 4);
+    let (trace_b, events_b) = traced_exports(&apks, 4);
+    assert_eq!(trace_a, trace_b, "chrome trace differs between runs");
+    assert_eq!(events_a, events_b, "events JSONL differs between runs");
+    let (trace_serial, events_serial) = traced_exports(&apks, 1);
+    assert_eq!(
+        trace_a, trace_serial,
+        "chrome trace differs between 4 threads and 1"
+    );
+    assert_eq!(
+        events_a, events_serial,
+        "events JSONL differs between 4 threads and 1"
+    );
+    // The trace really covers the pipeline.
+    for name in [
+        "pipeline.analyze",
+        "ame.extract",
+        "ase.signature",
+        "logic.translate",
+        "logic.solve",
+    ] {
+        assert!(trace_a.contains(name), "trace is missing {name} spans");
+    }
+}
