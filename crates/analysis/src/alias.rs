@@ -64,11 +64,13 @@ pub fn backward_slice(
 
     let mut result = BackwardSlice::default();
     result.aliases.insert(reg);
-    // Worklist of (pc, tracked register or field).
-    #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+    // Worklist of (pc, tracked register or field). Fields are tracked by
+    // pool id — interning makes ids 1:1 with `class->name` pairs, so the
+    // walk compares integers; names are rendered only into the result.
+    #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
     enum Tracked {
         Reg(Reg),
-        Field(String),
+        Field(separ_dex::refs::FieldId),
     }
     let mut seen: BTreeSet<(u32, Tracked)> = BTreeSet::new();
     let mut work: VecDeque<(u32, Tracked)> = VecDeque::new();
@@ -81,7 +83,7 @@ pub fn backward_slice(
     }
     let mut slice: BTreeSet<u32> = BTreeSet::new();
     while let Some((at, tracked)) = work.pop_front() {
-        if !seen.insert((at, tracked.clone())) {
+        if !seen.insert((at, tracked)) {
             continue;
         }
         let instr = &method.code[at as usize];
@@ -98,21 +100,21 @@ pub fn backward_slice(
             {
                 slice.insert(at);
                 let fref = pools.field_at(*field);
-                let fname = format!("{}->{}", pools.type_at(fref.class), pools.str_at(fref.name));
-                result.fields.insert(fname.clone());
-                continue_with.push(Tracked::Field(fname));
+                result.fields.insert(format!(
+                    "{}->{}",
+                    pools.type_at(fref.class),
+                    pools.str_at(fref.name)
+                ));
+                continue_with.push(Tracked::Field(*field));
             }
-            (Tracked::Field(fname), Instr::IPut { src, field, .. })
-            | (Tracked::Field(fname), Instr::SPut { src, field }) => {
-                let fref = pools.field_at(*field);
-                let this_name =
-                    format!("{}->{}", pools.type_at(fref.class), pools.str_at(fref.name));
-                if this_name == *fname {
+            (Tracked::Field(fid), Instr::IPut { src, field, .. })
+            | (Tracked::Field(fid), Instr::SPut { src, field }) => {
+                if field == fid {
                     slice.insert(at);
                     result.aliases.insert(*src);
                     continue_with.push(Tracked::Reg(*src));
                 } else {
-                    continue_with.push(tracked.clone());
+                    continue_with.push(tracked);
                 }
             }
             (Tracked::Reg(r), instr) if instr.def() == Some(*r) => {
@@ -132,12 +134,12 @@ pub fn backward_slice(
             }
             _ => {
                 // Not a definition of what we track: keep walking.
-                continue_with.push(tracked.clone());
+                continue_with.push(tracked);
             }
         }
         for next in continue_with {
             for &p in &preds[at as usize] {
-                work.push_back((p, next.clone()));
+                work.push_back((p, next));
             }
         }
     }

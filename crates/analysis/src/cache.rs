@@ -1,0 +1,788 @@
+//! Content-addressed extracted-model cache.
+//!
+//! Extraction is pure: the [`AppModel`] is a function of the package
+//! bytes (and the analysis options, which the cache pins to the
+//! defaults). This module memoizes that function behind a SHA-256 of the
+//! package contents, so re-analyzing an unchanged apk skips decode →
+//! verify → extract entirely:
+//!
+//! * an **in-memory** map serves repeat lookups within a process
+//!   ([`CacheOutcome::MemoryHit`]);
+//! * an optional **file-backed store** persists models across processes
+//!   ([`CacheOutcome::DiskHit`]); entries are self-checking (magic,
+//!   format version, payload checksum), and any corruption is detected,
+//!   counted, and repaired by falling back to re-extraction — a damaged
+//!   cache can cost time, never correctness.
+//!
+//! Key derivation hashes the *bytes*, not the decoded structure: any
+//! byte-level change (re-signing, recompilation, manifest edit) is a new
+//! key, and stale entries are simply never addressed again
+//! (no explicit invalidation protocol). The serialized payload is a
+//! self-contained binary codec over the model types — no external
+//! serialization dependencies.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use separ_android::api::IccMethod;
+use separ_android::types::{FlowPath, Resource};
+use separ_dex::error::DexError;
+use separ_dex::manifest::{ComponentKind, IntentFilterDecl};
+use separ_dex::program::Apk;
+
+use crate::diagnostics::{Diagnostic, DiagnosticKind, Severity};
+use crate::model::{AppModel, ComponentModel, ExtractionStats, SentIntentModel};
+
+/// How a cache lookup was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Not cached: the model was extracted from scratch (and stored).
+    Miss,
+    /// Served from the in-process map.
+    MemoryHit,
+    /// Served from the file-backed store (and promoted to memory).
+    DiskHit,
+}
+
+impl CacheOutcome {
+    /// Whether extraction was skipped.
+    pub fn is_hit(self) -> bool {
+        !matches!(self, CacheOutcome::Miss)
+    }
+}
+
+/// Monotonic cache counters (also mirrored to `separ-obs` as
+/// `ame.cache.*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from memory.
+    pub memory_hits: u64,
+    /// Lookups answered from the file store.
+    pub disk_hits: u64,
+    /// Lookups that extracted from scratch.
+    pub misses: u64,
+    /// File-store entries rejected as corrupt (each also counts as a
+    /// miss).
+    pub corrupt: u64,
+}
+
+/// A content-addressed [`AppModel`] cache. Cheap to share: clone the
+/// [`Arc`] it is typically held in.
+#[derive(Debug)]
+pub struct ModelCache {
+    memory: Mutex<HashMap<[u8; 32], Arc<AppModel>>>,
+    dir: Option<PathBuf>,
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    corrupt: AtomicU64,
+}
+
+impl Default for ModelCache {
+    fn default() -> ModelCache {
+        ModelCache::new()
+    }
+}
+
+impl ModelCache {
+    /// An in-memory-only cache.
+    pub fn new() -> ModelCache {
+        ModelCache {
+            memory: Mutex::new(HashMap::new()),
+            dir: None,
+            memory_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            corrupt: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache with a file-backed store under `dir` (created if absent;
+    /// falls back to memory-only if the directory cannot be created).
+    pub fn with_dir(dir: impl Into<PathBuf>) -> ModelCache {
+        let dir = dir.into();
+        let dir = std::fs::create_dir_all(&dir).ok().map(|()| dir);
+        ModelCache {
+            dir,
+            ..ModelCache::new()
+        }
+    }
+
+    /// The content key of a package.
+    pub fn key(bytes: &[u8]) -> [u8; 32] {
+        sha256(bytes)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Looks up the model for `bytes`, extracting (and storing) on miss.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DexError`] only when the package is not cached *and*
+    /// fails to decode.
+    pub fn get_or_extract(&self, bytes: &[u8]) -> Result<(Arc<AppModel>, CacheOutcome), DexError> {
+        let key = ModelCache::key(bytes);
+        if let Some(hit) = self.lookup(&key) {
+            return Ok(hit);
+        }
+        let model = crate::extractor::extract(bytes)?;
+        Ok((self.admit(key, model), CacheOutcome::Miss))
+    }
+
+    /// Looks up the model for an already-decoded package, extracting on
+    /// miss. The key is derived from the package's canonical encoding, so
+    /// it matches [`ModelCache::get_or_extract`] on the same bytes.
+    pub fn get_or_extract_apk(&self, apk: &Apk) -> (Arc<AppModel>, CacheOutcome) {
+        let key = ModelCache::key(&separ_dex::codec::encode(apk));
+        if let Some(hit) = self.lookup(&key) {
+            return hit;
+        }
+        let model = crate::extractor::extract_apk(apk);
+        (self.admit(key, model), CacheOutcome::Miss)
+    }
+
+    fn lookup(&self, key: &[u8; 32]) -> Option<(Arc<AppModel>, CacheOutcome)> {
+        if let Some(m) = self.memory.lock().expect("cache lock").get(key) {
+            self.memory_hits.fetch_add(1, Ordering::Relaxed);
+            separ_obs::counter_add("ame.cache.hit", 1);
+            return Some((Arc::clone(m), CacheOutcome::MemoryHit));
+        }
+        if let Some(dir) = &self.dir {
+            let path = dir.join(entry_name(key));
+            if let Ok(data) = std::fs::read(&path) {
+                match decode_entry(&data) {
+                    Some(model) => {
+                        let model = Arc::new(model);
+                        self.memory
+                            .lock()
+                            .expect("cache lock")
+                            .insert(*key, Arc::clone(&model));
+                        self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                        separ_obs::counter_add("ame.cache.disk_hit", 1);
+                        return Some((model, CacheOutcome::DiskHit));
+                    }
+                    None => {
+                        // Detected corruption: count it and fall through
+                        // to re-extraction (which overwrites the entry).
+                        self.corrupt.fetch_add(1, Ordering::Relaxed);
+                        separ_obs::counter_add("ame.cache.corrupt", 1);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn admit(&self, key: [u8; 32], model: AppModel) -> Arc<AppModel> {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        separ_obs::counter_add("ame.cache.miss", 1);
+        let model = Arc::new(model);
+        if let Some(dir) = &self.dir {
+            // Best effort: a failed write degrades to a future miss.
+            let _ = std::fs::write(dir.join(entry_name(&key)), encode_entry(&model));
+        }
+        self.memory
+            .lock()
+            .expect("cache lock")
+            .insert(key, Arc::clone(&model));
+        model
+    }
+}
+
+fn entry_name(key: &[u8; 32]) -> String {
+    use std::fmt::Write;
+    let mut name = String::with_capacity(70);
+    for b in key {
+        let _ = write!(name, "{b:02x}");
+    }
+    name.push_str(".model");
+    name
+}
+
+// ---------------------------------------------------------------------
+// File format: magic, version, payload checksum, payload.
+// ---------------------------------------------------------------------
+
+const MAGIC: &[u8; 4] = b"SEPM";
+const VERSION: u32 = 1;
+
+/// Serializes a model into a self-checking cache entry.
+pub fn encode_entry(model: &AppModel) -> Vec<u8> {
+    let mut payload = Vec::new();
+    write_model(&mut payload, model);
+    let mut out = Vec::with_capacity(payload.len() + 40);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&sha256(&payload));
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Deserializes a cache entry, returning `None` on any corruption
+/// (bad magic, version mismatch, checksum failure, or malformed
+/// payload).
+pub fn decode_entry(data: &[u8]) -> Option<AppModel> {
+    if data.len() < 40 || &data[..4] != MAGIC {
+        return None;
+    }
+    if u32::from_le_bytes(data[4..8].try_into().ok()?) != VERSION {
+        return None;
+    }
+    let checksum: [u8; 32] = data[8..40].try_into().ok()?;
+    let payload = &data[40..];
+    if sha256(payload) != checksum {
+        return None;
+    }
+    let mut r = Reader(payload);
+    let model = read_model(&mut r)?;
+    // Trailing garbage is corruption too.
+    r.0.is_empty().then_some(model)
+}
+
+// --- writing ---------------------------------------------------------
+
+fn write_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn write_opt_str(out: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        None => out.push(0),
+        Some(s) => {
+            out.push(1);
+            write_str(out, s);
+        }
+    }
+}
+
+fn write_strs<'a>(out: &mut Vec<u8>, it: impl ExactSizeIterator<Item = &'a String>) {
+    write_u64(out, it.len() as u64);
+    for s in it {
+        write_str(out, s);
+    }
+}
+
+fn write_model(out: &mut Vec<u8>, m: &AppModel) {
+    write_str(out, &m.package);
+    write_u64(out, m.components.len() as u64);
+    for c in &m.components {
+        write_component(out, c);
+    }
+    write_strs(out, m.uses_permissions.iter());
+    write_strs(out, m.defines_permissions.iter());
+    write_u64(out, m.diagnostics.len() as u64);
+    for d in &m.diagnostics {
+        write_diagnostic(out, d);
+    }
+    write_u64(out, m.stats.duration.as_secs());
+    out.extend_from_slice(&m.stats.duration.subsec_nanos().to_le_bytes());
+    write_u64(out, m.stats.app_size as u64);
+    write_u64(out, m.stats.instructions_visited);
+    write_u64(out, m.stats.quarantined_methods as u64);
+}
+
+fn write_component(out: &mut Vec<u8>, c: &ComponentModel) {
+    write_str(out, &c.class);
+    out.push(c.kind as u8);
+    out.push(u8::from(c.exported));
+    write_u64(out, c.filters.len() as u64);
+    for f in &c.filters {
+        write_strs(out, f.actions.iter());
+        write_strs(out, f.categories.iter());
+        write_strs(out, f.data_types.iter());
+        write_strs(out, f.data_schemes.iter());
+    }
+    write_opt_str(out, c.enforced_permission.as_deref());
+    write_strs(out, c.dynamic_checks.iter());
+    write_u64(out, c.paths.len() as u64);
+    for p in &c.paths {
+        out.push(p.source as u8);
+        out.push(p.sink as u8);
+    }
+    write_u64(out, c.sent_intents.len() as u64);
+    for i in &c.sent_intents {
+        write_intent(out, i);
+    }
+    write_strs(out, c.used_permissions.iter());
+    out.push(u8::from(c.registers_dynamically));
+}
+
+fn write_intent(out: &mut Vec<u8>, i: &SentIntentModel) {
+    out.push(i.via as u8);
+    write_opt_str(out, i.action.as_deref());
+    write_strs(out, i.categories.iter());
+    write_opt_str(out, i.data_type.as_deref());
+    write_opt_str(out, i.data_scheme.as_deref());
+    write_opt_str(out, i.explicit_target.as_deref());
+    write_strs(out, i.extra_keys.iter());
+    write_u64(out, i.extra_taints.len() as u64);
+    for &t in &i.extra_taints {
+        out.push(t as u8);
+    }
+    out.push(u8::from(i.requests_result));
+    out.push(u8::from(i.is_passive));
+    write_strs(out, i.resolved_targets.iter());
+}
+
+/// Every diagnostic kind, in a frozen serialization order (append-only:
+/// extending it is compatible, reordering is a format break).
+const DIAGNOSTIC_KINDS: [DiagnosticKind; 14] = [
+    DiagnosticKind::RegisterBounds,
+    DiagnosticKind::UseBeforeDef,
+    DiagnosticKind::MoveResultPairing,
+    DiagnosticKind::BranchTarget,
+    DiagnosticKind::PoolIndex,
+    DiagnosticKind::UnreachableCode,
+    DiagnosticKind::SuperclassCycle,
+    DiagnosticKind::DuplicateClass,
+    DiagnosticKind::UnresolvedComponent,
+    DiagnosticKind::MissingEntryPoint,
+    DiagnosticKind::FilterWithoutAction,
+    DiagnosticKind::ProviderWithFilter,
+    DiagnosticKind::DuplicateComponent,
+    DiagnosticKind::DecodeFailure,
+];
+
+fn write_diagnostic(out: &mut Vec<u8>, d: &Diagnostic) {
+    out.push(match d.severity {
+        Severity::Info => 0,
+        Severity::Warning => 1,
+        Severity::Error => 2,
+    });
+    write_str(out, &d.app);
+    write_str(out, &d.location);
+    let kind = DIAGNOSTIC_KINDS
+        .iter()
+        .position(|&k| k == d.kind)
+        .expect("kind listed") as u8;
+    out.push(kind);
+    write_str(out, &d.message);
+}
+
+// --- reading ---------------------------------------------------------
+
+struct Reader<'a>(&'a [u8]);
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.0.len() < n {
+            return None;
+        }
+        let (head, tail) = self.0.split_at(n);
+        self.0 = tail;
+        Some(head)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    /// A length prefix, sanity-bounded by the bytes actually remaining.
+    fn len(&mut self) -> Option<usize> {
+        let n = self.u64()?;
+        (n <= self.0.len() as u64).then_some(n as usize)
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let n = self.len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn opt_str(&mut self) -> Option<Option<String>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => Some(Some(self.str()?)),
+            _ => None,
+        }
+    }
+
+    fn str_vec(&mut self) -> Option<Vec<String>> {
+        let n = self.len()?;
+        (0..n).map(|_| self.str()).collect()
+    }
+
+    fn str_set(&mut self) -> Option<std::collections::BTreeSet<String>> {
+        let n = self.len()?;
+        (0..n).map(|_| self.str()).collect()
+    }
+
+    fn resource(&mut self) -> Option<Resource> {
+        Resource::ALL.get(self.u8()? as usize).copied()
+    }
+}
+
+fn read_model(r: &mut Reader<'_>) -> Option<AppModel> {
+    let package = r.str()?;
+    let n = r.len()?;
+    let components = (0..n)
+        .map(|_| read_component(r))
+        .collect::<Option<Vec<_>>>()?;
+    let uses_permissions = r.str_set()?;
+    let defines_permissions = r.str_set()?;
+    let n = r.len()?;
+    let diagnostics = (0..n)
+        .map(|_| read_diagnostic(r))
+        .collect::<Option<Vec<_>>>()?;
+    let secs = r.u64()?;
+    let nanos = r.u32()?;
+    let stats = ExtractionStats {
+        duration: Duration::new(secs, nanos),
+        app_size: r.u64()? as usize,
+        instructions_visited: r.u64()?,
+        quarantined_methods: r.u64()? as usize,
+    };
+    Some(AppModel {
+        package,
+        components,
+        uses_permissions,
+        defines_permissions,
+        diagnostics,
+        stats,
+    })
+}
+
+fn read_component(r: &mut Reader<'_>) -> Option<ComponentModel> {
+    let class = r.str()?;
+    let kind = *ComponentKind::ALL.get(r.u8()? as usize)?;
+    let exported = r.bool()?;
+    let n = r.len()?;
+    let filters = (0..n)
+        .map(|_| {
+            Some(IntentFilterDecl {
+                actions: r.str_vec()?,
+                categories: r.str_vec()?,
+                data_types: r.str_vec()?,
+                data_schemes: r.str_vec()?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let enforced_permission = r.opt_str()?;
+    let dynamic_checks = r.str_set()?;
+    let n = r.len()?;
+    let paths = (0..n)
+        .map(|_| {
+            Some(FlowPath {
+                source: r.resource()?,
+                sink: r.resource()?,
+            })
+        })
+        .collect::<Option<_>>()?;
+    let n = r.len()?;
+    let sent_intents = (0..n).map(|_| read_intent(r)).collect::<Option<Vec<_>>>()?;
+    Some(ComponentModel {
+        class,
+        kind,
+        exported,
+        filters,
+        enforced_permission,
+        dynamic_checks,
+        paths,
+        sent_intents,
+        used_permissions: r.str_set()?,
+        registers_dynamically: r.bool()?,
+    })
+}
+
+fn read_intent(r: &mut Reader<'_>) -> Option<SentIntentModel> {
+    let via = *IccMethod::ALL.get(r.u8()? as usize)?;
+    let action = r.opt_str()?;
+    let categories = r.str_set()?;
+    let data_type = r.opt_str()?;
+    let data_scheme = r.opt_str()?;
+    let explicit_target = r.opt_str()?;
+    let extra_keys = r.str_set()?;
+    let n = r.len()?;
+    let extra_taints = (0..n).map(|_| r.resource()).collect::<Option<_>>()?;
+    Some(SentIntentModel {
+        via,
+        action,
+        categories,
+        data_type,
+        data_scheme,
+        explicit_target,
+        extra_keys,
+        extra_taints,
+        requests_result: r.bool()?,
+        is_passive: r.bool()?,
+        resolved_targets: r.str_set()?,
+    })
+}
+
+fn read_diagnostic(r: &mut Reader<'_>) -> Option<Diagnostic> {
+    let severity = match r.u8()? {
+        0 => Severity::Info,
+        1 => Severity::Warning,
+        2 => Severity::Error,
+        _ => return None,
+    };
+    Some(Diagnostic {
+        severity,
+        app: r.str()?,
+        location: r.str()?,
+        kind: *DIAGNOSTIC_KINDS.get(r.u8()? as usize)?,
+        message: r.str()?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// SHA-256 (FIPS 180-4), self-contained.
+// ---------------------------------------------------------------------
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Computes the SHA-256 digest of `data`.
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h: [u32; 8] = [
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+    // Padded message: data ‖ 0x80 ‖ zeros ‖ bit-length (big-endian u64).
+    let bit_len = (data.len() as u64).wrapping_mul(8);
+    let mut msg = data.to_vec();
+    msg.push(0x80);
+    while msg.len() % 64 != 56 {
+        msg.push(0);
+    }
+    msg.extend_from_slice(&bit_len.to_be_bytes());
+    let mut w = [0u32; 64];
+    for block in msg.chunks_exact(64) {
+        for (i, word) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(word.try_into().expect("4 bytes"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = hh
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            hh = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (hi, v) in h.iter_mut().zip([a, b, c, d, e, f, g, hh]) {
+            *hi = hi.wrapping_add(v);
+        }
+    }
+    let mut out = [0u8; 32];
+    for (chunk, hi) in out.chunks_exact_mut(4).zip(h) {
+        chunk.copy_from_slice(&hi.to_be_bytes());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use separ_android::api::class;
+    use separ_dex::build::ApkBuilder;
+    use separ_dex::manifest::{ComponentDecl, ComponentKind};
+
+    fn hex(d: &[u8; 32]) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn sha256_matches_known_vectors() {
+        // FIPS 180-4 / RFC 6234 test vectors.
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex(&sha256(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // A multi-block input (> 64 bytes).
+        let long = vec![b'a'; 1000];
+        assert_eq!(
+            hex(&sha256(&long)),
+            "41edece42d63e8d9bf515a9ba6932e1c20cbc9f5a5d134645adb5db1b9737ea3"
+        );
+    }
+
+    fn leaky_app() -> Apk {
+        let mut apk = ApkBuilder::new("com.cache.test");
+        apk.add_component(ComponentDecl::new("LLeaky;", ComponentKind::Service));
+        let mut cb = apk.class_extends("LLeaky;", class::SERVICE);
+        let mut m = cb.method("onStartCommand", 3, false, false);
+        let v = m.reg();
+        let i = m.reg();
+        let s = m.reg();
+        m.invoke_virtual(class::LOCATION_MANAGER, "getLastKnownLocation", &[v], true);
+        m.move_result(v);
+        m.new_instance(i, class::INTENT);
+        m.const_string(s, "leak");
+        m.invoke_virtual(class::INTENT, "setAction", &[i, s], false);
+        m.invoke_virtual(class::INTENT, "putExtra", &[i, s, v], false);
+        m.invoke_virtual(class::CONTEXT, "startService", &[m.this(), i], false);
+        m.ret_void();
+        m.finish();
+        cb.finish();
+        apk.finish()
+    }
+
+    #[test]
+    fn codec_round_trips_extracted_models() {
+        let model = crate::extractor::extract_apk(&leaky_app());
+        let encoded = encode_entry(&model);
+        let decoded = decode_entry(&encoded).expect("valid entry");
+        assert_eq!(decoded, model);
+    }
+
+    #[test]
+    fn corrupted_entries_are_rejected() {
+        let model = crate::extractor::extract_apk(&leaky_app());
+        let encoded = encode_entry(&model);
+        // Truncated.
+        assert!(decode_entry(&encoded[..encoded.len() - 1]).is_none());
+        assert!(decode_entry(&encoded[..10]).is_none());
+        // Any single flipped payload byte fails the checksum.
+        let mut flipped = encoded.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xff;
+        assert!(decode_entry(&flipped).is_none());
+        // Bad magic / version.
+        let mut bad = encoded.clone();
+        bad[0] = b'X';
+        assert!(decode_entry(&bad).is_none());
+        let mut bad = encoded.clone();
+        bad[4] = 0xee;
+        assert!(decode_entry(&bad).is_none());
+        // Trailing garbage.
+        let mut extended = encoded.clone();
+        extended.push(0);
+        assert!(decode_entry(&extended).is_none());
+    }
+
+    #[test]
+    fn memory_cache_serves_repeat_lookups() {
+        let cache = ModelCache::new();
+        let bytes = separ_dex::codec::encode(&leaky_app());
+        let (cold, o1) = cache.get_or_extract(&bytes).expect("decodes");
+        assert_eq!(o1, CacheOutcome::Miss);
+        let (warm, o2) = cache.get_or_extract(&bytes).expect("decodes");
+        assert_eq!(o2, CacheOutcome::MemoryHit);
+        // Byte-for-byte identical: the cache returns the stored model.
+        assert!(Arc::ptr_eq(&cold, &warm));
+        assert_eq!(encode_entry(&cold), encode_entry(&warm));
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.memory_hits), (1, 1));
+        // The decoded-package entry point addresses the same key.
+        let (via_apk, o3) = cache.get_or_extract_apk(&leaky_app());
+        assert_eq!(o3, CacheOutcome::MemoryHit);
+        assert!(Arc::ptr_eq(&cold, &via_apk));
+    }
+
+    #[test]
+    fn disk_cache_survives_process_boundaries_and_corruption() {
+        let dir = std::env::temp_dir().join(format!(
+            "separ-model-cache-test-{}-{}",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").len()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let bytes = separ_dex::codec::encode(&leaky_app());
+        let key = ModelCache::key(&bytes);
+        let (cold, outcome) = {
+            let cache = ModelCache::with_dir(&dir);
+            cache.get_or_extract(&bytes).expect("decodes")
+        };
+        assert_eq!(outcome, CacheOutcome::Miss);
+        // A fresh cache over the same directory — a "new process" — hits
+        // the file store.
+        let cache = ModelCache::with_dir(&dir);
+        let (warm, outcome) = cache.get_or_extract(&bytes).expect("decodes");
+        assert_eq!(outcome, CacheOutcome::DiskHit);
+        assert_eq!(*warm, *cold);
+        assert_eq!(cache.stats().disk_hits, 1);
+        // Corrupt the stored entry: detected, counted, re-extracted.
+        let path = dir.join(entry_name(&key));
+        let mut data = std::fs::read(&path).expect("entry exists");
+        let mid = data.len() / 2;
+        data[mid] ^= 0x55;
+        std::fs::write(&path, &data).expect("rewrite");
+        let cache = ModelCache::with_dir(&dir);
+        let (repaired, outcome) = cache.get_or_extract(&bytes).expect("decodes");
+        assert_eq!(outcome, CacheOutcome::Miss, "corruption falls back");
+        assert_eq!(cache.stats().corrupt, 1);
+        // Re-extraction reproduces the model (wall time aside).
+        let mut repaired = (*repaired).clone();
+        let mut cold = (*cold).clone();
+        repaired.stats.duration = Duration::ZERO;
+        cold.stats.duration = Duration::ZERO;
+        assert_eq!(repaired, cold);
+        // The corrupt entry was overwritten with a good one.
+        let cache = ModelCache::with_dir(&dir);
+        let (_, outcome) = cache.get_or_extract(&bytes).expect("decodes");
+        assert_eq!(outcome, CacheOutcome::DiskHit);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

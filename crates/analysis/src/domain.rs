@@ -1,0 +1,348 @@
+//! Sparse abstract-value domains for the interpreter.
+//!
+//! The seed analyzer tracked constants and taints in `BTreeSet<String>` /
+//! `BTreeSet<Resource>`, so every join allocated and every memo-key hash
+//! walked heap strings. This module replaces those with interned,
+//! integer-backed representations:
+//!
+//! * strings are the dex **string-pool ids** (`StrId` indices) — the pool
+//!   is the arena, and every constant the analysis can observe is already
+//!   interned there;
+//! * taints are a [`ResourceSet`] — one bit per [`Resource`] variant, so
+//!   joins, widening and membership are single integer ops;
+//! * small ordered sets ([`SmallSet`]) are sorted vectors, cheap to
+//!   clone, hash and merge at the cardinalities the `SET_CAP` widening
+//!   admits (≤ 8 elements).
+//!
+//! The public model types ([`crate::model`]) stay string-based; ids are
+//! resolved back through the pool once per component when the engine's
+//! internal state is converted to [`crate::absint::ComponentFacts`].
+
+use separ_android::types::Resource;
+
+/// Cap on tracked constants per register before widening to "unknown".
+pub(crate) const SET_CAP: usize = 8;
+
+/// A sorted-vector set: ordered, deduplicated, optimized for the tiny
+/// cardinalities the widening cap admits.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub(crate) struct SmallSet<T>(Vec<T>);
+
+impl<T: Ord + Copy> SmallSet<T> {
+    /// Inserts a value; returns `true` if it was new.
+    pub fn insert(&mut self, v: T) -> bool {
+        match self.0.binary_search(&v) {
+            Ok(_) => false,
+            Err(i) => {
+                self.0.insert(i, v);
+                true
+            }
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.0.clear();
+    }
+
+    /// Merges `other` in; returns `true` if anything was added.
+    pub fn merge(&mut self, other: &SmallSet<T>) -> bool {
+        let mut changed = false;
+        for v in other.iter() {
+            changed |= self.insert(v);
+        }
+        changed
+    }
+}
+
+/// A set of [`Resource`]s as a bitmask (19 variants fit in a `u32`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub(crate) struct ResourceSet(u32);
+
+impl ResourceSet {
+    fn bit(r: Resource) -> u32 {
+        1u32 << (r as u32)
+    }
+
+    /// The mask of every source resource (the taint-widening fixpoint).
+    pub fn all_sources() -> ResourceSet {
+        let mut mask = 0;
+        for &r in Resource::ALL.iter().filter(|r| r.is_source()) {
+            mask |= ResourceSet::bit(r);
+        }
+        ResourceSet(mask)
+    }
+
+    /// Inserts a resource; returns `true` if it was new.
+    pub fn insert(&mut self, r: Resource) -> bool {
+        let before = self.0;
+        self.0 |= ResourceSet::bit(r);
+        self.0 != before
+    }
+
+    /// Membership test.
+    pub fn contains(self, r: Resource) -> bool {
+        self.0 & ResourceSet::bit(r) != 0
+    }
+
+    /// Number of resources in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Unions `other` in; returns `true` if anything was added.
+    pub fn union(&mut self, other: ResourceSet) -> bool {
+        let before = self.0;
+        self.0 |= other.0;
+        self.0 != before
+    }
+
+    /// Iterates members in declaration order.
+    pub fn iter(self) -> impl Iterator<Item = Resource> {
+        Resource::ALL
+            .iter()
+            .copied()
+            .filter(move |&r| self.contains(r))
+    }
+
+    /// The members as an ordered standard set (boundary conversion).
+    pub fn to_btree(self) -> std::collections::BTreeSet<Resource> {
+        self.iter().collect()
+    }
+}
+
+/// An abstract value: interned constant sets, a taint bitmask, abstract
+/// intent references, plus an "other values possible" flag.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub(crate) struct Val {
+    /// Possible constant strings (string-pool indices).
+    pub strings: SmallSet<u32>,
+    /// Possible constant integers.
+    pub ints: SmallSet<i64>,
+    /// Sensitive resources that may have flowed into this value.
+    pub taints: ResourceSet,
+    /// Abstract intent objects this value may reference (table indices).
+    pub intents: SmallSet<u32>,
+    /// Whether values outside the tracked sets are possible.
+    pub unknown: bool,
+}
+
+impl Val {
+    /// The fully-unknown value.
+    pub fn top() -> Val {
+        Val {
+            unknown: true,
+            ..Val::default()
+        }
+    }
+
+    /// A known constant string (by pool id).
+    pub fn of_string(id: u32) -> Val {
+        let mut v = Val::default();
+        v.strings.insert(id);
+        v
+    }
+
+    /// A known constant integer.
+    pub fn of_int(i: i64) -> Val {
+        let mut v = Val::default();
+        v.ints.insert(i);
+        v
+    }
+
+    /// Joins `other` into `self`; returns `true` if anything changed.
+    pub fn join(&mut self, other: &Val) -> bool {
+        let before = (
+            self.strings.len(),
+            self.ints.len(),
+            self.taints.len(),
+            self.intents.len(),
+            self.unknown,
+        );
+        self.strings.merge(&other.strings);
+        self.ints.merge(&other.ints);
+        self.taints.union(other.taints);
+        self.intents.merge(&other.intents);
+        self.unknown |= other.unknown;
+        self.widen();
+        before
+            != (
+                self.strings.len(),
+                self.ints.len(),
+                self.taints.len(),
+                self.intents.len(),
+                self.unknown,
+            )
+    }
+
+    /// Applies the `SET_CAP` widening.
+    pub fn widen(&mut self) {
+        if self.strings.len() > SET_CAP {
+            self.strings.clear();
+            self.unknown = true;
+        }
+        if self.ints.len() > SET_CAP {
+            self.ints.clear();
+            self.unknown = true;
+        }
+        if self.taints.len() > SET_CAP {
+            // Taints must stay sound: widen to "tainted by every source"
+            // rather than dropping them (the full set is the fixpoint).
+            self.taints.union(ResourceSet::all_sources());
+        }
+        if self.intents.len() > SET_CAP {
+            // Dropping intent references loses precision, not soundness:
+            // `unknown` marks the value as referencing untracked objects.
+            self.intents.clear();
+            self.unknown = true;
+        }
+    }
+
+    /// Mixes this value into an order-sensitive FNV-1a fingerprint. Used
+    /// as a memo-bucket key: collisions are resolved by full comparison,
+    /// so only distribution matters, not cryptographic strength.
+    pub fn fingerprint(&self, h: &mut u64) {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut mix = |v: u64| *h = (*h ^ v).wrapping_mul(PRIME);
+        mix(self.strings.0.len() as u64);
+        for &s in &self.strings.0 {
+            mix(s as u64);
+        }
+        mix(self.ints.0.len() as u64);
+        for &i in &self.ints.0 {
+            mix(i as u64);
+        }
+        mix(u64::from(self.taints.0));
+        mix(self.intents.0.len() as u64);
+        for &i in &self.intents.0 {
+            mix(i as u64);
+        }
+        mix(u64::from(self.unknown));
+    }
+
+    /// Definite truthiness, if statically known: `Some(false)` when the
+    /// value is exactly the integer 0 or null-like, `Some(true)` when it
+    /// cannot be zero, `None` otherwise.
+    pub fn definite_nonzero(&self) -> Option<bool> {
+        if self.unknown || !self.intents.is_empty() || !self.taints.is_empty() {
+            return None;
+        }
+        if !self.strings.is_empty() {
+            // Strings are non-null references.
+            return if self.ints.is_empty() {
+                Some(true)
+            } else {
+                None
+            };
+        }
+        if self.ints.len() == 1 {
+            return Some(self.ints.iter().next().expect("len 1") != 0);
+        }
+        if self.ints.is_empty() {
+            // Default-initialized register: null.
+            return Some(false);
+        }
+        if self.ints.iter().all(|i| i != 0) {
+            return Some(true);
+        }
+        if self.ints.iter().all(|i| i == 0) {
+            return Some(false);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_set_is_sorted_and_deduplicated() {
+        let mut s = SmallSet::default();
+        assert!(s.insert(5u32));
+        assert!(s.insert(1));
+        assert!(!s.insert(5));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 5]);
+        assert!(s.iter().any(|v| v == 1) && !s.iter().any(|v| v == 2));
+    }
+
+    #[test]
+    fn resource_set_matches_btree_semantics() {
+        let mut rs = ResourceSet::default();
+        assert!(rs.insert(Resource::Location));
+        assert!(!rs.insert(Resource::Location));
+        assert!(rs.insert(Resource::Sms));
+        assert_eq!(rs.len(), 2);
+        let bt = rs.to_btree();
+        assert!(bt.contains(&Resource::Location) && bt.contains(&Resource::Sms));
+        let sources = ResourceSet::all_sources();
+        assert_eq!(
+            sources.len(),
+            Resource::ALL.iter().filter(|r| r.is_source()).count()
+        );
+    }
+
+    #[test]
+    fn widening_caps_each_set() {
+        let mut v = Val::default();
+        for i in 0..=SET_CAP as i64 {
+            let mut o = Val::default();
+            o.ints.insert(i);
+            v.join(&o);
+        }
+        assert!(v.ints.is_empty() && v.unknown);
+
+        let mut v = Val::default();
+        for i in 0..=SET_CAP as u32 {
+            let mut o = Val::default();
+            o.intents.insert(i);
+            v.join(&o);
+        }
+        assert!(v.intents.is_empty() && v.unknown);
+    }
+
+    #[test]
+    fn taint_widening_is_a_fixpoint() {
+        let mut v = Val::default();
+        for &r in Resource::ALL.iter().filter(|r| r.is_source()).take(SET_CAP) {
+            v.taints.insert(r);
+        }
+        let mut extra = Val::default();
+        extra.taints.insert(Resource::PhoneState);
+        assert!(v.join(&extra));
+        assert_eq!(v.taints, ResourceSet::all_sources());
+        assert!(!v.join(&extra), "widened taints are a fixpoint");
+    }
+
+    #[test]
+    fn definite_nonzero_matches_reference_rules() {
+        assert_eq!(Val::default().definite_nonzero(), Some(false));
+        assert_eq!(Val::of_int(0).definite_nonzero(), Some(false));
+        assert_eq!(Val::of_int(3).definite_nonzero(), Some(true));
+        assert_eq!(Val::of_string(0).definite_nonzero(), Some(true));
+        assert_eq!(Val::top().definite_nonzero(), None);
+        let mut v = Val::of_int(0);
+        v.ints.insert(1);
+        assert_eq!(v.definite_nonzero(), None);
+    }
+}

@@ -1,0 +1,154 @@
+//! Per-app precomputed invocation index.
+//!
+//! The seed interpreter re-resolved every `invoke` from strings on every
+//! abstract visit: pool lookups, API classification, permission mapping
+//! and superclass-chain method resolution, all per call per context. All
+//! of those are pure functions of the (immutable) constant pools, so this
+//! module computes them once per app, indexed densely by [`MethodId`] —
+//! an `invoke` during interpretation becomes one array load.
+
+use std::collections::HashMap;
+
+use separ_android::api::{self, ApiKind};
+use separ_dex::program::Apk;
+use separ_dex::refs::{MethodId, TypeId};
+
+use crate::callgraph::MethodNode;
+
+/// Everything the interpreter needs to know about one method-pool entry.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct InvokeInfo {
+    /// API classification of the callee.
+    pub kind: ApiKind,
+    /// Permission exercised by calling it, if any.
+    pub permission: Option<&'static str>,
+    /// For program-defined callees: the resolved (class, method) target,
+    /// following the same first-match superclass walk as
+    /// `Dex::resolve_method`.
+    pub target: Option<MethodNode>,
+    /// Whether this is `getIntent` (returns the received intent itself).
+    pub is_get_intent: bool,
+}
+
+/// Immutable per-app lookup tables shared by every component analysis.
+pub(crate) struct ApkIndex {
+    /// Invocation facts, indexed by `MethodId`.
+    pub invoke: Vec<InvokeInfo>,
+    /// The `android.content.Intent` type id, if interned.
+    pub intent_type: Option<TypeId>,
+    /// First class-table position per type id.
+    pub class_of_type: HashMap<TypeId, usize>,
+}
+
+impl ApkIndex {
+    /// Builds the index for one app.
+    pub fn new(apk: &Apk) -> ApkIndex {
+        let dex = &apk.dex;
+        let pools = &dex.pools;
+        let mut class_of_type: HashMap<TypeId, usize> = HashMap::new();
+        for (i, c) in dex.classes.iter().enumerate() {
+            // First occurrence wins, matching `Dex::class`'s linear find.
+            class_of_type.entry(c.ty).or_insert(i);
+        }
+        let mut invoke = Vec::with_capacity(pools.num_methods());
+        for i in 0..pools.num_methods() {
+            let mref = pools.method_at(MethodId::from_index(i));
+            let class = pools.type_at(mref.class);
+            let name = pools.str_at(mref.name);
+            let kind = api::classify(class, name);
+            let target = if matches!(kind, ApiKind::Neutral) {
+                resolve_target(apk, &class_of_type, mref.class, mref.name)
+            } else {
+                None
+            };
+            invoke.push(InvokeInfo {
+                kind,
+                permission: api::permission_for(class, name),
+                target,
+                is_get_intent: matches!(kind, ApiKind::IntentRead) && name == "getIntent",
+            });
+        }
+        ApkIndex {
+            invoke,
+            intent_type: pools.find_type(api::class::INTENT),
+            class_of_type,
+        }
+    }
+}
+
+/// Walks the superclass chain from `ty` looking for a method named
+/// `name`, mirroring `Dex::resolve_method` (first class with the type,
+/// first method with the name, hop-bounded against hostile cycles).
+fn resolve_target(
+    apk: &Apk,
+    class_of_type: &HashMap<TypeId, usize>,
+    ty: TypeId,
+    name: separ_dex::refs::StrId,
+) -> Option<MethodNode> {
+    let dex = &apk.dex;
+    let mut current = Some(ty);
+    let mut hops = 0;
+    while let Some(t) = current {
+        if hops > dex.classes.len() {
+            return None;
+        }
+        hops += 1;
+        let &ci = class_of_type.get(&t)?;
+        let class = &dex.classes[ci];
+        if let Some(mi) = class.methods.iter().position(|m| m.name == name) {
+            return Some((ci, mi));
+        }
+        current = class.super_ty;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use separ_dex::build::ApkBuilder;
+
+    #[test]
+    fn index_resolves_inherited_methods_like_the_dex() {
+        let mut apk = ApkBuilder::new("t");
+        let mut base = apk.class("LBase;");
+        let mut m = base.method("helper", 1, false, false);
+        m.ret_void();
+        m.finish();
+        base.finish();
+        let mut derived = apk.class_extends("LDerived;", "LBase;");
+        let mut m = derived.method("run", 1, false, false);
+        m.invoke_virtual("LDerived;", "helper", &[m.this()], false);
+        m.ret_void();
+        m.finish();
+        derived.finish();
+        let apk = apk.finish();
+        let index = ApkIndex::new(&apk);
+        // Every resolved target must agree with Dex::resolve_method.
+        for i in 0..apk.dex.pools.num_methods() {
+            let mref = apk.dex.pools.method_at(MethodId::from_index(i));
+            let name = apk.dex.pools.str_at(mref.name).to_string();
+            let expected = apk
+                .dex
+                .resolve_method(mref.class, &name)
+                .map(|(def_ty, _)| {
+                    let ci = apk
+                        .dex
+                        .classes
+                        .iter()
+                        .position(|c| c.ty == def_ty)
+                        .expect("class");
+                    let mi = apk.dex.classes[ci]
+                        .methods
+                        .iter()
+                        .position(|m| apk.dex.pools.str_at(m.name) == name)
+                        .expect("method");
+                    (ci, mi)
+                });
+            let info = &index.invoke[i];
+            if matches!(info.kind, ApiKind::Neutral) {
+                assert_eq!(info.target, expected, "method {name}");
+            }
+        }
+    }
+}

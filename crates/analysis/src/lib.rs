@@ -35,10 +35,13 @@
 
 pub mod absint;
 pub mod alias;
+pub mod cache;
 pub mod callgraph;
 pub mod cfg;
 pub mod diagnostics;
+mod domain;
 pub mod extractor;
+mod index;
 pub mod model;
 
 pub use diagnostics::{Diagnostic, DiagnosticKind, Severity};

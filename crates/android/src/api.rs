@@ -57,6 +57,21 @@ pub enum IccMethod {
 }
 
 impl IccMethod {
+    /// All ICC methods, in declaration order (stable across releases, so
+    /// bitmask and serialized encodings can rely on it).
+    pub const ALL: [IccMethod; 10] = [
+        IccMethod::StartActivity,
+        IccMethod::StartActivityForResult,
+        IccMethod::SetResult,
+        IccMethod::StartService,
+        IccMethod::BindService,
+        IccMethod::SendBroadcast,
+        IccMethod::ProviderQuery,
+        IccMethod::ProviderInsert,
+        IccMethod::ProviderUpdate,
+        IccMethod::ProviderDelete,
+    ];
+
     /// Returns `true` for the two-way ICC methods that produce passive
     /// reply Intents (paper Algorithm 1).
     pub fn requests_result(self) -> bool {

@@ -102,6 +102,7 @@ impl IccAnalyzer for DidFailAnalyzer {
         let options = AnalysisOptions {
             prune_dead_branches: false,
             model_dynamic_receivers: false,
+            ..AnalysisOptions::default()
         };
         let apps: Vec<AppModel> = apks.iter().map(|a| extract_apk_with(a, options)).collect();
         let mut out = BTreeSet::new();
@@ -171,6 +172,7 @@ impl IccAnalyzer for AmandroidAnalyzer {
         let options = AnalysisOptions {
             prune_dead_branches: true,
             model_dynamic_receivers: true,
+            ..AnalysisOptions::default()
         };
         let apps: Vec<AppModel> = apks.iter().map(|a| extract_apk_with(a, options)).collect();
         let mut out = BTreeSet::new();

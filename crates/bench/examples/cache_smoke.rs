@@ -1,0 +1,78 @@
+//! Model-cache CI smoke at corpus scale: analyze a 500-app scaled
+//! market twice through one content-hash [`ModelCache`]. The first run
+//! extracts every app (all misses); the second must be answered
+//! entirely from the cache, its span-derived extraction time at least
+//! 10x lower, and its report identical to the cold run's.
+
+use std::sync::Arc;
+
+use separ_core::{ModelCache, Separ};
+
+fn main() {
+    separ_obs::global().enable();
+    let spec = separ_corpus::market::MarketSpec::scaled(500, 7);
+    let market = separ_corpus::market::generate(&spec);
+    let packages: Vec<Vec<u8>> = market
+        .iter()
+        .map(|m| separ_dex::codec::encode(&m.apk).to_vec())
+        .collect();
+
+    let cache = Arc::new(ModelCache::new());
+    let mut runs = Vec::new();
+    for round in 0..2u32 {
+        separ_obs::global().reset();
+        let report = Separ::new()
+            .with_model_cache(cache.clone())
+            .analyze_packages(&packages)
+            .expect("well-formed packages");
+        println!(
+            "round {round}: extraction={:?} cache_hits={} cache_misses={} exploits={} policies={}",
+            report.stats.extraction_wall,
+            report.stats.cache_hits,
+            report.stats.cache_misses,
+            report.exploits.len(),
+            report.policies.len(),
+        );
+        runs.push(report);
+    }
+
+    let n = packages.len();
+    assert_eq!(
+        (runs[0].stats.cache_hits, runs[0].stats.cache_misses),
+        (0, n),
+        "cold run must extract every app"
+    );
+    assert_eq!(
+        (runs[1].stats.cache_hits, runs[1].stats.cache_misses),
+        (n, 0),
+        "warm run must be answered entirely from the cache"
+    );
+    let cold = runs[0].stats.extraction_wall;
+    let warm = runs[1].stats.extraction_wall;
+    assert!(
+        warm * 10 <= cold,
+        "warm extraction must be at least 10x faster (cold={cold:?} warm={warm:?})"
+    );
+    let sig = |r: &separ_core::Report| {
+        (
+            r.exploits
+                .iter()
+                .map(|e| format!("{e:?}"))
+                .collect::<Vec<_>>(),
+            r.policies
+                .iter()
+                .map(|p| format!("{p:?}"))
+                .collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(
+        sig(&runs[0]),
+        sig(&runs[1]),
+        "cached run must change nothing"
+    );
+    println!(
+        "cache smoke ok: {} apps, cold={cold:?} warm={warm:?} ({:.1}x)",
+        n,
+        cold.as_secs_f64() / warm.as_secs_f64().max(1e-9),
+    );
+}

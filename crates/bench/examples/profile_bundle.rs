@@ -200,6 +200,73 @@ fn main() {
     let reduction = 100.0 * (before - after) / before;
     println!("clause reduction: {reduction:.1}% ({before} -> {after})");
 
+    // --- Paper-scale extraction trajectory ------------------------------
+    // The paper's market experiment runs ~4,000 apps; extraction is the
+    // per-app stage, so it is what must scale. Collector off: these are
+    // clean wall times for the summary-based extractor, then for the
+    // content-hash model cache cold (miss path: hash + decode + extract)
+    // and warm (hit path: hash + lookup).
+    separ_obs::global().disable();
+    let scale_spec = separ_corpus::market::MarketSpec::scaled(4000, 7);
+    let scale_market = separ_corpus::market::generate(&scale_spec);
+    let scale_apks: Vec<_> = scale_market.into_iter().map(|m| m.apk).collect();
+    let scale_n = scale_apks.len() as f64;
+    let packages: Vec<Vec<u8>> = scale_apks
+        .iter()
+        .map(|a| separ_dex::codec::encode(a).to_vec())
+        .collect();
+
+    let t0 = Instant::now();
+    let mut scale_components = 0usize;
+    for apk in &scale_apks {
+        scale_components += separ_analysis::extractor::extract_apk(apk).components.len();
+    }
+    let extract_wall = t0.elapsed();
+    let extract_per_app = ms(extract_wall) / scale_n;
+
+    // Seed-bench reference: 89.366 ms extraction over 50 apps before the
+    // summary engine (committed BENCH_pipeline.json at the seed revision).
+    let baseline_per_app = 89.366 / 50.0;
+    let speedup = baseline_per_app / extract_per_app;
+
+    let cache = separ_analysis::cache::ModelCache::new();
+    let t0 = Instant::now();
+    for bytes in &packages {
+        let _ = cache.get_or_extract(bytes).expect("well-formed package");
+    }
+    let cold_wall = t0.elapsed();
+    let t0 = Instant::now();
+    for bytes in &packages {
+        let _ = cache.get_or_extract(bytes).expect("well-formed package");
+    }
+    let warm_wall = t0.elapsed();
+    let warm_per_app = ms(warm_wall) / scale_n;
+    let cache_stats = cache.stats();
+
+    println!(
+        "market scale({}): extract={extract_wall:?} ({extract_per_app:.3} ms/app, \
+         {speedup:.1}x vs seed {baseline_per_app:.3}) cold={cold_wall:?} warm={warm_wall:?} \
+         ({warm_per_app:.4} ms/app) hits={} misses={}",
+        scale_apks.len(),
+        cache_stats.memory_hits,
+        cache_stats.misses,
+    );
+    assert!(
+        speedup >= 2.0,
+        "summary-based extraction must stay well ahead of the seed baseline \
+         ({extract_per_app:.3} ms/app vs {baseline_per_app:.3})"
+    );
+    assert!(
+        warm_per_app < extract_per_app / 4.0,
+        "a warm model cache must make re-extraction near-free \
+         ({warm_per_app:.4} ms/app vs {extract_per_app:.3} cold)"
+    );
+    assert_eq!(
+        (cache_stats.memory_hits, cache_stats.misses),
+        (scale_apks.len() as u64, scale_apks.len() as u64),
+        "second pass must be answered entirely from the cache"
+    );
+
     // Disabled overhead: the workload executes one probe per recorded
     // span; extrapolate their no-op cost against the untraced wall time.
     // (An upper bound — it charges every probe at the measured hot-loop
@@ -231,6 +298,20 @@ fn main() {
             "    \"spans_per_run\": {},\n",
             "    \"disabled_overhead_pct\": {:.4}\n",
             "  }},\n",
+            "  \"market_scale\": {{\n",
+            "    \"workload\": \"market scaled(4000, 7)\",\n",
+            "    \"apps\": {},\n",
+            "    \"components\": {},\n",
+            "    \"seed_baseline_per_app_ms\": {:.3},\n",
+            "    \"extraction_wall_ms\": {:.3},\n",
+            "    \"extraction_per_app_ms\": {:.3},\n",
+            "    \"speedup_vs_seed\": {:.2},\n",
+            "    \"cache_cold_wall_ms\": {:.3},\n",
+            "    \"cache_warm_wall_ms\": {:.3},\n",
+            "    \"cache_warm_per_app_ms\": {:.4},\n",
+            "    \"cache_memory_hits\": {},\n",
+            "    \"cache_misses\": {}\n",
+            "  }},\n",
             "  \"runs\": [\n"
         ),
         apks.len(),
@@ -241,6 +322,17 @@ fn main() {
         disabled_span_ns,
         spans_per_run as u64,
         disabled_overhead_pct,
+        scale_apks.len(),
+        scale_components,
+        baseline_per_app,
+        ms(extract_wall),
+        extract_per_app,
+        speedup,
+        ms(cold_wall),
+        ms(warm_wall),
+        warm_per_app,
+        cache_stats.memory_hits,
+        cache_stats.misses,
     );
     for (i, run) in runs.iter().enumerate() {
         run_json(&mut out, run);

@@ -30,7 +30,10 @@ pub use encode::BundleBase;
 pub use exec::Executor;
 pub use exploit::{Exploit, VulnKind};
 pub use incremental::{IncrementalSession, PolicyDelta};
-pub use pipeline::{BundleStats, CountStats, Report, Separ, SeparConfig, SignatureStats};
+pub use pipeline::{
+    AnalyzeError, BundleStats, CountStats, Report, Separ, SeparConfig, SignatureStats,
+};
 pub use policy::{Condition, Policy, PolicyAction, PolicyEvent};
+pub use separ_analysis::cache::{CacheOutcome, CacheStats, ModelCache};
 pub use signature::{SignatureRegistry, Synthesis, SynthesisContext, VulnerabilitySignature};
 pub use spec::TextualSignature;

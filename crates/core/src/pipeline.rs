@@ -17,11 +17,14 @@
 //! crate) enable the collector first.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::Duration;
 
-use separ_analysis::extractor::extract_apk;
+use separ_analysis::cache::{CacheOutcome, ModelCache};
+use separ_analysis::extractor::{extract, extract_apk};
 use separ_analysis::model::{update_passive_intent_targets, AppModel};
 use separ_android::resolution;
+use separ_dex::error::DexError;
 use separ_dex::program::Apk;
 use separ_logic::{CnfEncoding, FinderOptions, LogicError, SolverStats};
 
@@ -143,6 +146,11 @@ pub struct BundleStats {
     pub conflicts: u64,
     /// Total SAT propagations across signatures.
     pub propagations: u64,
+    /// Apps whose model came from the content-hash cache (always zero
+    /// without [`Separ::with_model_cache`]).
+    pub cache_hits: usize,
+    /// Apps whose model was extracted from scratch this run.
+    pub cache_misses: usize,
     /// Per-signature breakdown, in registry order.
     pub per_signature: Vec<SignatureStats>,
 }
@@ -161,6 +169,8 @@ impl BundleStats {
             primary_vars: self.primary_vars,
             cnf_clauses: self.cnf_clauses,
             shared_base_reuse: self.shared_base_reuse,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
             per_signature: self
                 .per_signature
                 .iter()
@@ -191,9 +201,46 @@ pub struct CountStats {
     pub cnf_clauses: usize,
     /// Signatures that translated from the shared per-bundle base.
     pub shared_base_reuse: usize,
+    /// Apps whose model came from the content-hash cache.
+    pub cache_hits: usize,
+    /// Apps whose model was extracted from scratch this run.
+    pub cache_misses: usize,
     /// Per signature: `(name, primary_vars, cnf_clauses, exploits)` in
     /// registry order.
     pub per_signature: Vec<(&'static str, usize, usize, usize)>,
+}
+
+/// An end-to-end analysis failure: either a package failed to decode or
+/// a signature produced an ill-typed specification.
+#[derive(Debug)]
+pub enum AnalyzeError {
+    /// A binary package is malformed.
+    Dex(DexError),
+    /// A signature specification is ill-typed.
+    Logic(LogicError),
+}
+
+impl std::fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalyzeError::Dex(e) => write!(f, "package decode failed: {e}"),
+            AnalyzeError::Logic(e) => write!(f, "signature synthesis failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+impl From<DexError> for AnalyzeError {
+    fn from(e: DexError) -> AnalyzeError {
+        AnalyzeError::Dex(e)
+    }
+}
+
+impl From<LogicError> for AnalyzeError {
+    fn from(e: LogicError) -> AnalyzeError {
+        AnalyzeError::Logic(e)
+    }
 }
 
 /// The result of analyzing one bundle.
@@ -244,6 +291,7 @@ impl Report {
 pub struct Separ {
     registry: SignatureRegistry,
     config: SeparConfig,
+    model_cache: Option<Arc<ModelCache>>,
 }
 
 impl Default for Separ {
@@ -258,6 +306,7 @@ impl Separ {
         Separ {
             registry: SignatureRegistry::standard(),
             config: SeparConfig::default(),
+            model_cache: None,
         }
     }
 
@@ -266,7 +315,22 @@ impl Separ {
         Separ {
             registry,
             config: SeparConfig::default(),
+            model_cache: None,
         }
+    }
+
+    /// Attaches a content-hash model cache: extraction is skipped for
+    /// packages whose bytes the cache has seen before (see
+    /// [`ModelCache`]). Share one cache across engines to share its
+    /// memory.
+    pub fn with_model_cache(mut self, cache: Arc<ModelCache>) -> Separ {
+        self.model_cache = Some(cache);
+        self
+    }
+
+    /// The attached model cache, if any.
+    pub fn model_cache(&self) -> Option<&Arc<ModelCache>> {
+        self.model_cache.as_ref()
     }
 
     /// Overrides the configuration.
@@ -303,13 +367,56 @@ impl Separ {
         let _root = obs.span("pipeline.analyze");
         let extraction = obs.span("pipeline.extraction");
         let extraction_id = extraction.id();
-        let apps = self.executor().ordered_map(apks, extract_apk);
+        let (apps, hits, misses) = match &self.model_cache {
+            None => {
+                let apps = self.executor().ordered_map(apks, extract_apk);
+                let misses = apps.len();
+                (apps, 0, misses)
+            }
+            Some(cache) => {
+                let results = self
+                    .executor()
+                    .ordered_map(apks, |apk| cache.get_or_extract_apk(apk));
+                collect_cached(results)
+            }
+        };
         drop(extraction);
         let mut report = self.analyze_models(apps)?;
         // Wall time is the stage span; CPU time sums the per-app
         // `ame.extract` spans the workers recorded beneath it.
         report.stats.extraction_wall = obs.duration(extraction_id);
         report.stats.extraction_cpu = obs.subtree_sum(extraction_id, "ame.extract");
+        report.stats.cache_hits = hits;
+        report.stats.cache_misses = misses;
+        Ok(report)
+    }
+
+    /// Analyzes a bundle of *binary* packages end to end: decode →
+    /// verify → extract (or a cache hit skipping all three) → synthesis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalyzeError::Dex`] if an uncached package fails to
+    /// decode, or [`AnalyzeError::Logic`] if a signature produced an
+    /// ill-typed specification.
+    pub fn analyze_packages(&self, packages: &[Vec<u8>]) -> Result<Report, AnalyzeError> {
+        let obs = separ_obs::global();
+        let _root = obs.span("pipeline.analyze");
+        let extraction = obs.span("pipeline.extraction");
+        let extraction_id = extraction.id();
+        let results =
+            self.executor()
+                .try_ordered_map(packages, |bytes| match &self.model_cache {
+                    Some(cache) => cache.get_or_extract(bytes),
+                    None => extract(bytes).map(|m| (Arc::new(m), CacheOutcome::Miss)),
+                })?;
+        let (apps, hits, misses) = collect_cached(results);
+        drop(extraction);
+        let mut report = self.analyze_models(apps)?;
+        report.stats.extraction_wall = obs.duration(extraction_id);
+        report.stats.extraction_cpu = obs.subtree_sum(extraction_id, "ame.extract");
+        report.stats.cache_hits = hits;
+        report.stats.cache_misses = misses;
         Ok(report)
     }
 
@@ -390,6 +497,16 @@ impl Separ {
             stats,
         })
     }
+}
+
+/// Unpacks per-app cache results into owned models plus hit/miss tallies
+/// (the models are cloned out of their [`Arc`]s because the bundle-level
+/// passive-intent resolution mutates them).
+fn collect_cached(results: Vec<(Arc<AppModel>, CacheOutcome)>) -> (Vec<AppModel>, usize, usize) {
+    let hits = results.iter().filter(|(_, o)| o.is_hit()).count();
+    let misses = results.len() - hits;
+    let apps = results.into_iter().map(|(m, _)| (*m).clone()).collect();
+    (apps, hits, misses)
 }
 
 /// Runs `sig.synthesize_with` for every registry signature selected by

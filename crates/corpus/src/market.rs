@@ -521,6 +521,112 @@ mod tests {
     }
 
     #[test]
+    fn scaled_spec_matches_paper_scale() {
+        // The paper's market experiment analyzes ~4,000 apps drawn from
+        // four repositories; scaling preserves the 1600/1100/1200/100
+        // split exactly at that size and proportionally beyond it.
+        let spec = MarketSpec::scaled(4000, 1);
+        assert_eq!(spec.total(), 4000);
+        assert_eq!(spec.google_play, 1600);
+        assert_eq!(spec.fdroid, 1100);
+        assert_eq!(spec.malgenome, 1200);
+        assert_eq!(spec.bazaar, 100);
+
+        let big = MarketSpec::scaled(10_000, 1);
+        assert_eq!(big.total(), 10_000);
+        assert_eq!(big.google_play, 4000);
+        assert_eq!(big.fdroid, 2750);
+        assert_eq!(big.malgenome, 3000);
+        assert_eq!(big.bazaar, 250);
+    }
+
+    #[test]
+    fn market_scale_generation_is_seed_deterministic() {
+        // Full-Apk equality at 4,000 apps is slow; per-app digests of the
+        // wire encoding give the same guarantee.
+        let digest = |market: &[MarketApp]| -> Vec<[u8; 32]> {
+            market
+                .iter()
+                .map(|a| separ_analysis::cache::sha256(&separ_dex::codec::encode(&a.apk)))
+                .collect()
+        };
+        let spec = MarketSpec::scaled(4000, 17);
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.len(), 4000);
+        assert_eq!(digest(&a), digest(&b));
+        let other = generate(&MarketSpec::scaled(4000, 18));
+        assert_ne!(
+            digest(&a),
+            digest(&other),
+            "different seeds must produce different markets"
+        );
+    }
+
+    #[test]
+    fn market_scale_injects_every_signature_family() {
+        let market = generate(&MarketSpec::scaled(4000, 5));
+        let with_marker = |marker: &str| {
+            market
+                .iter()
+                .filter(|a| {
+                    a.apk
+                        .manifest
+                        .components
+                        .iter()
+                        .any(|c| c.class.contains(marker))
+                })
+                .count()
+        };
+        for marker in [
+            "Beacon",
+            "Door",
+            "Collector",
+            "Uploader",
+            "SmsProxy",
+            "Listener",
+        ] {
+            assert!(
+                with_marker(marker) >= 1,
+                "no {marker} apps in a 4,000-app market"
+            );
+        }
+        let vulnerable = market
+            .iter()
+            .filter(|a| {
+                a.apk.manifest.components.iter().any(|c| {
+                    ["Beacon", "Door", "Collector", "SmsProxy"]
+                        .iter()
+                        .any(|m| c.class.contains(m))
+                })
+            })
+            .count();
+        assert!(
+            (200..=700).contains(&vulnerable),
+            "injection rate drifted out of the expected band: {vulnerable}/4000"
+        );
+    }
+
+    #[test]
+    fn market_scale_bundle_finds_every_signature_family_end_to_end() {
+        use separ_core::{Separ, VulnKind};
+        let market = generate(&MarketSpec::scaled(300, 2));
+        let apks: Vec<Apk> = market.into_iter().map(|a| a.apk).collect();
+        let report = Separ::new()
+            .analyze_apks(&apks)
+            .expect("market bundle analyzes");
+        // Generation and synthesis are both deterministic, so the exploit
+        // census is pinned exactly; drift here means extraction or
+        // synthesis semantics changed.
+        assert_eq!(report.exploits_of(VulnKind::IntentHijack).count(), 5);
+        assert_eq!(report.exploits_of(VulnKind::ComponentLaunch).count(), 15);
+        assert_eq!(report.exploits_of(VulnKind::InformationLeakage).count(), 22);
+        assert_eq!(report.exploits_of(VulnKind::PrivilegeEscalation).count(), 4);
+        assert_eq!(report.exploits.len(), 46);
+        assert_eq!(report.policies.len(), 46);
+    }
+
+    #[test]
     fn injection_rates_produce_vulnerable_apps_at_scale() {
         // At a few hundred apps the expected counts are comfortably > 0.
         let spec = MarketSpec::scaled(400, 5);

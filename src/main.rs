@@ -11,6 +11,7 @@
 //!     --events <file>                      write the structured event log as JSONL
 //!     --encoding <pg|tseitin>              CNF encoding (polarity-aware pg is the default)
 //!     --symmetry-breaking                  conjoin lex-leader symmetry-breaking predicates
+//!     --model-cache <dir>                  reuse extracted models keyed by package content hash
 //! separ disasm <app.sdex>                  disassemble a package
 //! separ lint <app.sdex>... [--json]        verify packages, report diagnostics
 //! separ enforce <app.sdex>... --policies <file> --launch <pkg> <Class> [--stats]
@@ -86,6 +87,7 @@ fn cmd_analyze(args: &[String]) -> CliResult {
     let mut events_out: Option<String> = None;
     let mut print_alloy = false;
     let mut print_stats = false;
+    let mut model_cache_dir: Option<String> = None;
     let mut config = SeparConfig::default();
     let mut i = 0;
     while i < args.len() {
@@ -131,6 +133,14 @@ fn cmd_analyze(args: &[String]) -> CliResult {
                 };
             }
             "--symmetry-breaking" => config.symmetry_breaking = true,
+            "--model-cache" => {
+                i += 1;
+                model_cache_dir = Some(
+                    args.get(i)
+                        .ok_or("analyze: --model-cache needs a directory")?
+                        .clone(),
+                );
+            }
             f if f.starts_with('-') => {
                 return Err(format!("analyze: unknown option {f}"));
             }
@@ -148,10 +158,14 @@ fn cmd_analyze(args: &[String]) -> CliResult {
         .iter()
         .map(|f| load_apk(f))
         .collect::<Result<_, _>>()?;
-    let report = Separ::new()
-        .with_config(config)
-        .analyze_apks(&apks)
-        .map_err(|e| e.to_string())?;
+    let mut separ = Separ::new().with_config(config);
+    let model_cache = model_cache_dir
+        .as_ref()
+        .map(|dir| std::sync::Arc::new(separ::core::ModelCache::with_dir(dir)));
+    if let Some(cache) = &model_cache {
+        separ = separ.with_model_cache(cache.clone());
+    }
+    let report = separ.analyze_apks(&apks).map_err(|e| e.to_string())?;
     println!(
         "bundle: {} app(s), {} component(s), {} intent(s)",
         report.apps.len(),
@@ -167,6 +181,17 @@ fn cmd_analyze(args: &[String]) -> CliResult {
         report.stats.construction,
         report.stats.solving,
     );
+    if let Some(cache) = &model_cache {
+        let cs = cache.stats();
+        println!(
+            "model cache: {} hit(s) ({} memory, {} disk), {} miss(es), {} corrupt entr(ies)",
+            report.stats.cache_hits,
+            cs.memory_hits,
+            cs.disk_hits,
+            report.stats.cache_misses,
+            cs.corrupt,
+        );
+    }
     if report.stats.quarantined_methods > 0 {
         println!(
             "warning: {} method(s) quarantined by the bytecode verifier (run `separ lint` for details)",
@@ -177,6 +202,10 @@ fn cmd_analyze(args: &[String]) -> CliResult {
         println!(
             "verifier: {} diagnostic(s), {} quarantined method(s)",
             report.stats.diagnostics, report.stats.quarantined_methods
+        );
+        println!(
+            "extraction: {} model-cache hit(s), {} miss(es)",
+            report.stats.cache_hits, report.stats.cache_misses
         );
         println!(
             "solver: {} primary vars, {} clauses, {}/{} signatures reused the shared bundle base",
