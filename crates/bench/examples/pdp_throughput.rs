@@ -1,0 +1,412 @@
+//! Sustained PDP decision throughput: linear scan vs compiled index.
+//!
+//! Builds a market-scale synthetic policy set (thousands of policies over
+//! more than a thousand components, the regime the paper's 4,000-app
+//! Google Play experiment implies for a device-wide PDP), then measures:
+//!
+//! 1. **Differential correctness** — every workload context decides
+//!    identically on [`LinearPdp`] and the compiled [`Pdp`] (the
+//!    throughput comparison is meaningless if the engines disagree);
+//! 2. **Single-thread throughput** — decisions/sec for linear vs
+//!    compiled on the same workload; the compiled engine must be at
+//!    least 5x faster at full scale (in practice: orders of magnitude);
+//! 3. **Concurrency scaling** — aggregate decisions/sec with 1, 4 and 16
+//!    reader threads sharing one [`SharedPdp`], with a policy delta
+//!    published mid-run on the multi-threaded legs to exercise the
+//!    atomic swap under load. The lock-free read path must not collapse
+//!    under contention (the host may have a single core, so the honest
+//!    assertion is "no collapse", not "linear speedup"; the JSON records
+//!    the core count alongside the numbers).
+//!
+//! Results land in `BENCH_pdp.json`. Run with `--quick` for the CI smoke
+//! configuration (smaller set, same assertions except the 5x bar, which
+//! only makes sense at scale).
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use separ_core::policy::{Condition, Policy, PolicyAction, PolicyEvent};
+use separ_enforce::pdp::{IccContext, LinearPdp, Pdp, PromptHandler};
+use separ_enforce::SharedPdp;
+
+/// Deterministic xorshift64* — the workload must be identical across
+/// runs and machines so BENCH_pdp.json diffs are meaningful.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+struct Scale {
+    policies: usize,
+    components: usize,
+    apps: usize,
+}
+
+const FULL: Scale = Scale {
+    policies: 6_000,
+    components: 1_500,
+    apps: 400,
+};
+const QUICK: Scale = Scale {
+    policies: 400,
+    components: 150,
+    apps: 40,
+};
+
+const VULNS: &[&str] = &[
+    "intent-hijack",
+    "intent-spoof",
+    "information-leakage",
+    "broadcast-injection",
+    "component-launch",
+];
+
+fn component(i: usize) -> String {
+    format!("LComp{i};")
+}
+
+fn app(i: usize) -> String {
+    format!("com.market.app{i}")
+}
+
+fn action_name(i: usize) -> String {
+    format!("com.market.ACTION_{i}")
+}
+
+/// A synthetic device-wide policy set with the paper's shape: the vast
+/// majority of rules guard one receiving component (bucketable), a
+/// minority constrain send events or carry no receiver (fallback scan).
+fn market_policies(rng: &mut Rng, scale: &Scale) -> Vec<Policy> {
+    let mut out = Vec::with_capacity(scale.policies);
+    for i in 0..scale.policies {
+        let mut conditions = Vec::new();
+        // ~2% of rules have no receiver guard (send-side or device-wide
+        // rules); they land in the fallback list every decision scans, so
+        // they are selective the way real synthesized rules are — a
+        // specific sender, usually with a specific action.
+        let bucketed = rng.below(50) < 49;
+        if bucketed {
+            conditions.push(Condition::ReceiverIs(component(
+                rng.below(scale.components),
+            )));
+            match rng.below(4) {
+                0 => conditions.push(Condition::SenderNotIn(vec![
+                    component(rng.below(scale.components)),
+                    component(rng.below(scale.components)),
+                ])),
+                1 => conditions.push(Condition::ActionIs(action_name(rng.below(64)))),
+                2 => conditions.push(Condition::ExtraTagged(
+                    ["LOCATION", "IMEI", "SMS", "CONTACTS"][rng.below(4)].to_string(),
+                )),
+                _ => conditions.push(Condition::SenderAppNotIn(vec![
+                    app(rng.below(scale.apps)),
+                    app(rng.below(scale.apps)),
+                ])),
+            }
+        } else {
+            conditions.push(Condition::SenderIs(component(rng.below(scale.components))));
+            if rng.below(2) == 0 {
+                conditions.push(Condition::ActionIs(action_name(rng.below(64))));
+            }
+        }
+        out.push(Policy {
+            id: i as u32,
+            vulnerability: VULNS[rng.below(VULNS.len())].to_string(),
+            event: if bucketed || rng.below(2) == 0 {
+                PolicyEvent::IccReceive
+            } else {
+                PolicyEvent::IccSend
+            },
+            conditions,
+            action: match rng.below(10) {
+                0 => PolicyAction::Allow,
+                1 => PolicyAction::Prompt,
+                _ => PolicyAction::Deny,
+            },
+            rationale: String::new(),
+        });
+    }
+    out
+}
+
+/// The per-decision workload an enforcing device sees: mostly benign
+/// traffic to components nobody guards or contexts that fail the guard
+/// conditions, a steady fraction of genuine policy hits, some traffic to
+/// entirely unknown components (pool misses) and send-side events that
+/// only the fallback lists can answer.
+fn workload(rng: &mut Rng, scale: &Scale, n: usize) -> Vec<(PolicyEvent, IccContext)> {
+    (0..n)
+        .map(|_| {
+            let kind = rng.below(10);
+            let event = if kind < 8 {
+                PolicyEvent::IccReceive
+            } else {
+                PolicyEvent::IccSend
+            };
+            let ctx = IccContext {
+                sender_app: app(rng.below(scale.apps)),
+                sender_component: component(rng.below(scale.components)),
+                receiver_app: Some(app(rng.below(scale.apps))),
+                receiver_component: if kind < 7 {
+                    Some(component(rng.below(scale.components)))
+                } else if kind == 7 {
+                    // A component no policy mentions: string-pool miss,
+                    // index answers straight from the fallback list.
+                    Some(format!("LStranger{};", rng.below(64)))
+                } else {
+                    None
+                },
+                action: if rng.below(3) == 0 {
+                    Some(action_name(rng.below(64)))
+                } else {
+                    None
+                },
+                tags: if rng.below(4) == 0 {
+                    [separ_android::types::Resource::Location]
+                        .into_iter()
+                        .collect()
+                } else {
+                    Default::default()
+                },
+            };
+            (event, ctx)
+        })
+        .collect()
+}
+
+fn bundle(_scale: &Scale) -> Vec<String> {
+    (0..8).map(app).collect()
+}
+
+/// Runs `eval` over the workload repeatedly until `min_wall` elapses,
+/// returning (decisions, wall). Each decision feeds `black_box` so the
+/// loop cannot be optimized away.
+fn measure(
+    work: &[(PolicyEvent, IccContext)],
+    min_wall: Duration,
+    mut eval: impl FnMut(PolicyEvent, &IccContext) -> bool,
+) -> (u64, Duration) {
+    let start = Instant::now();
+    let mut decisions = 0u64;
+    loop {
+        for (event, ctx) in work {
+            black_box(eval(*event, ctx));
+        }
+        decisions += work.len() as u64;
+        if start.elapsed() >= min_wall {
+            return (decisions, start.elapsed());
+        }
+    }
+}
+
+struct Leg {
+    threads: usize,
+    decisions: u64,
+    wall: Duration,
+    swaps: u64,
+}
+
+/// One scaling leg: `threads` readers hammer the shared handle for
+/// `min_wall`; on multi-threaded legs a writer publishes a policy delta
+/// mid-run (retiring one policy, adding one) so the swap happens under
+/// full read load.
+fn scaling_leg(
+    shared: &SharedPdp,
+    work: &[(PolicyEvent, IccContext)],
+    threads: usize,
+    min_wall: Duration,
+    delta: Option<(Vec<Policy>, Vec<Policy>)>,
+) -> Leg {
+    let evals_before = shared.evaluations();
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                let mut reader = shared.reader();
+                let mut prompt = PromptHandler::AlwaysDeny;
+                loop {
+                    for (event, ctx) in work {
+                        black_box(reader.evaluate(*event, ctx, &mut prompt));
+                    }
+                    if start.elapsed() >= min_wall {
+                        break;
+                    }
+                }
+            });
+        }
+        if let Some((added, removed)) = delta {
+            std::thread::sleep(min_wall / 2);
+            shared.apply_delta(added, &removed);
+        }
+    });
+    Leg {
+        threads,
+        decisions: shared.evaluations() - evals_before,
+        wall: start.elapsed(),
+        swaps: if threads > 1 { 1 } else { 0 },
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { QUICK } else { FULL };
+    let mut rng = Rng(0x5ebb_a5e5_eed5_0001);
+    let policies = market_policies(&mut rng, &scale);
+    let work = workload(&mut rng, &scale, 2_000);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!(
+        "pdp_throughput: {} policies, {} components, {} workload contexts, {} core(s){}",
+        policies.len(),
+        scale.components,
+        work.len(),
+        cores,
+        if quick { " [quick]" } else { "" }
+    );
+
+    // 1. Differential correctness on the exact benchmark workload.
+    let mut linear = LinearPdp::new(policies.clone(), bundle(&scale));
+    let mut compiled = Pdp::new(policies.clone(), bundle(&scale));
+    let mut hits = 0u64;
+    for (event, ctx) in &work {
+        let want = linear.evaluate(*event, ctx);
+        let got = compiled.evaluate(*event, ctx);
+        assert_eq!(got, want, "engines disagree on {event:?} {ctx:?}");
+        if !matches!(got, separ_enforce::Decision::Allow) {
+            hits += 1;
+        }
+    }
+    println!(
+        "  differential: {} contexts decide identically ({} non-allow)",
+        work.len(),
+        hits
+    );
+    assert!(
+        hits > 0,
+        "workload never hits a policy; benchmark is vacuous"
+    );
+
+    // 2. Single-thread throughput, linear vs compiled.
+    let min_wall = Duration::from_millis(if quick { 300 } else { 1_000 });
+    let (lin_n, lin_wall) = measure(&work, min_wall, |e, c| linear.evaluate(e, c).allows());
+    let (cmp_n, cmp_wall) = measure(&work, min_wall, |e, c| compiled.evaluate(e, c).allows());
+    let lin_rate = lin_n as f64 / lin_wall.as_secs_f64();
+    let cmp_rate = cmp_n as f64 / cmp_wall.as_secs_f64();
+    let speedup = cmp_rate / lin_rate;
+    println!(
+        "  single-thread: linear {:.0}/s, compiled {:.0}/s, speedup {:.1}x",
+        lin_rate, cmp_rate, speedup
+    );
+    if quick {
+        assert!(
+            speedup >= 1.0,
+            "compiled PDP slower than linear scan even at quick scale ({speedup:.2}x)"
+        );
+    } else {
+        assert!(
+            speedup >= 5.0,
+            "compiled PDP must be at least 5x the linear scan at market scale, got {speedup:.2}x"
+        );
+    }
+
+    // 3. Concurrency scaling on the shared handle, swap under load.
+    let shared = compiled.shared();
+    let mut legs = Vec::new();
+    for threads in [1usize, 4, 16] {
+        let delta = if threads > 1 {
+            let retired = policies[threads % policies.len()].clone();
+            let mut fresh = retired.clone();
+            fresh.id = 0;
+            fresh.vulnerability = "information-leakage".into();
+            fresh
+                .conditions
+                .push(Condition::SenderIs(component(threads)));
+            Some((vec![fresh], vec![retired]))
+        } else {
+            None
+        };
+        let leg = scaling_leg(&shared, &work, threads, min_wall, delta);
+        println!(
+            "  {} reader(s): {:.0} decisions/s aggregate ({} decisions, {:.0} ms, {} swap(s))",
+            leg.threads,
+            leg.decisions as f64 / leg.wall.as_secs_f64(),
+            leg.decisions,
+            leg.wall.as_secs_f64() * 1e3,
+            leg.swaps
+        );
+        legs.push(leg);
+    }
+    let single = legs[0].decisions as f64 / legs[0].wall.as_secs_f64();
+    for leg in &legs[1..] {
+        let rate = leg.decisions as f64 / leg.wall.as_secs_f64();
+        // With one core the honest expectation is "flat"; with more
+        // cores, "higher". Either way contention must not collapse the
+        // read path.
+        assert!(
+            rate >= 0.5 * single,
+            "throughput collapsed under {} readers: {:.0}/s vs {:.0}/s single",
+            leg.threads,
+            rate,
+            single
+        );
+    }
+
+    let mut out = String::from("{\n");
+    let _ = write!(
+        out,
+        concat!(
+            "  \"workload\": \"synthetic market policy set\",\n",
+            "  \"quick\": {},\n",
+            "  \"cores\": {},\n",
+            "  \"policies\": {},\n",
+            "  \"components\": {},\n",
+            "  \"contexts\": {},\n",
+            "  \"non_allow_decisions_in_workload\": {},\n",
+            "  \"single_thread\": {{\n",
+            "    \"linear_decisions_per_sec\": {:.0},\n",
+            "    \"compiled_decisions_per_sec\": {:.0},\n",
+            "    \"speedup\": {:.2}\n",
+            "  }},\n",
+            "  \"scaling\": [\n"
+        ),
+        quick,
+        cores,
+        policies.len(),
+        scale.components,
+        work.len(),
+        hits,
+        lin_rate,
+        cmp_rate,
+        speedup,
+    );
+    for (i, leg) in legs.iter().enumerate() {
+        let _ = write!(
+            out,
+            concat!(
+                "    {{ \"threads\": {}, \"decisions\": {}, \"wall_ms\": {:.1}, ",
+                "\"decisions_per_sec\": {:.0}, \"swaps_mid_run\": {} }}{}\n"
+            ),
+            leg.threads,
+            leg.decisions,
+            leg.wall.as_secs_f64() * 1e3,
+            leg.decisions as f64 / leg.wall.as_secs_f64(),
+            leg.swaps,
+            if i + 1 == legs.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write("BENCH_pdp.json", &out).expect("write BENCH_pdp.json");
+    println!("wrote BENCH_pdp.json");
+}

@@ -250,10 +250,7 @@ impl IncrementalSession {
 
 /// Policy identity modulo the (renumbered) id.
 fn same_policy(a: &Policy, b: &Policy) -> bool {
-    a.vulnerability == b.vulnerability
-        && a.event == b.event
-        && a.conditions == b.conditions
-        && a.action == b.action
+    a.content_key() == b.content_key()
 }
 
 #[cfg(test)]

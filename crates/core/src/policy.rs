@@ -10,7 +10,7 @@ use std::collections::BTreeSet;
 use crate::exploit::{Exploit, VulnKind};
 
 /// The ICC event a policy guards.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum PolicyEvent {
     /// An intent is about to leave a component.
     IccSend,
@@ -19,7 +19,7 @@ pub enum PolicyEvent {
 }
 
 /// A conjunctive condition over an intercepted ICC event.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Condition {
     /// The receiving component's class equals this.
     ReceiverIs(String),
@@ -39,7 +39,7 @@ pub enum Condition {
 }
 
 /// What the enforcement point does when the conditions hold.
-#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum PolicyAction {
     /// Ask the user; proceed only on consent.
     Prompt,
@@ -64,6 +64,59 @@ pub struct Policy {
     pub action: PolicyAction,
     /// Human-readable justification shown in the user prompt.
     pub rationale: String,
+}
+
+/// The content identity of a [`Policy`]: everything that affects what the
+/// policy *matches and does*, ignoring the set-local `id` and the
+/// cosmetic `rationale`. Two policies with equal keys are interchangeable
+/// for enforcement, so delta application and compiled-set deduplication
+/// match on this rather than on ids.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PolicyKey<'a> {
+    /// The vulnerability category.
+    pub vulnerability: &'a str,
+    /// The guarded event.
+    pub event: PolicyEvent,
+    /// The conjunctive conditions.
+    pub conditions: &'a [Condition],
+    /// The enforcement action.
+    pub action: PolicyAction,
+}
+
+impl Policy {
+    /// This policy's content identity (see [`PolicyKey`]).
+    pub fn content_key(&self) -> PolicyKey<'_> {
+        PolicyKey {
+            vulnerability: &self.vulnerability,
+            event: self.event,
+            conditions: &self.conditions,
+            action: self.action,
+        }
+    }
+}
+
+/// Applies a policy-set delta in place: `removed` policies are retired by
+/// content identity (ids are irrelevant), then `added` policies are
+/// appended with **fresh, monotonically increasing ids** — ids of
+/// unchanged policies are never renumbered, so audit logs stay diffable
+/// across deltas. Added policies whose content duplicates a surviving (or
+/// earlier-added) policy are dropped: first occurrence wins, matching the
+/// PDP's first-match evaluation order.
+pub fn merge_delta(current: &mut Vec<Policy>, added: Vec<Policy>, removed: &[Policy]) {
+    use std::collections::BTreeSet;
+    // Fresh ids start above anything ever seen in this set, including the
+    // ids being retired — a retired id is never reused.
+    let mut next_id = current.iter().map(|p| p.id + 1).max().unwrap_or(0);
+    let retired: BTreeSet<PolicyKey<'_>> = removed.iter().map(Policy::content_key).collect();
+    current.retain(|p| !retired.contains(&p.content_key()));
+    for mut p in added {
+        if current.iter().any(|q| q.content_key() == p.content_key()) {
+            continue;
+        }
+        p.id = next_id;
+        next_id += 1;
+        current.push(p);
+    }
 }
 
 /// Derives the preventive policies for one exploit.

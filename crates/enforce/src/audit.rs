@@ -5,6 +5,7 @@
 //! attack's SMS never left the device".
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 use separ_android::resolution::IntentData;
 use separ_android::types::Resource;
@@ -34,8 +35,9 @@ pub enum AuditEvent {
     IccBlocked {
         /// The id of the deciding policy.
         policy_id: u32,
-        /// The guarded vulnerability category.
-        vulnerability: String,
+        /// The guarded vulnerability category (shared with the deciding
+        /// policy set — recording a block allocates no string).
+        vulnerability: Arc<str>,
         /// Where the event was heading.
         to_component: Option<String>,
     },

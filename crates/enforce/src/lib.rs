@@ -11,6 +11,8 @@
 //!   resolution rules and plants the enforcement points exactly where the
 //!   paper's hooks sit (every ICC call and every delivery);
 //! * [`pdp`] — ECA policy evaluation with pluggable user prompts;
+//! * [`compiled`] — the indexed, lock-free-readable compiled form of an
+//!   installed policy set that the production [`pdp::Pdp`] runs on;
 //! * [`tag`] — in-band payload tagging so conditions like
 //!   `Intent.extra: LOCATION` are checkable at interception time;
 //! * [`audit`] — the device audit log tests and benchmarks assert on.
@@ -20,10 +22,12 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod compiled;
 pub mod pdp;
 pub mod runtime;
 pub mod tag;
 
 pub use audit::{AuditEvent, AuditLog};
-pub use pdp::{Decision, IccContext, Pdp, PromptHandler};
+pub use compiled::{probe_contexts, CompiledPolicySet, PdpReader, SharedPdp};
+pub use pdp::{Decision, IccContext, LinearPdp, Pdp, PromptHandler};
 pub use runtime::{Device, Envelope, HookStats};

@@ -5,11 +5,24 @@
 //! ICC method. Here the PDP evaluates ECA rules against an
 //! [`IccContext`] and consults a pluggable prompt handler when a rule's
 //! action is [`PolicyAction::Prompt`].
+//!
+//! Two implementations share this module's types:
+//!
+//! * [`Pdp`] — the production engine: a facade over the compiled, indexed
+//!   decision structure in [`crate::compiled`] (string-pool ids, receiver
+//!   buckets, lock-free shared reads, allocation-free denies);
+//! * [`LinearPdp`] — the retained linear-scan reference, kept as the
+//!   executable specification. The differential property suite
+//!   (`tests/pdp_equivalence.rs`) proves the compiled engine decides
+//!   identically, prompt-for-prompt, including across deltas.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::Arc;
 
 use separ_android::types::Resource;
-use separ_core::policy::{Condition, Policy, PolicyAction, PolicyEvent};
+use separ_core::policy::{self, Condition, Policy, PolicyAction, PolicyEvent};
+
+use crate::compiled::{CompiledPolicySet, PdpReader, SharedPdp};
 
 /// Everything a condition can inspect about an intercepted ICC event.
 #[derive(Clone, Debug, Default)]
@@ -29,6 +42,10 @@ pub struct IccContext {
 }
 
 /// The decision for one event.
+///
+/// Deny decisions carry the vulnerability category as an `Arc<str>`
+/// cloned from the compiled set's intern table — building one allocates
+/// nothing on the decision path.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Decision {
     /// No policy matched, or a matching policy allowed it.
@@ -38,14 +55,14 @@ pub enum Decision {
         /// The deciding policy.
         policy_id: u32,
         /// Its vulnerability category.
-        vulnerability: String,
+        vulnerability: Arc<str>,
     },
     /// A policy prompted and the user refused.
     PromptDenied {
         /// The deciding policy.
         policy_id: u32,
         /// Its vulnerability category.
-        vulnerability: String,
+        vulnerability: Arc<str>,
     },
     /// A policy prompted and the user consented.
     PromptAllowed {
@@ -74,8 +91,9 @@ pub enum PromptHandler {
     AlwaysAllow,
     /// Always refuse.
     AlwaysDeny,
-    /// Scripted decisions, consumed in order; refuses once exhausted.
-    Scripted(Vec<bool>),
+    /// Scripted decisions, consumed front-to-back in O(1) per prompt;
+    /// refuses once exhausted.
+    Scripted(VecDeque<bool>),
     /// Ask the embedder, passing the policy and the intercepted event.
     Callback(PromptCallback),
 }
@@ -95,44 +113,45 @@ impl std::fmt::Debug for PromptHandler {
 }
 
 impl PromptHandler {
-    fn answer(&mut self, policy: &Policy, ctx: &IccContext) -> bool {
+    /// Scripted decisions from any answer sequence.
+    pub fn scripted(answers: impl IntoIterator<Item = bool>) -> PromptHandler {
+        PromptHandler::Scripted(answers.into_iter().collect())
+    }
+
+    pub(crate) fn answer(&mut self, policy: &Policy, ctx: &IccContext) -> bool {
         match self {
             PromptHandler::AlwaysAllow => true,
             PromptHandler::AlwaysDeny => false,
-            PromptHandler::Scripted(answers) => {
-                if answers.is_empty() {
-                    false
-                } else {
-                    answers.remove(0)
-                }
-            }
+            PromptHandler::Scripted(answers) => answers.pop_front().unwrap_or(false),
             PromptHandler::Callback(f) => f(policy, ctx),
         }
     }
 }
 
-/// The policy decision point.
+/// The policy decision point: compiled, indexed, shareable.
+///
+/// `Pdp` owns a [`SharedPdp`] handle plus one reader and the prompt
+/// handler, preserving the single-owner API the device runtime uses.
+/// [`Pdp::shared`] hands out the underlying handle so any number of
+/// concurrent readers (emulated runtimes, benchmark threads) can decide
+/// against the same installed set without locks on the read path.
 #[derive(Debug)]
 pub struct Pdp {
-    policies: Vec<Policy>,
-    /// Packages of the analyzed bundle (for `SenderAppNotIn` defaults).
-    bundle_packages: Vec<String>,
+    shared: SharedPdp,
+    reader: PdpReader,
     prompt: PromptHandler,
-    /// Number of evaluations performed.
-    evaluations: u64,
-    /// Number of prompts shown.
-    prompts: u64,
 }
 
 impl Pdp {
-    /// Creates a PDP over a policy set.
+    /// Creates a PDP over a policy set, compiling it for indexed
+    /// evaluation. `bundle_packages` back empty `SenderAppNotIn` lists.
     pub fn new(policies: Vec<Policy>, bundle_packages: Vec<String>) -> Pdp {
+        let shared = SharedPdp::new(CompiledPolicySet::compile(policies, bundle_packages));
+        let reader = shared.reader();
         Pdp {
-            policies,
-            bundle_packages,
+            shared,
+            reader,
             prompt: PromptHandler::AlwaysDeny,
-            evaluations: 0,
-            prompts: 0,
         }
     }
 
@@ -143,6 +162,81 @@ impl Pdp {
 
     /// Sets the prompt handler.
     pub fn with_prompt(mut self, prompt: PromptHandler) -> Pdp {
+        self.prompt = prompt;
+        self
+    }
+
+    /// The installed policies (current snapshot, priority order).
+    pub fn policies(&self) -> &[Policy] {
+        self.reader.current().policies()
+    }
+
+    /// The shared swap handle: clone it to add concurrent readers or to
+    /// publish deltas from another thread.
+    pub fn shared(&self) -> SharedPdp {
+        self.shared.clone()
+    }
+
+    /// Number of evaluations performed so far (all readers).
+    pub fn evaluations(&self) -> u64 {
+        self.shared.evaluations()
+    }
+
+    /// Number of prompts shown so far (all readers).
+    pub fn prompts(&self) -> u64 {
+        self.shared.prompts()
+    }
+
+    /// Applies a policy-set change: retired policies are matched by
+    /// [content identity](Policy::content_key) (ids are irrelevant),
+    /// added ones get fresh ids, and unchanged policies keep their ids —
+    /// audit logs stay diffable across deltas. The recompiled set is
+    /// published atomically; concurrent readers never stop deciding.
+    /// This is how Marshmallow-style incremental re-synthesis reaches a
+    /// running device without redeploying the whole set.
+    pub fn apply_delta(&mut self, added: Vec<Policy>, removed: &[Policy]) {
+        self.shared.apply_delta(added, removed);
+        self.reader.refresh();
+    }
+
+    /// Evaluates an event against the policy set: the first matching
+    /// policy decides.
+    pub fn evaluate(&mut self, event: PolicyEvent, ctx: &IccContext) -> Decision {
+        self.reader.evaluate(event, ctx, &mut self.prompt)
+    }
+}
+
+/// The retained linear-scan PDP: the executable specification the
+/// compiled engine is differentially tested against, and the baseline
+/// leg of the `pdp_throughput` benchmark.
+///
+/// Semantics are identical to [`Pdp`] by construction of the test suite;
+/// performance is O(policies × conditions) string comparison per
+/// decision, with an allocation per deny.
+#[derive(Debug)]
+pub struct LinearPdp {
+    policies: Vec<Policy>,
+    /// Packages of the analyzed bundle (for `SenderAppNotIn` defaults).
+    bundle_packages: Vec<String>,
+    prompt: PromptHandler,
+    evaluations: u64,
+    prompts: u64,
+}
+
+impl LinearPdp {
+    /// Creates a linear-scan PDP over a policy set.
+    pub fn new(policies: Vec<Policy>, bundle_packages: Vec<String>) -> LinearPdp {
+        LinearPdp {
+            policies,
+            bundle_packages,
+            prompt: PromptHandler::AlwaysDeny,
+            evaluations: 0,
+            prompts: 0,
+        }
+    }
+
+    /// Sets the prompt handler.
+    pub fn with_prompt(mut self, prompt: PromptHandler) -> LinearPdp {
         self.prompt = prompt;
         self
     }
@@ -162,23 +256,10 @@ impl Pdp {
         self.prompts
     }
 
-    /// Applies a policy-set change: removes retired policies (matched by
-    /// content, ignoring ids) and installs new ones, renumbering densely.
-    /// This is how Marshmallow-style incremental re-synthesis reaches a
-    /// running device without redeploying the whole set.
+    /// Applies a policy-set change with the same stable-id semantics as
+    /// [`Pdp::apply_delta`] (shared [`policy::merge_delta`] logic).
     pub fn apply_delta(&mut self, added: Vec<Policy>, removed: &[Policy]) {
-        self.policies.retain(|p| {
-            !removed.iter().any(|q| {
-                p.vulnerability == q.vulnerability
-                    && p.event == q.event
-                    && p.conditions == q.conditions
-                    && p.action == q.action
-            })
-        });
-        self.policies.extend(added);
-        for (i, p) in self.policies.iter_mut().enumerate() {
-            p.id = i as u32;
-        }
+        policy::merge_delta(&mut self.policies, added, removed);
     }
 
     /// Evaluates an event against the policy set: the first matching
@@ -194,15 +275,13 @@ impl Pdp {
         let Some(i) = hit else {
             return Decision::Allow;
         };
-        let (id, vulnerability, action) = {
-            let p = &self.policies[i];
-            (p.id, p.vulnerability.clone(), p.action)
-        };
+        let p = &self.policies[i];
+        let (id, action) = (p.id, p.action);
         match action {
             PolicyAction::Allow => Decision::Allow,
             PolicyAction::Deny => Decision::Deny {
                 policy_id: id,
-                vulnerability,
+                vulnerability: p.vulnerability.as_str().into(),
             },
             PolicyAction::Prompt => {
                 self.prompts += 1;
@@ -212,7 +291,7 @@ impl Pdp {
                 } else {
                     Decision::PromptDenied {
                         policy_id: id,
-                        vulnerability,
+                        vulnerability: policy.vulnerability.as_str().into(),
                     }
                 }
             }
@@ -363,7 +442,7 @@ mod tests {
     #[test]
     fn scripted_prompts_consume_in_order() {
         let mut pdp = Pdp::new(vec![leak_policy()], vec![])
-            .with_prompt(PromptHandler::Scripted(vec![true, false]));
+            .with_prompt(PromptHandler::scripted([true, false]));
         assert!(pdp
             .evaluate(PolicyEvent::IccReceive, &attack_ctx())
             .allows());
@@ -374,5 +453,33 @@ mod tests {
         assert!(!pdp
             .evaluate(PolicyEvent::IccReceive, &attack_ctx())
             .allows());
+    }
+
+    #[test]
+    fn delta_keeps_ids_of_unchanged_policies() {
+        let keep = leak_policy();
+        let retire = Policy {
+            id: 3,
+            vulnerability: "component-launch".into(),
+            event: PolicyEvent::IccReceive,
+            conditions: vec![Condition::ReceiverIs("LSvc;".into())],
+            action: PolicyAction::Deny,
+            rationale: String::new(),
+        };
+        let fresh = Policy {
+            id: 0, // overwritten on install
+            vulnerability: "broadcast-injection".into(),
+            event: PolicyEvent::IccReceive,
+            conditions: vec![Condition::ActionIs("BOOT".into())],
+            action: PolicyAction::Deny,
+            rationale: String::new(),
+        };
+        let mut pdp = Pdp::new(vec![keep.clone(), retire.clone()], vec![]);
+        pdp.apply_delta(vec![fresh], &[retire]);
+        let ids: Vec<u32> = pdp.policies().iter().map(|p| p.id).collect();
+        // The survivor keeps id 7; the new policy gets a fresh id above
+        // everything previously seen (8), not a recycled one.
+        assert_eq!(ids, vec![7, 8]);
+        assert_eq!(pdp.policies()[0], keep);
     }
 }

@@ -1,0 +1,347 @@
+//! Differential property suite: the compiled, indexed PDP decides
+//! exactly like the retained linear-scan reference.
+//!
+//! Policy sets, ICC event streams and delta sequences are generated over
+//! a small closed universe of component classes, packages, actions and
+//! resource tags (so index buckets collide, fallback policies interleave
+//! with bucketed ones, and pool misses occur), plus deliberate
+//! out-of-universe strings to exercise the "unknown id" lowering and the
+//! dead-policy paths. For every generated scenario both engines must
+//! produce identical decision sequences, identical prompt sequences
+//! (which policy prompted, in what order, with what answer), and — across
+//! deltas — identical policy lists with stable ids.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+use separ_android::types::Resource;
+use separ_core::policy::{Condition, Policy, PolicyAction, PolicyEvent};
+use separ_enforce::pdp::{Decision, IccContext, LinearPdp, Pdp, PromptHandler};
+use separ_enforce::{probe_contexts, CompiledPolicySet, SharedPdp};
+
+// The closed universe. Small on purpose: decisions must disagree loudly
+// if the index drops, reorders or double-counts a policy.
+const COMPONENTS: &[&str] = &["LA;", "LB;", "LC;", "LD;", "LE;"];
+const APPS: &[&str] = &["com.a", "com.b", "com.c"];
+const ACTIONS: &[&str] = &["ACT.X", "ACT.Y"];
+const RESOURCES: &[Resource] = &[
+    Resource::Location,
+    Resource::Sms,
+    Resource::Contacts,
+    Resource::Camera,
+];
+const VULNS: &[&str] = &[
+    "intent-hijack",
+    "information-leakage",
+    "broadcast-injection",
+];
+
+fn component(i: usize) -> String {
+    // Index 5 yields a component no context ever carries (dead-bucket /
+    // never-matching conditions); 6 is reserved for contexts only
+    // (pool-miss lowering on the context side).
+    match i {
+        0..=4 => COMPONENTS[i].to_string(),
+        5 => "LUnknownPolicyOnly;".to_string(),
+        _ => "LUnknownCtxOnly;".to_string(),
+    }
+}
+
+fn condition_strategy() -> impl Strategy<Value = Condition> {
+    prop_oneof![
+        (0usize..6).prop_map(|i| Condition::ReceiverIs(component(i))),
+        (0usize..6).prop_map(|i| Condition::SenderIs(component(i))),
+        prop::collection::vec((0usize..6).prop_map(component), 0..3)
+            .prop_map(Condition::SenderNotIn),
+        prop::collection::vec((0usize..6).prop_map(component), 0..3)
+            .prop_map(Condition::ReceiverNotIn),
+        (0usize..3).prop_map(|i| Condition::ActionIs(if i < 2 {
+            ACTIONS[i].to_string()
+        } else {
+            "ACT.UNKNOWN".to_string()
+        })),
+        (0usize..5).prop_map(|i| Condition::ExtraTagged(if i < 4 {
+            RESOURCES[i].name().to_string()
+        } else {
+            // Unknown resource name: the policy can never match.
+            "BOGUS_RESOURCE".to_string()
+        })),
+        prop::collection::vec((0usize..3).prop_map(|i| APPS[i].to_string()), 0..3)
+            .prop_map(Condition::SenderAppNotIn),
+    ]
+}
+
+fn policy_strategy() -> impl Strategy<Value = Policy> {
+    (
+        0usize..3,
+        any::<bool>(),
+        prop::collection::vec(condition_strategy(), 0..4),
+        0usize..3,
+    )
+        .prop_map(|(v, recv, conditions, a)| Policy {
+            id: 0, // assigned densely at install below
+            vulnerability: VULNS[v].to_string(),
+            event: if recv {
+                PolicyEvent::IccReceive
+            } else {
+                PolicyEvent::IccSend
+            },
+            conditions,
+            action: [
+                PolicyAction::Deny,
+                PolicyAction::Prompt,
+                PolicyAction::Allow,
+            ][a],
+            rationale: String::new(),
+        })
+}
+
+fn numbered(mut policies: Vec<Policy>) -> Vec<Policy> {
+    for (i, p) in policies.iter_mut().enumerate() {
+        p.id = i as u32;
+    }
+    policies
+}
+
+fn ctx_strategy() -> impl Strategy<Value = (PolicyEvent, IccContext)> {
+    (
+        any::<bool>(),
+        0usize..4,
+        0usize..7,
+        0usize..8,
+        0usize..4,
+        prop::collection::vec(0usize..4, 0..3),
+    )
+        .prop_map(|(recv, app, sender, receiver, action, tags)| {
+            let ctx = IccContext {
+                sender_app: if app < 3 {
+                    APPS[app].to_string()
+                } else {
+                    "com.outsider".to_string()
+                },
+                sender_component: component(sender),
+                receiver_app: if receiver < 7 {
+                    Some("com.some".to_string())
+                } else {
+                    None
+                },
+                receiver_component: if receiver < 5 {
+                    Some(COMPONENTS[receiver].to_string())
+                } else if receiver == 5 {
+                    Some("LUnknownCtxOnly;".to_string())
+                } else {
+                    None
+                },
+                action: match action {
+                    0 | 1 => Some(ACTIONS[action].to_string()),
+                    2 => Some("ACT.OTHER".to_string()),
+                    _ => None,
+                },
+                tags: tags
+                    .into_iter()
+                    .map(|i| RESOURCES[i])
+                    .collect::<BTreeSet<_>>(),
+            };
+            (
+                if recv {
+                    PolicyEvent::IccReceive
+                } else {
+                    PolicyEvent::IccSend
+                },
+                ctx,
+            )
+        })
+}
+
+/// A prompt handler that records (policy id, answer) pairs and answers
+/// from a deterministic shared script, so both engines face the same
+/// "user" and their prompt traces are directly comparable.
+fn recording_prompt(script: Vec<bool>, log: Arc<Mutex<Vec<(u32, bool)>>>) -> PromptHandler {
+    let mut cursor = 0usize;
+    PromptHandler::Callback(Box::new(move |policy, _ctx| {
+        let answer = script.get(cursor).copied().unwrap_or(false);
+        cursor += 1;
+        log.lock().expect("prompt log").push((policy.id, answer));
+        answer
+    }))
+}
+
+fn bundle() -> Vec<String> {
+    vec!["com.a".to_string(), "com.b".to_string()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn compiled_decisions_and_prompts_match_linear(
+        policies in prop::collection::vec(policy_strategy(), 0..24),
+        stream in prop::collection::vec(ctx_strategy(), 0..48),
+        script in prop::collection::vec(any::<bool>(), 48),
+    ) {
+        let policies = numbered(policies);
+        let compiled_log = Arc::new(Mutex::new(Vec::new()));
+        let linear_log = Arc::new(Mutex::new(Vec::new()));
+        let mut compiled = Pdp::new(policies.clone(), bundle())
+            .with_prompt(recording_prompt(script.clone(), Arc::clone(&compiled_log)));
+        let mut linear = LinearPdp::new(policies, bundle())
+            .with_prompt(recording_prompt(script, Arc::clone(&linear_log)));
+        for (event, ctx) in &stream {
+            let want = linear.evaluate(*event, ctx);
+            let got = compiled.evaluate(*event, ctx);
+            prop_assert_eq!(got, want, "event {:?} ctx {:?}", event, ctx);
+        }
+        prop_assert_eq!(compiled.evaluations(), linear.evaluations());
+        prop_assert_eq!(compiled.prompts(), linear.prompts());
+        prop_assert_eq!(
+            &*compiled_log.lock().expect("log"),
+            &*linear_log.lock().expect("log"),
+            "prompt traces diverge"
+        );
+    }
+
+    #[test]
+    fn deltas_preserve_equivalence_and_stable_ids(
+        initial in prop::collection::vec(policy_strategy(), 0..12),
+        rounds in prop::collection::vec(
+            (
+                prop::collection::vec(policy_strategy(), 0..4),
+                prop::collection::vec(any::<prop::sample::Index>(), 0..3),
+                prop::collection::vec(ctx_strategy(), 0..12),
+            ),
+            1..5,
+        ),
+    ) {
+        let initial = numbered(initial);
+        let mut compiled = Pdp::new(initial.clone(), bundle());
+        let mut linear = LinearPdp::new(initial, bundle());
+        for (added, removal_draws, stream) in rounds {
+            // Retire policies drawn from the *current* set by content, the
+            // way re-synthesis deltas arrive.
+            let current = linear.policies().to_vec();
+            let removed: Vec<Policy> = removal_draws
+                .iter()
+                .filter(|_| !current.is_empty())
+                .map(|d| current[d.index(current.len())].clone())
+                .collect();
+            let ids_before: Vec<(u32, Policy)> =
+                current.iter().map(|p| (p.id, p.clone())).collect();
+            compiled.apply_delta(added.clone(), &removed);
+            linear.apply_delta(added, &removed);
+            prop_assert_eq!(compiled.policies(), linear.policies());
+            // Survivors keep their ids. A policy retired this round is
+            // not a survivor even if a content-twin was re-added (it gets
+            // a fresh id by design), and content-duplicated entries are
+            // skipped (content identity can't distinguish them).
+            for (id, p) in &ids_before {
+                let key = p.content_key();
+                if removed.iter().any(|r| r.content_key() == key) {
+                    continue;
+                }
+                if ids_before
+                    .iter()
+                    .filter(|(_, q)| q.content_key() == key)
+                    .count()
+                    > 1
+                {
+                    continue;
+                }
+                if let Some(q) = linear.policies().iter().find(|q| q.content_key() == key) {
+                    prop_assert_eq!(q.id, *id);
+                }
+            }
+            for (event, ctx) in &stream {
+                let want = linear.evaluate(*event, ctx);
+                let got = compiled.evaluate(*event, ctx);
+                prop_assert_eq!(got, want, "post-delta event {:?} ctx {:?}", event, ctx);
+            }
+        }
+    }
+
+    #[test]
+    fn probe_contexts_decide_identically(
+        policies in prop::collection::vec(policy_strategy(), 1..16),
+    ) {
+        // The benchmark's engineered workload generator must itself be
+        // decision-equivalent between the two engines, otherwise the
+        // throughput comparison measures different work.
+        let policies = numbered(policies);
+        let mut compiled = Pdp::new(policies.clone(), bundle())
+            .with_prompt(PromptHandler::AlwaysDeny);
+        let mut linear = LinearPdp::new(policies.clone(), bundle())
+            .with_prompt(PromptHandler::AlwaysDeny);
+        for (event, ctx) in probe_contexts(&policies) {
+            prop_assert_eq!(
+                compiled.evaluate(event, &ctx),
+                linear.evaluate(event, &ctx)
+            );
+        }
+    }
+}
+
+/// Readers racing a swap must observe, for every evaluation, either the
+/// before-set's decision or the after-set's decision — never a torn mix —
+/// and must settle on the after-set once the publish completes.
+#[test]
+fn concurrent_readers_during_swap_see_before_or_after() {
+    let before = numbered(vec![Policy {
+        id: 0,
+        vulnerability: "intent-hijack".into(),
+        event: PolicyEvent::IccReceive,
+        conditions: vec![Condition::ReceiverIs("LA;".into())],
+        action: PolicyAction::Deny,
+        rationale: String::new(),
+    }]);
+    let after_policy = Policy {
+        id: 0,
+        vulnerability: "broadcast-injection".into(),
+        event: PolicyEvent::IccReceive,
+        conditions: vec![Condition::ReceiverIs("LA;".into())],
+        action: PolicyAction::Deny,
+        rationale: String::new(),
+    };
+    let shared = SharedPdp::new(CompiledPolicySet::compile(before.clone(), vec![]));
+    let ctx = IccContext {
+        receiver_component: Some("LA;".into()),
+        ..IccContext::default()
+    };
+    let deny_before = Decision::Deny {
+        policy_id: 0,
+        vulnerability: "intent-hijack".into(),
+    };
+    let deny_after = Decision::Deny {
+        policy_id: 1, // fresh id above the retired one
+        vulnerability: "broadcast-injection".into(),
+    };
+    let torn = AtomicU64::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                let mut reader = shared.reader();
+                let mut prompt = PromptHandler::AlwaysDeny;
+                // Evaluate until the publish becomes visible (bounded so a
+                // broken swap fails the test instead of hanging it). Every
+                // observation along the way must be one of the two valid
+                // decisions — never a torn mix of old id and new
+                // vulnerability or vice versa.
+                let mut settled = false;
+                for _ in 0..50_000_000u64 {
+                    let d = reader.evaluate(PolicyEvent::IccReceive, &ctx, &mut prompt);
+                    if d == deny_after {
+                        settled = true;
+                        break;
+                    }
+                    if d != deny_before {
+                        torn.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                assert!(settled, "reader never observed the published set");
+            });
+        }
+        shared.apply_delta(vec![after_policy], &before);
+    });
+    assert_eq!(torn.load(Ordering::Relaxed), 0, "torn decisions observed");
+    assert!(shared.evaluations() >= 4);
+}

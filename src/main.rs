@@ -14,8 +14,11 @@
 //!     --model-cache <dir>                  reuse extracted models keyed by package content hash
 //! separ disasm <app.sdex>                  disassemble a package
 //! separ lint <app.sdex>... [--json]        verify packages, report diagnostics
-//! separ enforce <app.sdex>... --policies <file> --launch <pkg> <Class> [--stats]
-//!                                          run a bundle under enforcement
+//! separ enforce <app.sdex>... --policies <file> --launch <pkg> <Class>
+//!                             [--stats] [--threads <n>]
+//!                                          run a bundle under enforcement;
+//!                                          --threads adds a post-run PDP
+//!                                          throughput probe with n readers
 //! separ demo                               the Figure 1 attack, end to end
 //! ```
 
@@ -347,10 +350,23 @@ fn cmd_enforce(args: &[String]) -> CliResult {
     let mut policy_file: Option<String> = None;
     let mut launch: Option<(String, String)> = None;
     let mut print_stats = false;
+    let mut threads: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--stats" => print_stats = true,
+            "--threads" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .ok_or("enforce: --threads needs a count")?
+                    .parse()
+                    .map_err(|e| format!("enforce: --threads: {e}"))?;
+                if n == 0 {
+                    return Err("enforce: --threads must be at least 1".into());
+                }
+                threads = Some(n);
+            }
             "--policies" => {
                 i += 1;
                 policy_file = Some(
@@ -403,11 +419,54 @@ fn cmd_enforce(args: &[String]) -> CliResult {
     for e in device.audit.events() {
         println!("  {e:?}");
     }
+    if let Some(n) = threads {
+        probe_pdp_throughput(&device, n);
+    }
     if print_stats {
         println!("\nobservability summary:");
         print!("{}", separ::obs::global().snapshot().text_summary());
     }
     Ok(())
+}
+
+/// Post-run sustained-throughput probe: `n` reader threads evaluate the
+/// installed policy set concurrently against per-policy engineered
+/// contexts (each policy gets one hit and one near-miss probe). Readers
+/// share the device's compiled set through the lock-free swap handle, so
+/// this measures exactly what emulated runtimes pay per intercepted ICC
+/// call.
+fn probe_pdp_throughput(device: &Device, n: usize) {
+    use std::time::Instant;
+    let shared = device.pdp().shared();
+    let probes = separ::enforce::probe_contexts(device.pdp().policies());
+    if probes.is_empty() {
+        println!("\npdp throughput: no policies installed, nothing to probe");
+        return;
+    }
+    const ROUNDS: usize = 2_000;
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..n {
+            s.spawn(|| {
+                let mut reader = shared.reader();
+                let mut prompt = PromptHandler::AlwaysDeny;
+                for _ in 0..ROUNDS {
+                    for (event, ctx) in &probes {
+                        reader.evaluate(*event, ctx, &mut prompt);
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let decisions = (n * ROUNDS * probes.len()) as f64;
+    println!(
+        "\npdp throughput: {} reader(s) x {} decisions in {:.1} ms = {:.0} decisions/sec",
+        n,
+        decisions as u64 / n as u64,
+        elapsed.as_secs_f64() * 1e3,
+        decisions / elapsed.as_secs_f64()
+    );
 }
 
 /// `separ demo`: the whole Figure 1 story in one command.

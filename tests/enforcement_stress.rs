@@ -121,7 +121,7 @@ fn market_bundle_under_full_enforcement() {
                     matches!(
                         e,
                         separ::enforce::AuditEvent::IccBlocked { vulnerability, .. }
-                            if vulnerability == "broadcast-injection"
+                            if &**vulnerability == "broadcast-injection"
                     )
                 })
                 .count() as u64,

@@ -106,6 +106,8 @@ fn incremental_delta_applies_to_a_running_device() {
         PromptHandler::AlwaysDeny,
     );
     let initial = device.pdp().policies().len();
+    let before: Vec<separ::core::policy::Policy> = device.pdp().policies().to_vec();
+    let max_id_before = before.iter().map(|p| p.id).max().unwrap_or(0);
     let delta = session
         .set_permission("com.messenger", perm::SEND_SMS, false)
         .expect("re-analysis succeeds");
@@ -114,8 +116,28 @@ fn incremental_delta_applies_to_a_running_device() {
         device.pdp().policies().len(),
         initial - delta.removed.len() + delta.added.len()
     );
-    // Ids stay dense after the delta.
-    for (i, p) in device.pdp().policies().iter().enumerate() {
-        assert_eq!(p.id as usize, i);
+    let after = device.pdp().policies();
+    // Unchanged policies keep their ids across the delta (audit logs stay
+    // diffable), and every added policy gets a fresh id never seen before.
+    for p in &before {
+        if let Some(q) = after.iter().find(|q| q.content_key() == p.content_key()) {
+            assert_eq!(q.id, p.id, "retained policy renumbered: {p:?}");
+        }
     }
+    let mut fresh: Vec<u32> = after
+        .iter()
+        .filter(|q| !before.iter().any(|p| p.content_key() == q.content_key()))
+        .map(|q| q.id)
+        .collect();
+    fresh.sort_unstable();
+    assert!(
+        fresh.iter().all(|id| *id > max_id_before),
+        "added policies must take fresh ids above {max_id_before}, got {fresh:?}"
+    );
+    fresh.dedup();
+    assert_eq!(
+        fresh.len(),
+        delta.added.len(),
+        "each added policy gets a unique id"
+    );
 }
