@@ -59,6 +59,10 @@ pub enum DiagnosticKind {
     DuplicateComponent,
     /// A package that failed to decode at all.
     DecodeFailure,
+    /// A component whose capability summary matches no signature
+    /// footprint: relevance slicing excludes it from every synthesis
+    /// universe.
+    ComponentUnreachable,
 }
 
 impl DiagnosticKind {
@@ -79,6 +83,7 @@ impl DiagnosticKind {
             DiagnosticKind::ProviderWithFilter => "provider-with-filter",
             DiagnosticKind::DuplicateComponent => "duplicate-component",
             DiagnosticKind::DecodeFailure => "decode-failure",
+            DiagnosticKind::ComponentUnreachable => "component-unreachable",
         }
     }
 }
@@ -296,6 +301,32 @@ fn lint_manifest(apk: &Apk, app: &str, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Info-severity findings for components no signature footprint can ever
+/// match: their capability summary ([`crate::slicing`]) sets no bit, so
+/// every relevance slice excludes them and no shipped signature can bind
+/// them. Deliberately not part of [`lint_apk`] — that pass checks
+/// well-formedness of the package, while this one reads the *extracted
+/// model*; `separ lint` runs both.
+pub fn unreachable_components(app: &crate::model::AppModel) -> Vec<Diagnostic> {
+    crate::slicing::summarize_app(app)
+        .components
+        .iter()
+        .filter(|c| !c.caps.any())
+        .map(|c| Diagnostic {
+            severity: Severity::Info,
+            app: app.package.clone(),
+            location: format!("manifest:{}", c.class),
+            kind: DiagnosticKind::ComponentUnreachable,
+            message: format!(
+                "component {} matches no signature footprint (no exported ICC \
+                 surface, unguarded dangerous permission, tainted send or sink \
+                 path): relevance slicing excludes it from every synthesis",
+                c.class
+            ),
+        })
+        .collect()
+}
+
 /// Whether the class (or a superclass, walked with a cycle bound) defines
 /// any lifecycle entry point for the component kind. Only pool-valid method
 /// names are consulted, so this is safe on unverified input.
@@ -400,6 +431,23 @@ mod tests {
         assert!(json.contains("line\\nbreak"));
         assert!(json.contains("\"kind\": \"pool-index\""));
         assert_eq!(to_json(&[]), "[]\n");
+    }
+
+    #[test]
+    fn unreachable_components_are_info_findings() {
+        let mut b = ApkBuilder::new("com.idle");
+        b.add_component(ComponentDecl::new("LMain;", ComponentKind::Activity));
+        let mut cb = b.class("LMain;");
+        let mut m = cb.method("onCreate", 1, false, false);
+        m.ret_void();
+        m.finish();
+        cb.finish();
+        let model = crate::extractor::extract_apk(&b.finish());
+        let found = unreachable_components(&model);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].kind, DiagnosticKind::ComponentUnreachable);
+        assert_eq!(found[0].severity, Severity::Info);
+        assert_eq!(found[0].location, "manifest:LMain;");
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //! * [`model`] — the extracted app specifications (the analog of the
 //!   generated Alloy modules) and Algorithm 1 for passive Intents;
 //! * [`extractor`] — the top-level APK-bytes → [`model::AppModel`]
-//!   pipeline.
+//!   pipeline;
+//! * [`slicing`] — per-app capability summaries and signature-footprint
+//!   slice selection, the sound pre-analysis that shrinks the relational
+//!   universe before synthesis.
 //!
 //! # Examples
 //!
@@ -43,7 +46,9 @@ mod domain;
 pub mod extractor;
 mod index;
 pub mod model;
+pub mod slicing;
 
 pub use diagnostics::{Diagnostic, DiagnosticKind, Severity};
 pub use extractor::{extract, extract_apk};
 pub use model::{AppModel, ComponentModel, SentIntentModel};
+pub use slicing::{AppSummary, SliceDemand};

@@ -266,6 +266,67 @@ fn golden_duplicate_component() {
 }
 
 #[test]
+fn golden_component_unreachable() {
+    // LIdle; is private, sends nothing and sinks nothing: no signature
+    // footprint can match it. LLeaker; makes a tainted implicit send and
+    // must NOT be flagged.
+    let mut b = ApkBuilder::new("com.partly");
+    b.add_component(ComponentDecl::new("LIdle;", ComponentKind::Activity));
+    let mut cb = b.class("LIdle;");
+    let mut m = cb.method("onCreate", 1, false, false);
+    m.ret_void();
+    m.finish();
+    cb.finish();
+    b.add_component(ComponentDecl::new("LLeaker;", ComponentKind::Service));
+    let mut cb = b.class_extends("LLeaker;", "Landroid/app/Service;");
+    let mut m = cb.method("onStartCommand", 2, false, false);
+    let loc = m.reg();
+    let intent = m.reg();
+    // Initialize the receiver register so the method also lints clean.
+    m.new_instance(loc, "Landroid/location/LocationManager;");
+    m.invoke_virtual(
+        "Landroid/location/LocationManager;",
+        "getLastKnownLocation",
+        &[loc],
+        true,
+    );
+    m.move_result(loc);
+    m.new_instance(intent, "Landroid/content/Intent;");
+    m.invoke_virtual(
+        "Landroid/content/Intent;",
+        "putExtra",
+        &[intent, loc, loc],
+        false,
+    );
+    m.invoke_virtual(
+        "Landroid/content/Context;",
+        "startService",
+        &[m.this(), intent],
+        false,
+    );
+    m.ret_void();
+    m.finish();
+    cb.finish();
+    let apk = b.finish();
+    // The relevance check is not part of the well-formedness lint.
+    assert_eq!(lint_kinds(&apk), vec![]);
+    let model = extract_apk(&apk);
+    let found = diagnostics::unreachable_components(&model);
+    assert_eq!(
+        found
+            .iter()
+            .map(|d| (d.kind, d.severity, d.location.as_str()))
+            .collect::<Vec<_>>(),
+        vec![(
+            DiagnosticKind::ComponentUnreachable,
+            Severity::Info,
+            "manifest:LIdle;"
+        )]
+    );
+    assert_eq!(found[0].app, "com.partly");
+}
+
+#[test]
 fn golden_decode_failure() {
     let d = diagnostics::decode_failure("bundle/app.sdex", &separ_dex::DexError::Truncated);
     assert_eq!(d.kind, DiagnosticKind::DecodeFailure);

@@ -2,9 +2,15 @@
 //! human-readable summary and a machine-readable `BENCH_pipeline.json`
 //! for before/after comparisons.
 //!
-//! Two full pipeline runs are profiled over the same generated market:
-//! the full-Tseitin encoding (the "before" configuration) and the
-//! polarity-aware default with the shared per-bundle translation base.
+//! Three full pipeline runs are profiled over the same generated market:
+//! the full-Tseitin encoding (the "before" configuration), the
+//! polarity-aware encoding with the shared per-bundle translation base,
+//! and the default configuration with signature-guided relevance slicing
+//! on top. The first two legs pin `slicing: false` so their numbers stay
+//! comparable with earlier revisions of this file. A paper-scale section
+//! re-runs synthesis at 4,000 apps with slicing on and off and asserts
+//! the sliced universe is strictly smaller for every signature while
+//! enumerating the same number of exploits.
 //! All timing comes from the separ-obs span tree — the per-stage fields
 //! of [`separ_core::BundleStats`] are span-derived projections, and the
 //! per-phase breakdown is the trace's own span rollup; this example adds
@@ -56,6 +62,8 @@ fn run_json(out: &mut String, run: &RunResult) {
             "      \"primary_vars\": {},\n",
             "      \"cnf_clauses\": {},\n",
             "      \"shared_base_reuse\": {},\n",
+            "      \"slice_kept\": {},\n",
+            "      \"slice_dropped\": {},\n",
             "      \"conflicts\": {},\n",
             "      \"propagations\": {},\n",
             "      \"exploits\": {},\n",
@@ -72,6 +80,8 @@ fn run_json(out: &mut String, run: &RunResult) {
         stats.primary_vars,
         stats.cnf_clauses,
         stats.shared_base_reuse,
+        stats.slice_kept,
+        stats.slice_dropped,
         stats.conflicts,
         stats.propagations,
         run.exploits,
@@ -98,6 +108,7 @@ fn run_json(out: &mut String, run: &RunResult) {
             out,
             concat!(
                 "        {{\"name\": \"{}\", \"vars\": {}, \"clauses\": {}, ",
+                "\"slice_kept\": {}, \"slice_dropped\": {}, ",
                 "\"conflicts\": {}, \"propagations\": {}, \"restarts\": {}, ",
                 "\"learnts\": {}, \"minimized_lits\": {}, ",
                 "\"construction_ms\": {:.3}, \"solving_ms\": {:.3}}}{}\n"
@@ -105,6 +116,8 @@ fn run_json(out: &mut String, run: &RunResult) {
             s.name,
             s.primary_vars,
             s.cnf_clauses,
+            s.slice_kept,
+            s.slice_dropped,
             s.solver.conflicts,
             s.solver.propagations,
             s.solver.restarts,
@@ -151,15 +164,27 @@ fn main() {
 
     // --- Traced runs ---------------------------------------------------
     separ_obs::global().enable();
+    // The first two legs pin `slicing: false` to keep their numbers
+    // comparable with the pre-slicing revisions of this benchmark; the
+    // third is the shipping default (polarity encoding, shared base,
+    // relevance slicing).
     let configs = [
         (
             "tseitin",
             SeparConfig {
                 cnf_encoding: CnfEncoding::Tseitin,
+                slicing: false,
                 ..SeparConfig::default()
             },
         ),
-        ("polarity-shared-base", SeparConfig::default()),
+        (
+            "polarity-shared-base",
+            SeparConfig {
+                slicing: false,
+                ..SeparConfig::default()
+            },
+        ),
+        ("polarity-sliced", SeparConfig::default()),
     ];
     let mut runs: Vec<RunResult> = Vec::new();
     for (name, config) in configs {
@@ -199,6 +224,28 @@ fn main() {
     let after = runs[1].stats.cnf_clauses as f64;
     let reduction = 100.0 * (before - after) / before;
     println!("clause reduction: {reduction:.1}% ({before} -> {after})");
+
+    // Slicing smoke: the sliced default must enumerate exactly as many
+    // exploits as the unsliced polarity leg over the same bundle, while
+    // never translating a larger formula.
+    assert_eq!(
+        runs[1].exploits, runs[2].exploits,
+        "slicing changed the exploit count at 50 apps"
+    );
+    assert!(
+        runs[2].stats.cnf_clauses <= runs[1].stats.cnf_clauses
+            && runs[2].stats.primary_vars <= runs[1].stats.primary_vars,
+        "slicing must not grow the formula"
+    );
+    println!(
+        "slicing (50 apps): kept {} / dropped {} app slots, vars {} -> {}, clauses {} -> {}",
+        runs[2].stats.slice_kept,
+        runs[2].stats.slice_dropped,
+        runs[1].stats.primary_vars,
+        runs[2].stats.primary_vars,
+        runs[1].stats.cnf_clauses,
+        runs[2].stats.cnf_clauses,
+    );
 
     // --- Paper-scale extraction trajectory ------------------------------
     // The paper's market experiment runs ~4,000 apps; extraction is the
@@ -267,6 +314,68 @@ fn main() {
         "second pass must be answered entirely from the cache"
     );
 
+    // --- Paper-scale synthesis: slicing off vs on ------------------------
+    // The whole point of relevance slicing is that the relational universe
+    // a signature is translated against stops growing with market size.
+    // Run the full pipeline at 4,000 apps both ways (collector on, so
+    // synthesis wall is span-derived like the 50-app legs) and demand a
+    // strict per-signature reduction with identical exploit counts.
+    let mut scale_runs: Vec<(&str, BundleStats, usize, Duration)> = Vec::new();
+    for (name, slicing) in [("unsliced", false), ("sliced", true)] {
+        separ_obs::global().reset();
+        separ_obs::global().enable();
+        let root = separ_obs::span("bench.scale");
+        let root_id = root.id();
+        let report = Separ::new()
+            .with_config(SeparConfig {
+                slicing,
+                ..SeparConfig::default()
+            })
+            .analyze_apks(&scale_apks)
+            .expect("well-typed signatures");
+        drop(root);
+        let wall = separ_obs::global().duration(root_id);
+        separ_obs::global().disable();
+        println!(
+            "market scale({}) {name}: wall={wall:?} synthesis={:?} vars={} clauses={} \
+             kept={} dropped={} exploits={}",
+            scale_apks.len(),
+            report.stats.synthesis_wall,
+            report.stats.primary_vars,
+            report.stats.cnf_clauses,
+            report.stats.slice_kept,
+            report.stats.slice_dropped,
+            report.exploits.len(),
+        );
+        scale_runs.push((name, report.stats, report.exploits.len(), wall));
+    }
+    assert_eq!(
+        scale_runs[0].2, scale_runs[1].2,
+        "slicing changed the exploit count at market scale"
+    );
+    for (u, s) in scale_runs[0]
+        .1
+        .per_signature
+        .iter()
+        .zip(&scale_runs[1].1.per_signature)
+    {
+        assert_eq!(u.exploits, s.exploits, "{}: exploit counts diverge", s.name);
+        assert!(
+            s.primary_vars < u.primary_vars,
+            "{}: slicing must strictly shrink primary vars ({} vs {})",
+            s.name,
+            s.primary_vars,
+            u.primary_vars
+        );
+        assert!(
+            s.cnf_clauses < u.cnf_clauses,
+            "{}: slicing must strictly shrink the CNF ({} vs {})",
+            s.name,
+            s.cnf_clauses,
+            u.cnf_clauses
+        );
+    }
+
     // Disabled overhead: the workload executes one probe per recorded
     // span; extrapolate their no-op cost against the untraced wall time.
     // (An upper bound — it charges every probe at the measured hot-loop
@@ -282,6 +391,56 @@ fn main() {
         disabled_overhead_pct < 2.0,
         "disabled-collector overhead must stay under 2%"
     );
+
+    // Paper-scale synthesis legs as JSON (nested under "market_scale").
+    let mut scale_json = String::new();
+    for (i, (name, stats, exploits, wall)) in scale_runs.iter().enumerate() {
+        let _ = write!(
+            scale_json,
+            concat!(
+                "      {{\"config\": \"{}\", \"wall_ms\": {:.3}, ",
+                "\"synthesis_wall_ms\": {:.3}, \"primary_vars\": {}, ",
+                "\"cnf_clauses\": {}, \"slice_kept\": {}, ",
+                "\"slice_dropped\": {}, \"exploits\": {}, \"per_signature\": [\n"
+            ),
+            name,
+            ms(*wall),
+            ms(stats.synthesis_wall),
+            stats.primary_vars,
+            stats.cnf_clauses,
+            stats.slice_kept,
+            stats.slice_dropped,
+            exploits,
+        );
+        for (j, s) in stats.per_signature.iter().enumerate() {
+            let _ = write!(
+                scale_json,
+                concat!(
+                    "        {{\"name\": \"{}\", \"vars\": {}, \"clauses\": {}, ",
+                    "\"slice_kept\": {}, \"slice_dropped\": {}, \"exploits\": {}, ",
+                    "\"construction_ms\": {:.3}, \"solving_ms\": {:.3}}}{}\n"
+                ),
+                s.name,
+                s.primary_vars,
+                s.cnf_clauses,
+                s.slice_kept,
+                s.slice_dropped,
+                s.exploits,
+                ms(s.construction),
+                ms(s.solving),
+                if j + 1 == stats.per_signature.len() {
+                    ""
+                } else {
+                    ","
+                },
+            );
+        }
+        let _ = writeln!(
+            scale_json,
+            "      ]}}{}",
+            if i + 1 == scale_runs.len() { "" } else { "," }
+        );
+    }
 
     let mut out = String::from("{\n");
     let _ = write!(
@@ -310,7 +469,8 @@ fn main() {
             "    \"cache_warm_wall_ms\": {:.3},\n",
             "    \"cache_warm_per_app_ms\": {:.4},\n",
             "    \"cache_memory_hits\": {},\n",
-            "    \"cache_misses\": {}\n",
+            "    \"cache_misses\": {},\n",
+            "    \"synthesis\": [\n{}    ]\n",
             "  }},\n",
             "  \"runs\": [\n"
         ),
@@ -333,6 +493,7 @@ fn main() {
         warm_per_app,
         cache_stats.memory_hits,
         cache_stats.misses,
+        scale_json,
     );
     for (i, run) in runs.iter().enumerate() {
         run_json(&mut out, run);

@@ -201,6 +201,27 @@ impl BundleBase {
         BundleBase { encoded, base }
     }
 
+    /// Encodes `apps`, lets `tighten` shrink relation upper bounds via
+    /// [`Problem::tighten_upper`] (the relevance-slicing hook: drop free
+    /// rows the caller knows no fact can force true), then builds the
+    /// translation base over the tightened bounds. The tightening must
+    /// run *before* base construction — leaf matrices allocate one
+    /// circuit input per free tuple, so bounds shrunk afterwards would
+    /// not reduce the CNF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `apps` is empty.
+    pub fn new_with(
+        apps: &[AppModel],
+        tighten: impl FnOnce(&mut Problem, &AtomRegistry, &Relations),
+    ) -> BundleBase {
+        let mut encoded = encode_bundle(apps);
+        tighten(&mut encoded.problem, &encoded.atoms, &encoded.rels);
+        let base = encoded.problem.translation_base();
+        BundleBase { encoded, base }
+    }
+
     /// A fresh copy of the encoded problem for one signature to extend
     /// with witness relations and facts.
     pub fn problem(&self) -> Problem {

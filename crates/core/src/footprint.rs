@@ -1,0 +1,136 @@
+//! Signature footprints — what a signature's relational atoms range over.
+//!
+//! A [`Footprint`] is a signature's declaration of the capability classes
+//! ([`SliceDemand`]s) its witnesses and facts can possibly bind, plus
+//! which of the postulated malicious entity's free relation rows its
+//! facts actually constrain. The pipeline intersects the footprint with
+//! the bundle's capability summaries ([`separ_analysis::slicing`]) to
+//! build a *sliced* translation base: only the apps some demand selects
+//! are encoded, and malicious rows the footprint marks unconstrained are
+//! dropped from the relation upper bounds before CNF construction
+//! ([`separ_logic::Problem::tighten_upper`]).
+//!
+//! # Soundness obligation
+//!
+//! A footprint is an author-asserted over-approximation: it must be
+//! impossible for the signature's facts to have a minimal model binding
+//! an app no demand selects, or forcing true a malicious row the
+//! footprint drops. The built-in signatures' footprints are proven
+//! over-approximate by the differential harness
+//! (`tests/slicing_equivalence.rs`); [`Footprint::everything`] — the
+//! default every [`SignatureFootprint`] implementation inherits — is
+//! trivially sound and disables slicing for that signature.
+
+use std::collections::BTreeSet;
+
+use separ_analysis::slicing::SliceDemand;
+
+/// Which rows of the malicious intent's free `canReceive` upper bound a
+/// signature's facts can force true.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MalReceivers {
+    /// The facts never mention `MalIntent.canReceive`: every malicious
+    /// receiver row is unconstrained and can be dropped.
+    None,
+    /// The facts deliver the malicious intent only to components matching
+    /// one of the footprint's demands; rows to other components drop.
+    Matching,
+    /// Keep every malicious receiver row (the conservative default).
+    All,
+}
+
+/// A signature's declared relational footprint (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Footprint {
+    /// The capability classes the signature's atoms range over. An app
+    /// joins the slice when it satisfies at least one demand;
+    /// [`SliceDemand::Everything`] keeps the whole bundle.
+    pub demands: BTreeSet<SliceDemand>,
+    /// Malicious receiver rows the facts can constrain.
+    pub mal_receivers: MalReceivers,
+    /// Whether the facts constrain the malicious intent's `extras` rows.
+    pub mal_extras: bool,
+    /// Whether the facts constrain the malicious intent's `action` rows.
+    pub mal_action: bool,
+    /// Whether the facts constrain the malicious filter's
+    /// `malFilterActions` rows.
+    pub mal_filter: bool,
+}
+
+impl Footprint {
+    /// The conservative footprint: range over everything, keep every
+    /// malicious row. Slicing is a no-op for signatures declaring this.
+    pub fn everything() -> Footprint {
+        Footprint {
+            demands: BTreeSet::from([SliceDemand::Everything]),
+            mal_receivers: MalReceivers::All,
+            mal_extras: true,
+            mal_action: true,
+            mal_filter: true,
+        }
+    }
+
+    /// A universe-slicing footprint that keeps every malicious row:
+    /// sound whenever `demands` over-approximate which apps the facts
+    /// can bind, with no claim about the malicious surface. This is what
+    /// spec-file `footprint { ... }` annotations produce.
+    pub fn for_demands(demands: impl IntoIterator<Item = SliceDemand>) -> Footprint {
+        Footprint {
+            demands: demands.into_iter().collect(),
+            ..Footprint::everything()
+        }
+    }
+
+    /// Whether this footprint ranges over the whole bundle.
+    pub fn is_everything(&self) -> bool {
+        self.demands.contains(&SliceDemand::Everything)
+    }
+
+    /// Whether the footprint drops any malicious free rows (i.e. bound
+    /// tightening has an effect even when every app is kept).
+    pub fn tightens_mal(&self) -> bool {
+        self.mal_receivers != MalReceivers::All
+            || !self.mal_extras
+            || !self.mal_action
+            || !self.mal_filter
+    }
+}
+
+/// The slicing half of a signature plugin: every
+/// [`crate::VulnerabilitySignature`] declares (or inherits) a footprint.
+///
+/// The default is [`Footprint::everything`], so existing plugins keep
+/// working unchanged — they simply do not benefit from slicing.
+pub trait SignatureFootprint {
+    /// The signature's relational footprint.
+    fn footprint(&self) -> Footprint {
+        Footprint::everything()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn everything_is_everything() {
+        let fp = Footprint::everything();
+        assert!(fp.is_everything());
+        assert!(!fp.tightens_mal());
+    }
+
+    #[test]
+    fn demand_footprints_keep_the_mal_surface() {
+        let fp = Footprint::for_demands([SliceDemand::LeakChannel]);
+        assert!(!fp.is_everything());
+        assert!(!fp.tightens_mal());
+        assert_eq!(fp.mal_receivers, MalReceivers::All);
+    }
+
+    #[test]
+    fn default_footprint_is_conservative() {
+        struct Plain;
+        impl SignatureFootprint for Plain {}
+        assert!(Plain.footprint().is_everything());
+    }
+}

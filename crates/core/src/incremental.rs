@@ -15,6 +15,7 @@ use std::sync::Arc;
 
 use separ_analysis::cache::ModelCache;
 use separ_analysis::model::{update_passive_intent_targets, AppModel};
+use separ_analysis::slicing::{self, AppSummary};
 use separ_logic::LogicError;
 
 use crate::exec::Executor;
@@ -33,6 +34,10 @@ pub struct PolicyDelta {
     pub removed: Vec<Policy>,
     /// How many signatures were re-run to compute this delta.
     pub signatures_rerun: usize,
+    /// How many apps had their relevance-slicing capability summary
+    /// recomputed (summaries are app-local, so a change to one app never
+    /// forces re-summarizing another).
+    pub apps_resliced: usize,
 }
 
 impl PolicyDelta {
@@ -47,6 +52,9 @@ pub struct IncrementalSession {
     registry: SignatureRegistry,
     config: SeparConfig,
     apps: Vec<AppModel>,
+    /// Per-app capability summaries (same order as `apps`), kept current
+    /// across changes so re-runs slice without re-summarizing the bundle.
+    summaries: Vec<AppSummary>,
     /// Cached exploits per registered signature (same order as registry).
     cache: Vec<Vec<Exploit>>,
     /// Content-hash model cache consulted by [`IncrementalSession::install_package`].
@@ -77,11 +85,13 @@ impl IncrementalSession {
         mut apps: Vec<AppModel>,
     ) -> Result<IncrementalSession, LogicError> {
         update_passive_intent_targets(&mut apps);
+        let summaries = slicing::summarize_bundle(&apps);
         let mut session = IncrementalSession {
             cache: vec![Vec::new(); registry.len()],
             registry,
             config,
             apps,
+            summaries,
             model_cache: None,
             policies: Vec::new(),
             total_syntheses: 0,
@@ -131,11 +141,12 @@ impl IncrementalSession {
             |sig| select(sig.sensitivity()),
             &self.apps,
             &self.config,
+            Some(&self.summaries),
         )?;
         let mut reran = 0;
         for (slot, syn) in self.cache.iter_mut().zip(syntheses) {
-            if let Some((syn, _)) = syn {
-                *slot = syn.exploits;
+            if let Some(run) = syn {
+                *slot = run.synthesis.exploits;
                 reran += 1;
             }
         }
@@ -145,7 +156,7 @@ impl IncrementalSession {
         Ok(reran)
     }
 
-    fn delta_from(&mut self, before: Vec<Policy>, reran: usize) -> PolicyDelta {
+    fn delta_from(&mut self, before: Vec<Policy>, reran: usize, resliced: usize) -> PolicyDelta {
         let added = self
             .policies
             .iter()
@@ -160,6 +171,7 @@ impl IncrementalSession {
             added,
             removed,
             signatures_rerun: reran,
+            apps_resliced: resliced,
         }
     }
 
@@ -175,22 +187,28 @@ impl IncrementalSession {
         permission: &str,
         granted: bool,
     ) -> Result<PolicyDelta, LogicError> {
-        let mut changed = false;
-        for app in &mut self.apps {
+        let mut resliced = 0;
+        for (app, summary) in self.apps.iter_mut().zip(self.summaries.iter_mut()) {
             if app.package == package {
-                changed = if granted {
+                let touched = if granted {
                     app.uses_permissions.insert(permission.to_string())
                 } else {
                     app.uses_permissions.remove(permission)
                 };
+                if touched {
+                    // Summaries are app-local: only the toggled app's
+                    // capability bits can have changed.
+                    *summary = slicing::summarize_app(app);
+                    resliced += 1;
+                }
             }
         }
-        if !changed {
+        if resliced == 0 {
             return Ok(PolicyDelta::default());
         }
         let before = self.policies.clone();
         let reran = self.rerun(|s| s.permissions)?;
-        Ok(self.delta_from(before, reran))
+        Ok(self.delta_from(before, reran, resliced))
     }
 
     /// Installs an app into the bundle (full re-analysis: the topology
@@ -202,9 +220,14 @@ impl IncrementalSession {
     pub fn install(&mut self, app: AppModel) -> Result<PolicyDelta, LogicError> {
         self.apps.push(app);
         update_passive_intent_targets(&mut self.apps);
+        // Summaries never read the cross-app passive-resolution results,
+        // so only the new app needs summarizing.
+        self.summaries.push(slicing::summarize_app(
+            self.apps.last().expect("just pushed"),
+        ));
         let before = self.policies.clone();
         let reran = self.rerun(|_| true)?;
-        Ok(self.delta_from(before, reran))
+        Ok(self.delta_from(before, reran, 1))
     }
 
     /// Installs an app from its binary package, extracting its model
@@ -230,7 +253,13 @@ impl IncrementalSession {
     /// Returns a [`LogicError`] if a signature is ill-typed.
     pub fn uninstall(&mut self, package: &str) -> Result<PolicyDelta, LogicError> {
         let before_len = self.apps.len();
-        self.apps.retain(|a| a.package != package);
+        let (apps, summaries): (Vec<AppModel>, Vec<AppSummary>) = std::mem::take(&mut self.apps)
+            .into_iter()
+            .zip(std::mem::take(&mut self.summaries))
+            .filter(|(a, _)| a.package != package)
+            .unzip();
+        self.apps = apps;
+        self.summaries = summaries;
         if self.apps.len() == before_len {
             return Ok(PolicyDelta::default());
         }
@@ -244,7 +273,7 @@ impl IncrementalSession {
         } else {
             self.rerun(|_| true)?
         };
-        Ok(self.delta_from(before, reran))
+        Ok(self.delta_from(before, reran, 0))
     }
 }
 
@@ -401,5 +430,32 @@ mod tests {
             .expect("grant");
         // Two toggles cost two syntheses, not eight.
         assert_eq!(s.total_syntheses(), after_init + 2);
+    }
+
+    #[test]
+    fn changes_reslice_only_the_touched_app() {
+        let mut s = session();
+        let delta = s
+            .set_permission("com.messenger", perm::SEND_SMS, false)
+            .expect("revoke");
+        assert_eq!(delta.apps_resliced, 1, "only the toggled app");
+        let delta = s
+            .install(app(
+                "com.extra",
+                vec![comp("LExtra;", ComponentKind::Activity)],
+            ))
+            .expect("install");
+        assert_eq!(delta.apps_resliced, 1, "only the new app");
+        let delta = s.uninstall("com.messenger").expect("uninstall");
+        assert_eq!(delta.apps_resliced, 0, "removal re-summarizes nothing");
+        // Deltas with slicing on still track the bundle: the session and
+        // a from-scratch run agree (the differential suite widens this).
+        let scratch = IncrementalSession::new(
+            SignatureRegistry::standard(),
+            SeparConfig::default(),
+            s.apps().to_vec(),
+        )
+        .expect("scratch");
+        assert_eq!(s.policies(), scratch.policies());
     }
 }

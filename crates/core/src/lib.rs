@@ -18,6 +18,7 @@ pub mod alloy_export;
 pub mod encode;
 pub mod exec;
 pub mod exploit;
+pub mod footprint;
 pub mod incremental;
 pub mod pipeline;
 pub mod policy;
@@ -29,6 +30,7 @@ pub mod vulns;
 pub use encode::BundleBase;
 pub use exec::Executor;
 pub use exploit::{Exploit, VulnKind};
+pub use footprint::{Footprint, MalReceivers, SignatureFootprint};
 pub use incremental::{IncrementalSession, PolicyDelta};
 pub use pipeline::{
     AnalyzeError, BundleStats, CountStats, Report, Separ, SeparConfig, SignatureStats,

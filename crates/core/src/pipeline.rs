@@ -23,14 +23,16 @@ use std::time::Duration;
 use separ_analysis::cache::{CacheOutcome, ModelCache};
 use separ_analysis::extractor::{extract, extract_apk};
 use separ_analysis::model::{update_passive_intent_targets, AppModel};
+use separ_analysis::slicing::{self, AppSummary};
 use separ_android::resolution;
 use separ_dex::error::DexError;
 use separ_dex::program::Apk;
-use separ_logic::{CnfEncoding, FinderOptions, LogicError, SolverStats};
+use separ_logic::{Atom, CnfEncoding, FinderOptions, LogicError, Problem, SolverStats};
 
-use crate::encode::BundleBase;
+use crate::encode::{AtomRegistry, BundleBase, Relations};
 use crate::exec::Executor;
 use crate::exploit::{Exploit, VulnKind};
+use crate::footprint::{Footprint, MalReceivers};
 use crate::policy::{finalize_policies, policies_for_exploit, Policy};
 use crate::signature::{SignatureRegistry, Synthesis, SynthesisContext, VulnerabilitySignature};
 use crate::vulns::DEFAULT_SCENARIO_LIMIT;
@@ -52,6 +54,15 @@ pub struct SeparConfig {
     /// symmetric models, so enumeration *counts* (not soundness) can
     /// differ from the unbroken reference the determinism suite pins.
     pub symmetry_breaking: bool,
+    /// Signature-guided relevance slicing: encode each signature against
+    /// only the apps its declared footprint can range over and drop the
+    /// malicious free rows its facts never constrain, instead of
+    /// translating every signature against the whole bundle. On by
+    /// default; sound by construction (the differential suite
+    /// `tests/slicing_equivalence.rs` proves exploits and policies are
+    /// identical either way). `false` is the escape hatch (CLI
+    /// `--no-slicing`) and the reference the suite compares against.
+    pub slicing: bool,
 }
 
 impl Default for SeparConfig {
@@ -61,6 +72,7 @@ impl Default for SeparConfig {
             scenario_limit: DEFAULT_SCENARIO_LIMIT,
             cnf_encoding: CnfEncoding::default(),
             symmetry_breaking: false,
+            slicing: true,
         }
     }
 }
@@ -104,6 +116,11 @@ pub struct SignatureStats {
     pub solver: SolverStats,
     /// Exploit scenarios the signature decoded.
     pub exploits: usize,
+    /// Apps the relevance slice kept for this signature (equals the
+    /// bundle size when slicing is off or the footprint keeps everything).
+    pub slice_kept: usize,
+    /// Apps the relevance slice excluded from this signature's universe.
+    pub slice_dropped: usize,
 }
 
 /// Aggregate statistics for one bundle analysis (Table II's columns plus
@@ -142,6 +159,12 @@ pub struct BundleStats {
     pub cnf_clauses: usize,
     /// Signatures that translated from the shared per-bundle base.
     pub shared_base_reuse: usize,
+    /// App slots kept across per-signature relevance slices (sums over
+    /// signatures: `apps × signatures` when slicing is off).
+    pub slice_kept: usize,
+    /// App slots dropped across per-signature relevance slices (always
+    /// zero when slicing is off).
+    pub slice_dropped: usize,
     /// Total SAT conflicts across signatures.
     pub conflicts: u64,
     /// Total SAT propagations across signatures.
@@ -169,6 +192,8 @@ impl BundleStats {
             primary_vars: self.primary_vars,
             cnf_clauses: self.cnf_clauses,
             shared_base_reuse: self.shared_base_reuse,
+            slice_kept: self.slice_kept,
+            slice_dropped: self.slice_dropped,
             cache_hits: self.cache_hits,
             cache_misses: self.cache_misses,
             per_signature: self
@@ -201,6 +226,10 @@ pub struct CountStats {
     pub cnf_clauses: usize,
     /// Signatures that translated from the shared per-bundle base.
     pub shared_base_reuse: usize,
+    /// App slots kept across per-signature relevance slices.
+    pub slice_kept: usize,
+    /// App slots dropped across per-signature relevance slices.
+    pub slice_dropped: usize,
     /// Apps whose model came from the content-hash cache.
     pub cache_hits: usize,
     /// Apps whose model was extracted from scratch this run.
@@ -450,21 +479,25 @@ impl Separ {
             |_| true,
             &apps,
             &self.config,
+            None,
         )?;
         drop(synthesis);
         stats.synthesis_wall = obs.duration(synthesis_id);
         let mut exploits = Vec::new();
         for (sig, syn) in self.registry.iter().zip(syntheses) {
-            let (syn, sig_span) = syn.expect("unfiltered synthesis ran every signature");
+            let run = syn.expect("unfiltered synthesis ran every signature");
+            let syn = run.synthesis;
             // Per-signature stage timings come from the spans recorded
             // under this signature's `ase.signature` span.
-            let construction = obs.subtree_sum(sig_span, "logic.translate");
-            let solving = obs.subtree_sum(sig_span, "logic.solve");
+            let construction = obs.subtree_sum(run.span, "logic.translate");
+            let solving = obs.subtree_sum(run.span, "logic.solve");
             stats.construction += construction;
             stats.solving += solving;
             stats.primary_vars += syn.primary_vars;
             stats.cnf_clauses += syn.cnf_clauses;
             stats.shared_base_reuse += usize::from(syn.shared_base);
+            stats.slice_kept += run.slice_kept;
+            stats.slice_dropped += run.slice_dropped;
             stats.conflicts += syn.solver.conflicts;
             stats.propagations += syn.solver.propagations;
             stats.per_signature.push(SignatureStats {
@@ -476,6 +509,8 @@ impl Separ {
                 shared_base: syn.shared_base,
                 solver: syn.solver,
                 exploits: syn.exploits.len(),
+                slice_kept: run.slice_kept,
+                slice_dropped: run.slice_dropped,
             });
             if separ_obs::enabled() {
                 separ_obs::event(
@@ -509,48 +544,236 @@ fn collect_cached(results: Vec<(Arc<AppModel>, CacheOutcome)>) -> (Vec<AppModel>
     (apps, hits, misses)
 }
 
+/// One signature's synthesis result plus the observability/slicing
+/// bookkeeping [`Separ::analyze_models`] folds into [`BundleStats`].
+pub(crate) struct SignatureRun {
+    /// The decoded synthesis.
+    pub synthesis: Synthesis,
+    /// The signature's `ase.signature` span (per-stage timings hang off
+    /// it).
+    pub span: separ_obs::SpanId,
+    /// Apps the relevance slice kept for this signature.
+    pub slice_kept: usize,
+    /// Apps the relevance slice dropped for this signature.
+    pub slice_dropped: usize,
+}
+
+/// How one signature's universe is prepared for translation.
+#[derive(Clone, Copy)]
+enum SlicePlan {
+    /// Translate against the shared, untightened full-bundle base.
+    Full,
+    /// Translate against the prepared (sliced and/or mal-tightened) base
+    /// at this index.
+    Prepared(usize),
+    /// The slice kept no apps: the signature's facts are unsatisfiable
+    /// over an empty relevant universe, so synthesis is skipped outright.
+    Empty,
+}
+
+/// A sliced universe shared by every signature whose `(kept apps,
+/// footprint)` key coincides: the sliced app models (or `None` when the
+/// slice kept the whole bundle and only mal rows were tightened) and the
+/// translation base built over them.
+struct PreparedBase {
+    apps: Option<Vec<AppModel>>,
+    base: BundleBase,
+}
+
+/// Drops the malicious free rows a signature's declared footprint never
+/// constrains. Sound for the same reason slicing itself is: the encoder
+/// asserts no problem facts, so a free row no signature fact mentions is
+/// false in every minimal model, and shrinking the upper bound to exclude
+/// it cannot change the minimal-model set.
+fn apply_footprint(
+    fp: &Footprint,
+    summaries: &[&AppSummary],
+    problem: &mut Problem,
+    atoms: &AtomRegistry,
+    rels: &Relations,
+) {
+    let mal = atoms.mal_intent;
+    match fp.mal_receivers {
+        MalReceivers::All => {}
+        MalReceivers::None => {
+            problem.tighten_upper(rels.can_receive, |t| t.atoms()[0] != mal);
+        }
+        MalReceivers::Matching => {
+            let matching: BTreeSet<Atom> = atoms
+                .components
+                .iter()
+                .filter(|&&((ai, ci), _)| {
+                    let caps = summaries[ai].components[ci].caps;
+                    fp.demands.iter().any(|d| d.component_matches(&caps))
+                })
+                .map(|&(_, a)| a)
+                .collect();
+            problem.tighten_upper(rels.can_receive, |t| {
+                t.atoms()[0] != mal || matching.contains(&t.atoms()[1])
+            });
+        }
+    }
+    if !fp.mal_extras {
+        problem.tighten_upper(rels.extras, |t| t.atoms()[0] != mal);
+    }
+    if !fp.mal_action {
+        problem.tighten_upper(rels.intent_action, |t| t.atoms()[0] != mal);
+    }
+    if !fp.mal_filter {
+        problem.tighten_upper(rels.mal_filter_actions, |_| false);
+    }
+}
+
 /// Runs `sig.synthesize_with` for every registry signature selected by
 /// `select`, fanned out on `executor`, returning per-signature results in
-/// registry order (`None` where `select` declined). The bundle-common
-/// encoding and its translation base are built once and shared by
-/// reference across the worker threads, so each signature only pays for
-/// its own witnesses and facts. Shared by the full pipeline and
-/// [`crate::IncrementalSession`] re-runs.
+/// registry order (`None` where `select` declined). Shared by the full
+/// pipeline and [`crate::IncrementalSession`] re-runs.
+///
+/// With [`SeparConfig::slicing`] on, each signature's declared
+/// [`Footprint`] is intersected with the bundle's capability summaries
+/// first: the signature translates against a base built over only the
+/// apps its slice kept, with the malicious free rows its facts never
+/// constrain dropped from the upper bounds. Signatures whose slices (and
+/// footprints) coincide share one prepared base; a signature whose slice
+/// is empty skips translation and solving entirely. With slicing off,
+/// every signature shares the one whole-bundle base.
+///
+/// `summaries` lets [`crate::IncrementalSession`] pass its cached
+/// per-app capability summaries; `None` summarizes the bundle here
+/// (under an `ase.slice` span).
 pub(crate) fn synthesize_all(
     executor: &Executor,
     registry: &SignatureRegistry,
     select: impl Fn(&dyn VulnerabilitySignature) -> bool,
     apps: &[AppModel],
     config: &SeparConfig,
-) -> Result<Vec<Option<(Synthesis, separ_obs::SpanId)>>, LogicError> {
+    summaries: Option<&[AppSummary]>,
+) -> Result<Vec<Option<SignatureRun>>, LogicError> {
     let selected: Vec<(usize, &dyn VulnerabilitySignature)> = registry
         .iter()
         .enumerate()
         .filter(|(_, sig)| select(*sig))
         .collect();
-    let mut out: Vec<Option<(Synthesis, separ_obs::SpanId)>> = Vec::new();
+    let mut out: Vec<Option<SignatureRun>> = Vec::new();
     out.resize_with(registry.len(), || None);
     if selected.is_empty() {
         return Ok(out);
     }
-    let base_span = separ_obs::span("pipeline.bundle_base");
-    let base = BundleBase::new(apps);
-    drop(base_span);
+
+    // Plan each signature's universe up front (serially: plans must not
+    // depend on executor fan-out order) and build the prepared bases.
+    let mut plans: Vec<(SlicePlan, usize, usize)> = Vec::with_capacity(selected.len());
+    let mut prepared: Vec<PreparedBase> = Vec::new();
+    if config.slicing {
+        let slice_span = separ_obs::span("ase.slice");
+        let computed: Vec<AppSummary>;
+        let summaries: &[AppSummary] = match summaries {
+            Some(s) => s,
+            None => {
+                computed = slicing::summarize_bundle(apps);
+                &computed
+            }
+        };
+        let mut by_key: std::collections::BTreeMap<(Vec<usize>, Footprint), usize> =
+            std::collections::BTreeMap::new();
+        for (_, sig) in &selected {
+            let fp = sig.footprint();
+            if fp.is_everything() && !fp.tightens_mal() {
+                plans.push((SlicePlan::Full, apps.len(), 0));
+                continue;
+            }
+            let kept: Vec<usize> = slicing::select_apps(&fp.demands, summaries)
+                .into_iter()
+                .collect();
+            if kept.is_empty() {
+                plans.push((SlicePlan::Empty, 0, apps.len()));
+                continue;
+            }
+            let (kept_n, dropped_n) = (kept.len(), apps.len() - kept.len());
+            let slot = *by_key.entry((kept.clone(), fp.clone())).or_insert_with(|| {
+                let sub_apps: Option<Vec<AppModel>> = if kept.len() == apps.len() {
+                    None
+                } else {
+                    Some(kept.iter().map(|&i| apps[i].clone()).collect())
+                };
+                let sub_summaries: Vec<&AppSummary> = kept.iter().map(|&i| &summaries[i]).collect();
+                let base_span = separ_obs::span("pipeline.bundle_base");
+                let base = BundleBase::new_with(
+                    sub_apps.as_deref().unwrap_or(apps),
+                    |problem, atoms, rels| {
+                        apply_footprint(&fp, &sub_summaries, problem, atoms, rels)
+                    },
+                );
+                drop(base_span);
+                prepared.push(PreparedBase {
+                    apps: sub_apps,
+                    base,
+                });
+                prepared.len() - 1
+            });
+            plans.push((SlicePlan::Prepared(slot), kept_n, dropped_n));
+        }
+        if separ_obs::enabled() {
+            let kept: usize = plans.iter().map(|&(_, k, _)| k).sum();
+            let dropped: usize = plans.iter().map(|&(_, _, d)| d).sum();
+            separ_obs::counter_add("slice.kept", kept as u64);
+            separ_obs::counter_add("slice.dropped", dropped as u64);
+        }
+        drop(slice_span);
+    } else {
+        plans.resize(selected.len(), (SlicePlan::Full, apps.len(), 0));
+    }
+
+    // The whole-bundle base is only paid for when some plan needs it.
+    let full_base = if plans.iter().any(|(p, _, _)| matches!(p, SlicePlan::Full)) {
+        let base_span = separ_obs::span("pipeline.bundle_base");
+        let base = BundleBase::new(apps);
+        drop(base_span);
+        Some(base)
+    } else {
+        None
+    };
+
     let options = config.finder_options();
-    let syntheses = executor.try_ordered_map(&selected, |(_, sig)| {
+    type SignatureJob<'a> = (
+        (usize, &'a dyn VulnerabilitySignature),
+        (SlicePlan, usize, usize),
+    );
+    let jobs: Vec<SignatureJob> = selected.into_iter().zip(plans).collect();
+    let syntheses = executor.try_ordered_map(&jobs, |&((_, sig), (plan, kept, dropped))| {
         let mut span = separ_obs::span("ase.signature");
         span.set_arg("signature", sig.name());
         let span_id = span.id();
+        let (ctx_apps, base): (&[AppModel], &BundleBase) = match plan {
+            SlicePlan::Empty => {
+                return Ok(SignatureRun {
+                    synthesis: Synthesis::default(),
+                    span: span_id,
+                    slice_kept: kept,
+                    slice_dropped: dropped,
+                });
+            }
+            SlicePlan::Full => (apps, full_base.as_ref().expect("full base was built")),
+            SlicePlan::Prepared(i) => {
+                let p = &prepared[i];
+                (p.apps.as_deref().unwrap_or(apps), &p.base)
+            }
+        };
         sig.synthesize_with(&SynthesisContext {
-            apps,
-            base: &base,
+            apps: ctx_apps,
+            base,
             limit: config.scenario_limit,
             options,
         })
-        .map(|syn| (syn, span_id))
+        .map(|synthesis| SignatureRun {
+            synthesis,
+            span: span_id,
+            slice_kept: kept,
+            slice_dropped: dropped,
+        })
     })?;
-    for ((i, _), syn) in selected.into_iter().zip(syntheses) {
-        out[i] = Some(syn);
+    for (((i, _), _), run) in jobs.into_iter().zip(syntheses) {
+        out[i] = Some(run);
     }
     Ok(out)
 }
@@ -709,7 +932,13 @@ mod tests {
 
     #[test]
     fn every_signature_reuses_the_shared_bundle_base() {
+        // Slicing off: this test pins the shared-base translation path,
+        // where all four signatures reuse the one whole-bundle base.
         let report = Separ::new()
+            .with_config(SeparConfig {
+                slicing: false,
+                ..SeparConfig::default()
+            })
             .analyze_models(motivating_bundle())
             .expect("succeeds");
         assert_eq!(report.stats.shared_base_reuse, 4);
@@ -729,6 +958,40 @@ mod tests {
                 .sum::<usize>(),
             report.stats.cnf_clauses
         );
+    }
+
+    #[test]
+    fn slicing_preserves_results_and_shrinks_the_universe() {
+        let sliced = Separ::new()
+            .analyze_models(motivating_bundle())
+            .expect("succeeds");
+        let unsliced = Separ::new()
+            .with_config(SeparConfig {
+                slicing: false,
+                ..SeparConfig::default()
+            })
+            .analyze_models(motivating_bundle())
+            .expect("succeeds");
+        assert_eq!(result_sets(&sliced), result_sets(&unsliced));
+        // Unsliced runs drop nothing and keep every app for every
+        // signature; sliced runs record what each footprint excluded.
+        assert_eq!(unsliced.stats.slice_dropped, 0);
+        assert_eq!(unsliced.stats.slice_kept, 2 * 4);
+        assert!(sliced.stats.slice_dropped > 0);
+        assert!(sliced.stats.slice_kept < unsliced.stats.slice_kept);
+        // Tightened bounds translate to strictly smaller formulas.
+        assert!(sliced.stats.primary_vars < unsliced.stats.primary_vars);
+        assert!(sliced.stats.cnf_clauses < unsliced.stats.cnf_clauses);
+        for (s, u) in sliced
+            .stats
+            .per_signature
+            .iter()
+            .zip(&unsliced.stats.per_signature)
+        {
+            assert_eq!(s.name, u.name);
+            assert!(s.primary_vars <= u.primary_vars, "{}", s.name);
+            assert_eq!(s.slice_kept + s.slice_dropped, 2, "{}", s.name);
+        }
     }
 
     /// Exploit/policy *sets* for encoding-robust comparison: enumeration

@@ -14,6 +14,7 @@ use separ_logic::{FinderOptions, LogicError, SolverStats};
 
 use crate::encode::BundleBase;
 use crate::exploit::{Exploit, VulnKind};
+use crate::footprint::SignatureFootprint;
 
 /// The result of one signature's synthesis run.
 #[derive(Debug, Default)]
@@ -71,7 +72,13 @@ impl Default for Sensitivity {
 }
 
 /// A pluggable vulnerability signature.
-pub trait VulnerabilitySignature: Send + Sync {
+///
+/// The [`SignatureFootprint`] supertrait declares what the signature's
+/// relational atoms range over, letting the pipeline slice the bundle
+/// universe per signature before translation. Plugins that don't care
+/// implement it empty (`impl SignatureFootprint for MySig {}`) and
+/// inherit the conservative whole-bundle footprint.
+pub trait VulnerabilitySignature: SignatureFootprint + Send + Sync {
     /// The category this signature detects.
     fn kind(&self) -> VulnKind;
 
@@ -202,6 +209,8 @@ mod tests {
     #[test]
     fn registry_is_extensible() {
         struct Custom;
+        // The empty impl inherits the conservative whole-bundle footprint.
+        impl SignatureFootprint for Custom {}
         impl VulnerabilitySignature for Custom {
             fn kind(&self) -> VulnKind {
                 VulnKind::IntentHijack

@@ -38,15 +38,26 @@
 //! Operators follow Alloy: unary `~` (transpose) and `^` (closure) bind
 //! tightest, then `.` (join), then `&`, then `+` / `-`. Formulas are
 //! `e in e`, `e = e`, `some|no|one|lone e`, `not f`, `f and f`, `f or f`.
+//!
+//! # Footprint annotations
+//!
+//! A spec may end with a `footprint { capability ... }` clause naming
+//! the [`SliceDemand`] capability classes its atoms range over (e.g.
+//! `footprint { launchable_icc_entry }`). The clause is the author's
+//! over-approximation claim (see [`crate::footprint`]); annotated specs
+//! participate in relevance slicing, unannotated specs conservatively
+//! range over the whole bundle.
 
 use std::collections::BTreeSet;
 use std::fmt;
 
 use separ_analysis::model::AppModel;
+use separ_analysis::slicing::SliceDemand;
 use separ_logic::{Expr, Formula, LogicError, Problem, RelationDecl, RelationId, TupleSet};
 
 use crate::encode::AtomRegistry;
 use crate::exploit::{Exploit, VulnKind};
+use crate::footprint::{Footprint, SignatureFootprint};
 use crate::signature::{Synthesis, SynthesisContext, VulnerabilitySignature};
 
 /// The relation names a specification may reference.
@@ -85,18 +96,24 @@ const VOCABULARY: &[&str] = &[
 
 const MAL_ATOMS: &[&str] = &["MalIntent", "MalComp", "MalFilter", "MalApp"];
 
-/// A parse error with its source line.
+/// A parse error with its source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpecError {
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column of the offending token.
+    pub column: usize,
     /// What went wrong.
     pub message: String,
 }
 
 impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "spec error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "spec error at line {}, column {}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
@@ -123,12 +140,16 @@ enum Tok {
     Equals,
 }
 
-fn lex(src: &str) -> Result<Vec<(Tok, usize)>, SpecError> {
+/// One lexed token with its 1-based (line, column) source position.
+type Spanned = (Tok, usize, usize);
+
+fn lex(src: &str) -> Result<Vec<Spanned>, SpecError> {
     let mut out = Vec::new();
     for (lineno, line) in src.lines().enumerate() {
         let line = line.split("//").next().unwrap_or("");
-        let mut chars = line.chars().peekable();
-        while let Some(&c) = chars.peek() {
+        let mut chars = line.chars().enumerate().peekable();
+        while let Some(&(i, c)) = chars.peek() {
+            let col = i + 1;
             let tok = match c {
                 c if c.is_whitespace() => {
                     chars.next();
@@ -150,6 +171,7 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, SpecError> {
                 other => {
                     return Err(SpecError {
                         line: lineno + 1,
+                        column: col,
                         message: format!("unexpected character '{other}'"),
                     })
                 }
@@ -157,11 +179,11 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, SpecError> {
             match tok {
                 Some(t) => {
                     chars.next();
-                    out.push((t, lineno + 1));
+                    out.push((t, lineno + 1, col));
                 }
                 None => {
                     let mut ident = String::new();
-                    while let Some(&c) = chars.peek() {
+                    while let Some(&(_, c)) = chars.peek() {
                         if c.is_alphanumeric() || c == '_' {
                             ident.push(c);
                             chars.next();
@@ -169,7 +191,7 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, SpecError> {
                             break;
                         }
                     }
-                    out.push((Tok::Ident(ident), lineno + 1));
+                    out.push((Tok::Ident(ident), lineno + 1, col));
                 }
             }
         }
@@ -219,23 +241,32 @@ struct SpecAst {
     name: String,
     decls: Vec<(String, Mult, String)>,
     facts: Vec<FAst>,
+    /// The optional `footprint { ... }` annotation's capability classes.
+    footprint: Option<BTreeSet<SliceDemand>>,
 }
 
 struct Parser {
-    toks: Vec<(Tok, usize)>,
+    toks: Vec<Spanned>,
     pos: usize,
+    /// Witness names declared so far; facts validate identifiers against
+    /// these plus the fixed vocabulary, at the offending token's position.
+    decl_names: BTreeSet<String>,
 }
 
 impl Parser {
-    fn line(&self) -> usize {
+    /// The (line, column) of the current token — or of the last token
+    /// when the input ended early.
+    fn here(&self) -> (usize, usize) {
         self.toks
             .get(self.pos.min(self.toks.len().saturating_sub(1)))
-            .map_or(0, |t| t.1)
+            .map_or((0, 0), |t| (t.1, t.2))
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, SpecError> {
+        let (line, column) = self.here();
         Err(SpecError {
-            line: self.line(),
+            line,
+            column,
             message: message.into(),
         })
     }
@@ -280,14 +311,29 @@ impl Parser {
         while self.peek() != Some(&Tok::RBrace) {
             let dname = self.ident()?;
             self.expect(Tok::Colon)?;
+            let mut at = self.here();
             let mult_or_domain = self.ident()?;
             let (mult, domain) = match mult_or_domain.as_str() {
-                "one" => (Mult::One, self.ident()?),
-                "some" => (Mult::Some, self.ident()?),
-                "lone" => (Mult::Lone, self.ident()?),
-                "set" => (Mult::Set, self.ident()?),
+                "one" | "some" | "lone" | "set" => {
+                    let mult = match mult_or_domain.as_str() {
+                        "one" => Mult::One,
+                        "some" => Mult::Some,
+                        "lone" => Mult::Lone,
+                        _ => Mult::Set,
+                    };
+                    at = self.here();
+                    (mult, self.ident()?)
+                }
                 _ => (Mult::One, mult_or_domain),
             };
+            if !VOCABULARY.contains(&domain.as_str()) {
+                return Err(SpecError {
+                    line: at.0,
+                    column: at.1,
+                    message: format!("unknown witness domain '{domain}' for '{dname}'"),
+                });
+            }
+            self.decl_names.insert(dname.clone());
             decls.push((dname, mult, domain));
         }
         self.expect(Tok::RBrace)?;
@@ -297,10 +343,44 @@ impl Parser {
             facts.push(self.formula()?);
         }
         self.expect(Tok::RBrace)?;
+        let footprint = self.footprint_clause()?;
         if self.pos != self.toks.len() {
             return self.err("trailing tokens after specification");
         }
-        Ok(SpecAst { name, decls, facts })
+        Ok(SpecAst {
+            name,
+            decls,
+            facts,
+            footprint,
+        })
+    }
+
+    /// The optional trailing `footprint { capability ... }` clause.
+    fn footprint_clause(&mut self) -> Result<Option<BTreeSet<SliceDemand>>, SpecError> {
+        if !matches!(self.peek(), Some(Tok::Ident(kw)) if kw == "footprint") {
+            return Ok(None);
+        }
+        self.pos += 1;
+        self.expect(Tok::LBrace)?;
+        let mut demands = BTreeSet::new();
+        while self.peek() != Some(&Tok::RBrace) {
+            let (line, column) = self.here();
+            let name = self.ident()?;
+            match SliceDemand::from_name(&name) {
+                Some(d) => {
+                    demands.insert(d);
+                }
+                None => {
+                    return Err(SpecError {
+                        line,
+                        column,
+                        message: format!("unknown footprint capability '{name}'"),
+                    })
+                }
+            }
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(Some(demands))
     }
 
     /// formula := conjunct (('and'|'or') conjunct)*
@@ -437,7 +517,21 @@ impl Parser {
                 self.expect(Tok::RParen)?;
                 Ok(e)
             }
-            Some(Tok::Ident(_)) => Ok(EAst::Name(self.ident()?)),
+            Some(Tok::Ident(_)) => {
+                let (line, column) = self.here();
+                let n = self.ident()?;
+                if !(self.decl_names.contains(&n)
+                    || MAL_ATOMS.contains(&n.as_str())
+                    || VOCABULARY.contains(&n.as_str()))
+                {
+                    return Err(SpecError {
+                        line,
+                        column,
+                        message: format!("unknown identifier '{n}'"),
+                    });
+                }
+                Ok(EAst::Name(n))
+            }
             other => self.err(format!("expected expression, found {other:?}")),
         }
     }
@@ -454,7 +548,10 @@ pub struct TextualSignature {
 }
 
 impl TextualSignature {
-    /// Parses a specification.
+    /// Parses a specification. The vocabulary is validated during the
+    /// parse — unknown witness domains, fact identifiers and footprint
+    /// capabilities are rejected with the offending token's exact line
+    /// and column — so synthesis can't fail on unknown names.
     ///
     /// # Errors
     ///
@@ -462,66 +559,18 @@ impl TextualSignature {
     /// witness declarations over non-unary domains.
     pub fn parse(source: &str) -> Result<TextualSignature, SpecError> {
         let toks = lex(source)?;
-        let mut parser = Parser { toks, pos: 0 };
-        let ast = parser.spec()?;
-        // Validate the vocabulary eagerly so synthesis can't fail on
-        // unknown names.
-        let decl_names: BTreeSet<&str> = ast.decls.iter().map(|(n, _, _)| n.as_str()).collect();
-        let known = |name: &str| {
-            decl_names.contains(name) || MAL_ATOMS.contains(&name) || VOCABULARY.contains(&name)
+        let mut parser = Parser {
+            toks,
+            pos: 0,
+            decl_names: BTreeSet::new(),
         };
-        for (dname, _, domain) in &ast.decls {
-            if !VOCABULARY.contains(&domain.as_str()) {
-                return Err(SpecError {
-                    line: 0,
-                    message: format!("unknown witness domain '{domain}' for '{dname}'"),
-                });
-            }
-        }
-        let mut names = Vec::new();
-        for f in &ast.facts {
-            collect_names_f(f, &mut names);
-        }
-        for n in names {
-            if !known(&n) {
-                return Err(SpecError {
-                    line: 0,
-                    message: format!("unknown identifier '{n}'"),
-                });
-            }
-        }
+        let ast = parser.spec()?;
         Ok(TextualSignature { ast })
     }
 
     /// The signature's declared name.
     pub fn spec_name(&self) -> &str {
         &self.ast.name
-    }
-}
-
-fn collect_names_e(e: &EAst, out: &mut Vec<String>) {
-    match e {
-        EAst::Name(n) => out.push(n.clone()),
-        EAst::Join(a, b) | EAst::Union(a, b) | EAst::Intersect(a, b) | EAst::Difference(a, b) => {
-            collect_names_e(a, out);
-            collect_names_e(b, out);
-        }
-        EAst::Transpose(a) | EAst::Closure(a) => collect_names_e(a, out),
-    }
-}
-
-fn collect_names_f(f: &FAst, out: &mut Vec<String>) {
-    match f {
-        FAst::In(a, b) | FAst::Eq(a, b) => {
-            collect_names_e(a, out);
-            collect_names_e(b, out);
-        }
-        FAst::Some(e) | FAst::No(e) | FAst::One(e) | FAst::Lone(e) => collect_names_e(e, out),
-        FAst::And(a, b) | FAst::Or(a, b) => {
-            collect_names_f(a, out);
-            collect_names_f(b, out);
-        }
-        FAst::Not(a) => collect_names_f(a, out),
     }
 }
 
@@ -607,6 +656,18 @@ fn describe_atom(
         return (apps[i].package.clone(), None);
     }
     ("<unknown>".to_string(), None)
+}
+
+impl SignatureFootprint for TextualSignature {
+    /// A `footprint { ... }` annotation becomes a demand-only footprint
+    /// (the malicious surface is conservatively kept); unannotated specs
+    /// range over the whole bundle.
+    fn footprint(&self) -> Footprint {
+        match &self.ast.footprint {
+            Some(demands) => Footprint::for_demands(demands.iter().copied()),
+            None => Footprint::everything(),
+        }
+    }
 }
 
 impl VulnerabilitySignature for TextualSignature {
@@ -871,6 +932,66 @@ mod tests {
                 err.message
             );
         }
+    }
+
+    #[test]
+    fn errors_carry_exact_line_and_column() {
+        // Unknown fact identifier: `nonsense` starts at line 2, column 8.
+        let err = TextualSignature::parse("vuln X { w: one Component }\n{ w in nonsense }")
+            .expect_err("unknown identifier");
+        assert_eq!((err.line, err.column), (2, 8), "{err}");
+        assert!(err.message.contains("unknown identifier"));
+        assert_eq!(
+            err.to_string(),
+            "spec error at line 2, column 8: unknown identifier 'nonsense'"
+        );
+        // Unknown witness domain: `Nonexistent` starts at line 2, column 10.
+        let err = TextualSignature::parse("vuln X {\n  w: one Nonexistent\n} {}")
+            .expect_err("unknown domain");
+        assert_eq!((err.line, err.column), (2, 10), "{err}");
+        // Lexer errors carry the bad character's position too.
+        let err = TextualSignature::parse("vuln X { w: one Component } {\n   w in $bad\n}")
+            .expect_err("bad character");
+        assert_eq!((err.line, err.column), (2, 9), "{err}");
+        // Unknown footprint capability: `bogus` at line 2, column 13.
+        let err =
+            TextualSignature::parse("vuln X { w: one Component } { some w }\nfootprint { bogus }")
+                .expect_err("unknown capability");
+        assert_eq!((err.line, err.column), (2, 13), "{err}");
+        assert!(err.message.contains("unknown footprint capability"));
+    }
+
+    #[test]
+    fn footprint_annotations_slice_without_changing_results() {
+        use crate::signature::SignatureRegistry;
+        use crate::{Separ, VulnKind};
+        let annotated = format!("{SERVICE_LAUNCH} footprint {{ launchable_icc_entry }}");
+        let sig = TextualSignature::parse(&annotated).expect("parses");
+        let fp = sig.footprint();
+        assert!(!fp.is_everything());
+        assert!(fp
+            .demands
+            .contains(&separ_analysis::slicing::SliceDemand::LaunchableIccEntry));
+        // Unannotated specs keep the conservative whole-bundle footprint.
+        assert!(TextualSignature::parse(SERVICE_LAUNCH)
+            .expect("parses")
+            .footprint()
+            .is_everything());
+        // The annotation must not change what the pipeline synthesizes.
+        let run = |spec: &str| {
+            let mut registry = SignatureRegistry::empty();
+            registry.register(Box::new(TextualSignature::parse(spec).expect("parses")));
+            let report = Separ::with_registry(registry)
+                .analyze_models(motivating_bundle())
+                .expect("succeeds");
+            report
+                .exploits_of(VulnKind::Custom)
+                .map(|e| format!("{e:?}"))
+                .collect::<BTreeSet<String>>()
+        };
+        let sliced = run(&annotated);
+        assert!(!sliced.is_empty());
+        assert_eq!(sliced, run(SERVICE_LAUNCH));
     }
 
     #[test]

@@ -12,7 +12,10 @@ use separ_android::resolution::IntentData;
 use separ_android::types::Resource;
 use separ_logic::{Expr, LogicError, Problem, RelationDecl, RelationId, TupleSet};
 
+use separ_analysis::slicing::SliceDemand;
+
 use crate::exploit::{Exploit, VulnKind};
+use crate::footprint::{Footprint, MalReceivers, SignatureFootprint};
 use crate::signature::{Synthesis, SynthesisContext, VulnerabilitySignature};
 
 /// Default cap on enumerated minimal scenarios per signature run.
@@ -82,6 +85,21 @@ fn witness_atom(instance: &separ_logic::Instance, rel: RelationId) -> Option<sep
 #[derive(Debug, Default, Clone, Copy)]
 pub struct IntentHijackSignature;
 
+impl SignatureFootprint for IntentHijackSignature {
+    fn footprint(&self) -> Footprint {
+        // The witness ranges over real hijackable tainted intents; the
+        // only malicious rows the facts constrain are the filter's
+        // actions (`wi.action in MalFilter.malFilterActions`, `some`).
+        Footprint {
+            demands: BTreeSet::from([SliceDemand::HijackableTaintedSender]),
+            mal_receivers: MalReceivers::None,
+            mal_extras: false,
+            mal_action: false,
+            mal_filter: true,
+        }
+    }
+}
+
 impl VulnerabilitySignature for IntentHijackSignature {
     fn kind(&self) -> VulnKind {
         VulnKind::IntentHijack
@@ -150,6 +168,21 @@ impl VulnerabilitySignature for IntentHijackSignature {
 /// capability.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct ComponentLaunchSignature;
+
+impl SignatureFootprint for ComponentLaunchSignature {
+    fn footprint(&self) -> Footprint {
+        // The victim is an exported Activity/Service with an ICC entry
+        // path that the malicious intent reaches (`canReceive` rows to
+        // matching components) carrying a payload (`some MalIntent.extras`).
+        Footprint {
+            demands: BTreeSet::from([SliceDemand::LaunchableIccEntry]),
+            mal_receivers: MalReceivers::Matching,
+            mal_extras: true,
+            mal_action: false,
+            mal_filter: false,
+        }
+    }
+}
 
 impl VulnerabilitySignature for ComponentLaunchSignature {
     fn kind(&self) -> VulnKind {
@@ -229,6 +262,21 @@ impl VulnerabilitySignature for ComponentLaunchSignature {
 #[derive(Debug, Default, Clone, Copy)]
 pub struct PrivilegeEscalationSignature;
 
+impl SignatureFootprint for PrivilegeEscalationSignature {
+    fn footprint(&self) -> Footprint {
+        // The victim exports an unguarded granted dangerous capability;
+        // the only malicious rows constrained are `canReceive` rows
+        // delivering the malicious intent to such components.
+        Footprint {
+            demands: BTreeSet::from([SliceDemand::EscalationSurface]),
+            mal_receivers: MalReceivers::Matching,
+            mal_extras: false,
+            mal_action: false,
+            mal_filter: false,
+        }
+    }
+}
+
 impl VulnerabilitySignature for PrivilegeEscalationSignature {
     fn kind(&self) -> VulnKind {
         VulnKind::PrivilegeEscalation
@@ -305,6 +353,21 @@ impl VulnerabilitySignature for PrivilegeEscalationSignature {
 /// ICC-rooted path reaches a real sink.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct InformationLeakageSignature;
+
+impl SignatureFootprint for InformationLeakageSignature {
+    fn footprint(&self) -> Footprint {
+        // Both witnesses bind real entities (a tainted real intent and a
+        // real receiver with an ICC-to-sink path); no malicious free row
+        // is ever mentioned, so the whole malicious surface drops.
+        Footprint {
+            demands: BTreeSet::from([SliceDemand::LeakChannel]),
+            mal_receivers: MalReceivers::None,
+            mal_extras: false,
+            mal_action: false,
+            mal_filter: false,
+        }
+    }
+}
 
 impl VulnerabilitySignature for InformationLeakageSignature {
     fn kind(&self) -> VulnKind {
@@ -401,6 +464,21 @@ impl VulnerabilitySignature for InformationLeakageSignature {
 /// point ("users can provide additional signatures at any time").
 #[derive(Debug, Default, Clone, Copy)]
 pub struct BroadcastInjectionSignature;
+
+impl SignatureFootprint for BroadcastInjectionSignature {
+    fn footprint(&self) -> Footprint {
+        // The victim receiver filters a protected action with an ICC
+        // entry path; the facts pin the malicious intent's action to the
+        // stolen one (`MalIntent.action = wa`), so those rows stay.
+        Footprint {
+            demands: BTreeSet::from([SliceDemand::InjectableProtectedReceiver]),
+            mal_receivers: MalReceivers::None,
+            mal_extras: false,
+            mal_action: true,
+            mal_filter: false,
+        }
+    }
+}
 
 impl VulnerabilitySignature for BroadcastInjectionSignature {
     fn kind(&self) -> VulnKind {

@@ -111,6 +111,25 @@ impl Problem {
         self.facts.push(f);
     }
 
+    /// Tightens the upper bound of `rel`, keeping lower-bound tuples plus
+    /// free tuples satisfying `keep`, and returns how many free tuples were
+    /// dropped. This is the relevance-slicing entry point: callers must
+    /// ensure dropped tuples are false in every (minimal) model of the
+    /// facts they intend to assert, which preserves the minimal-model set
+    /// while shrinking the primary-variable count.
+    ///
+    /// Must be called before [`Problem::translation_base`] /
+    /// [`Problem::model_finder_from`]; bases built from the old bounds do
+    /// not see the tightening.
+    pub fn tighten_upper(&mut self, rel: RelationId, keep: impl FnMut(&Tuple) -> bool) -> usize {
+        let decl = &self.relations[rel.index()];
+        let before = decl.upper().len();
+        let tightened = decl.tightened_upper(keep);
+        let dropped = before - tightened.upper().len();
+        self.relations[rel.index()] = tightened;
+        dropped
+    }
+
     /// Allocates a quantified variable unique within this problem.
     pub fn fresh_var(&mut self) -> QuantVar {
         let v = QuantVar::new(self.next_var);

@@ -319,6 +319,25 @@ impl RelationDecl {
     pub fn upper(&self) -> &TupleSet {
         &self.upper
     }
+
+    /// Returns a copy of this declaration whose upper bound keeps only the
+    /// lower-bound tuples plus free tuples satisfying `keep` — the
+    /// bound-tightening primitive relevance slicing uses to discard free
+    /// rows a signature's facts can never force true. Lower-bound tuples
+    /// are always retained, so the result is a valid declaration.
+    pub fn tightened_upper(&self, mut keep: impl FnMut(&Tuple) -> bool) -> RelationDecl {
+        let mut upper = self.lower.clone();
+        for t in self.upper.iter() {
+            if self.lower.contains(t) || keep(t) {
+                upper.insert(t.clone());
+            }
+        }
+        RelationDecl {
+            name: self.name.clone(),
+            lower: self.lower.clone(),
+            upper,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -11,9 +11,12 @@
 //!     --events <file>                      write the structured event log as JSONL
 //!     --encoding <pg|tseitin>              CNF encoding (polarity-aware pg is the default)
 //!     --symmetry-breaking                  conjoin lex-leader symmetry-breaking predicates
+//!     --no-slicing                         translate every signature against the whole
+//!                                          bundle instead of its relevance slice
 //!     --model-cache <dir>                  reuse extracted models keyed by package content hash
 //! separ disasm <app.sdex>                  disassemble a package
 //! separ lint <app.sdex>... [--json]        verify packages, report diagnostics
+//!                                          (including Info-severity relevance findings)
 //! separ enforce <app.sdex>... --policies <file> --launch <pkg> <Class>
 //!                             [--stats] [--threads <n>]
 //!                                          run a bundle under enforcement;
@@ -136,6 +139,7 @@ fn cmd_analyze(args: &[String]) -> CliResult {
                 };
             }
             "--symmetry-breaking" => config.symmetry_breaking = true,
+            "--no-slicing" => config.slicing = false,
             "--model-cache" => {
                 i += 1;
                 model_cache_dir = Some(
@@ -217,10 +221,19 @@ fn cmd_analyze(args: &[String]) -> CliResult {
             report.stats.shared_base_reuse,
             report.stats.per_signature.len(),
         );
+        println!(
+            "slicing: {} app slot(s) kept, {} dropped across {} signature(s){}",
+            report.stats.slice_kept,
+            report.stats.slice_dropped,
+            report.stats.per_signature.len(),
+            if config.slicing { "" } else { " (disabled)" },
+        );
         for s in &report.stats.per_signature {
             println!(
-                "  {:<22} vars={:<5} clauses={:<6} conflicts={:<5} propagations={:<7} restarts={} learnts={} minimized={} construction={:?} solving={:?}",
+                "  {:<22} slice={}/{} vars={:<5} clauses={:<6} conflicts={:<5} propagations={:<7} restarts={} learnts={} minimized={} construction={:?} solving={:?}",
                 s.name,
+                s.slice_kept,
+                s.slice_kept + s.slice_dropped,
                 s.primary_vars,
                 s.cnf_clauses,
                 s.solver.conflicts,
@@ -317,11 +330,17 @@ fn cmd_lint(args: &[String]) -> ExitCode {
                     let lint = diagnostics::lint_apk(&apk);
                     quarantined += lint.quarantined_methods;
                     all.extend(lint.diagnostics);
+                    // Relevance findings read the extracted model, not
+                    // the raw package: components no signature footprint
+                    // can match are reported at Info severity.
+                    let model = separ::analysis::extractor::extract_apk(&apk);
+                    all.extend(diagnostics::unreachable_components(&model));
                 }
             },
         }
     }
     let errors = all.iter().filter(|d| d.severity == Severity::Error).count();
+    let infos = all.iter().filter(|d| d.severity == Severity::Info).count();
     if json {
         print!("{}", diagnostics::to_json(&all));
     } else {
@@ -329,11 +348,12 @@ fn cmd_lint(args: &[String]) -> ExitCode {
             println!("{d}");
         }
         println!(
-            "{} finding(s) in {} package(s): {} error(s), {} warning(s); {} method(s) would be quarantined",
+            "{} finding(s) in {} package(s): {} error(s), {} warning(s), {} info(s); {} method(s) would be quarantined",
             all.len(),
             files.len(),
             errors,
-            all.len() - errors,
+            all.len() - errors - infos,
+            infos,
             quarantined,
         );
     }

@@ -95,7 +95,9 @@ fn trace_exports_are_run_and_thread_count_independent() {
     // The canonicalized trace — spans, nesting, args, events — must be
     // byte-identical across repeated runs AND across thread counts once
     // timing is stripped; only timestamps/durations/tids may vary.
-    let market = generate(&MarketSpec::scaled(12, 7));
+    // The bundle needs injected weaknesses so every signature's relevance
+    // slice is non-empty and the translate/solve spans actually fire.
+    let market = generate(&MarketSpec::scaled(24, 0xD5_7E_2A));
     let apks: Vec<_> = market.into_iter().map(|m| m.apk).collect();
     let (trace_a, events_a) = traced_exports(&apks, 4);
     let (trace_b, events_b) = traced_exports(&apks, 4);
@@ -114,6 +116,7 @@ fn trace_exports_are_run_and_thread_count_independent() {
     for name in [
         "pipeline.analyze",
         "ame.extract",
+        "ase.slice",
         "ase.signature",
         "logic.translate",
         "logic.solve",

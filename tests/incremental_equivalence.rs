@@ -123,9 +123,15 @@ proptest! {
                 }
             }
 
-            // The oracle: a from-scratch analysis of the current bundle.
+            // The oracle: a from-scratch analysis of the current bundle
+            // with slicing disabled. The session re-runs with slicing on
+            // (the default), so this simultaneously proves delta == from-
+            // scratch and sliced == unsliced across bundle mutations.
             let fresh = Separ::new()
-                .with_config(SeparConfig::serial())
+                .with_config(SeparConfig {
+                    slicing: false,
+                    ..SeparConfig::serial()
+                })
                 .analyze_models(shadow.clone())
                 .expect("full re-analysis succeeds");
             prop_assert_eq!(
