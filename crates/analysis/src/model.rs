@@ -178,7 +178,22 @@ impl AppModel {
 /// For each passive intent `p`, find intents `i` that request results and
 /// whose (explicit) target matches `p`'s sender component; add `i`'s sender
 /// to `p`'s resolved targets.
+///
+/// The pass is a pure function of the current bundle: resolved targets
+/// are recomputed from scratch on every call (extraction always leaves
+/// them empty), so re-resolving after an app is updated or removed sheds
+/// targets the departed version contributed. Long-lived sessions
+/// (`IncrementalSession`, `separ serve`) depend on this idempotence.
 pub fn update_passive_intent_targets(apps: &mut [AppModel]) {
+    for app in apps.iter_mut() {
+        for c in &mut app.components {
+            for p in &mut c.sent_intents {
+                if p.is_passive {
+                    p.resolved_targets.clear();
+                }
+            }
+        }
+    }
     // Collect (requester component class, requested target class).
     let mut requesters: Vec<(String, String)> = Vec::new();
     for app in apps.iter() {

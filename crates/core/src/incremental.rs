@@ -38,6 +38,36 @@ pub struct PolicyDelta {
     /// recomputed (summaries are app-local, so a change to one app never
     /// forces re-summarizing another).
     pub apps_resliced: usize,
+    /// How many [`SessionOp`]s were folded into this one delta pass (one
+    /// for the single-op entry points; the coalescing measure for
+    /// [`IncrementalSession::apply_batch`]).
+    pub ops_coalesced: usize,
+}
+
+/// One mutation of the evolving device, as accepted by
+/// [`IncrementalSession::apply_batch`].
+///
+/// A batch of ops is folded into a *single* delta re-analysis: all model
+/// mutations are applied first, then the affected signatures re-run once.
+/// This is what makes a burst of market churn (a `separ serve` request
+/// queue draining) cost one synthesis pass instead of one per request.
+#[derive(Debug, Clone)]
+pub enum SessionOp {
+    /// Install `model`, or — when a package of the same name is already
+    /// installed — *update* it in place (replace the model, keep the
+    /// bundle position).
+    Install(AppModel),
+    /// Remove the named package (no-op if absent).
+    Uninstall(String),
+    /// Grant or revoke a permission on the named package.
+    SetPermission {
+        /// The target package.
+        package: String,
+        /// The permission to toggle.
+        permission: String,
+        /// `true` grants, `false` revokes.
+        granted: bool,
+    },
 }
 
 impl PolicyDelta {
@@ -172,7 +202,123 @@ impl IncrementalSession {
             removed,
             signatures_rerun: reran,
             apps_resliced: resliced,
+            ops_coalesced: 1,
         }
+    }
+
+    /// Applies a whole batch of churn in **one** delta pass.
+    ///
+    /// All model mutations land first (installs replacing same-named
+    /// packages in place, uninstalls filtering, permission toggles
+    /// editing), touched apps are re-summarized for slicing, passive
+    /// intents re-resolve once if the topology changed — and then the
+    /// affected signatures re-run a single time. A batch that only
+    /// toggles permissions re-runs only permission-sensitive signatures;
+    /// any install/update/uninstall re-runs everything. The returned
+    /// delta is the net policy change of the whole batch, with
+    /// [`PolicyDelta::ops_coalesced`] recording how many ops it folded.
+    ///
+    /// This is the coalescing primitive `separ serve` drains its request
+    /// queue through: a burst of N market-churn requests costs one
+    /// re-analysis, not N.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LogicError`] if a signature is ill-typed.
+    pub fn apply_batch(&mut self, ops: Vec<SessionOp>) -> Result<PolicyDelta, LogicError> {
+        let ops_coalesced = ops.len();
+        let mut topology = false;
+        let mut permissions = false;
+        let mut resliced = 0usize;
+        for op in ops {
+            match op {
+                SessionOp::Install(model) => {
+                    match self.apps.iter().position(|a| a.package == model.package) {
+                        // Reinstalling an installed package is an
+                        // *update*: replace the model in its bundle slot
+                        // instead of growing the app list.
+                        Some(i) => {
+                            self.apps[i] = model;
+                            self.summaries[i] = slicing::summarize_app(&self.apps[i]);
+                        }
+                        None => {
+                            self.apps.push(model);
+                            // Summaries never read the cross-app
+                            // passive-resolution results, so only the
+                            // new app needs summarizing.
+                            self.summaries.push(slicing::summarize_app(
+                                self.apps.last().expect("just pushed"),
+                            ));
+                        }
+                    }
+                    resliced += 1;
+                    topology = true;
+                }
+                SessionOp::Uninstall(package) => {
+                    let before_len = self.apps.len();
+                    let (apps, summaries): (Vec<AppModel>, Vec<AppSummary>) =
+                        std::mem::take(&mut self.apps)
+                            .into_iter()
+                            .zip(std::mem::take(&mut self.summaries))
+                            .filter(|(a, _)| a.package != package)
+                            .unzip();
+                    self.apps = apps;
+                    self.summaries = summaries;
+                    if self.apps.len() != before_len {
+                        topology = true;
+                    }
+                }
+                SessionOp::SetPermission {
+                    package,
+                    permission,
+                    granted,
+                } => {
+                    for (app, summary) in self.apps.iter_mut().zip(self.summaries.iter_mut()) {
+                        if app.package == package {
+                            let touched = if granted {
+                                app.uses_permissions.insert(permission.clone())
+                            } else {
+                                app.uses_permissions.remove(&permission)
+                            };
+                            if touched {
+                                // Summaries are app-local: only the
+                                // toggled app's capability bits changed.
+                                *summary = slicing::summarize_app(app);
+                                resliced += 1;
+                                permissions = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !topology && !permissions {
+            return Ok(PolicyDelta {
+                ops_coalesced,
+                ..PolicyDelta::default()
+            });
+        }
+        if topology {
+            // Passive resolution is a pure function of the bundle
+            // (recomputed from scratch), so one pass after all mutations
+            // is exactly the from-scratch result.
+            update_passive_intent_targets(&mut self.apps);
+        }
+        let before = self.policies.clone();
+        let reran = if self.apps.is_empty() {
+            for c in &mut self.cache {
+                c.clear();
+            }
+            self.policies.clear();
+            0
+        } else if topology {
+            self.rerun(|_| true)?
+        } else {
+            self.rerun(|s| s.permissions)?
+        };
+        let mut delta = self.delta_from(before, reran, resliced);
+        delta.ops_coalesced = ops_coalesced;
+        Ok(delta)
     }
 
     /// Applies a Permission Manager change: grant or revoke `permission`
@@ -187,47 +333,22 @@ impl IncrementalSession {
         permission: &str,
         granted: bool,
     ) -> Result<PolicyDelta, LogicError> {
-        let mut resliced = 0;
-        for (app, summary) in self.apps.iter_mut().zip(self.summaries.iter_mut()) {
-            if app.package == package {
-                let touched = if granted {
-                    app.uses_permissions.insert(permission.to_string())
-                } else {
-                    app.uses_permissions.remove(permission)
-                };
-                if touched {
-                    // Summaries are app-local: only the toggled app's
-                    // capability bits can have changed.
-                    *summary = slicing::summarize_app(app);
-                    resliced += 1;
-                }
-            }
-        }
-        if resliced == 0 {
-            return Ok(PolicyDelta::default());
-        }
-        let before = self.policies.clone();
-        let reran = self.rerun(|s| s.permissions)?;
-        Ok(self.delta_from(before, reran, resliced))
+        self.apply_batch(vec![SessionOp::SetPermission {
+            package: package.to_string(),
+            permission: permission.to_string(),
+            granted,
+        }])
     }
 
     /// Installs an app into the bundle (full re-analysis: the topology
-    /// changed).
+    /// changed). Installing a package that is already present behaves as
+    /// an update: the model is replaced in place.
     ///
     /// # Errors
     ///
     /// Returns a [`LogicError`] if a signature is ill-typed.
     pub fn install(&mut self, app: AppModel) -> Result<PolicyDelta, LogicError> {
-        self.apps.push(app);
-        update_passive_intent_targets(&mut self.apps);
-        // Summaries never read the cross-app passive-resolution results,
-        // so only the new app needs summarizing.
-        self.summaries.push(slicing::summarize_app(
-            self.apps.last().expect("just pushed"),
-        ));
-        let before = self.policies.clone();
-        let reran = self.rerun(|_| true)?;
-        Ok(self.delta_from(before, reran, 1))
+        self.apply_batch(vec![SessionOp::Install(app)])
     }
 
     /// Installs an app from its binary package, extracting its model
@@ -252,28 +373,15 @@ impl IncrementalSession {
     ///
     /// Returns a [`LogicError`] if a signature is ill-typed.
     pub fn uninstall(&mut self, package: &str) -> Result<PolicyDelta, LogicError> {
-        let before_len = self.apps.len();
-        let (apps, summaries): (Vec<AppModel>, Vec<AppSummary>) = std::mem::take(&mut self.apps)
-            .into_iter()
-            .zip(std::mem::take(&mut self.summaries))
-            .filter(|(a, _)| a.package != package)
-            .unzip();
-        self.apps = apps;
-        self.summaries = summaries;
-        if self.apps.len() == before_len {
-            return Ok(PolicyDelta::default());
-        }
-        let before = self.policies.clone();
-        let reran = if self.apps.is_empty() {
-            for c in &mut self.cache {
-                c.clear();
-            }
-            self.policies.clear();
-            0
-        } else {
-            self.rerun(|_| true)?
-        };
-        Ok(self.delta_from(before, reran, 0))
+        self.apply_batch(vec![SessionOp::Uninstall(package.to_string())])
+    }
+
+    /// A clone of the current bundle models, in session order — exactly
+    /// the state a from-scratch [`IncrementalSession::new`] (or a
+    /// persistent-store restore in `separ serve`) needs to reproduce
+    /// this session's policies and exploits.
+    pub fn snapshot(&self) -> Vec<AppModel> {
+        self.apps.clone()
     }
 }
 
@@ -430,6 +538,113 @@ mod tests {
             .expect("grant");
         // Two toggles cost two syntheses, not eight.
         assert_eq!(s.total_syntheses(), after_init + 2);
+    }
+
+    #[test]
+    fn reinstalling_an_installed_package_updates_in_place() {
+        let mut s = session();
+        assert_eq!(s.apps().len(), 2);
+        assert!(s
+            .exploits()
+            .any(|e| e.kind() == VulnKind::PrivilegeEscalation));
+        // "Reinstall" the messenger with its SMS capability stripped:
+        // must replace the model in place, not grow the app list.
+        let updated = app(
+            "com.messenger",
+            vec![comp("LMessageSender;", ComponentKind::Service)],
+        );
+        let delta = s.install(updated).expect("update re-analysis succeeds");
+        assert_eq!(s.apps().len(), 2, "update must not duplicate the app");
+        assert_eq!(
+            s.apps()[1].package,
+            "com.messenger",
+            "update keeps the bundle position"
+        );
+        assert!(
+            delta
+                .removed
+                .iter()
+                .any(|p| p.vulnerability == VulnKind::PrivilegeEscalation.name()),
+            "stripping the capability retires the escalation policy: {delta:?}"
+        );
+        assert!(!s
+            .exploits()
+            .any(|e| e.kind() == VulnKind::PrivilegeEscalation));
+        // The updated session agrees with a from-scratch analysis.
+        let scratch = IncrementalSession::new(
+            SignatureRegistry::standard(),
+            SeparConfig::default(),
+            s.snapshot(),
+        )
+        .expect("scratch");
+        assert_eq!(s.policies(), scratch.policies());
+        // Reinstalling the original capability restores the policy.
+        let delta = s.install(messenger_model()).expect("reinstall");
+        assert_eq!(s.apps().len(), 2);
+        assert!(delta
+            .added
+            .iter()
+            .any(|p| p.vulnerability == VulnKind::PrivilegeEscalation.name()));
+    }
+
+    #[test]
+    fn apply_batch_coalesces_churn_into_one_pass() {
+        let mut s = IncrementalSession::new(
+            SignatureRegistry::standard(),
+            SeparConfig::default(),
+            vec![navigator_model()],
+        )
+        .expect("analysis succeeds");
+        let after_init = s.total_syntheses();
+        let delta = s
+            .apply_batch(vec![
+                SessionOp::Install(messenger_model()),
+                SessionOp::SetPermission {
+                    package: "com.messenger".into(),
+                    permission: perm::CAMERA.into(),
+                    granted: true,
+                },
+                SessionOp::Install(app(
+                    "com.extra",
+                    vec![comp("LExtra;", ComponentKind::Activity)],
+                )),
+                SessionOp::Uninstall("com.extra".into()),
+            ])
+            .expect("batch re-analysis succeeds");
+        assert_eq!(delta.ops_coalesced, 4);
+        // One full pass over the registry, not one per op.
+        assert_eq!(s.total_syntheses(), after_init + 4);
+        assert_eq!(delta.signatures_rerun, 4);
+        assert_eq!(s.apps().len(), 2);
+        assert!(s
+            .exploits()
+            .any(|e| e.kind() == VulnKind::PrivilegeEscalation));
+        // The batched session agrees with a from-scratch analysis.
+        let scratch = IncrementalSession::new(
+            SignatureRegistry::standard(),
+            SeparConfig::default(),
+            s.snapshot(),
+        )
+        .expect("scratch");
+        assert_eq!(s.policies(), scratch.policies());
+        assert_eq!(
+            s.exploits().collect::<Vec<_>>(),
+            scratch.exploits().collect::<Vec<_>>()
+        );
+        // A batch of pure no-ops re-runs nothing.
+        let delta = s
+            .apply_batch(vec![
+                SessionOp::Uninstall("com.not.installed".into()),
+                SessionOp::SetPermission {
+                    package: "com.messenger".into(),
+                    permission: perm::CAMERA.into(),
+                    granted: true,
+                },
+            ])
+            .expect("noop batch");
+        assert!(delta.is_empty());
+        assert_eq!(delta.signatures_rerun, 0);
+        assert_eq!(delta.ops_coalesced, 2);
     }
 
     #[test]

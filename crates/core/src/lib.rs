@@ -31,7 +31,7 @@ pub use encode::BundleBase;
 pub use exec::Executor;
 pub use exploit::{Exploit, VulnKind};
 pub use footprint::{Footprint, MalReceivers, SignatureFootprint};
-pub use incremental::{IncrementalSession, PolicyDelta};
+pub use incremental::{IncrementalSession, PolicyDelta, SessionOp};
 pub use pipeline::{
     AnalyzeError, BundleStats, CountStats, Report, Separ, SeparConfig, SignatureStats,
 };

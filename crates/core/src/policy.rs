@@ -18,6 +18,26 @@ pub enum PolicyEvent {
     IccReceive,
 }
 
+impl PolicyEvent {
+    /// The stable wire name (shared by policy JSON and the serve
+    /// protocol).
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyEvent::IccSend => "icc_send",
+            PolicyEvent::IccReceive => "icc_receive",
+        }
+    }
+
+    /// Parses a wire name produced by [`PolicyEvent::name`].
+    pub fn from_name(name: &str) -> Option<PolicyEvent> {
+        match name {
+            "icc_send" => Some(PolicyEvent::IccSend),
+            "icc_receive" => Some(PolicyEvent::IccReceive),
+            _ => None,
+        }
+    }
+}
+
 /// A conjunctive condition over an intercepted ICC event.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Condition {

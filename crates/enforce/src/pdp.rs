@@ -76,6 +76,29 @@ impl Decision {
     pub fn allows(&self) -> bool {
         matches!(self, Decision::Allow | Decision::PromptAllowed { .. })
     }
+
+    /// Stable wire label for this variant (`separ serve` protocol and
+    /// report output): `allow`, `deny`, `prompt_denied` or
+    /// `prompt_allowed`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Decision::Allow => "allow",
+            Decision::Deny { .. } => "deny",
+            Decision::PromptDenied { .. } => "prompt_denied",
+            Decision::PromptAllowed { .. } => "prompt_allowed",
+        }
+    }
+
+    /// The deciding policy's id, if a policy decided (not
+    /// [`Decision::Allow`]).
+    pub fn policy_id(&self) -> Option<u32> {
+        match self {
+            Decision::Allow => None,
+            Decision::Deny { policy_id, .. }
+            | Decision::PromptDenied { policy_id, .. }
+            | Decision::PromptAllowed { policy_id } => Some(*policy_id),
+        }
+    }
 }
 
 /// How prompts are answered (the "user" in tests and benchmarks).

@@ -109,3 +109,10 @@ pub fn timer() -> ObsTimer {
 pub fn observe(name: &'static str, t: ObsTimer) {
     global().observe(name, t);
 }
+
+/// Records a raw sample into the named histogram of the global collector
+/// (no-op while disabled). The value need not be a latency — `separ
+/// serve` records queue depths and batch sizes this way.
+pub fn observe_ns(name: &'static str, ns: u64) {
+    global().observe_ns(name, ns);
+}

@@ -1,0 +1,476 @@
+//! The analysis daemon: one [`IncrementalSession`] behind a coalescing
+//! batch worker, with decisions served lock-free off a [`SharedPdp`].
+//!
+//! ```text
+//! connection threads                     analysis worker (one thread)
+//! ──────────────────                     ───────────────────────────
+//! decode + extract (ModelCache) ─┐
+//! enqueue op, get Ticket ────────┼─▶ ChurnQueue ─▶ take_batch(max)
+//! wait(deadline) ◀───────────────┘        │           apply_batch (ONE pass)
+//!                                         │           SharedPdp::apply_delta
+//! decide ──▶ PdpReader (lock-free) ◀──────┘           store.persist
+//! query/stats ──▶ published snapshot                  fulfill tickets
+//! ```
+//!
+//! Expensive per-request work (package decode and model extraction)
+//! happens on the *connection* thread before the op is enqueued, so it
+//! parallelizes across clients and malformed packages are refused
+//! immediately; the worker only ever folds ready-made models into the
+//! session. A burst of N churn requests drains as one
+//! [`IncrementalSession::apply_batch`] pass — the coalescing factor
+//! (ops per batch) is the daemon's central performance metric.
+//!
+//! With a store directory configured, every batch persists the bundle
+//! manifest; on startup the daemon restores the persisted models and
+//! re-synthesizes from them **without re-extracting** any package.
+//! Shutdown closes the queue, drains what was accepted, persists, and
+//! fsyncs — accepted requests are never lost (see
+//! `crate::queue`'s close-then-drain contract).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use separ_analysis::cache::ModelCache;
+use separ_core::policy::Policy;
+use separ_core::{IncrementalSession, SeparConfig, SessionOp, SignatureRegistry};
+use separ_enforce::{CompiledPolicySet, PromptHandler, SharedPdp};
+use separ_obs::json::Value;
+
+use crate::protocol::{error_response, ok_response, QueryWhat, Request};
+use crate::queue::{fulfill_batch, BatchOutcome, BatchSummary, ChurnQueue, PushError};
+use crate::store::SessionStore;
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Analysis configuration for the underlying session.
+    pub config: SeparConfig,
+    /// Maximum pending churn ops before producers block (backpressure).
+    pub queue_capacity: usize,
+    /// Maximum ops folded into one analysis pass.
+    pub batch_max: usize,
+    /// Confirmation-wait deadline for churn requests that don't set
+    /// `deadline_ms`.
+    pub default_deadline: Duration,
+    /// Persistent session-store directory; `None` = in-memory only.
+    pub store_dir: Option<std::path::PathBuf>,
+    /// Extraction-cache size cap (the store is never capped).
+    pub cache_cap_bytes: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            config: SeparConfig::default(),
+            queue_capacity: 64,
+            batch_max: 32,
+            default_deadline: Duration::from_secs(30),
+            store_dir: None,
+            cache_cap_bytes: None,
+        }
+    }
+}
+
+/// A startup error.
+#[derive(Debug)]
+pub struct ServeError(pub String);
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The read-mostly snapshot `query`/`stats` answer from; the worker
+/// replaces it after every batch.
+#[derive(Debug, Default, Clone)]
+struct Published {
+    policies: Arc<Vec<Policy>>,
+    apps: Vec<String>,
+    exploits: Vec<String>,
+    total_syntheses: usize,
+}
+
+/// Monotonic service counters.
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    ops_coalesced: AtomicU64,
+    deadline_misses: AtomicU64,
+}
+
+/// The running daemon. [`Daemon::handle`] is the entire service: socket
+/// servers, tests and in-process harnesses all feed request lines
+/// through it.
+pub struct Daemon {
+    queue: Arc<ChurnQueue>,
+    pdp: SharedPdp,
+    cache: Arc<ModelCache>,
+    published: Arc<Mutex<Published>>,
+    counters: Arc<Counters>,
+    default_deadline: Duration,
+    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+    restored_apps: usize,
+    restore_skipped: usize,
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon")
+            .field("queue_depth", &self.queue.depth())
+            .field("restored_apps", &self.restored_apps)
+            .finish()
+    }
+}
+
+impl Daemon {
+    /// Boots the daemon: restores the session from the store (if any),
+    /// runs the initial synthesis, publishes the PDP, and starts the
+    /// analysis worker.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the store is unusable or the initial analysis fails.
+    pub fn start(cfg: ServeConfig) -> Result<Daemon, ServeError> {
+        let _span = separ_obs::span("serve.start");
+        let store = match &cfg.store_dir {
+            Some(dir) => Some(SessionStore::open(dir).map_err(|e| ServeError(e.to_string()))?),
+            None => None,
+        };
+        let restored = match &store {
+            Some(store) => store.restore().map_err(|e| ServeError(e.to_string()))?,
+            None => Default::default(),
+        };
+        let (restored_apps, restore_skipped) = (restored.apps.len(), restored.skipped);
+        // The extraction cache lives *inside* the store dir when one is
+        // configured, so a single flag places all daemon state.
+        let cache = Arc::new(match &cfg.store_dir {
+            Some(dir) => ModelCache::with_dir_capped(dir.join("cache"), cfg.cache_cap_bytes),
+            None => ModelCache::new(),
+        });
+        let session =
+            IncrementalSession::new(SignatureRegistry::standard(), cfg.config, restored.apps)
+                .map_err(|e| ServeError(format!("initial analysis: {e}")))?;
+        let pdp = SharedPdp::new(CompiledPolicySet::compile(
+            session.policies().to_vec(),
+            session.apps().iter().map(|a| a.package.clone()).collect(),
+        ));
+        let published = Arc::new(Mutex::new(snapshot_of(&session)));
+        if let Some(store) = &store {
+            store
+                .persist(session.apps())
+                .map_err(|e| ServeError(e.to_string()))?;
+        }
+        let queue = Arc::new(ChurnQueue::new(cfg.queue_capacity));
+        let counters = Arc::new(Counters::default());
+        let worker = {
+            let queue = Arc::clone(&queue);
+            let pdp = pdp.clone();
+            let published = Arc::clone(&published);
+            let counters = Arc::clone(&counters);
+            let batch_max = cfg.batch_max;
+            std::thread::Builder::new()
+                .name("separ-serve-worker".into())
+                .spawn(move || {
+                    worker_loop(session, store, queue, pdp, published, counters, batch_max)
+                })
+                .map_err(|e| ServeError(format!("worker thread: {e}")))?
+        };
+        Ok(Daemon {
+            queue,
+            pdp,
+            cache,
+            published,
+            counters,
+            default_deadline: cfg.default_deadline,
+            worker: Mutex::new(Some(worker)),
+            restored_apps,
+            restore_skipped,
+        })
+    }
+
+    /// How many apps the store restored at boot (and how many manifest
+    /// entries were unrecoverable).
+    pub fn restored(&self) -> (usize, usize) {
+        (self.restored_apps, self.restore_skipped)
+    }
+
+    /// Handles one request line, returning one response line (no
+    /// trailing newline). Never panics on malformed input — every error
+    /// becomes an `{"ok":false,...}` response.
+    pub fn handle(&self, line: &str) -> String {
+        let _span = separ_obs::span("serve.request");
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        separ_obs::counter_add("serve.requests", 1);
+        let request = match Request::parse(line.trim()) {
+            Ok(request) => request,
+            Err(e) => return self.fail(e),
+        };
+        match request {
+            Request::Install { bytes, deadline_ms } => {
+                // Extraction happens here, on the caller's thread: it
+                // parallelizes across connections and the worker only
+                // sees ready models.
+                let model = match self.cache.get_or_extract(&bytes) {
+                    Ok((model, _)) => (*model).clone(),
+                    Err(e) => return self.fail(format!("install: {e}")),
+                };
+                self.churn(SessionOp::Install(model), deadline_ms)
+            }
+            Request::Uninstall {
+                package,
+                deadline_ms,
+            } => self.churn(SessionOp::Uninstall(package), deadline_ms),
+            Request::SetPermission {
+                package,
+                permission,
+                granted,
+                deadline_ms,
+            } => self.churn(
+                SessionOp::SetPermission {
+                    package,
+                    permission,
+                    granted,
+                },
+                deadline_ms,
+            ),
+            Request::Query(what) => self.query(what),
+            Request::Decide {
+                event,
+                ctx,
+                prompt_allow,
+            } => {
+                let mut prompt = if prompt_allow {
+                    PromptHandler::AlwaysAllow
+                } else {
+                    PromptHandler::AlwaysDeny
+                };
+                let decision = self.pdp.reader().evaluate(event, &ctx, &mut prompt);
+                let mut fields =
+                    vec![("decision".to_string(), Value::Str(decision.label().into()))];
+                match decision.policy_id() {
+                    Some(id) => fields.push(("policy_id".into(), Value::Num(id as f64))),
+                    None => fields.push(("policy_id".into(), Value::Null)),
+                }
+                ok_response(fields)
+            }
+            Request::Stats => self.stats(),
+            Request::Shutdown => self.shutdown(),
+        }
+    }
+
+    fn fail(&self, message: String) -> String {
+        self.counters.failed.fetch_add(1, Ordering::Relaxed);
+        separ_obs::counter_add("serve.requests.failed", 1);
+        error_response(&message)
+    }
+
+    fn churn(&self, op: SessionOp, deadline_ms: Option<u64>) -> String {
+        let deadline = deadline_ms
+            .map(Duration::from_millis)
+            .unwrap_or(self.default_deadline);
+        let ticket = match self.queue.push(op, deadline) {
+            Ok(ticket) => ticket,
+            Err(e @ PushError::Backpressure) | Err(e @ PushError::Closed) => {
+                return self.fail(e.to_string())
+            }
+        };
+        match ticket.wait(deadline) {
+            Some(BatchOutcome::Done(summary)) => ok_response(vec![(
+                "batch".into(),
+                Value::Obj(vec![
+                    ("ops".into(), Value::Num(summary.ops as f64)),
+                    ("added".into(), Value::Num(summary.added as f64)),
+                    ("removed".into(), Value::Num(summary.removed as f64)),
+                    (
+                        "signatures_rerun".into(),
+                        Value::Num(summary.signatures_rerun as f64),
+                    ),
+                    ("policies".into(), Value::Num(summary.policies as f64)),
+                ]),
+            )]),
+            Some(BatchOutcome::Failed(e)) => self.fail(format!("analysis failed: {e}")),
+            None => {
+                // The op IS accepted and will be applied; only the
+                // confirmation wait expired.
+                self.counters
+                    .deadline_misses
+                    .fetch_add(1, Ordering::Relaxed);
+                separ_obs::counter_add("serve.deadline_miss", 1);
+                ok_response(vec![("accepted".into(), Value::Bool(true))])
+            }
+        }
+    }
+
+    fn query(&self, what: QueryWhat) -> String {
+        let snap = self.published.lock().expect("published lock").clone();
+        match what {
+            QueryWhat::Policies => {
+                let json = separ_core::policy_io::to_json(&snap.policies);
+                match Value::parse(&json) {
+                    Ok(v) => ok_response(vec![("policies".into(), v)]),
+                    Err(e) => self.fail(format!("policy serialization: {e}")),
+                }
+            }
+            QueryWhat::Exploits => ok_response(vec![(
+                "exploits".into(),
+                Value::Arr(snap.exploits.iter().cloned().map(Value::Str).collect()),
+            )]),
+            QueryWhat::Apps => ok_response(vec![(
+                "apps".into(),
+                Value::Arr(snap.apps.iter().cloned().map(Value::Str).collect()),
+            )]),
+            QueryWhat::Summary => ok_response(vec![
+                ("apps".into(), Value::Num(snap.apps.len() as f64)),
+                ("policies".into(), Value::Num(snap.policies.len() as f64)),
+                ("exploits".into(), Value::Num(snap.exploits.len() as f64)),
+                (
+                    "total_syntheses".into(),
+                    Value::Num(snap.total_syntheses as f64),
+                ),
+            ]),
+        }
+    }
+
+    fn stats(&self) -> String {
+        let batches = self.counters.batches.load(Ordering::Relaxed);
+        let ops = self.counters.ops_coalesced.load(Ordering::Relaxed);
+        let coalescing = if batches == 0 {
+            1.0
+        } else {
+            ops as f64 / batches as f64
+        };
+        let cache = self.cache.stats();
+        ok_response(vec![
+            (
+                "requests".into(),
+                Value::Num(self.counters.requests.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "failed".into(),
+                Value::Num(self.counters.failed.load(Ordering::Relaxed) as f64),
+            ),
+            ("batches".into(), Value::Num(batches as f64)),
+            ("ops_coalesced".into(), Value::Num(ops as f64)),
+            ("coalescing_factor".into(), Value::Num(coalescing)),
+            (
+                "deadline_misses".into(),
+                Value::Num(self.counters.deadline_misses.load(Ordering::Relaxed) as f64),
+            ),
+            ("queue_depth".into(), Value::Num(self.queue.depth() as f64)),
+            (
+                "cache".into(),
+                Value::Obj(vec![
+                    ("memory_hits".into(), Value::Num(cache.memory_hits as f64)),
+                    ("disk_hits".into(), Value::Num(cache.disk_hits as f64)),
+                    ("misses".into(), Value::Num(cache.misses as f64)),
+                    ("evicted".into(), Value::Num(cache.evicted as f64)),
+                ]),
+            ),
+        ])
+    }
+
+    fn shutdown(&self) -> String {
+        match self.drain() {
+            Ok(()) => ok_response(vec![("stopped".into(), Value::Bool(true))]),
+            Err(e) => error_response(&format!("shutdown: {e}")),
+        }
+    }
+
+    /// Closes the queue, joins the worker (which drains every accepted
+    /// op, persists, and fsyncs), idempotently.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the worker thread panicked.
+    pub fn drain(&self) -> Result<(), ServeError> {
+        let _span = separ_obs::span("serve.shutdown");
+        self.queue.close();
+        let handle = self.worker.lock().expect("worker lock").take();
+        if let Some(handle) = handle {
+            handle
+                .join()
+                .map_err(|_| ServeError("analysis worker panicked".into()))?;
+        }
+        Ok(())
+    }
+
+    /// Whether the daemon has been shut down (drained and joined).
+    pub fn is_stopped(&self) -> bool {
+        self.worker.lock().expect("worker lock").is_none()
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.drain();
+    }
+}
+
+fn snapshot_of(session: &IncrementalSession) -> Published {
+    Published {
+        policies: Arc::new(session.policies().to_vec()),
+        apps: session.apps().iter().map(|a| a.package.clone()).collect(),
+        exploits: session.exploits().map(|e| e.to_string()).collect(),
+        total_syntheses: session.total_syntheses(),
+    }
+}
+
+fn worker_loop(
+    mut session: IncrementalSession,
+    store: Option<SessionStore>,
+    queue: Arc<ChurnQueue>,
+    pdp: SharedPdp,
+    published: Arc<Mutex<Published>>,
+    counters: Arc<Counters>,
+    batch_max: usize,
+) {
+    while let Some(batch) = queue.take_batch(batch_max) {
+        let _span = separ_obs::span("serve.batch");
+        let started = Instant::now();
+        let ops: Vec<SessionOp> = batch.iter().map(|(op, _)| op.clone()).collect();
+        let outcome = match session.apply_batch(ops) {
+            Ok(delta) => {
+                counters.batches.fetch_add(1, Ordering::Relaxed);
+                counters
+                    .ops_coalesced
+                    .fetch_add(delta.ops_coalesced as u64, Ordering::Relaxed);
+                separ_obs::counter_add("serve.batches", 1);
+                separ_obs::counter_add("serve.ops", delta.ops_coalesced as u64);
+                separ_obs::observe_ns("serve.batch", started.elapsed().as_nanos() as u64);
+                let summary = BatchSummary {
+                    ops: delta.ops_coalesced,
+                    added: delta.added.len(),
+                    removed: delta.removed.len(),
+                    signatures_rerun: delta.signatures_rerun,
+                    policies: session.policies().len(),
+                };
+                // Publish first (decisions go live), then persist (a
+                // crash between the two replays the batch's effect from
+                // the clients' perspective as already-analyzed state
+                // that simply wasn't saved — re-sending is idempotent).
+                pdp.apply_delta(delta.added, &delta.removed);
+                *published.lock().expect("published lock") = snapshot_of(&session);
+                if let Some(store) = &store {
+                    if let Err(e) = store.persist(session.apps()) {
+                        eprintln!("separ serve: store persist failed: {e}");
+                    }
+                }
+                BatchOutcome::Done(Arc::new(summary))
+            }
+            Err(e) => BatchOutcome::Failed(Arc::from(e.to_string().as_str())),
+        };
+        fulfill_batch(&batch, &outcome);
+    }
+    // Queue closed and drained: make the final state durable.
+    if let Some(store) = &store {
+        if let Err(e) = store.persist(session.apps()).and_then(|()| store.sync()) {
+            eprintln!("separ serve: final store sync failed: {e}");
+        }
+    }
+}

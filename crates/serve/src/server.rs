@@ -1,0 +1,154 @@
+//! Socket front end: line-delimited request/response over a unix-domain
+//! socket or TCP.
+//!
+//! Each accepted connection gets its own thread reading lines and
+//! passing them to [`Daemon::handle`]; heavy per-request work (package
+//! decode + model extraction) therefore runs concurrently across
+//! clients, while the churn itself funnels through the daemon's single
+//! coalescing worker. The accept loop ends after a `shutdown` request
+//! has been served and drains; in-flight connections finish their
+//! current request.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::daemon::{Daemon, ServeError};
+
+/// Where the server listens.
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    /// A unix-domain socket at the given path (removed on bind and on
+    /// clean exit).
+    Unix(PathBuf),
+    /// A TCP address like `127.0.0.1:7878`.
+    Tcp(String),
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+/// Runs the accept loop until a client sends `shutdown`. Returns once
+/// the daemon has drained and all state is durable.
+///
+/// # Errors
+///
+/// Fails if the endpoint cannot be bound.
+pub fn serve(daemon: Daemon, endpoint: &Endpoint) -> Result<(), ServeError> {
+    let listener = match endpoint {
+        Endpoint::Unix(path) => {
+            // A stale socket file from a previous run would make bind
+            // fail; the store, not the socket, carries state.
+            let _ = std::fs::remove_file(path);
+            Listener::Unix(
+                UnixListener::bind(path)
+                    .map_err(|e| ServeError(format!("{}: {e}", path.display())))?,
+            )
+        }
+        Endpoint::Tcp(addr) => {
+            Listener::Tcp(TcpListener::bind(addr).map_err(|e| ServeError(format!("{addr}: {e}")))?)
+        }
+    };
+    let daemon = Arc::new(daemon);
+    let stopping = Arc::new(AtomicBool::new(false));
+    let mut handlers = Vec::new();
+    loop {
+        let stream: Box<dyn Connection> = match &listener {
+            Listener::Unix(l) => match l.accept() {
+                Ok((s, _)) => Box::new(s),
+                Err(_) => break,
+            },
+            Listener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => Box::new(s),
+                Err(_) => break,
+            },
+        };
+        if stopping.load(Ordering::Acquire) {
+            break;
+        }
+        let daemon = Arc::clone(&daemon);
+        let stopping_for_conn = Arc::clone(&stopping);
+        let endpoint_for_conn = endpoint.clone();
+        handlers.push(std::thread::spawn(move || {
+            if connection_loop(stream, &daemon) {
+                stopping_for_conn.store(true, Ordering::Release);
+                // Unblock the accept loop with a throwaway connection.
+                nudge(&endpoint_for_conn);
+            }
+        }));
+        if stopping.load(Ordering::Acquire) {
+            break;
+        }
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+    if let Endpoint::Unix(path) = endpoint {
+        let _ = std::fs::remove_file(path);
+    }
+    // `shutdown` already drained via handle(); this covers the
+    // accept-error exit path.
+    daemon.drain()
+}
+
+/// One connection: read a line, answer a line. Returns `true` if this
+/// connection served a `shutdown`.
+fn connection_loop(stream: Box<dyn Connection>, daemon: &Daemon) -> bool {
+    let Ok(reader) = stream.try_clone_reader() else {
+        return false;
+    };
+    let mut writer = stream;
+    for line in BufReader::new(reader).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = daemon.handle(&line);
+        if writer.write_all(response.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+        {
+            break;
+        }
+        if daemon.is_stopped() {
+            return true;
+        }
+    }
+    false
+}
+
+/// Connects and immediately drops, solely to wake a blocking `accept`.
+fn nudge(endpoint: &Endpoint) {
+    match endpoint {
+        Endpoint::Unix(path) => {
+            let _ = UnixStream::connect(path);
+        }
+        Endpoint::Tcp(addr) => {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+}
+
+/// The small common surface of [`UnixStream`] and [`TcpStream`] the
+/// connection loop needs.
+trait Connection: Write + Send {
+    /// An independent read handle on the same socket.
+    fn try_clone_reader(&self) -> std::io::Result<Box<dyn std::io::Read + Send>>;
+}
+
+impl Connection for UnixStream {
+    fn try_clone_reader(&self) -> std::io::Result<Box<dyn std::io::Read + Send>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+}
+
+impl Connection for TcpStream {
+    fn try_clone_reader(&self) -> std::io::Result<Box<dyn std::io::Read + Send>> {
+        Ok(Box::new(self.try_clone()?))
+    }
+}

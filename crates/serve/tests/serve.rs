@@ -1,0 +1,263 @@
+//! End-to-end daemon tests over the in-process [`Daemon::handle`]
+//! interface — the same line-in/line-out surface the socket server
+//! exposes, minus the socket.
+
+use std::time::Duration;
+
+use separ_core::policy_io;
+use separ_enforce::probe_contexts;
+use separ_obs::json::Value;
+use separ_serve::protocol::encode_hex;
+use separ_serve::{Daemon, ServeConfig};
+
+fn package_hex(apk: &separ_dex::program::Apk) -> String {
+    encode_hex(&separ_dex::codec::encode(apk))
+}
+
+fn serial_config() -> ServeConfig {
+    ServeConfig {
+        config: separ_core::SeparConfig::serial(),
+        ..ServeConfig::default()
+    }
+}
+
+fn parse_ok(line: &str) -> Value {
+    let v = Value::parse(line).expect("response is valid JSON");
+    assert_eq!(
+        v.get("ok").and_then(Value::as_bool),
+        Some(true),
+        "response not ok: {line}"
+    );
+    v
+}
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("separ-serve-test-{}-{tag}", std::process::id()))
+}
+
+#[test]
+fn churn_query_decide_round_trip() {
+    let daemon = Daemon::start(serial_config()).expect("boots");
+    // Install the motivating bundle one request at a time.
+    for apk in [
+        separ_corpus::motivating::navigator_app(),
+        separ_corpus::motivating::messenger_app(false),
+        separ_corpus::motivating::malicious_app("+15550000"),
+    ] {
+        let line = format!(r#"{{"cmd":"install","bytes_hex":"{}"}}"#, package_hex(&apk));
+        let v = parse_ok(&daemon.handle(&line));
+        let batch = v.get("batch").expect("batch summary");
+        assert!(batch.get("ops").and_then(Value::as_u64).unwrap() >= 1);
+    }
+    // The bundle is vulnerable: policies and exploits exist.
+    let v = parse_ok(&daemon.handle(r#"{"cmd":"query","what":"summary"}"#));
+    assert_eq!(v.get("apps").and_then(Value::as_u64), Some(3));
+    let policies = v.get("policies").and_then(Value::as_u64).expect("count");
+    assert!(policies > 0, "motivating bundle synthesizes policies");
+    assert!(v.get("exploits").and_then(Value::as_u64).unwrap() > 0);
+    let v = parse_ok(&daemon.handle(r#"{"cmd":"query","what":"apps"}"#));
+    let apps = v.get("apps").and_then(Value::as_arr).expect("list");
+    assert_eq!(apps.len(), 3);
+    // Round-trip the published policy set through the wire form and
+    // drive `decide` with contexts engineered to hit each policy: the
+    // daemon must enforce what it just synthesized.
+    let v = parse_ok(&daemon.handle(r#"{"cmd":"query","what":"policies"}"#));
+    let mut json = String::new();
+    v.get("policies")
+        .expect("policy JSON")
+        .write_into(&mut json);
+    let policies = policy_io::from_json(&json).expect("valid policy JSON");
+    let mut non_allow = 0;
+    for (event, ctx) in probe_contexts(&policies) {
+        let tags: Vec<String> = ctx
+            .tags
+            .iter()
+            .map(|t| format!("\"{}\"", t.name()))
+            .collect();
+        let line = format!(
+            concat!(
+                r#"{{"cmd":"decide","event":"{}","sender_app":"{}","#,
+                r#""sender_component":"{}","receiver_app":"{}","#,
+                r#""receiver_component":"{}","action":"{}","#,
+                r#""tags":[{}],"prompt":"deny"}}"#
+            ),
+            event.name(),
+            ctx.sender_app,
+            ctx.sender_component,
+            ctx.receiver_app.as_deref().unwrap_or(""),
+            ctx.receiver_component.as_deref().unwrap_or(""),
+            ctx.action.as_deref().unwrap_or(""),
+            tags.join(",")
+        );
+        let v = parse_ok(&daemon.handle(&line));
+        let decision = v.get("decision").and_then(Value::as_str).expect("label");
+        if decision != "allow" {
+            non_allow += 1;
+            assert!(v.get("policy_id").and_then(Value::as_u64).is_some());
+        }
+    }
+    assert!(non_allow > 0, "published policies actually decide events");
+    // Uninstalling the malicious app retires policies.
+    let v = parse_ok(&daemon.handle(r#"{"cmd":"uninstall","package":"com.innocent.wallpaper"}"#));
+    assert!(v.get("batch").is_some());
+    // Stats are coherent and nothing was dropped.
+    let v = parse_ok(&daemon.handle(r#"{"cmd":"stats"}"#));
+    assert!(v.get("requests").and_then(Value::as_u64).unwrap() >= 5);
+    assert_eq!(v.get("queue_depth").and_then(Value::as_u64), Some(0));
+    assert!(v.get("coalescing_factor").and_then(Value::as_f64).unwrap() >= 1.0);
+    let v = parse_ok(&daemon.handle(r#"{"cmd":"shutdown"}"#));
+    assert_eq!(v.get("stopped").and_then(Value::as_bool), Some(true));
+    assert!(daemon.is_stopped());
+}
+
+#[test]
+fn malformed_requests_fail_without_harming_the_session() {
+    let daemon = Daemon::start(serial_config()).expect("boots");
+    for bad in [
+        "not json",
+        r#"{"cmd":"install","bytes_hex":"zz"}"#,
+        r#"{"cmd":"install","bytes_hex":"00"}"#, // undecodable package
+        r#"{"cmd":"decide","event":"nope","sender_app":"a"}"#,
+    ] {
+        let v = Value::parse(&daemon.handle(bad)).expect("valid JSON");
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(false));
+        assert!(v.get("error").and_then(Value::as_str).is_some());
+    }
+    let v = parse_ok(&daemon.handle(r#"{"cmd":"query","what":"summary"}"#));
+    assert_eq!(v.get("apps").and_then(Value::as_u64), Some(0));
+}
+
+#[test]
+fn restart_recovers_the_session_without_reextraction() {
+    let dir = tmp("restart");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = || ServeConfig {
+        store_dir: Some(dir.clone()),
+        ..serial_config()
+    };
+    let policies_before;
+    {
+        let daemon = Daemon::start(cfg()).expect("boots");
+        assert_eq!(daemon.restored(), (0, 0));
+        for apk in [
+            separ_corpus::motivating::navigator_app(),
+            separ_corpus::motivating::malicious_app("+15550000"),
+        ] {
+            let line = format!(r#"{{"cmd":"install","bytes_hex":"{}"}}"#, package_hex(&apk));
+            parse_ok(&daemon.handle(&line));
+        }
+        policies_before = parse_ok(&daemon.handle(r#"{"cmd":"query","what":"policies"}"#));
+        parse_ok(&daemon.handle(r#"{"cmd":"shutdown"}"#));
+    }
+    // A "new process": same store, fresh daemon.
+    let daemon = Daemon::start(cfg()).expect("reboots");
+    assert_eq!(daemon.restored(), (2, 0), "both models recovered");
+    let v = parse_ok(&daemon.handle(r#"{"cmd":"query","what":"summary"}"#));
+    assert_eq!(v.get("apps").and_then(Value::as_u64), Some(2));
+    // Recovery went through the store, not the extractor: the fresh
+    // extraction cache was never consulted.
+    let v = parse_ok(&daemon.handle(r#"{"cmd":"stats"}"#));
+    let cache = v.get("cache").expect("cache stats");
+    assert_eq!(cache.get("misses").and_then(Value::as_u64), Some(0));
+    // And the policy set is the same one, byte for byte.
+    let policies_after = parse_ok(&daemon.handle(r#"{"cmd":"query","what":"policies"}"#));
+    let ser = |v: &Value| {
+        let mut s = String::new();
+        v.get("policies").expect("set").write_into(&mut s);
+        s
+    };
+    assert_eq!(ser(&policies_before), ser(&policies_after));
+    parse_ok(&daemon.handle(r#"{"cmd":"shutdown"}"#));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The shutdown guarantee: ops that were *accepted* (enqueued) before
+/// shutdown are applied and persisted even if their requesters never
+/// waited for confirmation — a drain, not a drop.
+#[test]
+fn shutdown_mid_batch_loses_no_accepted_request() {
+    let dir = tmp("drain");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = || ServeConfig {
+        store_dir: Some(dir.clone()),
+        ..serial_config()
+    };
+    {
+        let daemon = Daemon::start(cfg()).expect("boots");
+        // `deadline_ms:0` returns the moment the op is accepted, so all
+        // three land in the queue ahead of (or racing) the worker...
+        for apk in [
+            separ_corpus::motivating::navigator_app(),
+            separ_corpus::motivating::messenger_app(false),
+            separ_corpus::motivating::malicious_app("+15550000"),
+        ] {
+            let line = format!(
+                r#"{{"cmd":"install","bytes_hex":"{}","deadline_ms":0}}"#,
+                package_hex(&apk)
+            );
+            let v = parse_ok(&daemon.handle(&line));
+            assert!(
+                v.get("accepted").and_then(Value::as_bool) == Some(true)
+                    || v.get("batch").is_some(),
+                "op accepted either way"
+            );
+        }
+        // ...and shutdown fires while they may still be queued. Drain
+        // must apply every accepted op before the store syncs.
+        parse_ok(&daemon.handle(r#"{"cmd":"shutdown"}"#));
+    }
+    let daemon = Daemon::start(cfg()).expect("reboots");
+    assert_eq!(daemon.restored().0, 3, "every accepted install survived");
+    let v = parse_ok(&daemon.handle(r#"{"cmd":"query","what":"apps"}"#));
+    let apps: Vec<&str> = v
+        .get("apps")
+        .and_then(Value::as_arr)
+        .expect("list")
+        .iter()
+        .filter_map(Value::as_str)
+        .collect();
+    assert_eq!(apps.len(), 3);
+    assert!(apps.contains(&"com.innocent.wallpaper"));
+    parse_ok(&daemon.handle(r#"{"cmd":"shutdown"}"#));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A burst of concurrent churn coalesces into fewer analysis passes
+/// than requests (the tentpole's economy claim), with every request
+/// answered.
+#[test]
+fn concurrent_churn_coalesces() {
+    let daemon = std::sync::Arc::new(Daemon::start(serial_config()).expect("boots"));
+    // Seed one app so permission toggles have a target.
+    let line = format!(
+        r#"{{"cmd":"install","bytes_hex":"{}"}}"#,
+        package_hex(&separ_corpus::motivating::navigator_app())
+    );
+    parse_ok(&daemon.handle(&line));
+    let threads: Vec<_> = (0..8)
+        .map(|i| {
+            let daemon = std::sync::Arc::clone(&daemon);
+            std::thread::spawn(move || {
+                let line = format!(
+                    concat!(
+                        r#"{{"cmd":"set_permission","package":"com.navigator","#,
+                        r#""permission":"android.permission.PERM_{}","granted":true}}"#
+                    ),
+                    i % 2
+                );
+                parse_ok(&daemon.handle(&line));
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    let v = parse_ok(&daemon.handle(r#"{"cmd":"stats"}"#));
+    let ops = v.get("ops_coalesced").and_then(Value::as_u64).expect("ops");
+    let batches = v.get("batches").and_then(Value::as_u64).expect("batches");
+    assert_eq!(ops, 9, "every accepted op was applied");
+    assert!(batches <= ops, "batching never exceeds one pass per op");
+    assert_eq!(v.get("failed").and_then(Value::as_u64), Some(0));
+    parse_ok(&daemon.handle(r#"{"cmd":"shutdown"}"#));
+    std::thread::sleep(Duration::from_millis(1));
+}

@@ -16,6 +16,8 @@
 //!   contribution): vulnerability signatures, exploit synthesis, ECA
 //!   policy derivation;
 //! * [`enforce`] — APE, the runtime policy enforcer on a simulated device;
+//! * [`serve`] — the continuous analysis service: a long-running daemon
+//!   over the incremental session (`separ serve`);
 //! * [`obs`] — structured tracing, metrics and trace export spanning all
 //!   of the above;
 //! * [`corpus`] — benchmark suites, market generators, case-study apps;
@@ -45,3 +47,4 @@ pub use separ_dex as dex;
 pub use separ_enforce as enforce;
 pub use separ_logic as logic;
 pub use separ_obs as obs;
+pub use separ_serve as serve;

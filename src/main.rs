@@ -22,6 +22,16 @@
 //!                                          run a bundle under enforcement;
 //!                                          --threads adds a post-run PDP
 //!                                          throughput probe with n readers
+//! separ serve --socket <path> | --listen <addr>
+//!             [--store <dir>] [--queue <n>] [--batch-max <n>]
+//!             [--deadline-ms <n>] [--cache-cap-mb <n>] [--threads <n>]
+//!                                          run the continuous analysis
+//!                                          daemon: line-delimited JSON
+//!                                          requests (install / uninstall /
+//!                                          set_permission / query / decide /
+//!                                          stats / shutdown) over a unix
+//!                                          socket or TCP; --store persists
+//!                                          the session across restarts
 //! separ demo                               the Figure 1 attack, end to end
 //! ```
 
@@ -40,9 +50,10 @@ fn main() -> ExitCode {
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("lint") => return cmd_lint(&args[1..]),
         Some("enforce") => cmd_enforce(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("demo") => cmd_demo(),
         _ => {
-            eprintln!("usage: separ <pack|analyze|disasm|lint|enforce|demo> ...");
+            eprintln!("usage: separ <pack|analyze|disasm|lint|enforce|serve|demo> ...");
             return ExitCode::from(2);
         }
     };
@@ -362,6 +373,83 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// `separ serve --socket <path> | --listen <addr> [options]`.
+fn cmd_serve(args: &[String]) -> CliResult {
+    use separ::serve::{Daemon, Endpoint, ServeConfig};
+    let mut endpoint: Option<Endpoint> = None;
+    let mut cfg = ServeConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = |i: usize| -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or(format!("serve: {flag} needs a value"))
+        };
+        match flag {
+            "--socket" => {
+                endpoint = Some(Endpoint::Unix(value(i)?.into()));
+                i += 1;
+            }
+            "--listen" => {
+                endpoint = Some(Endpoint::Tcp(value(i)?.clone()));
+                i += 1;
+            }
+            "--store" => {
+                cfg.store_dir = Some(value(i)?.into());
+                i += 1;
+            }
+            "--queue" => {
+                cfg.queue_capacity = value(i)?
+                    .parse()
+                    .map_err(|e| format!("serve: --queue: {e}"))?;
+                i += 1;
+            }
+            "--batch-max" => {
+                cfg.batch_max = value(i)?
+                    .parse()
+                    .map_err(|e| format!("serve: --batch-max: {e}"))?;
+                i += 1;
+            }
+            "--deadline-ms" => {
+                let ms: u64 = value(i)?
+                    .parse()
+                    .map_err(|e| format!("serve: --deadline-ms: {e}"))?;
+                cfg.default_deadline = std::time::Duration::from_millis(ms);
+                i += 1;
+            }
+            "--cache-cap-mb" => {
+                let mb: u64 = value(i)?
+                    .parse()
+                    .map_err(|e| format!("serve: --cache-cap-mb: {e}"))?;
+                cfg.cache_cap_bytes = Some(mb * 1024 * 1024);
+                i += 1;
+            }
+            "--threads" => {
+                cfg.config.threads = value(i)?
+                    .parse()
+                    .map_err(|e| format!("serve: --threads: {e}"))?;
+                i += 1;
+            }
+            f => return Err(format!("serve: unknown option {f}")),
+        }
+        i += 1;
+    }
+    let endpoint = endpoint.ok_or("serve: need --socket <path> or --listen <addr>")?;
+    separ::obs::global().enable();
+    let daemon = Daemon::start(cfg).map_err(|e| format!("serve: {e}"))?;
+    let (restored, skipped) = daemon.restored();
+    if restored > 0 || skipped > 0 {
+        println!("separ serve: restored {restored} app(s) from store ({skipped} unrecoverable)");
+    }
+    match &endpoint {
+        Endpoint::Unix(path) => println!("separ serve: listening on {}", path.display()),
+        Endpoint::Tcp(addr) => println!("separ serve: listening on {addr}"),
+    }
+    separ::serve::serve(daemon, &endpoint).map_err(|e| format!("serve: {e}"))?;
+    println!("separ serve: drained and stopped");
+    Ok(())
 }
 
 /// `separ enforce <apps...> --policies <file> --launch <pkg> <Class>`.
