@@ -471,6 +471,7 @@ struct SharedInner {
     slot: Mutex<Arc<CompiledPolicySet>>,
     evaluations: Stripes,
     prompts: Stripes,
+    denied: Stripes,
     readers: AtomicUsize,
 }
 
@@ -494,6 +495,7 @@ impl SharedPdp {
                 slot: Mutex::new(Arc::new(set)),
                 evaluations: Stripes::new(),
                 prompts: Stripes::new(),
+                denied: Stripes::new(),
                 readers: AtomicUsize::new(0),
             }),
         }
@@ -552,6 +554,42 @@ impl SharedPdp {
     pub fn prompts(&self) -> u64 {
         self.inner.prompts.sum()
     }
+
+    /// One coherent-enough reading of all decision counters, for live
+    /// telemetry endpoints. Relaxed like the individual accessors — no
+    /// decision path is perturbed to take it.
+    pub fn totals(&self) -> PdpTotals {
+        let evaluations = self.inner.evaluations.sum();
+        let denied = self.inner.denied.sum();
+        PdpTotals {
+            evaluations,
+            allowed: evaluations.saturating_sub(denied),
+            denied,
+            prompts: self.inner.prompts.sum(),
+            swaps: self.inner.version.load(Ordering::Relaxed).saturating_sub(1),
+            policies: self.snapshot().policies().len(),
+        }
+    }
+}
+
+/// A point-in-time reading of a [`SharedPdp`]'s decision counters (see
+/// [`SharedPdp::totals`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PdpTotals {
+    /// Decisions evaluated across all readers since construction.
+    pub evaluations: u64,
+    /// Evaluations whose outcome let the event proceed (including
+    /// prompt-consented ones).
+    pub allowed: u64,
+    /// Evaluations whose outcome blocked the event (outright denies and
+    /// prompt refusals).
+    pub denied: u64,
+    /// Prompts shown.
+    pub prompts: u64,
+    /// Atomic set swaps published since construction.
+    pub swaps: u64,
+    /// Policies in the currently installed set.
+    pub policies: usize,
 }
 
 /// A per-thread decision endpoint over a [`SharedPdp`].
@@ -600,15 +638,19 @@ impl PdpReader {
         let p = &self.set.policies()[i];
         match p.action {
             PolicyAction::Allow => Decision::Allow,
-            PolicyAction::Deny => Decision::Deny {
-                policy_id: p.id,
-                vulnerability: self.set.vulnerability(i),
-            },
+            PolicyAction::Deny => {
+                self.inner.denied.add(self.stripe, 1);
+                Decision::Deny {
+                    policy_id: p.id,
+                    vulnerability: self.set.vulnerability(i),
+                }
+            }
             PolicyAction::Prompt => {
                 self.inner.prompts.add(self.stripe, 1);
                 if prompt.answer(p, ctx) {
                     Decision::PromptAllowed { policy_id: p.id }
                 } else {
+                    self.inner.denied.add(self.stripe, 1);
                     Decision::PromptDenied {
                         policy_id: p.id,
                         vulnerability: self.set.vulnerability(i),

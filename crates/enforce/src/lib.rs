@@ -28,6 +28,6 @@ pub mod runtime;
 pub mod tag;
 
 pub use audit::{AuditEvent, AuditLog};
-pub use compiled::{probe_contexts, CompiledPolicySet, PdpReader, SharedPdp};
+pub use compiled::{probe_contexts, CompiledPolicySet, PdpReader, PdpTotals, SharedPdp};
 pub use pdp::{Decision, IccContext, LinearPdp, Pdp, PromptHandler};
 pub use runtime::{Device, Envelope, HookStats};

@@ -353,6 +353,19 @@ impl Collector {
         }
     }
 
+    /// A cheap owned copy of just the monotonic counters — no span or
+    /// event clone, so live-metrics endpoints can poll it on every
+    /// scrape. Pair with [`crate::live::CounterDeltas`] for per-scrape
+    /// deltas.
+    pub fn counters(&self) -> BTreeMap<&'static str, u64> {
+        self.inner.lock().unwrap().counters.clone()
+    }
+
+    /// A cheap owned copy of just the latency histograms.
+    pub fn histograms(&self) -> BTreeMap<&'static str, Histogram> {
+        self.inner.lock().unwrap().histograms.clone()
+    }
+
     /// An owned snapshot of everything recorded so far.
     pub fn snapshot(&self) -> Trace {
         let inner = self.inner.lock().unwrap();

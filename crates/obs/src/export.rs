@@ -340,10 +340,13 @@ impl Trace {
             out.push_str("latency histograms:\n");
             for (k, h) in &self.histograms {
                 out.push_str(&format!(
-                    "  {:<28} count={} mean={} max={}\n",
+                    "  {:<28} count={} mean={} p50={} p90={} p99={} max={}\n",
                     k,
                     h.count(),
                     format_ns(h.mean()),
+                    format_ns(h.quantile(0.50)),
+                    format_ns(h.quantile(0.90)),
+                    format_ns(h.quantile(0.99)),
                     format_ns(h.max()),
                 ));
                 for (i, &c) in h.counts().iter().enumerate() {
@@ -359,6 +362,30 @@ impl Trace {
             }
         }
         out
+    }
+
+    /// Renders the counters and latency histograms in Prometheus text
+    /// exposition format (version 0.0.4).
+    ///
+    /// Counters become `separ_<name>_total` counter families;
+    /// histograms become native `separ_<name>_seconds` histogram
+    /// families (cumulative `le` buckets, `_sum`, `_count`) with
+    /// nanosecond samples scaled to seconds. Families appear in sorted
+    /// internal-name order, so two renders of the same state are
+    /// byte-identical.
+    pub fn prometheus(&self) -> String {
+        let mut w = crate::prometheus::PromWriter::new();
+        for (name, v) in &self.counters {
+            let family = format!("separ_{}_total", crate::prometheus::sanitize(name));
+            w.family(&family, "counter", name);
+            w.sample(&family, &[], *v as f64);
+        }
+        for (name, h) in &self.histograms {
+            let family = format!("separ_{}_seconds", crate::prometheus::sanitize(name));
+            w.family(&family, "histogram", name);
+            w.histogram(&family, &[], h, 1e9);
+        }
+        w.finish()
     }
 
     /// Aggregates spans by name: count, total time, and self time

@@ -10,10 +10,16 @@
 //!   guards, monotonic timestamps, thread ids), structured **events**
 //!   (key/value payloads attached to the active span) and **metrics**
 //!   (monotonic counters plus fixed-bucket latency [`Histogram`]s);
-//! * three exporters in [`export`]: Chrome trace-event JSON (loadable in
+//! * four exporters in [`export`]: Chrome trace-event JSON (loadable in
 //!   `chrome://tracing` or [Perfetto](https://ui.perfetto.dev)), a JSONL
-//!   event log, and a human-readable text summary with per-span
-//!   self/total time;
+//!   event log, a human-readable text summary with per-span self/total
+//!   time, and Prometheus text exposition ([`Trace::prometheus`] over
+//!   the [`prometheus`] writer);
+//! * live-metrics primitives in [`live`] for long-running services:
+//!   [`Gauge`]s, rolling-window [`RollingHistogram`]s (windowed
+//!   p50/p90/p99 without stopping the collector) and per-scrape
+//!   [`CounterDeltas`] — `separ serve` builds its `metrics` endpoint
+//!   from these;
 //! * the shared [`json`] string-escaping helpers used by every
 //!   hand-rolled JSON writer in the workspace (policy I/O, lint output,
 //!   the exporters here).
@@ -40,12 +46,15 @@
 mod collector;
 pub mod export;
 pub mod json;
+pub mod live;
 mod metrics;
+pub mod prometheus;
 
 use std::sync::OnceLock;
 
 pub use collector::{AdoptGuard, Collector, EventRecord, ObsTimer, SpanGuard, SpanId, SpanRecord};
 pub use export::Trace;
+pub use live::{CounterDeltas, Gauge, RollingHistogram, ROLLING_WINDOWS};
 pub use metrics::{Histogram, HistogramSnapshot, LATENCY_BOUNDS_NS};
 
 /// The process-global collector backing the free-function API.

@@ -1,0 +1,174 @@
+//! Prometheus text exposition (format version 0.0.4).
+//!
+//! A tiny, dependency-free writer for the one wire format every metrics
+//! stack can scrape. [`PromWriter`] guarantees the structural rules a
+//! scraper checks: every sample is preceded by its family's `# HELP` /
+//! `# TYPE` header, label values are escaped, and output order is
+//! exactly insertion order — callers iterate sorted maps, so two
+//! renders of the same state are byte-identical.
+
+use std::fmt::Write as _;
+
+use crate::metrics::Histogram;
+
+/// Maps an internal metric name (`pdp.index.hit`) onto the Prometheus
+/// grammar (`pdp_index_hit`): every character outside
+/// `[a-zA-Z0-9_:]` becomes `_`, and a leading digit is prefixed.
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphanumeric() || c == '_' || c == ':';
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+        }
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+fn escape_label(v: &str, out: &mut String) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Formats a sample value the way Prometheus expects: integers without
+/// a decimal point, everything else in shortest `f64` form.
+fn push_value(v: f64, out: &mut String) {
+    if v.is_infinite() {
+        out.push_str(if v > 0.0 { "+Inf" } else { "-Inf" });
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+/// An append-only exposition builder.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+}
+
+impl PromWriter {
+    /// An empty exposition.
+    pub fn new() -> PromWriter {
+        PromWriter::default()
+    }
+
+    /// Writes a family header: `# HELP` then `# TYPE`. Call once per
+    /// family, before its samples. `kind` is `counter`, `gauge` or
+    /// `histogram`.
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) {
+        let _ = write!(self.out, "# HELP {name} ");
+        for c in help.chars() {
+            match c {
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('\n');
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Writes one sample line with optional labels.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                escape_label(v, &mut self.out);
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        push_value(value, &mut self.out);
+        self.out.push('\n');
+    }
+
+    /// Writes a [`Histogram`] in native Prometheus histogram form:
+    /// cumulative `_bucket{le=...}` samples, the `+Inf` bucket, `_sum`
+    /// and `_count`. Raw sample values are divided by `scale` (use
+    /// `1e9` for nanosecond-valued histograms exposed in seconds).
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], h: &Histogram, scale: f64) {
+        let bucket = format!("{name}_bucket");
+        let mut cum = 0u64;
+        let mut le = String::new();
+        for (i, &b) in h.bounds().iter().enumerate() {
+            cum += h.counts()[i];
+            le.clear();
+            push_value(b as f64 / scale, &mut le);
+            let mut ls: Vec<(&str, &str)> = labels.to_vec();
+            ls.push(("le", le.as_str()));
+            self.sample(&bucket, &ls, cum as f64);
+        }
+        let mut ls: Vec<(&str, &str)> = labels.to_vec();
+        ls.push(("le", "+Inf"));
+        self.sample(&bucket, &ls, h.count() as f64);
+        self.sample(&format!("{name}_sum"), labels, h.sum() as f64 / scale);
+        self.sample(&format!("{name}_count"), labels, h.count() as f64);
+    }
+
+    /// The finished exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizes_names() {
+        assert_eq!(sanitize("pdp.index.hit"), "pdp_index_hit");
+        assert_eq!(sanitize("9lives"), "_9lives");
+        assert_eq!(sanitize("a-b c"), "a_b_c");
+    }
+
+    #[test]
+    fn renders_counter_and_histogram_families() {
+        let mut h = Histogram::new(&[1_000, 1_000_000]);
+        h.record(500);
+        h.record(500_000);
+        h.record(5_000_000);
+        let mut w = PromWriter::new();
+        w.family("separ_requests_total", "counter", "requests served");
+        w.sample("separ_requests_total", &[], 42.0);
+        w.family("separ_latency_seconds", "histogram", "request latency");
+        w.histogram("separ_latency_seconds", &[("type", "decide")], &h, 1e9);
+        let text = w.finish();
+        assert_eq!(
+            text,
+            "# HELP separ_requests_total requests served\n\
+             # TYPE separ_requests_total counter\n\
+             separ_requests_total 42\n\
+             # HELP separ_latency_seconds request latency\n\
+             # TYPE separ_latency_seconds histogram\n\
+             separ_latency_seconds_bucket{type=\"decide\",le=\"0.000001\"} 1\n\
+             separ_latency_seconds_bucket{type=\"decide\",le=\"0.001\"} 2\n\
+             separ_latency_seconds_bucket{type=\"decide\",le=\"+Inf\"} 3\n\
+             separ_latency_seconds_sum{type=\"decide\"} 0.0055005\n\
+             separ_latency_seconds_count{type=\"decide\"} 3\n"
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut w = PromWriter::new();
+        w.sample("m", &[("k", "a\"b\\c\nd")], 1.0);
+        assert_eq!(w.finish(), "m{k=\"a\\\"b\\\\c\\nd\"} 1\n");
+    }
+}

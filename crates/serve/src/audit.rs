@@ -1,0 +1,241 @@
+//! Structured JSONL audit log for the daemon (`--audit <path>`).
+//!
+//! Every decide and every bundle mutation (install / uninstall /
+//! permission change) appends one JSON object per line: request id,
+//! wall-clock timestamp, outcome, decision label and matched policy id
+//! (for decides), and the request's service latency. The file rotates
+//! by size — when an append would push past the cap, `audit.log` shifts
+//! to `audit.log.1` (and `.1` to `.2`), so a long-lived daemon keeps at
+//! most three generations on disk.
+//!
+//! The name deliberately avoids `AuditLog`: that's the *device-side*
+//! enforcement log in [`separ_enforce::audit`]; this one records what
+//! the service was asked and answered.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use separ_obs::json::Value;
+
+/// How many rotated generations to keep (`audit.log.1`, `audit.log.2`).
+const KEEP_ROTATED: u32 = 2;
+
+/// One audit record, borrowed from the request that produced it.
+#[derive(Debug, Clone, Default)]
+pub struct AuditRecord<'a> {
+    /// The daemon-assigned request id (monotonic per process).
+    pub req_id: u64,
+    /// The request kind (`decide`, `install`, ...).
+    pub kind: &'a str,
+    /// Whether the request succeeded.
+    pub ok: bool,
+    /// The package the request targeted, when it names one.
+    pub package: Option<&'a str>,
+    /// The decision label (`allow` / `deny` / ...) for decides.
+    pub decision: Option<&'a str>,
+    /// The id of the policy that matched, for decides it applies to.
+    pub policy_id: Option<u64>,
+    /// Service latency of the request in microseconds.
+    pub latency_us: u64,
+    /// The error message, for failed requests.
+    pub error: Option<&'a str>,
+}
+
+impl AuditRecord<'_> {
+    /// Serializes the record as one JSON line (no trailing newline).
+    /// Optional fields are omitted, not nulled, so lines stay compact.
+    pub fn to_line(&self) -> String {
+        let ts_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let mut fields = vec![
+            ("ts_ms".to_string(), Value::Num(ts_ms as f64)),
+            ("req_id".to_string(), Value::Num(self.req_id as f64)),
+            ("kind".to_string(), Value::Str(self.kind.into())),
+            ("ok".to_string(), Value::Bool(self.ok)),
+        ];
+        if let Some(p) = self.package {
+            fields.push(("package".into(), Value::Str(p.into())));
+        }
+        if let Some(d) = self.decision {
+            fields.push(("decision".into(), Value::Str(d.into())));
+        }
+        if let Some(id) = self.policy_id {
+            fields.push(("policy_id".into(), Value::Num(id as f64)));
+        }
+        fields.push(("latency_us".into(), Value::Num(self.latency_us as f64)));
+        if let Some(e) = self.error {
+            fields.push(("error".into(), Value::Str(e.into())));
+        }
+        let mut out = String::new();
+        Value::Obj(fields).write_into(&mut out);
+        out
+    }
+}
+
+/// A size-rotated JSONL appender.
+pub struct AuditWriter {
+    path: PathBuf,
+    max_bytes: u64,
+    inner: Mutex<Writer>,
+}
+
+struct Writer {
+    file: File,
+    written: u64,
+}
+
+impl AuditWriter {
+    /// Opens (appending) or creates the log at `path`; rotation
+    /// triggers when an append would push the file past `max_bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the file cannot be opened for appending.
+    pub fn open(path: &Path, max_bytes: u64) -> std::io::Result<AuditWriter> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let written = file.metadata().map(|m| m.len()).unwrap_or(0);
+        Ok(AuditWriter {
+            path: path.to_path_buf(),
+            max_bytes: max_bytes.max(1024),
+            inner: Mutex::new(Writer { file, written }),
+        })
+    }
+
+    /// Appends one record (with newline), rotating first if the line
+    /// would push the current generation past the size cap. Returns
+    /// whether the line actually reached the file.
+    pub fn append(&self, record: &AuditRecord<'_>) -> bool {
+        let mut line = record.to_line();
+        line.push('\n');
+        let mut w = self.inner.lock().expect("audit lock");
+        if w.written > 0 && w.written + line.len() as u64 > self.max_bytes {
+            match self.rotate() {
+                Ok(file) => *w = Writer { file, written: 0 },
+                Err(e) => {
+                    eprintln!("separ serve: audit rotation failed: {e}");
+                    // Keep writing to the oversized generation rather
+                    // than losing records.
+                }
+            }
+        }
+        match w.file.write_all(line.as_bytes()) {
+            Ok(()) => {
+                w.written += line.len() as u64;
+                true
+            }
+            Err(e) => {
+                eprintln!("separ serve: audit write failed: {e}");
+                false
+            }
+        }
+    }
+
+    /// Shifts generations (`.1` → `.2`, live → `.1`) and reopens a
+    /// fresh live file.
+    fn rotate(&self) -> std::io::Result<File> {
+        for n in (1..=KEEP_ROTATED).rev() {
+            let from = if n == 1 {
+                self.path.clone()
+            } else {
+                rotated(&self.path, n - 1)
+            };
+            let to = rotated(&self.path, n);
+            if from.exists() {
+                std::fs::rename(&from, &to)?;
+            }
+        }
+        OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+    }
+
+    /// Flushes buffered OS state (records are written unbuffered; this
+    /// is for tests that read the file back immediately).
+    pub fn flush(&self) {
+        let _ = self.inner.lock().expect("audit lock").file.flush();
+    }
+}
+
+impl std::fmt::Debug for AuditWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuditWriter")
+            .field("path", &self.path)
+            .field("max_bytes", &self.max_bytes)
+            .finish()
+    }
+}
+
+/// `audit.log` → `audit.log.N`.
+fn rotated(path: &Path, n: u32) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(format!(".{n}"));
+    PathBuf::from(os)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("separ-audit-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join("audit.log")
+    }
+
+    #[test]
+    fn records_serialize_with_optional_fields_omitted() {
+        let line = AuditRecord {
+            req_id: 7,
+            kind: "decide",
+            ok: true,
+            decision: Some("deny"),
+            policy_id: Some(3),
+            latency_us: 120,
+            ..Default::default()
+        }
+        .to_line();
+        let v = Value::parse(&line).expect("valid json");
+        assert_eq!(v.get("req_id").and_then(Value::as_u64), Some(7));
+        assert_eq!(v.get("decision").and_then(Value::as_str), Some("deny"));
+        assert_eq!(v.get("policy_id").and_then(Value::as_u64), Some(3));
+        assert!(v.get("package").is_none());
+        assert!(v.get("error").is_none());
+        assert!(v.get("ts_ms").and_then(Value::as_u64).expect("ts") > 0);
+    }
+
+    #[test]
+    fn rotates_by_size_and_keeps_two_generations() {
+        let path = tmp("rotate");
+        let w = AuditWriter::open(&path, 1024).expect("open");
+        let rec = AuditRecord {
+            req_id: 1,
+            kind: "install",
+            ok: true,
+            package: Some("com.example.padding.padding.padding"),
+            latency_us: 1_000,
+            ..Default::default()
+        };
+        for _ in 0..60 {
+            assert!(w.append(&rec));
+        }
+        w.flush();
+        assert!(rotated(&path, 1).exists(), "first generation rotated");
+        let live = std::fs::metadata(&path).expect("live").len();
+        assert!(live <= 1024, "live file stays under the cap: {live}");
+        // Every line in every generation is valid JSON.
+        for p in [path.clone(), rotated(&path, 1)] {
+            let text = std::fs::read_to_string(&p).expect("readable");
+            for line in text.lines() {
+                Value::parse(line).expect("valid JSONL");
+            }
+        }
+        let _ = std::fs::remove_dir_all(path.parent().expect("parent"));
+    }
+}

@@ -36,10 +36,14 @@ use separ_core::policy::Policy;
 use separ_core::{IncrementalSession, SeparConfig, SessionOp, SignatureRegistry};
 use separ_enforce::{CompiledPolicySet, PromptHandler, SharedPdp};
 use separ_obs::json::Value;
+use separ_obs::prometheus::PromWriter;
 
+use crate::audit::{AuditRecord, AuditWriter};
+use crate::metrics::{obs_counters_prometheus, ServeMetrics};
 use crate::protocol::{error_response, ok_response, QueryWhat, Request};
 use crate::queue::{fulfill_batch, BatchOutcome, BatchSummary, ChurnQueue, PushError};
 use crate::store::SessionStore;
+use crate::subscribe::{PolicyDeltaEvent, Subscription, Subscriptions};
 
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
@@ -57,6 +61,16 @@ pub struct ServeConfig {
     pub store_dir: Option<std::path::PathBuf>,
     /// Extraction-cache size cap (the store is never capped).
     pub cache_cap_bytes: Option<u64>,
+    /// Log requests slower than this many milliseconds to stderr (one
+    /// JSON line each); `None` disables the slow log.
+    pub slow_ms: Option<u64>,
+    /// JSONL audit-log path; `None` disables auditing.
+    pub audit_path: Option<std::path::PathBuf>,
+    /// Audit-log size cap per generation before rotation.
+    pub audit_max_bytes: u64,
+    /// Pending policy-delta events buffered per subscriber before it is
+    /// dropped as a laggard.
+    pub subscriber_buffer: usize,
 }
 
 impl Default for ServeConfig {
@@ -68,6 +82,10 @@ impl Default for ServeConfig {
             default_deadline: Duration::from_secs(30),
             store_dir: None,
             cache_cap_bytes: None,
+            slow_ms: None,
+            audit_path: None,
+            audit_max_bytes: 8 * 1024 * 1024,
+            subscriber_buffer: 64,
         }
     }
 }
@@ -104,6 +122,15 @@ struct Counters {
     deadline_misses: AtomicU64,
 }
 
+/// What one request's outcome contributes to the audit log.
+#[derive(Debug, Default)]
+struct Outcome {
+    decision: Option<&'static str>,
+    policy_id: Option<u64>,
+    package: Option<String>,
+    error: Option<String>,
+}
+
 /// The running daemon. [`Daemon::handle`] is the entire service: socket
 /// servers, tests and in-process harnesses all feed request lines
 /// through it.
@@ -113,6 +140,11 @@ pub struct Daemon {
     cache: Arc<ModelCache>,
     published: Arc<Mutex<Published>>,
     counters: Arc<Counters>,
+    metrics: Arc<ServeMetrics>,
+    subs: Arc<Subscriptions>,
+    audit: Option<AuditWriter>,
+    req_ids: AtomicU64,
+    slow_ms: Option<u64>,
     default_deadline: Duration,
     worker: Mutex<Option<std::thread::JoinHandle<()>>>,
     restored_apps: usize,
@@ -168,16 +200,29 @@ impl Daemon {
         }
         let queue = Arc::new(ChurnQueue::new(cfg.queue_capacity));
         let counters = Arc::new(Counters::default());
+        let metrics = Arc::new(ServeMetrics::new());
+        let subs = Arc::new(Subscriptions::new(cfg.subscriber_buffer));
+        let audit = match &cfg.audit_path {
+            Some(path) => Some(
+                AuditWriter::open(path, cfg.audit_max_bytes)
+                    .map_err(|e| ServeError(format!("audit log {}: {e}", path.display())))?,
+            ),
+            None => None,
+        };
         let worker = {
             let queue = Arc::clone(&queue);
             let pdp = pdp.clone();
             let published = Arc::clone(&published);
             let counters = Arc::clone(&counters);
+            let metrics = Arc::clone(&metrics);
+            let subs = Arc::clone(&subs);
             let batch_max = cfg.batch_max;
             std::thread::Builder::new()
                 .name("separ-serve-worker".into())
                 .spawn(move || {
-                    worker_loop(session, store, queue, pdp, published, counters, batch_max)
+                    worker_loop(
+                        session, store, queue, pdp, published, counters, metrics, subs, batch_max,
+                    )
                 })
                 .map_err(|e| ServeError(format!("worker thread: {e}")))?
         };
@@ -187,6 +232,11 @@ impl Daemon {
             cache,
             published,
             counters,
+            metrics,
+            subs,
+            audit,
+            req_ids: AtomicU64::new(0),
+            slow_ms: cfg.slow_ms,
             default_deadline: cfg.default_deadline,
             worker: Mutex::new(Some(worker)),
             restored_apps,
@@ -203,14 +253,66 @@ impl Daemon {
     /// Handles one request line, returning one response line (no
     /// trailing newline). Never panics on malformed input — every error
     /// becomes an `{"ok":false,...}` response.
+    ///
+    /// Every request gets a process-unique id (attached to its obs
+    /// span, the slow log, and the audit log) and its latency recorded
+    /// into the per-type rolling windows behind `metrics`.
     pub fn handle(&self, line: &str) -> String {
-        let _span = separ_obs::span("serve.request");
+        let req_id = self.req_ids.fetch_add(1, Ordering::Relaxed) + 1;
+        let started = Instant::now();
+        let mut span = separ_obs::span("serve.request");
+        span.set_arg("req_id", req_id.to_string());
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
         separ_obs::counter_add("serve.requests", 1);
-        let request = match Request::parse(line.trim()) {
-            Ok(request) => request,
-            Err(e) => return self.fail(e),
+        let parsed = Request::parse(line.trim());
+        let kind = parsed.as_ref().map(Request::kind).unwrap_or("invalid");
+        span.set_arg("cmd", kind);
+        drop(span);
+        let (response, outcome) = match parsed {
+            Ok(request) => self.dispatch(request),
+            Err(e) => {
+                let outcome = Outcome {
+                    error: Some(e.clone()),
+                    ..Outcome::default()
+                };
+                (self.fail(e), outcome)
+            }
         };
+        let ns = started.elapsed().as_nanos() as u64;
+        self.metrics.record(kind, ns);
+        if let Some(slow_ms) = self.slow_ms {
+            if ns >= slow_ms.saturating_mul(1_000_000) {
+                self.metrics.slow_requests.add(1);
+                separ_obs::counter_add("serve.slow", 1);
+                eprintln!(
+                    "{{\"slow_request\":true,\"req_id\":{req_id},\"cmd\":\"{kind}\",\"ms\":{}}}",
+                    ns / 1_000_000
+                );
+            }
+        }
+        if matches!(kind, "decide" | "install" | "uninstall" | "set_permission") {
+            if let Some(audit) = &self.audit {
+                let written = audit.append(&AuditRecord {
+                    req_id,
+                    kind,
+                    ok: response.starts_with("{\"ok\":true"),
+                    package: outcome.package.as_deref(),
+                    decision: outcome.decision,
+                    policy_id: outcome.policy_id,
+                    latency_us: ns / 1_000,
+                    error: outcome.error.as_deref(),
+                });
+                if written {
+                    self.metrics.audit_records.add(1);
+                }
+            }
+        }
+        response
+    }
+
+    /// Routes one parsed request, also reporting what the audit log
+    /// should record about it.
+    fn dispatch(&self, request: Request) -> (String, Outcome) {
         match request {
             Request::Install { bytes, deadline_ms } => {
                 // Extraction happens here, on the caller's thread: it
@@ -218,28 +320,57 @@ impl Daemon {
                 // sees ready models.
                 let model = match self.cache.get_or_extract(&bytes) {
                     Ok((model, _)) => (*model).clone(),
-                    Err(e) => return self.fail(format!("install: {e}")),
+                    Err(e) => {
+                        let e = format!("install: {e}");
+                        let outcome = Outcome {
+                            error: Some(e.clone()),
+                            ..Outcome::default()
+                        };
+                        return (self.fail(e), outcome);
+                    }
                 };
-                self.churn(SessionOp::Install(model), deadline_ms)
+                let outcome = Outcome {
+                    package: Some(model.package.clone()),
+                    ..Outcome::default()
+                };
+                (self.churn(SessionOp::Install(model), deadline_ms), outcome)
             }
             Request::Uninstall {
                 package,
                 deadline_ms,
-            } => self.churn(SessionOp::Uninstall(package), deadline_ms),
+            } => {
+                let outcome = Outcome {
+                    package: Some(package.clone()),
+                    ..Outcome::default()
+                };
+                (
+                    self.churn(SessionOp::Uninstall(package), deadline_ms),
+                    outcome,
+                )
+            }
             Request::SetPermission {
                 package,
                 permission,
                 granted,
                 deadline_ms,
-            } => self.churn(
-                SessionOp::SetPermission {
-                    package,
-                    permission,
-                    granted,
-                },
-                deadline_ms,
-            ),
-            Request::Query(what) => self.query(what),
+            } => {
+                let outcome = Outcome {
+                    package: Some(package.clone()),
+                    ..Outcome::default()
+                };
+                (
+                    self.churn(
+                        SessionOp::SetPermission {
+                            package,
+                            permission,
+                            granted,
+                        },
+                        deadline_ms,
+                    ),
+                    outcome,
+                )
+            }
+            Request::Query(what) => (self.query(what), Outcome::default()),
             Request::Decide {
                 event,
                 ctx,
@@ -257,10 +388,27 @@ impl Daemon {
                     Some(id) => fields.push(("policy_id".into(), Value::Num(id as f64))),
                     None => fields.push(("policy_id".into(), Value::Null)),
                 }
-                ok_response(fields)
+                let outcome = Outcome {
+                    decision: Some(decision.label()),
+                    policy_id: decision.policy_id().map(u64::from),
+                    ..Outcome::default()
+                };
+                (ok_response(fields), outcome)
             }
-            Request::Stats => self.stats(),
-            Request::Shutdown => self.shutdown(),
+            Request::Stats => (self.stats(), Outcome::default()),
+            Request::Metrics { prometheus } => {
+                (self.metrics_response(prometheus), Outcome::default())
+            }
+            Request::Health => (self.health(), Outcome::default()),
+            // A subscription is a connection-level upgrade, not a
+            // request/response exchange: the socket server intercepts
+            // it before `handle`; reaching here means the caller can't
+            // stream (e.g. an in-process one-shot).
+            Request::Subscribe => (
+                self.fail("subscribe: requires a streaming connection".into()),
+                Outcome::default(),
+            ),
+            Request::Shutdown => (self.shutdown(), Outcome::default()),
         }
     }
 
@@ -348,6 +496,10 @@ impl Daemon {
         let cache = self.cache.stats();
         ok_response(vec![
             (
+                "uptime_ms".into(),
+                Value::Num(self.metrics.uptime_ms() as f64),
+            ),
+            (
                 "requests".into(),
                 Value::Num(self.counters.requests.load(Ordering::Relaxed) as f64),
             ),
@@ -375,6 +527,332 @@ impl Daemon {
         ])
     }
 
+    /// The `metrics` response: live gauges, per-type rolling latency
+    /// windows, PDP/cache totals, and per-scrape counter deltas — as
+    /// structured JSON, or (with `prometheus`) as text exposition
+    /// carried in the `body` field.
+    fn metrics_response(&self, prometheus: bool) -> String {
+        if prometheus {
+            return ok_response(vec![
+                ("format".into(), Value::Str("prometheus".into())),
+                ("body".into(), Value::Str(self.prometheus_text())),
+            ]);
+        }
+        let batches = self.counters.batches.load(Ordering::Relaxed);
+        let ops = self.counters.ops_coalesced.load(Ordering::Relaxed);
+        let coalescing = if batches == 0 {
+            1.0
+        } else {
+            ops as f64 / batches as f64
+        };
+        let totals = self.pdp.totals();
+        let cache = self.cache.stats();
+        let counters = separ_obs::global().counters();
+        let obj = |m: &std::collections::BTreeMap<String, u64>| {
+            Value::Obj(
+                m.iter()
+                    .map(|(k, &v)| (k.clone(), Value::Num(v as f64)))
+                    .collect(),
+            )
+        };
+        ok_response(vec![
+            (
+                "uptime_ms".into(),
+                Value::Num(self.metrics.uptime_ms() as f64),
+            ),
+            ("queue_depth".into(), Value::Num(self.queue.depth() as f64)),
+            ("subscribers".into(), Value::Num(self.subs.count() as f64)),
+            (
+                "subscribers_dropped".into(),
+                Value::Num(self.subs.dropped() as f64),
+            ),
+            ("seq".into(), Value::Num(self.subs.seq() as f64)),
+            (
+                "last_batch_age_ms".into(),
+                match self.metrics.last_batch_age_ms() {
+                    Some(ms) => Value::Num(ms as f64),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "requests".into(),
+                Value::Num(self.counters.requests.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "failed".into(),
+                Value::Num(self.counters.failed.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "slow_requests".into(),
+                Value::Num(self.metrics.slow_requests.get() as f64),
+            ),
+            (
+                "audit_records".into(),
+                Value::Num(self.metrics.audit_records.get() as f64),
+            ),
+            ("batches".into(), Value::Num(batches as f64)),
+            ("ops_coalesced".into(), Value::Num(ops as f64)),
+            ("coalescing_factor".into(), Value::Num(coalescing)),
+            (
+                "deadline_misses".into(),
+                Value::Num(self.counters.deadline_misses.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "pdp".into(),
+                Value::Obj(vec![
+                    ("evaluations".into(), Value::Num(totals.evaluations as f64)),
+                    ("allowed".into(), Value::Num(totals.allowed as f64)),
+                    ("denied".into(), Value::Num(totals.denied as f64)),
+                    ("prompts".into(), Value::Num(totals.prompts as f64)),
+                    ("swaps".into(), Value::Num(totals.swaps as f64)),
+                    ("policies".into(), Value::Num(totals.policies as f64)),
+                ]),
+            ),
+            (
+                "cache".into(),
+                Value::Obj(vec![
+                    ("memory_hits".into(), Value::Num(cache.memory_hits as f64)),
+                    ("disk_hits".into(), Value::Num(cache.disk_hits as f64)),
+                    ("misses".into(), Value::Num(cache.misses as f64)),
+                    ("evicted".into(), Value::Num(cache.evicted as f64)),
+                ]),
+            ),
+            ("rolling".into(), self.metrics.rolling_json()),
+            (
+                "counters".into(),
+                Value::Obj(
+                    counters
+                        .iter()
+                        .map(|(&k, &v)| (k.to_string(), Value::Num(v as f64)))
+                        .collect(),
+                ),
+            ),
+            ("counters_delta".into(), obj(&self.metrics.counter_deltas())),
+        ])
+    }
+
+    /// The full Prometheus text exposition: daemon gauges and counters
+    /// first (fixed order), then windowed latency quantiles, then every
+    /// process-global obs counter (sorted) — byte-stable across scrapes
+    /// of the same state.
+    fn prometheus_text(&self) -> String {
+        let mut w = PromWriter::new();
+        let gauge = |w: &mut PromWriter, name: &str, help: &str, v: f64| {
+            w.family(name, "gauge", help);
+            w.sample(name, &[], v);
+        };
+        let counter = |w: &mut PromWriter, name: &str, help: &str, v: f64| {
+            w.family(name, "counter", help);
+            w.sample(name, &[], v);
+        };
+        gauge(
+            &mut w,
+            "separ_uptime_seconds",
+            "seconds since daemon start",
+            self.metrics.uptime_ms() as f64 / 1_000.0,
+        );
+        gauge(
+            &mut w,
+            "separ_queue_depth",
+            "pending churn ops",
+            self.queue.depth() as f64,
+        );
+        gauge(
+            &mut w,
+            "separ_subscribers",
+            "connected policy-delta subscribers",
+            self.subs.count() as f64,
+        );
+        if let Some(ms) = self.metrics.last_batch_age_ms() {
+            gauge(
+                &mut w,
+                "separ_last_batch_age_seconds",
+                "seconds since the last applied batch",
+                ms as f64 / 1_000.0,
+            );
+        }
+        counter(
+            &mut w,
+            "separ_policy_delta_seq",
+            "policy-delta events published",
+            self.subs.seq() as f64,
+        );
+        counter(
+            &mut w,
+            "separ_subscribers_dropped_total",
+            "subscribers dropped for lagging",
+            self.subs.dropped() as f64,
+        );
+        counter(
+            &mut w,
+            "separ_requests_total",
+            "requests served",
+            self.counters.requests.load(Ordering::Relaxed) as f64,
+        );
+        counter(
+            &mut w,
+            "separ_requests_failed_total",
+            "requests answered with an error",
+            self.counters.failed.load(Ordering::Relaxed) as f64,
+        );
+        counter(
+            &mut w,
+            "separ_slow_requests_total",
+            "requests over the slow-log threshold",
+            self.metrics.slow_requests.get() as f64,
+        );
+        counter(
+            &mut w,
+            "separ_audit_records_total",
+            "audit records written",
+            self.metrics.audit_records.get() as f64,
+        );
+        counter(
+            &mut w,
+            "separ_batches_total",
+            "analysis batches applied",
+            self.counters.batches.load(Ordering::Relaxed) as f64,
+        );
+        counter(
+            &mut w,
+            "separ_ops_coalesced_total",
+            "churn ops folded into batches",
+            self.counters.ops_coalesced.load(Ordering::Relaxed) as f64,
+        );
+        counter(
+            &mut w,
+            "separ_deadline_misses_total",
+            "confirmation waits that expired",
+            self.counters.deadline_misses.load(Ordering::Relaxed) as f64,
+        );
+        let totals = self.pdp.totals();
+        counter(
+            &mut w,
+            "separ_pdp_evaluations_total",
+            "decisions evaluated",
+            totals.evaluations as f64,
+        );
+        counter(
+            &mut w,
+            "separ_pdp_allowed_total",
+            "decisions that allowed the operation",
+            totals.allowed as f64,
+        );
+        counter(
+            &mut w,
+            "separ_pdp_denied_total",
+            "decisions that refused the operation",
+            totals.denied as f64,
+        );
+        counter(
+            &mut w,
+            "separ_pdp_prompts_total",
+            "decisions that prompted the user",
+            totals.prompts as f64,
+        );
+        counter(
+            &mut w,
+            "separ_pdp_swaps_total",
+            "policy-set swaps published",
+            totals.swaps as f64,
+        );
+        gauge(
+            &mut w,
+            "separ_pdp_policies",
+            "policies in the live set",
+            totals.policies as f64,
+        );
+        let cache = self.cache.stats();
+        counter(
+            &mut w,
+            "separ_cache_memory_hits_total",
+            "extraction-cache memory hits",
+            cache.memory_hits as f64,
+        );
+        counter(
+            &mut w,
+            "separ_cache_disk_hits_total",
+            "extraction-cache disk hits",
+            cache.disk_hits as f64,
+        );
+        counter(
+            &mut w,
+            "separ_cache_misses_total",
+            "extraction-cache misses",
+            cache.misses as f64,
+        );
+        counter(
+            &mut w,
+            "separ_cache_evicted_total",
+            "extraction-cache evictions",
+            cache.evicted as f64,
+        );
+        self.metrics.rolling_prometheus(&mut w);
+        obs_counters_prometheus(&mut w);
+        w.finish()
+    }
+
+    /// The `health` response: liveness (worker thread running),
+    /// readiness (accepting requests) and staleness (last-batch age).
+    fn health(&self) -> String {
+        let live = self
+            .worker
+            .lock()
+            .expect("worker lock")
+            .as_ref()
+            .map(|h| !h.is_finished())
+            .unwrap_or(false);
+        ok_response(vec![
+            ("ready".into(), Value::Bool(live)),
+            ("live".into(), Value::Bool(live)),
+            (
+                "uptime_ms".into(),
+                Value::Num(self.metrics.uptime_ms() as f64),
+            ),
+            ("queue_depth".into(), Value::Num(self.queue.depth() as f64)),
+            (
+                "last_batch_age_ms".into(),
+                match self.metrics.last_batch_age_ms() {
+                    Some(ms) => Value::Num(ms as f64),
+                    None => Value::Null,
+                },
+            ),
+            ("seq".into(), Value::Num(self.subs.seq() as f64)),
+        ])
+    }
+
+    /// Registers a policy-delta subscriber: it receives one event line
+    /// per batch applied after this call, in order. The socket server
+    /// calls this when a connection sends `subscribe`; in-process
+    /// harnesses (and tests) use it directly.
+    pub fn subscribe(&self) -> Subscription {
+        let sub = self.subs.subscribe();
+        self.metrics.subscribers.set(self.subs.count() as i64);
+        sub
+    }
+
+    /// Removes a subscriber whose connection closed.
+    pub fn unsubscribe(&self, id: u64) {
+        self.subs.unsubscribe(id);
+        self.metrics.subscribers.set(self.subs.count() as i64);
+    }
+
+    /// The acknowledgement line a new subscriber receives first:
+    /// carries the current sequence number, so the client knows which
+    /// events precede its subscription.
+    pub fn subscribe_ack(&self) -> String {
+        ok_response(vec![
+            ("subscribed".into(), Value::Bool(true)),
+            ("seq".into(), Value::Num(self.subs.seq() as f64)),
+        ])
+    }
+
+    /// The daemon's live metrics registry (bench harnesses read the
+    /// uptime epoch and record ancillary samples through this).
+    pub fn live_metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
     fn shutdown(&self) -> String {
         match self.drain() {
             Ok(()) => ok_response(vec![("stopped".into(), Value::Bool(true))]),
@@ -392,12 +870,17 @@ impl Daemon {
         let _span = separ_obs::span("serve.shutdown");
         self.queue.close();
         let handle = self.worker.lock().expect("worker lock").take();
-        if let Some(handle) = handle {
-            handle
+        let joined = match handle {
+            Some(handle) => handle
                 .join()
-                .map_err(|_| ServeError("analysis worker panicked".into()))?;
-        }
-        Ok(())
+                .map_err(|_| ServeError("analysis worker panicked".into())),
+            None => Ok(()),
+        };
+        // Disconnect subscribers only after the join: the drained
+        // batches' delta events are published by the worker on its way
+        // out, and every subscriber is owed them.
+        self.subs.close();
+        joined
     }
 
     /// Whether the daemon has been shut down (drained and joined).
@@ -421,6 +904,7 @@ fn snapshot_of(session: &IncrementalSession) -> Published {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     mut session: IncrementalSession,
     store: Option<SessionStore>,
@@ -428,6 +912,8 @@ fn worker_loop(
     pdp: SharedPdp,
     published: Arc<Mutex<Published>>,
     counters: Arc<Counters>,
+    metrics: Arc<ServeMetrics>,
+    subs: Arc<Subscriptions>,
     batch_max: usize,
 ) {
     while let Some(batch) = queue.take_batch(batch_max) {
@@ -450,12 +936,31 @@ fn worker_loop(
                     signatures_rerun: delta.signatures_rerun,
                     policies: session.policies().len(),
                 };
+                // The subscription event needs the policy ids before
+                // apply_delta consumes the delta; the sequence number
+                // is claimed here, on the only thread that ever does,
+                // so seq order IS batch order.
+                let event = PolicyDeltaEvent::new(
+                    subs.next_seq(),
+                    &delta.added,
+                    &delta.removed,
+                    delta.apps_resliced,
+                    delta.signatures_rerun,
+                    delta.ops_coalesced,
+                    session.policies().len(),
+                );
                 // Publish first (decisions go live), then persist (a
                 // crash between the two replays the batch's effect from
                 // the clients' perspective as already-analyzed state
                 // that simply wasn't saved — re-sending is idempotent).
                 pdp.apply_delta(delta.added, &delta.removed);
                 *published.lock().expect("published lock") = snapshot_of(&session);
+                metrics.mark_batch();
+                metrics.record("batch", started.elapsed().as_nanos() as u64);
+                let line: Arc<str> = Arc::from(event.to_line().as_str());
+                subs.publish(&line);
+                metrics.subscribers.set(subs.count() as i64);
+                metrics.subscribers_dropped.set(subs.dropped() as i64);
                 if let Some(store) = &store {
                     if let Err(e) = store.persist(session.apps()) {
                         eprintln!("separ serve: store persist failed: {e}");

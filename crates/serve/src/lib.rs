@@ -22,17 +22,30 @@
 //!   together; [`Daemon::handle`] is the whole service as a function
 //!   from request line to response line;
 //! * [`server`] — unix-socket / TCP accept loop over [`Daemon::handle`].
+//!
+//! Operational telemetry rides on the same wire: [`metrics`] keeps
+//! per-request-type rolling latency windows and renders the `metrics`
+//! response (JSON or Prometheus exposition), [`audit`] appends a
+//! size-rotated JSONL record per decide and bundle mutation, and
+//! [`subscribe`] pushes one ordered `policy_delta` event per applied
+//! batch to every connected subscriber.
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod daemon;
+pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod store;
+pub mod subscribe;
 
+pub use audit::{AuditRecord, AuditWriter};
 pub use daemon::{Daemon, ServeConfig, ServeError};
+pub use metrics::{ServeMetrics, REQUEST_KINDS};
 pub use protocol::{QueryWhat, Request};
 pub use queue::{BatchOutcome, BatchSummary, ChurnQueue, PushError, Ticket};
 pub use server::{serve, Endpoint};
 pub use store::{Restored, SessionStore, StoreError};
+pub use subscribe::{PolicyDeltaEvent, Subscription, Subscriptions};

@@ -1,0 +1,241 @@
+//! Live service metrics behind the `metrics` request: per-request-type
+//! rolling latency windows, gauges, and per-scrape counter deltas.
+//!
+//! Everything here is designed to sit *beside* the hot paths, not in
+//! them: recording a request latency touches one slice mutex of a
+//! [`RollingHistogram`] (tens of nanoseconds against a decide round
+//! trip measured in hundreds of microseconds — `serve_load` measures
+//! and asserts the ratio), and gauges are single relaxed atomics. The
+//! expensive work — merging windows, walking counters, rendering JSON
+//! or Prometheus text — happens only when someone actually scrapes.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use separ_obs::json::Value;
+use separ_obs::prometheus::{sanitize, PromWriter};
+use separ_obs::{CounterDeltas, Gauge, HistogramSnapshot, RollingHistogram};
+
+/// Every request kind the daemon tracks a rolling latency window for.
+/// `batch` is recorded by the analysis worker (one sample per coalesced
+/// batch); the rest by [`Daemon::handle`](crate::Daemon::handle).
+pub const REQUEST_KINDS: [&str; 10] = [
+    "install",
+    "uninstall",
+    "set_permission",
+    "query",
+    "decide",
+    "stats",
+    "metrics",
+    "health",
+    "invalid",
+    "batch",
+];
+
+/// The daemon's live metrics registry.
+///
+/// One instance per [`Daemon`](crate::Daemon); shared with the analysis
+/// worker. All recording methods are `&self` and thread-safe.
+pub struct ServeMetrics {
+    started: Instant,
+    rolling: Vec<RollingHistogram>,
+    /// Connected `subscribe` streams.
+    pub subscribers: Gauge,
+    /// Subscribers disconnected for lagging (cumulative).
+    pub subscribers_dropped: Gauge,
+    /// Requests slower than the configured `--slow-ms` (cumulative).
+    pub slow_requests: Gauge,
+    /// Audit records written (cumulative); 0 when auditing is off.
+    pub audit_records: Gauge,
+    /// Nanoseconds-from-start of the last applied batch; 0 = never.
+    last_batch_ns: Gauge,
+    deltas: Mutex<CounterDeltas>,
+}
+
+impl ServeMetrics {
+    /// A fresh registry; `started` is the daemon's uptime epoch.
+    pub fn new() -> ServeMetrics {
+        ServeMetrics {
+            started: Instant::now(),
+            rolling: REQUEST_KINDS
+                .iter()
+                .map(|_| RollingHistogram::standard())
+                .collect(),
+            subscribers: Gauge::new(),
+            subscribers_dropped: Gauge::new(),
+            slow_requests: Gauge::new(),
+            audit_records: Gauge::new(),
+            last_batch_ns: Gauge::new(),
+            deltas: Mutex::new(CounterDeltas::new()),
+        }
+    }
+
+    /// Milliseconds since the daemon started.
+    pub fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Records one request of `kind` taking `ns` nanoseconds. Unknown
+    /// kinds are dropped (the set is closed over [`REQUEST_KINDS`]).
+    pub fn record(&self, kind: &str, ns: u64) {
+        if let Some(i) = REQUEST_KINDS.iter().position(|&k| k == kind) {
+            self.rolling[i].record(ns);
+        }
+    }
+
+    /// Marks a batch as applied now (drives `last_batch_age_ms`).
+    pub fn mark_batch(&self) {
+        self.last_batch_ns
+            .set(self.started.elapsed().as_nanos() as i64);
+    }
+
+    /// Milliseconds since the last applied batch; `None` before the
+    /// first one.
+    pub fn last_batch_age_ms(&self) -> Option<u64> {
+        let at = self.last_batch_ns.get();
+        if at <= 0 {
+            return None;
+        }
+        let now = self.started.elapsed().as_nanos() as i64;
+        Some((now.saturating_sub(at) / 1_000_000).max(0) as u64)
+    }
+
+    /// The rolling windows of every request kind with traffic, as the
+    /// `rolling` JSON object: kind → window label → summary.
+    pub fn rolling_json(&self) -> Value {
+        let mut kinds = Vec::new();
+        for (i, &kind) in REQUEST_KINDS.iter().enumerate() {
+            let windows = self.rolling[i].windows();
+            if windows.iter().all(|(_, w)| w.count() == 0) {
+                continue;
+            }
+            let obj = windows
+                .into_iter()
+                .map(|(label, w)| (label.to_string(), window_json(&w)))
+                .collect();
+            kinds.push((kind.to_string(), Value::Obj(obj)));
+        }
+        Value::Obj(kinds)
+    }
+
+    /// Appends one `separ_request_latency_seconds` gauge family holding
+    /// the windowed quantiles of every request kind with traffic.
+    pub fn rolling_prometheus(&self, w: &mut PromWriter) {
+        let name = "separ_request_latency_seconds";
+        w.family(
+            name,
+            "gauge",
+            "windowed request latency quantiles by request type",
+        );
+        for (i, &kind) in REQUEST_KINDS.iter().enumerate() {
+            for (window, snap) in self.rolling[i].windows() {
+                if snap.count() == 0 {
+                    continue;
+                }
+                for &(q, label) in &[(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                    w.sample(
+                        name,
+                        &[("type", kind), ("window", window), ("quantile", label)],
+                        snap.quantile(q) as f64 / 1e9,
+                    );
+                }
+                w.sample(
+                    &format!("{name}_count"),
+                    &[("type", kind), ("window", window)],
+                    snap.count() as f64,
+                );
+            }
+        }
+    }
+
+    /// Per-scrape deltas of the process-global obs counters (empty when
+    /// the collector is disabled). Advances the scrape baseline.
+    pub fn counter_deltas(&self) -> std::collections::BTreeMap<String, u64> {
+        let current = separ_obs::global().counters();
+        self.deltas.lock().expect("deltas lock").delta(&current)
+    }
+}
+
+impl Default for ServeMetrics {
+    fn default() -> ServeMetrics {
+        ServeMetrics::new()
+    }
+}
+
+impl std::fmt::Debug for ServeMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeMetrics")
+            .field("uptime_ms", &self.uptime_ms())
+            .finish()
+    }
+}
+
+/// One rolling window as JSON: count plus µs-valued quantiles.
+fn window_json(w: &HistogramSnapshot) -> Value {
+    let us = |ns: u64| Value::Num(ns as f64 / 1_000.0);
+    Value::Obj(vec![
+        ("count".into(), Value::Num(w.count() as f64)),
+        ("p50_us".into(), us(w.quantile(0.5))),
+        ("p90_us".into(), us(w.quantile(0.9))),
+        ("p99_us".into(), us(w.quantile(0.99))),
+        ("max_us".into(), us(w.max())),
+        ("mean_us".into(), us(w.mean())),
+    ])
+}
+
+/// Renders the obs-counter section of the Prometheus exposition: every
+/// global counter as its own `separ_<name>_total` family, in sorted
+/// (BTreeMap) order so repeated scrapes are byte-stable.
+pub fn obs_counters_prometheus(w: &mut PromWriter) {
+    for (name, value) in separ_obs::global().counters() {
+        let prom = format!("separ_{}_total", sanitize(name));
+        w.family(&prom, "counter", "process-global observability counter");
+        w.sample(&prom, &[], value as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_only_known_kinds() {
+        let m = ServeMetrics::new();
+        m.record("decide", 1_000);
+        m.record("decide", 2_000);
+        m.record("nonsense", 5_000);
+        let rolling = m.rolling_json();
+        let decide = rolling.get("decide").expect("decide tracked");
+        let w10 = decide.get("10s").expect("10s window");
+        assert_eq!(w10.get("count").and_then(Value::as_u64), Some(2));
+        assert!(rolling.get("nonsense").is_none());
+        assert!(rolling.get("install").is_none(), "no traffic, no entry");
+    }
+
+    #[test]
+    fn rolling_prometheus_emits_quantiles_per_window() {
+        let m = ServeMetrics::new();
+        for i in 0..100 {
+            m.record("decide", 1_000 * (i + 1));
+        }
+        let mut w = PromWriter::new();
+        m.rolling_prometheus(&mut w);
+        let text = w.finish();
+        assert!(text.contains("# TYPE separ_request_latency_seconds gauge"));
+        assert!(text.contains(
+            "separ_request_latency_seconds{type=\"decide\",window=\"10s\",quantile=\"0.99\"}"
+        ));
+        assert!(
+            text.contains("separ_request_latency_seconds_count{type=\"decide\",window=\"5m\"} 100")
+        );
+        assert!(!text.contains("type=\"install\""));
+    }
+
+    #[test]
+    fn last_batch_age_starts_empty() {
+        let m = ServeMetrics::new();
+        assert_eq!(m.last_batch_age_ms(), None);
+        m.mark_batch();
+        assert!(m.last_batch_age_ms().expect("marked") < 1_000);
+    }
+}

@@ -13,6 +13,9 @@
 //!  "receiver_app":"r","receiver_component":"LD;","action":"a",
 //!  "tags":["LOCATION"],"prompt":"deny"}
 //! {"cmd":"stats"}
+//! {"cmd":"metrics"[,"format":"prometheus"]}
+//! {"cmd":"health"}
+//! {"cmd":"subscribe"}
 //! {"cmd":"shutdown"}
 //! ```
 //!
@@ -22,6 +25,13 @@
 //! summary; `deadline_ms` bounds only how long the *client* waits for
 //! that confirmation — an accepted op is applied even if its requester
 //! stopped listening.
+//!
+//! `subscribe` upgrades the connection to a push stream: after the
+//! `{"ok":true,"subscribed":true,"seq":N}` acknowledgement the server
+//! writes one `{"event":"policy_delta",...}` line per applied batch
+//! (see [`crate::subscribe`]) and reads nothing further. `metrics` with
+//! `"format":"prometheus"` carries the text exposition in the `body`
+//! string field of the (still one-line JSON) response.
 
 use std::collections::BTreeSet;
 
@@ -84,6 +94,17 @@ pub enum Request {
     },
     /// Service counters.
     Stats,
+    /// Live operational metrics (rolling latency windows, gauges,
+    /// counter deltas); `prometheus` selects text exposition.
+    Metrics {
+        /// `true` = Prometheus text exposition in the `body` field,
+        /// `false` = structured JSON.
+        prometheus: bool,
+    },
+    /// Liveness/readiness probe.
+    Health,
+    /// Upgrade this connection to a policy-delta push stream.
+    Subscribe,
     /// Drain, persist, and exit.
     Shutdown,
 }
@@ -173,6 +194,16 @@ impl Request {
                 })
             }
             "stats" => Ok(Request::Stats),
+            "metrics" => {
+                let prometheus = match v.get("format").and_then(Value::as_str) {
+                    Some("prometheus") => true,
+                    Some("json") | None => false,
+                    Some(other) => return Err(format!("metrics: unknown format: {other}")),
+                };
+                Ok(Request::Metrics { prometheus })
+            }
+            "health" => Ok(Request::Health),
+            "subscribe" => Ok(Request::Subscribe),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown cmd: {other}")),
         }
@@ -185,6 +216,23 @@ impl Request {
             self,
             Request::Install { .. } | Request::Uninstall { .. } | Request::SetPermission { .. }
         )
+    }
+
+    /// The request's kind label, as used for per-type latency metrics
+    /// and the audit log.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Install { .. } => "install",
+            Request::Uninstall { .. } => "uninstall",
+            Request::SetPermission { .. } => "set_permission",
+            Request::Query(_) => "query",
+            Request::Decide { .. } => "decide",
+            Request::Stats => "stats",
+            Request::Metrics { .. } => "metrics",
+            Request::Health => "health",
+            Request::Subscribe => "subscribe",
+            Request::Shutdown => "shutdown",
+        }
     }
 }
 
@@ -294,6 +342,26 @@ mod tests {
             }
             other => panic!("wrong request: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_observability_requests() {
+        match Request::parse(r#"{"cmd":"metrics"}"#).expect("parses") {
+            Request::Metrics { prometheus } => assert!(!prometheus),
+            other => panic!("wrong request: {other:?}"),
+        }
+        match Request::parse(r#"{"cmd":"metrics","format":"prometheus"}"#).expect("parses") {
+            Request::Metrics { prometheus } => assert!(prometheus),
+            other => panic!("wrong request: {other:?}"),
+        }
+        assert!(Request::parse(r#"{"cmd":"metrics","format":"xml"}"#).is_err());
+        assert!(matches!(
+            Request::parse(r#"{"cmd":"health"}"#).expect("parses"),
+            Request::Health
+        ));
+        let sub = Request::parse(r#"{"cmd":"subscribe"}"#).expect("parses");
+        assert!(matches!(sub, Request::Subscribe));
+        assert_eq!(sub.kind(), "subscribe");
     }
 
     #[test]

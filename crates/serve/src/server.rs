@@ -17,6 +17,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crate::daemon::{Daemon, ServeError};
+use crate::protocol::Request;
 
 /// Where the server listens.
 #[derive(Debug, Clone)]
@@ -98,6 +99,10 @@ pub fn serve(daemon: Daemon, endpoint: &Endpoint) -> Result<(), ServeError> {
 
 /// One connection: read a line, answer a line. Returns `true` if this
 /// connection served a `shutdown`.
+///
+/// A `subscribe` request upgrades the connection instead of answering
+/// it: the loop stops reading and pushes policy-delta event lines until
+/// the client hangs up or the daemon shuts down.
 fn connection_loop(stream: Box<dyn Connection>, daemon: &Daemon) -> bool {
     let Ok(reader) = stream.try_clone_reader() else {
         return false;
@@ -107,6 +112,14 @@ fn connection_loop(stream: Box<dyn Connection>, daemon: &Daemon) -> bool {
         let Ok(line) = line else { break };
         if line.trim().is_empty() {
             continue;
+        }
+        // The contains() pre-filter keeps the hot request path at one
+        // parse (inside handle); only candidate lines parse here.
+        if line.contains("subscribe")
+            && matches!(Request::parse(line.trim()), Ok(Request::Subscribe))
+        {
+            subscription_loop(writer, daemon);
+            return false;
         }
         let response = daemon.handle(&line);
         if writer.write_all(response.as_bytes()).is_err()
@@ -120,6 +133,31 @@ fn connection_loop(stream: Box<dyn Connection>, daemon: &Daemon) -> bool {
         }
     }
     false
+}
+
+/// Pushes the subscription acknowledgement and then one event line per
+/// applied batch. Ends when the client's socket dies (the next write
+/// fails) or the daemon disconnects the subscriber (shutdown, or the
+/// client lagged past its buffer).
+fn subscription_loop(mut writer: Box<dyn Connection>, daemon: &Daemon) {
+    let sub = daemon.subscribe();
+    let ack = daemon.subscribe_ack();
+    if writer.write_all(ack.as_bytes()).is_err()
+        || writer.write_all(b"\n").is_err()
+        || writer.flush().is_err()
+    {
+        daemon.unsubscribe(sub.id);
+        return;
+    }
+    while let Ok(event) = sub.recv() {
+        if writer.write_all(event.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+        {
+            break;
+        }
+    }
+    daemon.unsubscribe(sub.id);
 }
 
 /// Connects and immediately drops, solely to wake a blocking `accept`.

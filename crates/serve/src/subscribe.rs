@@ -1,0 +1,316 @@
+//! Policy-delta subscriptions: push instead of poll.
+//!
+//! A client that sends `{"cmd":"subscribe"}` holds its connection open
+//! and receives one `policy_delta` event line per applied batch — which
+//! policies were added and retired, how many apps were re-sliced, and a
+//! per-daemon sequence number. The events are published by the single
+//! analysis worker *in batch order*, so every subscriber observes the
+//! same totally-ordered delta stream; a gap in `seq` tells a client it
+//! was disconnected and must re-sync with a `query`.
+//!
+//! Delivery must never block the worker: each subscriber gets a bounded
+//! channel and a publish that would block (a reader that stopped
+//! draining) drops the subscriber instead — lagging consumers are
+//! disconnected, not allowed to stall analysis.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use separ_core::policy::Policy;
+use separ_obs::json::Value;
+
+/// One applied batch, as pushed to subscribers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyDeltaEvent {
+    /// Monotonic per-daemon sequence number (1 = first batch).
+    pub seq: u64,
+    /// Ids of policies the batch added.
+    pub added: Vec<u32>,
+    /// Ids of policies the batch retired.
+    pub retired: Vec<u32>,
+    /// Apps whose models were re-sliced by the delta pass.
+    pub apps_resliced: usize,
+    /// Signatures the delta pass re-ran.
+    pub signatures_rerun: usize,
+    /// Churn ops coalesced into this batch.
+    pub ops: usize,
+    /// Total policies live after the batch.
+    pub policies: usize,
+}
+
+impl PolicyDeltaEvent {
+    /// Builds the event for one applied batch from the policy delta.
+    pub fn new(
+        seq: u64,
+        added: &[Policy],
+        retired: &[Policy],
+        apps_resliced: usize,
+        signatures_rerun: usize,
+        ops: usize,
+        policies: usize,
+    ) -> PolicyDeltaEvent {
+        PolicyDeltaEvent {
+            seq,
+            added: added.iter().map(|p| p.id).collect(),
+            retired: retired.iter().map(|p| p.id).collect(),
+            apps_resliced,
+            signatures_rerun,
+            ops,
+            policies,
+        }
+    }
+
+    /// Serializes the event as one wire line (no trailing newline):
+    /// `{"event":"policy_delta","seq":N,...}`.
+    pub fn to_line(&self) -> String {
+        let ids = |ids: &[u32]| Value::Arr(ids.iter().map(|&i| Value::Num(i as f64)).collect());
+        let mut out = String::new();
+        Value::Obj(vec![
+            ("event".into(), Value::Str("policy_delta".into())),
+            ("seq".into(), Value::Num(self.seq as f64)),
+            ("added".into(), ids(&self.added)),
+            ("retired".into(), ids(&self.retired)),
+            (
+                "apps_resliced".into(),
+                Value::Num(self.apps_resliced as f64),
+            ),
+            (
+                "signatures_rerun".into(),
+                Value::Num(self.signatures_rerun as f64),
+            ),
+            ("ops".into(), Value::Num(self.ops as f64)),
+            ("policies".into(), Value::Num(self.policies as f64)),
+        ])
+        .write_into(&mut out);
+        out
+    }
+
+    /// Parses an event line back (the test-side inverse of
+    /// [`PolicyDeltaEvent::to_line`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for non-JSON lines or lines that are not
+    /// `policy_delta` events.
+    pub fn parse(line: &str) -> Result<PolicyDeltaEvent, String> {
+        let v = Value::parse(line).map_err(|e| format!("bad json: {e}"))?;
+        if v.get("event").and_then(Value::as_str) != Some("policy_delta") {
+            return Err("not a policy_delta event".into());
+        }
+        let ids = |key: &str| -> Vec<u32> {
+            v.get(key)
+                .and_then(Value::as_arr)
+                .map(|a| {
+                    a.iter()
+                        .filter_map(Value::as_u64)
+                        .map(|n| n as u32)
+                        .collect()
+                })
+                .unwrap_or_default()
+        };
+        let num = |key: &str| v.get(key).and_then(Value::as_u64).unwrap_or(0);
+        Ok(PolicyDeltaEvent {
+            seq: num("seq"),
+            added: ids("added"),
+            retired: ids("retired"),
+            apps_resliced: num("apps_resliced") as usize,
+            signatures_rerun: num("signatures_rerun") as usize,
+            ops: num("ops") as usize,
+            policies: num("policies") as usize,
+        })
+    }
+}
+
+struct Entry {
+    id: u64,
+    tx: SyncSender<Arc<str>>,
+}
+
+/// The subscriber registry: worker-side publish, connection-side
+/// subscribe/receive.
+#[derive(Debug)]
+pub struct Subscriptions {
+    entries: Mutex<Vec<Entry>>,
+    next_id: AtomicU64,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    buffer: usize,
+}
+
+impl std::fmt::Debug for Entry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Entry({})", self.id)
+    }
+}
+
+impl Subscriptions {
+    /// A registry whose subscribers each buffer up to `buffer` pending
+    /// events before being dropped as laggards.
+    pub fn new(buffer: usize) -> Subscriptions {
+        Subscriptions {
+            entries: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(1),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            buffer: buffer.max(1),
+        }
+    }
+
+    /// Registers a new subscriber. It sees every event published after
+    /// this call, in order, until it stops draining or the daemon
+    /// shuts down.
+    pub fn subscribe(&self) -> Subscription {
+        let (tx, rx) = sync_channel(self.buffer);
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.entries
+            .lock()
+            .expect("subs lock")
+            .push(Entry { id, tx });
+        Subscription { id, rx }
+    }
+
+    /// Claims the next sequence number (1-based). Called only by the
+    /// analysis worker, which is single-threaded — so sequence order
+    /// and publish order agree.
+    pub fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The sequence number of the most recently published event.
+    pub fn seq(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Delivers `line` to every subscriber. A full buffer or a hung-up
+    /// receiver drops that subscriber; nobody can block the caller.
+    /// Returns how many subscribers were dropped by this publish.
+    pub fn publish(&self, line: &Arc<str>) -> usize {
+        let mut entries = self.entries.lock().expect("subs lock");
+        let before = entries.len();
+        entries.retain(|e| match e.tx.try_send(Arc::clone(line)) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => false,
+        });
+        let dropped = before - entries.len();
+        if dropped > 0 {
+            self.dropped.fetch_add(dropped as u64, Ordering::Relaxed);
+        }
+        dropped
+    }
+
+    /// Removes one subscriber (its connection closed).
+    pub fn unsubscribe(&self, id: u64) {
+        self.entries
+            .lock()
+            .expect("subs lock")
+            .retain(|e| e.id != id);
+    }
+
+    /// Currently connected subscribers.
+    pub fn count(&self) -> usize {
+        self.entries.lock().expect("subs lock").len()
+    }
+
+    /// Subscribers dropped for lagging since boot.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Disconnects every subscriber (daemon shutdown): their next
+    /// receive after draining buffered events reports closure.
+    pub fn close(&self) {
+        self.entries.lock().expect("subs lock").clear();
+    }
+}
+
+/// One subscriber's receiving end. Dropping it unsubscribes lazily (the
+/// next publish notices the hang-up); call
+/// [`Subscriptions::unsubscribe`] for prompt removal.
+#[derive(Debug)]
+pub struct Subscription {
+    /// The registry id (for [`Subscriptions::unsubscribe`]).
+    pub id: u64,
+    rx: Receiver<Arc<str>>,
+}
+
+impl Subscription {
+    /// Waits up to `timeout` for the next event line.
+    ///
+    /// # Errors
+    ///
+    /// `Timeout` if nothing arrived; `Disconnected` once the daemon
+    /// closed or this subscriber was dropped as a laggard *and* every
+    /// buffered event has been drained.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Arc<str>, RecvTimeoutError> {
+        self.rx.recv_timeout(timeout)
+    }
+
+    /// Blocks for the next event line; `Err` once disconnected and
+    /// drained.
+    pub fn recv(&self) -> Result<Arc<str>, std::sync::mpsc::RecvError> {
+        self.rx.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_lines_round_trip() {
+        let ev = PolicyDeltaEvent {
+            seq: 4,
+            added: vec![7, 9],
+            retired: vec![2],
+            apps_resliced: 3,
+            signatures_rerun: 5,
+            ops: 2,
+            policies: 11,
+        };
+        assert_eq!(PolicyDeltaEvent::parse(&ev.to_line()).expect("parses"), ev);
+        assert!(PolicyDeltaEvent::parse("{\"ok\":true}").is_err());
+    }
+
+    #[test]
+    fn publish_is_ordered_and_drops_laggards() {
+        let subs = Subscriptions::new(4);
+        let fast = subs.subscribe();
+        let lazy = subs.subscribe();
+        assert_eq!(subs.count(), 2);
+        // Publish more than the lazy subscriber's buffer without
+        // draining it: it must be dropped, the fast one kept.
+        for i in 0..6u64 {
+            let seq = subs.next_seq();
+            assert_eq!(seq, i + 1);
+            let line: Arc<str> = Arc::from(format!("ev{seq}").as_str());
+            subs.publish(&line);
+            let got = fast
+                .recv_timeout(Duration::from_secs(1))
+                .expect("fast keeps up");
+            assert_eq!(&*got, format!("ev{seq}").as_str());
+        }
+        assert_eq!(subs.count(), 1, "laggard dropped");
+        assert_eq!(subs.dropped(), 1);
+        // The laggard still drains its buffered prefix, in order, then
+        // sees disconnection.
+        for i in 0..4u64 {
+            let got = lazy.recv_timeout(Duration::from_secs(1)).expect("buffered");
+            assert_eq!(&*got, format!("ev{}", i + 1).as_str());
+        }
+        assert!(lazy.recv_timeout(Duration::from_millis(50)).is_err());
+    }
+
+    #[test]
+    fn close_disconnects_everyone() {
+        let subs = Subscriptions::new(2);
+        let sub = subs.subscribe();
+        subs.close();
+        assert_eq!(subs.count(), 0);
+        assert!(matches!(
+            sub.recv_timeout(Duration::from_millis(50)),
+            Err(RecvTimeoutError::Disconnected)
+        ));
+    }
+}

@@ -8,7 +8,7 @@ use separ_core::policy_io;
 use separ_enforce::probe_contexts;
 use separ_obs::json::Value;
 use separ_serve::protocol::encode_hex;
-use separ_serve::{Daemon, ServeConfig};
+use separ_serve::{Daemon, PolicyDeltaEvent, ServeConfig};
 
 fn package_hex(apk: &separ_dex::program::Apk) -> String {
     encode_hex(&separ_dex::codec::encode(apk))
@@ -260,4 +260,283 @@ fn concurrent_churn_coalesces() {
     assert_eq!(v.get("failed").and_then(Value::as_u64), Some(0));
     parse_ok(&daemon.handle(r#"{"cmd":"shutdown"}"#));
     std::thread::sleep(Duration::from_millis(1));
+}
+
+#[test]
+fn metrics_endpoint_reports_rolling_latencies_and_totals() {
+    let daemon = Daemon::start(serial_config()).expect("boots");
+    let line = format!(
+        r#"{{"cmd":"install","bytes_hex":"{}"}}"#,
+        package_hex(&separ_corpus::motivating::navigator_app())
+    );
+    parse_ok(&daemon.handle(&line));
+    for _ in 0..50 {
+        parse_ok(&daemon.handle(
+            r#"{"cmd":"decide","event":"icc_send","sender_app":"com.navigator","prompt":"deny"}"#,
+        ));
+    }
+    // The stats satellite: uptime next to the existing queue depth.
+    let v = parse_ok(&daemon.handle(r#"{"cmd":"stats"}"#));
+    assert!(v.get("uptime_ms").and_then(Value::as_u64).is_some());
+    assert_eq!(v.get("queue_depth").and_then(Value::as_u64), Some(0));
+    // The metrics endpoint: live gauges, PDP totals, rolling windows.
+    let v = parse_ok(&daemon.handle(r#"{"cmd":"metrics"}"#));
+    assert!(v.get("uptime_ms").and_then(Value::as_u64).is_some());
+    assert_eq!(v.get("queue_depth").and_then(Value::as_u64), Some(0));
+    assert!(v.get("seq").and_then(Value::as_u64).unwrap() >= 1);
+    assert!(v.get("last_batch_age_ms").and_then(Value::as_u64).is_some());
+    let pdp = v.get("pdp").expect("pdp totals");
+    assert_eq!(pdp.get("evaluations").and_then(Value::as_u64), Some(50));
+    let evals = pdp.get("allowed").and_then(Value::as_u64).unwrap()
+        + pdp.get("denied").and_then(Value::as_u64).unwrap();
+    assert_eq!(evals, 50, "allowed + denied partition evaluations");
+    let rolling = v.get("rolling").expect("rolling windows");
+    let decide = rolling.get("decide").expect("decide is tracked");
+    for window in ["10s", "1m", "5m"] {
+        let w = decide.get(window).expect("window");
+        assert_eq!(w.get("count").and_then(Value::as_u64), Some(50));
+        assert!(w.get("p50_us").and_then(Value::as_f64).unwrap() > 0.0);
+        assert!(
+            w.get("p99_us").and_then(Value::as_f64).unwrap()
+                >= w.get("p50_us").and_then(Value::as_f64).unwrap()
+        );
+    }
+    assert!(rolling.get("install").is_some());
+    parse_ok(&daemon.handle(r#"{"cmd":"shutdown"}"#));
+}
+
+/// Line-by-line structural validation of the Prometheus exposition,
+/// plus family-order stability across scrapes.
+#[test]
+fn prometheus_exposition_is_valid_and_stable() {
+    let daemon = Daemon::start(serial_config()).expect("boots");
+    parse_ok(
+        &daemon
+            .handle(r#"{"cmd":"decide","event":"icc_send","sender_app":"com.a","prompt":"deny"}"#),
+    );
+    let scrape = || {
+        let v = parse_ok(&daemon.handle(r#"{"cmd":"metrics","format":"prometheus"}"#));
+        assert_eq!(v.get("format").and_then(Value::as_str), Some("prometheus"));
+        v.get("body")
+            .and_then(Value::as_str)
+            .expect("body")
+            .to_string()
+    };
+    let families = |body: &str| -> Vec<String> {
+        let mut declared = Vec::new();
+        let mut helped = std::collections::BTreeSet::new();
+        for line in body.lines() {
+            assert!(!line.trim().is_empty(), "no blank lines in exposition");
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split(' ').next().expect("family name");
+                helped.insert(name.to_string());
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split(' ');
+                let name = it.next().expect("family name").to_string();
+                let kind = it.next().expect("family kind");
+                assert!(matches!(kind, "counter" | "gauge" | "histogram"), "{line}");
+                assert!(helped.contains(&name), "HELP precedes TYPE: {line}");
+                declared.push(name);
+            } else {
+                // A sample: `name{labels} value` or `name value`, with
+                // the metric belonging to a declared family.
+                let (name_labels, value) = line.rsplit_once(' ').expect("sample line");
+                let name = name_labels.split('{').next().expect("metric name");
+                assert!(
+                    value.parse::<f64>().is_ok() || value == "+Inf",
+                    "parsable value: {line}"
+                );
+                let family = declared.iter().any(|f| {
+                    name == f
+                        || name
+                            .strip_prefix(f.as_str())
+                            .is_some_and(|s| matches!(s, "_bucket" | "_sum" | "_count"))
+                });
+                assert!(family, "sample outside any declared family: {line}");
+                if let Some(labels) = name_labels.strip_prefix(name) {
+                    if !labels.is_empty() {
+                        assert!(labels.starts_with('{') && labels.ends_with('}'), "{line}");
+                    }
+                }
+            }
+        }
+        declared
+    };
+    let first = scrape();
+    let order_a = families(&first);
+    assert!(order_a.iter().any(|f| f == "separ_uptime_seconds"));
+    assert!(order_a.iter().any(|f| f == "separ_pdp_evaluations_total"));
+    assert!(order_a.iter().any(|f| f == "separ_request_latency_seconds"));
+    // Same state, scraped again: family order is identical (values such
+    // as uptime may move, the shape may not).
+    let order_b = families(&scrape());
+    assert_eq!(order_a, order_b, "exposition ordering is stable");
+    parse_ok(&daemon.handle(r#"{"cmd":"shutdown"}"#));
+}
+
+/// The tentpole's subscription guarantee: every applied batch is
+/// delivered to every subscriber exactly once, in sequence order, even
+/// while churn lands from many threads at once.
+#[test]
+fn subscribers_see_every_batch_exactly_once_in_order() {
+    let daemon = std::sync::Arc::new(Daemon::start(serial_config()).expect("boots"));
+    let subs: Vec<_> = (0..2).map(|_| daemon.subscribe()).collect();
+    let threads: Vec<_> = (0..8)
+        .map(|i| {
+            let daemon = std::sync::Arc::clone(&daemon);
+            std::thread::spawn(move || {
+                let line = if i == 0 {
+                    format!(
+                        r#"{{"cmd":"install","bytes_hex":"{}"}}"#,
+                        package_hex(&separ_corpus::motivating::navigator_app())
+                    )
+                } else {
+                    format!(
+                        concat!(
+                            r#"{{"cmd":"set_permission","package":"com.navigator","#,
+                            r#""permission":"android.permission.PERM_{}","granted":true}}"#
+                        ),
+                        i
+                    )
+                };
+                let v = Value::parse(&daemon.handle(&line)).expect("valid");
+                // Toggles racing ahead of the install may fail; the
+                // batches that *were* applied are what subscribers see.
+                v.get("ok").and_then(Value::as_bool) == Some(true)
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().expect("client thread");
+    }
+    let v = parse_ok(&daemon.handle(r#"{"cmd":"stats"}"#));
+    let batches = v.get("batches").and_then(Value::as_u64).expect("batches");
+    parse_ok(&daemon.handle(r#"{"cmd":"shutdown"}"#));
+    // Drain each subscription to disconnection and check the stream.
+    for sub in subs {
+        let mut seqs = Vec::new();
+        while let Ok(line) = sub.recv_timeout(Duration::from_secs(5)) {
+            let ev = PolicyDeltaEvent::parse(&line).expect("policy_delta event");
+            seqs.push(ev.seq);
+        }
+        assert_eq!(
+            seqs,
+            (1..=batches).collect::<Vec<_>>(),
+            "every batch exactly once, in order"
+        );
+    }
+}
+
+/// A subscriber that stops draining is disconnected instead of
+/// stalling the analysis worker.
+#[test]
+fn lagging_subscribers_are_dropped_not_blocking() {
+    let cfg = ServeConfig {
+        subscriber_buffer: 1,
+        ..serial_config()
+    };
+    let daemon = Daemon::start(cfg).expect("boots");
+    let laggard = daemon.subscribe();
+    // Three sequential batches against a buffer of one: the second
+    // publish finds the buffer full and drops the subscriber.
+    for i in 0..3 {
+        let apk = separ_corpus::motivating::messenger_app(i % 2 == 0);
+        let line = format!(r#"{{"cmd":"install","bytes_hex":"{}"}}"#, package_hex(&apk));
+        parse_ok(&daemon.handle(&line));
+    }
+    let v = parse_ok(&daemon.handle(r#"{"cmd":"metrics"}"#));
+    assert_eq!(v.get("subscribers").and_then(Value::as_u64), Some(0));
+    assert!(
+        v.get("subscribers_dropped")
+            .and_then(Value::as_u64)
+            .unwrap()
+            >= 1
+    );
+    // The laggard still drains its buffered prefix (in order), then
+    // observes the disconnect — and can tell from the seq gap vs
+    // `metrics.seq` that it must re-sync.
+    let first = laggard
+        .recv_timeout(Duration::from_secs(5))
+        .expect("buffered");
+    assert_eq!(PolicyDeltaEvent::parse(&first).expect("event").seq, 1);
+    assert!(laggard.recv_timeout(Duration::from_millis(200)).is_err());
+    parse_ok(&daemon.handle(r#"{"cmd":"shutdown"}"#));
+}
+
+/// The audit log records every decide and bundle mutation as schema-
+/// complete JSONL.
+#[test]
+fn audit_log_captures_decides_and_churn() {
+    let dir = tmp("audit");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let path = dir.join("audit.log");
+    let cfg = ServeConfig {
+        audit_path: Some(path.clone()),
+        ..serial_config()
+    };
+    let daemon = Daemon::start(cfg).expect("boots");
+    let line = format!(
+        r#"{{"cmd":"install","bytes_hex":"{}"}}"#,
+        package_hex(&separ_corpus::motivating::navigator_app())
+    );
+    parse_ok(&daemon.handle(&line));
+    parse_ok(&daemon.handle(
+        r#"{"cmd":"decide","event":"icc_send","sender_app":"com.navigator","prompt":"deny"}"#,
+    ));
+    // A failed churn is audited too (undecodable package).
+    let failed = daemon.handle(r#"{"cmd":"install","bytes_hex":"00"}"#);
+    assert!(failed.starts_with("{\"ok\":false"));
+    // Reads (query/stats/metrics) are NOT audited.
+    parse_ok(&daemon.handle(r#"{"cmd":"query","what":"summary"}"#));
+    parse_ok(&daemon.handle(r#"{"cmd":"shutdown"}"#));
+    let text = std::fs::read_to_string(&path).expect("audit log exists");
+    let records: Vec<Value> = text
+        .lines()
+        .map(|l| Value::parse(l).expect("valid JSONL"))
+        .collect();
+    assert_eq!(records.len(), 3, "install + decide + failed install");
+    for r in &records {
+        assert!(r.get("ts_ms").and_then(Value::as_u64).unwrap() > 0);
+        assert!(r.get("req_id").and_then(Value::as_u64).unwrap() > 0);
+        assert!(r.get("kind").and_then(Value::as_str).is_some());
+        assert!(r.get("ok").and_then(Value::as_bool).is_some());
+        assert!(r.get("latency_us").and_then(Value::as_u64).is_some());
+    }
+    let install = &records[0];
+    assert_eq!(install.get("kind").and_then(Value::as_str), Some("install"));
+    assert_eq!(
+        install.get("package").and_then(Value::as_str),
+        Some("com.navigator")
+    );
+    let decide = &records[1];
+    assert_eq!(decide.get("kind").and_then(Value::as_str), Some("decide"));
+    assert!(decide.get("decision").and_then(Value::as_str).is_some());
+    let failed = &records[2];
+    assert_eq!(failed.get("ok").and_then(Value::as_bool), Some(false));
+    assert!(failed.get("error").and_then(Value::as_str).is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn health_tracks_liveness_and_batch_age() {
+    let daemon = Daemon::start(serial_config()).expect("boots");
+    let v = parse_ok(&daemon.handle(r#"{"cmd":"health"}"#));
+    assert_eq!(v.get("ready").and_then(Value::as_bool), Some(true));
+    assert_eq!(v.get("live").and_then(Value::as_bool), Some(true));
+    assert!(matches!(v.get("last_batch_age_ms"), Some(Value::Null)));
+    assert_eq!(v.get("seq").and_then(Value::as_u64), Some(0));
+    let line = format!(
+        r#"{{"cmd":"install","bytes_hex":"{}"}}"#,
+        package_hex(&separ_corpus::motivating::navigator_app())
+    );
+    parse_ok(&daemon.handle(&line));
+    let v = parse_ok(&daemon.handle(r#"{"cmd":"health"}"#));
+    assert!(v.get("last_batch_age_ms").and_then(Value::as_u64).is_some());
+    assert_eq!(v.get("seq").and_then(Value::as_u64), Some(1));
+    parse_ok(&daemon.handle(r#"{"cmd":"shutdown"}"#));
+    // After drain the worker is gone: not live, not ready.
+    let v = parse_ok(&daemon.handle(r#"{"cmd":"health"}"#));
+    assert_eq!(v.get("live").and_then(Value::as_bool), Some(false));
+    assert_eq!(v.get("ready").and_then(Value::as_bool), Some(false));
 }

@@ -25,13 +25,18 @@
 //! separ serve --socket <path> | --listen <addr>
 //!             [--store <dir>] [--queue <n>] [--batch-max <n>]
 //!             [--deadline-ms <n>] [--cache-cap-mb <n>] [--threads <n>]
+//!             [--slow-ms <n>] [--audit <file>] [--audit-max-kb <n>]
 //!                                          run the continuous analysis
 //!                                          daemon: line-delimited JSON
 //!                                          requests (install / uninstall /
 //!                                          set_permission / query / decide /
-//!                                          stats / shutdown) over a unix
-//!                                          socket or TCP; --store persists
-//!                                          the session across restarts
+//!                                          stats / metrics / health /
+//!                                          subscribe / shutdown) over a
+//!                                          unix socket or TCP; --store
+//!                                          persists the session across
+//!                                          restarts; --slow-ms logs slow
+//!                                          requests; --audit appends a
+//!                                          size-rotated JSONL audit log
 //! separ demo                               the Figure 1 attack, end to end
 //! ```
 
@@ -430,6 +435,25 @@ fn cmd_serve(args: &[String]) -> CliResult {
                 cfg.config.threads = value(i)?
                     .parse()
                     .map_err(|e| format!("serve: --threads: {e}"))?;
+                i += 1;
+            }
+            "--slow-ms" => {
+                cfg.slow_ms = Some(
+                    value(i)?
+                        .parse()
+                        .map_err(|e| format!("serve: --slow-ms: {e}"))?,
+                );
+                i += 1;
+            }
+            "--audit" => {
+                cfg.audit_path = Some(value(i)?.into());
+                i += 1;
+            }
+            "--audit-max-kb" => {
+                let kb: u64 = value(i)?
+                    .parse()
+                    .map_err(|e| format!("serve: --audit-max-kb: {e}"))?;
+                cfg.audit_max_bytes = kb * 1024;
                 i += 1;
             }
             f => return Err(format!("serve: unknown option {f}")),
